@@ -1,0 +1,54 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench experiments experiments-full examples quick clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/server ./internal/sim
+
+# One pass over every table/figure benchmark.
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x .
+
+# Micro-benchmarks across all packages.
+bench-all:
+	$(GO) test -bench . -benchmem ./...
+
+# Default-scale reproduction of every paper artifact (plus extensions).
+experiments:
+	$(GO) run ./cmd/experiments all
+
+# Quarter-length traces: slower, quantitatively tighter.
+experiments-full:
+	$(GO) run ./cmd/experiments -scale 0.25 all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/multitenant
+	$(GO) run ./examples/overload
+	$(GO) run ./examples/walkthrough
+	$(GO) run ./examples/loadtest
+
+# Fast validation in the spirit of the paper artifact's tester.sh:
+# the headline shape probes plus the full unit suite in short mode.
+quick:
+	$(GO) test -short ./...
+	$(GO) test ./internal/experiments -run Probe -v
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,138 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+//
+// Each BenchmarkFigN / BenchmarkTableN runs the corresponding experiment
+// harness end to end (workload synthesis, simulation sweep, row printing
+// suppressed) at a reduced scale, so `go test -bench .` exercises the full
+// reproduction pipeline. For readable output at larger scales, use
+// `go run ./cmd/experiments -scale 0.25 all` instead; EXPERIMENTS.md records
+// paper-vs-measured values.
+package qoserve_test
+
+import (
+	"io"
+	"testing"
+
+	"qoserve/internal/experiments"
+)
+
+// benchScale keeps each benchmark iteration tractable: ~5-minute simulated
+// traces. Shapes (who wins, crossover ordering) hold at this scale; see
+// EXPERIMENTS.md for the scaling discussion.
+const benchScale = 0.02
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		env := experiments.NewEnv(benchScale, io.Discard)
+		if err := experiments.RunByName(name, env); err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2: FCFS/SJF/SRPF/EDF/QoServe latency and
+// violation curves for the strictest tier across a load sweep.
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig4 regenerates Figure 4: the chunk-size throughput/latency
+// trade-off.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Figure 5: eager relegation versus none under
+// rising load.
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig7 regenerates Figure 7: max goodput per replica across three
+// models and three datasets for Sarathi-FCFS, Sarathi-EDF, and QoServe.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8: prefill goodput under PD
+// disaggregation.
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9: dynamic chunk sizes across
+// consecutive batches.
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10: per-tier TTFT percentiles versus
+// load under overload.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11: deadline violations by tier and
+// request length versus load.
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Figure 12: the diurnal transient-overload
+// violation table split by priority and tier.
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates Figure 13: rolling p99 latency of
+// high-priority requests during the diurnal run.
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14 regenerates Figure 14: the hybrid-prioritization alpha
+// sweep.
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkFig15a regenerates Figure 15a: Medha's adaptive chunking versus
+// QoServe's dynamic chunking on the synthetic long-prompt trace.
+func BenchmarkFig15a(b *testing.B) { benchExperiment(b, "fig15a") }
+
+// BenchmarkFig15b regenerates Figure 15b: PolyServe partitioned deployments
+// versus QoServe colocation GPU counts.
+func BenchmarkFig15b(b *testing.B) { benchExperiment(b, "fig15b") }
+
+// BenchmarkTable4 regenerates Table 4: the cluster-scale siloed-vs-shared
+// GPU comparison.
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkTable5 regenerates Table 5: the DC/ER/HP ablation ladder.
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// BenchmarkTable6 regenerates Table 6: skewed workload compositions.
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+
+// BenchmarkSLOVar regenerates the §4.4.2 varying-SLO capacity comparison.
+func BenchmarkSLOVar(b *testing.B) { benchExperiment(b, "slovar") }
+
+// BenchmarkPreemptAblation measures selective preemption on/off (extra
+// ablation called out in DESIGN.md).
+func BenchmarkPreemptAblation(b *testing.B) { benchExperiment(b, "preempt") }
+
+// BenchmarkPredictorAblation measures oracle vs forest vs margin-free
+// forest predictors (extra ablation called out in DESIGN.md).
+func BenchmarkPredictorAblation(b *testing.B) { benchExperiment(b, "predablate") }
+
+// BenchmarkEstimatorAblation measures oracle decode lengths vs the per-app
+// mean+2-sigma history estimator (§4.4.1 claim).
+func BenchmarkEstimatorAblation(b *testing.B) { benchExperiment(b, "estimator") }
+
+// BenchmarkSLOsServeComparison measures the §4.5.3 DP-scheduling overhead
+// comparison.
+func BenchmarkSLOsServeComparison(b *testing.B) { benchExperiment(b, "slosserve") }
+
+// BenchmarkVLLMBaseline measures the extra vanilla-vLLM baseline sweep.
+func BenchmarkVLLMBaseline(b *testing.B) { benchExperiment(b, "vllm") }
+
+// BenchmarkLoadBalancerAblation measures round-robin vs least-pending
+// routing.
+func BenchmarkLoadBalancerAblation(b *testing.B) { benchExperiment(b, "lb") }
+
+// BenchmarkOverloadMgmt measures the §2.2 overload-mechanism comparison
+// (rate limiting vs SJF vs eager relegation).
+func BenchmarkOverloadMgmt(b *testing.B) { benchExperiment(b, "overloadmgmt") }
+
+// BenchmarkBurstiness measures the gamma-CV arrival robustness extension.
+func BenchmarkBurstiness(b *testing.B) { benchExperiment(b, "burst") }
+
+// BenchmarkPipeline measures the end-to-end PD-disaggregation extension.
+func BenchmarkPipeline(b *testing.B) { benchExperiment(b, "pipeline") }
+
+// BenchmarkAutoscale measures the fixed-vs-elastic fleet extension.
+func BenchmarkAutoscale(b *testing.B) { benchExperiment(b, "autoscale") }
+
+// BenchmarkSessions measures the closed-loop conversation extension.
+func BenchmarkSessions(b *testing.B) { benchExperiment(b, "sessions") }
+
+// BenchmarkMultiApp measures the heterogeneous-applications extension.
+func BenchmarkMultiApp(b *testing.B) { benchExperiment(b, "multiapp") }

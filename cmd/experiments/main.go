@@ -1,0 +1,93 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments [-scale 0.05] [-seed 42] fig7 table5 ...
+//	experiments -scale 0.25 all
+//
+// Scale multiplies the paper's 4-hour trace durations; arrival rates and
+// workload mixes are preserved, so shapes hold at small scales while
+// absolute capacity numbers tighten toward the paper's as scale approaches
+// 1 (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qoserve/internal/experiments"
+	"qoserve/internal/htmlreport"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "trace-duration multiplier relative to the paper's 4-hour runs")
+	seed := flag.Int64("seed", 42, "base PRNG seed for workload synthesis")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	plot := flag.Bool("plot", false, "render sweep tables as terminal line charts")
+	csvDir := flag.String("csv", "", "also write sweep tables as CSV files into this directory")
+	htmlPath := flag.String("html", "", "also render every sweep as SVG charts into this HTML file")
+	flag.Parse()
+
+	if *list {
+		for _, exp := range experiments.All() {
+			fmt.Printf("%-12s %s\n", exp.Name, exp.Title)
+		}
+		return
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments named; use -list to see choices, or 'all'")
+		os.Exit(2)
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = names[:0]
+		for _, exp := range experiments.All() {
+			names = append(names, exp.Name)
+		}
+	}
+
+	env := experiments.NewEnv(*scale, os.Stdout)
+	env.Seed = *seed
+	env.Plot = *plot
+	var report *htmlreport.Builder
+	if *htmlPath != "" {
+		report = &htmlreport.Builder{}
+		env.HTML = report
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		env.CSVDir = *csvDir
+	}
+	for _, name := range names {
+		start := time.Now()
+		if err := experiments.RunByName(name, env); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if report != nil {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		title := fmt.Sprintf("QoServe reproduction — scale %.2g, seed %d", *scale, *seed)
+		if err := report.Write(f, title); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d charts to %s\n", report.Len(), *htmlPath)
+	}
+}

@@ -1,0 +1,81 @@
+// Command qoserve-bench drives load against a running qoserved instance:
+// concurrent closed-loop HTTP clients issuing declared-shape requests, with
+// a summary of virtual TTFT percentiles and SLO outcomes.
+//
+//	qoserved -addr :8080 -timescale 50 &
+//	qoserve-bench -url http://localhost:8080 -workers 8 -requests 200 \
+//	              -class Q1 -prompt 1500 -decode 20
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"qoserve/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qoserve-bench: ")
+
+	var (
+		url      = flag.String("url", "http://localhost:8080", "qoserved base URL")
+		workers  = flag.Int("workers", 8, "concurrent closed-loop clients")
+		requests = flag.Int("requests", 100, "total requests to issue")
+		class    = flag.String("class", "Q1", "QoS class for the requests")
+		prompt   = flag.Int("prompt", 1500, "prompt tokens per request")
+		decode   = flag.Int("decode", 20, "decode tokens per request")
+		mix      = flag.Bool("mix", false, "issue a Q1/Q2/Q3 mix instead of a single class")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "overall deadline")
+	)
+	flag.Parse()
+
+	client := server.NewClient(*url, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	classes, err := client.FetchClasses(ctx)
+	if err != nil {
+		log.Fatalf("cannot reach %s: %v", *url, err)
+	}
+	log.Printf("server exposes %d QoS classes", len(classes))
+
+	var reqs []server.GenerateRequest
+	if *mix {
+		for _, cl := range classes {
+			reqs = append(reqs, server.GenerateRequest{
+				Class: cl.Name, PromptTokens: *prompt, DecodeTokens: *decode,
+			})
+		}
+	} else {
+		reqs = []server.GenerateRequest{{
+			Class: *class, PromptTokens: *prompt, DecodeTokens: *decode,
+		}}
+	}
+
+	rep, err := client.DriveLoad(ctx, reqs, *workers, *requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sort.Slice(rep.TTFTs, func(i, j int) bool { return rep.TTFTs[i] < rep.TTFTs[j] })
+	pct := func(q float64) time.Duration {
+		idx := int(q * float64(len(rep.TTFTs)-1))
+		return rep.TTFTs[idx].Round(time.Millisecond)
+	}
+	fmt.Printf("requests=%d workers=%d wall=%v\n",
+		rep.Requests, *workers, rep.Wall.Round(time.Millisecond))
+	fmt.Printf("violated=%d (%.1f%%) relegated=%d\n",
+		rep.Violated, 100*float64(rep.Violated)/float64(rep.Requests), rep.Relegated)
+	fmt.Printf("virtual TTFT p50=%v p90=%v p99=%v\n", pct(0.5), pct(0.9), pct(0.99))
+
+	stats, err := client.FetchStats(ctx)
+	if err == nil {
+		fmt.Printf("server: %d iterations, %d tokens, %.2f%% lifetime violations\n",
+			stats.Iterations, stats.Tokens, 100*stats.ViolationRate)
+	}
+}

@@ -1,0 +1,98 @@
+// Command qoserved runs the real-time QoServe serving daemon: an HTTP
+// service that schedules declared-shape requests with the QoServe (or a
+// baseline) scheduler and streams token events as they are "generated" by
+// the calibrated cost model. It is a QoS-policy load-testing harness — the
+// serving-system shape of the paper without GPUs.
+//
+//	qoserved -addr :8080 -policy qoserve -timescale 10
+//
+//	curl -s localhost:8080/v1/classes
+//	curl -s -X POST localhost:8080/v1/generate \
+//	     -d '{"class":"Q1","prompt_tokens":1500,"decode_tokens":20}'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"qoserve/internal/core"
+	"qoserve/internal/model"
+	"qoserve/internal/predictor"
+	"qoserve/internal/profile"
+	"qoserve/internal/qos"
+	"qoserve/internal/sched"
+	"qoserve/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qoserved: ")
+
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		hardware   = flag.String("hardware", "llama3-8b", "llama3-8b | qwen-7b | llama3-70b")
+		policyName = flag.String("policy", "qoserve", "qoserve | sarathi-fcfs | sarathi-edf | vllm")
+		timescale  = flag.Float64("timescale", 1, "virtual-time acceleration factor")
+		chunk      = flag.Int("chunk", 256, "fixed chunk for Sarathi policies")
+	)
+	flag.Parse()
+
+	var mc model.Config
+	switch *hardware {
+	case "llama3-8b":
+		mc = model.Llama3_8B_A100_TP1()
+	case "qwen-7b":
+		mc = model.Qwen_7B_A100_TP2()
+	case "llama3-70b":
+		mc = model.Llama3_70B_H100_TP4()
+	default:
+		log.Fatalf("unknown hardware %q", *hardware)
+	}
+
+	var scheduler sched.Scheduler
+	switch *policyName {
+	case "qoserve":
+		log.Printf("profiling %s and training the latency predictor ...", mc.Name())
+		samples, err := profile.Collect(mc, profile.Config{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		forest, err := predictor.Train(samples, predictor.ForestConfig{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		scheduler = core.New(forest, core.DefaultOptions())
+	case "sarathi-fcfs":
+		scheduler = sched.NewSarathi(sched.FCFS, *chunk)
+	case "sarathi-edf":
+		scheduler = sched.NewSarathi(sched.EDF, *chunk)
+	case "vllm":
+		scheduler = sched.NewVLLM(0)
+	default:
+		log.Fatalf("unknown policy %q", *policyName)
+	}
+
+	srv, err := server.New(server.Config{
+		Model:     mc,
+		Scheduler: scheduler,
+		Classes:   qos.Table3(),
+		Timescale: *timescale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("serving %s with %s at %gx time on %s", mc.Name(), scheduler.Name(), *timescale, *addr)
+	if err := httpSrv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

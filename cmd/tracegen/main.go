@@ -1,0 +1,78 @@
+// Command tracegen synthesizes workload traces as JSON lines, for replay by
+// cmd/qoserve-sim or external tooling.
+//
+//	tracegen -dataset Azure-Code -qps 3 -duration 10m -out trace.jsonl
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"qoserve/internal/qos"
+	"qoserve/internal/sim"
+	"qoserve/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	var (
+		datasetName = flag.String("dataset", "Azure-Code", "ShareGPT, Azure-Conv, or Azure-Code")
+		qps         = flag.Float64("qps", 3, "mean arrival rate")
+		burstQPS    = flag.Float64("burst-qps", 0, "peak rate for bursty traces (0 = steady)")
+		burstPeriod = flag.Duration("burst-period", 15*time.Minute, "half-period of the burst wave")
+		duration    = flag.Duration("duration", 10*time.Minute, "trace duration")
+		lowPrio     = flag.Float64("low-priority", 0, "fraction of requests tagged free-tier")
+		seed        = flag.Int64("seed", 1, "PRNG seed")
+		out         = flag.String("out", "-", "output path ('-' = stdout)")
+	)
+	flag.Parse()
+
+	ds, err := workload.DatasetByName(*datasetName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tiers := workload.EqualTiers(qos.Table3())
+	if *lowPrio > 0 {
+		tiers = workload.WithLowPriority(tiers, *lowPrio)
+	}
+	var arrivals workload.ArrivalProcess = workload.Poisson{QPS: *qps}
+	avg := *qps
+	if *burstQPS > 0 {
+		arrivals = workload.Diurnal{LowQPS: *qps, HighQPS: *burstQPS,
+			HalfPeriod: sim.FromDuration(*burstPeriod)}
+		avg = (*qps + *burstQPS) / 2
+	}
+	n := int(avg * duration.Seconds())
+	if n < 1 {
+		log.Fatalf("duration %v at %v QPS yields no requests", *duration, *qps)
+	}
+
+	trace, err := workload.Generate(workload.Spec{
+		Dataset: ds, Tiers: tiers, Arrivals: arrivals, Requests: n, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := workload.WriteTrace(w, trace); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d requests", len(trace))
+}

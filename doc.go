@@ -1,0 +1,50 @@
+// Package qoserve is a QoS-driven LLM inference serving framework and
+// simulator, reproducing "QoServe: Breaking the Silos of LLM Inference
+// Serving" (ASPLOS 2026).
+//
+// QoServe co-schedules requests from multiple Quality-of-Service classes —
+// interactive traffic with TTFT/TBT targets and batch traffic with TTLT
+// targets — on shared serving replicas, instead of operating one siloed
+// cluster per class. Three techniques make that efficient:
+//
+//   - Dynamic chunking: every iteration, the prefill chunk is sized to the
+//     largest value whose predicted latency fits the minimum deadline slack
+//     of the in-flight decodes, so relaxed tiers' slack buys throughput.
+//   - Hybrid prioritization: prefill order follows
+//     priority = arrival + SLO + alpha*(remaining work), smoothly
+//     interpolating Earliest-Deadline-First and Shortest-Remaining-First.
+//   - Eager relegation: requests that have missed (or provably will miss)
+//     their deadline move to a relegated queue served with spare capacity
+//     only, protecting the majority from cascading violations; free-tier
+//     requests are relegated before paid-tier ones.
+//
+// Because this reproduction has no GPUs, execution happens on a calibrated
+// discrete-event simulator: an analytic roofline cost model maps each
+// mixed prefill/decode batch to an iteration latency for the paper's three
+// model/hardware configurations (Llama3-8B on A100, Qwen-7B on 2xA100,
+// Llama3-70B on 4xH100). Scheduling behaviour — the paper's entire
+// contribution — depends on hardware only through that mapping. See
+// DESIGN.md for the substitution inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+//
+// # Quick start
+//
+//	classes := qoserve.DefaultClasses() // Q1 interactive, Q2/Q3 batch
+//	reqs, _ := qoserve.GenerateWorkload(qoserve.WorkloadSpec{
+//		Dataset:  qoserve.DatasetAzureCode,
+//		Classes:  classes,
+//		QPS:      3,
+//		Duration: 10 * time.Minute,
+//		Seed:     1,
+//	})
+//	report, _ := qoserve.Serve(qoserve.Options{
+//		Hardware: qoserve.Llama3_8B_A100,
+//		Policy:   qoserve.PolicyQoServe,
+//		Replicas: 1,
+//		Classes:  classes,
+//	}, reqs)
+//	fmt.Printf("violations: %.2f%%\n", 100*report.ViolationRate)
+//
+// The cmd/experiments binary regenerates every table and figure of the
+// paper's evaluation; the examples/ directory contains runnable scenarios.
+package qoserve

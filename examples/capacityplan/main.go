@@ -1,0 +1,64 @@
+// Capacityplan: answer the two provisioning questions the paper's
+// evaluation revolves around, through the public capacity-search API:
+//
+//  1. How much load can one replica sustain within the SLO target under
+//     each scheduling policy? (Figure 7's goodput metric.)
+//  2. How many replicas does a target aggregate load need? (Table 4's
+//     question, and the source of the headline GPU savings.)
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"qoserve"
+)
+
+func main() {
+	spec := qoserve.WorkloadSpec{
+		Dataset: qoserve.DatasetAzureCode,
+		Seed:    1,
+	}
+	opts := qoserve.CapacityOptions{
+		MaxViolations: 0.01, // the paper's 1% criterion
+		ProbeDuration: 5 * time.Minute,
+		Seed:          1,
+	}
+
+	fmt.Println("Per-replica goodput (max QPS within 1% violations):")
+	goodputs := map[qoserve.Policy]float64{}
+	for _, policy := range []qoserve.Policy{
+		qoserve.PolicySarathiFCFS,
+		qoserve.PolicySarathiEDF,
+		qoserve.PolicyQoServe,
+	} {
+		qps, err := qoserve.FindMaxGoodput(qoserve.Options{
+			Hardware: qoserve.Llama3_8B_A100,
+			Policy:   policy,
+		}, spec, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		goodputs[policy] = qps
+		fmt.Printf("  %-14s %6.2f QPS\n", policy, qps)
+	}
+	fmt.Printf("QoServe sustains %.1fx the FCFS load and %.0f%% more than EDF.\n\n",
+		goodputs[qoserve.PolicyQoServe]/goodputs[qoserve.PolicySarathiFCFS],
+		100*(goodputs[qoserve.PolicyQoServe]/goodputs[qoserve.PolicySarathiEDF]-1))
+
+	const targetQPS = 20
+	fmt.Printf("Replicas needed for %d QPS aggregate:\n", targetQPS)
+	loadSpec := spec
+	loadSpec.QPS = targetQPS
+	for _, policy := range []qoserve.Policy{qoserve.PolicySarathiEDF, qoserve.PolicyQoServe} {
+		n, err := qoserve.FindMinReplicas(qoserve.Options{
+			Hardware: qoserve.Llama3_8B_A100,
+			Policy:   policy,
+		}, loadSpec, 32, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s %d GPU(s)\n", policy, n)
+	}
+}

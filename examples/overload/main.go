@@ -1,0 +1,60 @@
+// Overload: graceful degradation during a traffic spike (the paper's §4.3).
+//
+// Load alternates between a calm 2 QPS and a 5 QPS burst every two minutes;
+// 20% of requests are free-tier. FCFS melts down for everyone; QoServe
+// eagerly relegates a small set of (preferentially free-tier) requests and
+// keeps the paid tier intact.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"qoserve"
+)
+
+func main() {
+	reqs, err := qoserve.GenerateWorkload(qoserve.WorkloadSpec{
+		Dataset:             qoserve.DatasetAzureCode,
+		QPS:                 2,
+		BurstQPS:            5,
+		BurstPeriod:         2 * time.Minute,
+		Duration:            16 * time.Minute,
+		LowPriorityFraction: 0.2,
+		Seed:                3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Policy          Violations   Paid-tier viol.   Relegated")
+	for _, policy := range []qoserve.Policy{
+		qoserve.PolicySarathiFCFS,
+		qoserve.PolicySarathiEDF,
+		qoserve.PolicyQoServe,
+	} {
+		report, err := qoserve.Serve(qoserve.Options{
+			Hardware: qoserve.Llama3_8B_A100,
+			Policy:   policy,
+		}, reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var paidTotal, paidViolated int
+		for _, o := range report.Outcomes {
+			if o.Priority != qoserve.High {
+				continue
+			}
+			paidTotal++
+			if o.Violated {
+				paidViolated++
+			}
+		}
+		fmt.Printf("%-18s%8.2f%%%15.2f%%%11.2f%%\n",
+			policy,
+			100*report.ViolationRate,
+			100*float64(paidViolated)/float64(paidTotal),
+			100*report.RelegationRate)
+	}
+}

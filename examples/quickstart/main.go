@@ -1,0 +1,53 @@
+// Quickstart: serve a mixed three-tier workload on one simulated A100
+// replica with the QoServe scheduler and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"qoserve"
+)
+
+func main() {
+	// Three QoS tiers (the paper's Table 3): interactive chat, relaxed
+	// user-facing summaries, and overnight batch processing.
+	classes := qoserve.DefaultClasses()
+
+	// Synthesize ten minutes of the Azure-Code production workload at
+	// 3 requests/second, split equally across the tiers.
+	reqs, err := qoserve.GenerateWorkload(qoserve.WorkloadSpec{
+		Dataset:  qoserve.DatasetAzureCode,
+		Classes:  classes,
+		QPS:      3,
+		Duration: 10 * time.Minute,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve everything on one shared replica with QoServe.
+	report, err := qoserve.Serve(qoserve.Options{
+		Hardware: qoserve.Llama3_8B_A100,
+		Policy:   qoserve.PolicyQoServe,
+		Replicas: 1,
+		Classes:  classes,
+	}, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Served %d requests over %v on %d GPU(s)\n",
+		len(report.Outcomes), report.Duration.Round(time.Second), report.GPUs)
+	fmt.Printf("SLO violations: %.2f%%   relegated: %.2f%%   goodput: %.2f req/s/replica\n",
+		100*report.ViolationRate, 100*report.RelegationRate, report.Goodput)
+	for _, c := range classes {
+		fmt.Printf("  %s: violations %.2f%%, median TTFT %v, p99 TTFT %v\n",
+			c.Name,
+			100*report.ViolationRateOf(c.Name),
+			report.TTFTPercentile(c.Name, 0.5).Round(time.Millisecond),
+			report.TTFTPercentile(c.Name, 0.99).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,3 @@
+module qoserve
+
+go 1.23

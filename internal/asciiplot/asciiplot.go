@@ -1,0 +1,174 @@
+// Package asciiplot renders small line charts as text, so the experiment
+// harness can draw its figures directly in the terminal next to the
+// numeric tables.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Options controls rendering.
+type Options struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int  // plot-area columns (default 56)
+	Height int  // plot-area rows (default 14)
+	LogY   bool // log10 y-axis for quantities spanning decades
+}
+
+// markers distinguish series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart. Series with mismatched X/Y lengths or no finite
+// points are skipped; an empty chart renders axes only.
+func Render(series []Series, opts Options) string {
+	width := opts.Width
+	if width <= 0 {
+		width = 56
+	}
+	height := opts.Height
+	if height <= 0 {
+		height = 14
+	}
+
+	// Collect finite points, transforming Y if log scale.
+	type pt struct{ x, y float64 }
+	pts := make([][]pt, len(series))
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i, s := range series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for j := 0; j < n; j++ {
+			x, y := s.X[j], s.Y[j]
+			if opts.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			pts[i] = append(pts[i], pt{x, y})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX { // nothing plottable
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+		return clamp(height-1-r, 0, height-1)
+	}
+
+	for i := range pts {
+		mark := markers[i%len(markers)]
+		// Connect consecutive points with linear interpolation.
+		for j := range pts[i] {
+			p := pts[i][j]
+			grid[row(p.y)][col(p.x)] = mark
+			if j == 0 {
+				continue
+			}
+			q := pts[i][j-1]
+			c0, c1 := col(q.x), col(p.x)
+			for c := c0 + 1; c < c1; c++ {
+				frac := float64(c-c0) / float64(c1-c0)
+				y := q.y + frac*(p.y-q.y)
+				r := row(y)
+				if grid[r][c] == ' ' {
+					grid[r][c] = '.'
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	yTick := func(r int) float64 {
+		frac := float64(height-1-r) / float64(height-1)
+		v := minY + frac*(maxY-minY)
+		if opts.LogY {
+			v = math.Pow(10, v)
+		}
+		return v
+	}
+	for r := 0; r < height; r++ {
+		label := " "
+		if r == 0 || r == height-1 || r == height/2 {
+			label = formatTick(yTick(r))
+		}
+		fmt.Fprintf(&b, "%10s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*s%s\n", "", width-len(formatTick(maxX)), formatTick(minX), formatTick(maxX))
+	if opts.XLabel != "" || opts.YLabel != "" {
+		fmt.Fprintf(&b, "%12sx: %s   y: %s%s\n", "", opts.XLabel, opts.YLabel, logSuffix(opts.LogY))
+	}
+	for i, s := range series {
+		fmt.Fprintf(&b, "%12s%c %s\n", "", markers[i%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func logSuffix(logY bool) string {
+	if logY {
+		return " (log scale)"
+	}
+	return ""
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 0.01 || av == 0:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.1e", v)
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,100 @@
+package asciiplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	out := Render([]Series{
+		{Name: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 10, 20, 30}},
+		{Name: "flat", X: []float64{0, 1, 2, 3}, Y: []float64{15, 15, 15, 15}},
+	}, Options{Title: "test chart", XLabel: "load", YLabel: "latency"})
+
+	for _, want := range []string{"test chart", "linear", "flat", "x: load", "y: latency", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 16 {
+		t.Fatalf("only %d lines rendered", len(lines))
+	}
+}
+
+func TestRenderMonotoneSeriesSlopesUp(t *testing.T) {
+	out := Render([]Series{
+		{Name: "up", X: []float64{0, 1, 2, 3, 4}, Y: []float64{0, 1, 2, 3, 4}},
+	}, Options{Width: 40, Height: 10})
+	// Collect marker positions; rows grow downward, so for an increasing
+	// series, markers on later (lower) rows must sit at smaller columns.
+	type pos struct{ row, col int }
+	var positions []pos
+	for r, line := range strings.Split(out, "\n") {
+		for c := 0; c < len(line); c++ {
+			if line[c] == '*' {
+				positions = append(positions, pos{r, c})
+			}
+		}
+	}
+	if len(positions) < 3 {
+		t.Fatalf("only %d markers plotted", len(positions))
+	}
+	for i := 1; i < len(positions); i++ {
+		if positions[i].row > positions[i-1].row && positions[i].col > positions[i-1].col {
+			t.Fatalf("upward series renders downward: %v", positions)
+		}
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	out := Render([]Series{
+		{Name: "decade", X: []float64{1, 2, 3}, Y: []float64{1, 100, 10000}},
+	}, Options{LogY: true})
+	if !strings.Contains(out, "(log scale)") && !strings.Contains(out, "decade") {
+		t.Errorf("log chart missing annotations:\n%s", out)
+	}
+	// Non-positive values are skipped on log scale rather than crashing.
+	out = Render([]Series{
+		{Name: "withzero", X: []float64{1, 2, 3}, Y: []float64{0, 10, 100}},
+	}, Options{LogY: true})
+	if !strings.Contains(out, "withzero") {
+		t.Error("log chart with zero value failed to render")
+	}
+}
+
+func TestRenderDegenerateInputs(t *testing.T) {
+	// Empty series, NaN/Inf values, single point, mismatched lengths.
+	cases := [][]Series{
+		nil,
+		{{Name: "empty"}},
+		{{Name: "nan", X: []float64{1}, Y: []float64{math.NaN()}}},
+		{{Name: "inf", X: []float64{1}, Y: []float64{math.Inf(1)}}},
+		{{Name: "single", X: []float64{5}, Y: []float64{5}}},
+		{{Name: "mismatch", X: []float64{1, 2, 3}, Y: []float64{1}}},
+	}
+	for i, series := range cases {
+		out := Render(series, Options{})
+		if out == "" {
+			t.Errorf("case %d rendered nothing", i)
+		}
+		if strings.Contains(out, "NaN") {
+			t.Errorf("case %d leaked NaN", i)
+		}
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	for v, want := range map[float64]string{
+		12345:  "12345",
+		42.5:   "42.5",
+		3.14:   "3.14",
+		0:      "0.00",
+		0.0001: "1.0e-04",
+	} {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package autoscale adds reactive replica scaling on top of the cluster
+// simulation — the deployment-level knob the paper's related work
+// (SageServe, PolyServe) builds entire systems around, provided here as an
+// extension so QoServe's co-scheduling can be compared under a fixed fleet
+// and an elastic one.
+//
+// The controller is deliberately simple and reactive (the paper argues the
+// interesting QoS work belongs in the scheduler, not the autoscaler): every
+// control interval it estimates fleet pressure as pending requests per
+// replica, scales up when pressure exceeds the upper threshold — after a
+// provisioning delay that models model-weight loading — and scales down
+// below the lower threshold. Replicas drain before retiring: a retiring
+// replica accepts no new requests but finishes everything it holds.
+package autoscale
+
+import (
+	"fmt"
+
+	"qoserve/internal/cluster"
+	"qoserve/internal/model"
+	"qoserve/internal/replica"
+	"qoserve/internal/request"
+	"qoserve/internal/sim"
+)
+
+// Config tunes the controller.
+type Config struct {
+	Model   model.Config
+	Factory cluster.SchedulerFactory
+
+	// MinReplicas..MaxReplicas bound the fleet (defaults 1..16).
+	MinReplicas int
+	MaxReplicas int
+
+	// Interval between control decisions (default 30 s).
+	Interval sim.Time
+	// ProvisionDelay models replica startup: weight loading, warmup
+	// (default 60 s).
+	ProvisionDelay sim.Time
+
+	// ScaleUpPressure / ScaleDownPressure are pending-requests-per-replica
+	// thresholds (defaults 8 and 2).
+	ScaleUpPressure   float64
+	ScaleDownPressure float64
+}
+
+func (c *Config) applyDefaults() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.Factory == nil {
+		return fmt.Errorf("autoscale: nil scheduler factory")
+	}
+	if c.MinReplicas <= 0 {
+		c.MinReplicas = 1
+	}
+	if c.MaxReplicas <= 0 {
+		c.MaxReplicas = 16
+	}
+	if c.MaxReplicas < c.MinReplicas {
+		return fmt.Errorf("autoscale: max replicas %d < min %d", c.MaxReplicas, c.MinReplicas)
+	}
+	if c.Interval <= 0 {
+		c.Interval = 30 * sim.Second
+	}
+	if c.ProvisionDelay < 0 {
+		return fmt.Errorf("autoscale: negative provision delay")
+	}
+	if c.ProvisionDelay == 0 {
+		c.ProvisionDelay = 60 * sim.Second
+	}
+	if c.ScaleUpPressure <= 0 {
+		c.ScaleUpPressure = 8
+	}
+	if c.ScaleDownPressure <= 0 {
+		c.ScaleDownPressure = 2
+	}
+	if c.ScaleDownPressure >= c.ScaleUpPressure {
+		return fmt.Errorf("autoscale: scale-down pressure %v >= scale-up %v",
+			c.ScaleDownPressure, c.ScaleUpPressure)
+	}
+	return nil
+}
+
+// Fleet is an elastically sized set of replicas behind least-pending
+// routing (round-robin is meaningless when membership changes).
+type Fleet struct {
+	cfg    Config
+	engine *sim.Engine
+
+	active    []*replica.Replica
+	retiring  []*replica.Replica
+	booting   int
+	scaleUps  int
+	downs     int
+	gpuSecAcc float64
+	lastAt    sim.Time
+	stopped   bool
+}
+
+// NewFleet starts a fleet at MinReplicas and arms the control loop.
+func NewFleet(engine *sim.Engine, cfg Config) (*Fleet, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{cfg: cfg, engine: engine}
+	for i := 0; i < cfg.MinReplicas; i++ {
+		rep, err := replica.New(engine, cfg.Model, cfg.Factory())
+		if err != nil {
+			return nil, err
+		}
+		f.active = append(f.active, rep)
+	}
+	engine.After(cfg.Interval, sim.EventFunc(f.control))
+	return f, nil
+}
+
+// Submit routes to the least-pending active replica.
+func (f *Fleet) Submit(r *request.Request) {
+	best := f.active[0]
+	for _, rep := range f.active[1:] {
+		if rep.Scheduler().Pending() < best.Scheduler().Pending() {
+			best = rep
+		}
+	}
+	best.Submit(r)
+}
+
+// Stop halts the control loop (end of workload); retiring replicas still
+// drain.
+func (f *Fleet) Stop() { f.stopped = true }
+
+// Size reports (active, booting, retiring) replica counts.
+func (f *Fleet) Size() (active, booting, retiring int) {
+	return len(f.active), f.booting, len(f.retiring)
+}
+
+// ScaleEvents reports how many scale-ups and scale-downs occurred.
+func (f *Fleet) ScaleEvents() (ups, downs int) { return f.scaleUps, f.downs }
+
+// GPUSeconds is the integral of (active+booting+retiring) replicas x TP
+// over virtual time — the cost the autoscaler is trying to save.
+func (f *Fleet) GPUSeconds() float64 {
+	f.accrue(f.engine.Now())
+	return f.gpuSecAcc
+}
+
+func (f *Fleet) accrue(now sim.Time) {
+	span := (now - f.lastAt).Seconds()
+	if span > 0 {
+		gpus := float64((len(f.active) + f.booting + len(f.retiring)) * f.cfg.Model.GPUs())
+		f.gpuSecAcc += span * gpus
+		f.lastAt = now
+	}
+}
+
+// pressure is pending requests per active replica.
+func (f *Fleet) pressure() float64 {
+	pending := 0
+	for _, rep := range f.active {
+		pending += rep.Scheduler().Pending()
+	}
+	return float64(pending) / float64(len(f.active))
+}
+
+// control is the periodic decision.
+func (f *Fleet) control(e *sim.Engine, now sim.Time) {
+	f.accrue(now)
+
+	// Release retired replicas that have drained.
+	live := f.retiring[:0]
+	for _, rep := range f.retiring {
+		if rep.Scheduler().Pending() > 0 {
+			live = append(live, rep)
+		}
+	}
+	f.retiring = live
+
+	if f.stopped {
+		if len(f.retiring) > 0 {
+			e.After(f.cfg.Interval, sim.EventFunc(f.control))
+		}
+		return
+	}
+
+	p := f.pressure()
+	switch {
+	case p > f.cfg.ScaleUpPressure && len(f.active)+f.booting < f.cfg.MaxReplicas:
+		f.booting++
+		f.scaleUps++
+		e.After(f.cfg.ProvisionDelay, sim.EventFunc(func(_ *sim.Engine, t sim.Time) {
+			f.accrue(t)
+			f.booting--
+			rep, err := replica.New(e, f.cfg.Model, f.cfg.Factory())
+			if err != nil {
+				panic(err) // config was validated at NewFleet
+			}
+			f.active = append(f.active, rep)
+		}))
+	case p < f.cfg.ScaleDownPressure && len(f.active) > f.cfg.MinReplicas && f.booting == 0:
+		// Retire the least-loaded replica; it drains then disappears.
+		idx := 0
+		for i, rep := range f.active {
+			if rep.Scheduler().Pending() < f.active[idx].Scheduler().Pending() {
+				idx = i
+			}
+		}
+		victim := f.active[idx]
+		f.active = append(f.active[:idx], f.active[idx+1:]...)
+		f.retiring = append(f.retiring, victim)
+		f.downs++
+	}
+	e.After(f.cfg.Interval, sim.EventFunc(f.control))
+}

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"qoserve/internal/replica"
+	"qoserve/internal/request"
+)
+
+// Balancer routes an arriving request to one replica of a cluster. The
+// paper's deployments use round-robin (§4.1.1); least-loaded routing is
+// provided as an extension ablation (see the "lb" experiment).
+type Balancer interface {
+	// Pick returns the index of the replica that should serve r.
+	Pick(replicas []*replica.Replica, r *request.Request) int
+}
+
+// RoundRobin cycles through replicas in order, the paper's default.
+type RoundRobin struct {
+	next int
+}
+
+// Pick returns successive indices modulo the cluster size.
+func (b *RoundRobin) Pick(replicas []*replica.Replica, _ *request.Request) int {
+	i := b.next
+	b.next = (b.next + 1) % len(replicas)
+	return i
+}
+
+// LeastPending routes to the replica whose scheduler currently holds the
+// fewest unfinished requests, a join-shortest-queue flavour that reacts to
+// skew round-robin cannot see (e.g. one replica stuck with several huge
+// prompts).
+type LeastPending struct{}
+
+// Pick returns the index of the least-loaded replica (lowest index wins
+// ties, keeping the simulation deterministic).
+func (LeastPending) Pick(replicas []*replica.Replica, _ *request.Request) int {
+	best, bestLoad := 0, int(^uint(0)>>1)
+	for i, rep := range replicas {
+		if load := rep.Scheduler().Pending(); load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}

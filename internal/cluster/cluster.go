@@ -1,0 +1,129 @@
+// Package cluster simulates multi-replica deployments: the shared
+// (co-scheduled) clusters QoServe argues for, the siloed per-tier clusters
+// of current practice, round-robin load balancing across replicas, and the
+// capacity searches behind the paper's goodput and GPU-count results
+// (Table 4, Figures 7 and 15b).
+package cluster
+
+import (
+	"fmt"
+
+	"qoserve/internal/metrics"
+	"qoserve/internal/model"
+	"qoserve/internal/replica"
+	"qoserve/internal/request"
+	"qoserve/internal/sched"
+	"qoserve/internal/sim"
+)
+
+// SchedulerFactory builds a fresh scheduler for one replica.
+type SchedulerFactory func() sched.Scheduler
+
+// Cluster is a set of identical replicas behind a load balancer
+// (round-robin by default, as in the paper).
+type Cluster struct {
+	engine   *sim.Engine
+	replicas []*replica.Replica
+	balancer Balancer
+}
+
+// New builds a cluster of n replicas sharing the given engine.
+func New(engine *sim.Engine, cfg model.Config, n int, factory SchedulerFactory) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: replica count %d", n)
+	}
+	c := &Cluster{engine: engine, balancer: &RoundRobin{}}
+	for i := 0; i < n; i++ {
+		rep, err := replica.New(engine, cfg, factory())
+		if err != nil {
+			return nil, err
+		}
+		c.replicas = append(c.replicas, rep)
+	}
+	return c, nil
+}
+
+// SetBalancer replaces the routing policy (before submitting requests).
+func (c *Cluster) SetBalancer(b Balancer) { c.balancer = b }
+
+// Submit routes a request via the balancer.
+func (c *Cluster) Submit(r *request.Request) {
+	c.replicas[c.balancer.Pick(c.replicas, r)].Submit(r)
+}
+
+// Replicas returns the cluster's replicas.
+func (c *Cluster) Replicas() []*replica.Replica { return c.replicas }
+
+// Size is the number of replicas.
+func (c *Cluster) Size() int { return len(c.replicas) }
+
+// GPUs is the total GPU count (replicas x TP degree).
+func (c *Cluster) GPUs(cfg model.Config) int { return len(c.replicas) * cfg.GPUs() }
+
+// RunShared simulates a shared cluster of n replicas serving the whole
+// trace, returning the metrics summary.
+func RunShared(cfg model.Config, n int, factory SchedulerFactory, trace []*request.Request, horizon sim.Time) (*metrics.Summary, error) {
+	engine := sim.NewEngine()
+	c, err := New(engine, cfg, n, factory)
+	if err != nil {
+		return nil, err
+	}
+	scheduleArrivals(engine, c, trace)
+	end := engine.RunUntil(horizon)
+	return metrics.NewSummary(trace, end, n), nil
+}
+
+// SiloPlan maps QoS class names to dedicated replica counts and the
+// scheduler used inside each silo.
+type SiloPlan struct {
+	// Replicas per class name, e.g. {"Q1": 7, "Q2": 3, "Q3": 3}.
+	Replicas map[string]int
+	// Factory builds the scheduler for a silo serving the given class.
+	Factory func(class string) sched.Scheduler
+}
+
+// TotalReplicas sums the plan's replica counts.
+func (p SiloPlan) TotalReplicas() int {
+	n := 0
+	for _, v := range p.Replicas {
+		n += v
+	}
+	return n
+}
+
+// RunSiloed simulates the siloed deployment: one independent cluster per
+// QoS class, requests routed by class, round-robin within each silo.
+func RunSiloed(cfg model.Config, plan SiloPlan, trace []*request.Request, horizon sim.Time) (*metrics.Summary, error) {
+	engine := sim.NewEngine()
+	silos := make(map[string]*Cluster, len(plan.Replicas))
+	for class, n := range plan.Replicas {
+		class := class
+		c, err := New(engine, cfg, n, func() sched.Scheduler { return plan.Factory(class) })
+		if err != nil {
+			return nil, err
+		}
+		silos[class] = c
+	}
+	for _, r := range trace {
+		silo, ok := silos[r.Class.Name]
+		if !ok {
+			return nil, fmt.Errorf("cluster: no silo for class %q", r.Class.Name)
+		}
+		r := r
+		target := silo
+		engine.AtPriority(r.Arrival, -1, sim.EventFunc(func(_ *sim.Engine, _ sim.Time) {
+			target.Submit(r)
+		}))
+	}
+	end := engine.RunUntil(horizon)
+	return metrics.NewSummary(trace, end, plan.TotalReplicas()), nil
+}
+
+func scheduleArrivals(engine *sim.Engine, c *Cluster, trace []*request.Request) {
+	for _, r := range trace {
+		r := r
+		engine.AtPriority(r.Arrival, -1, sim.EventFunc(func(_ *sim.Engine, _ sim.Time) {
+			c.Submit(r)
+		}))
+	}
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"qoserve/internal/metrics"
+	"qoserve/internal/model"
+	"qoserve/internal/request"
+	"qoserve/internal/sched"
+	"qoserve/internal/sim"
+)
+
+// PartitionedPlan is the PolyServe-style deployment of §4.5.2: requests are
+// binned by QoS class into independent deployments, each running a chunked
+// scheduler whose fixed chunk is fitted to that class's own TBT. Unlike the
+// paper's silo baseline (which exists to be beaten on efficiency), the
+// partitioned plan represents a considered multi-SLO design — its weakness
+// is structural: no deployment can use another's slack.
+type PartitionedPlan struct {
+	// Replicas per class name.
+	Replicas map[string]int
+	// ChunkFor returns the fixed chunk for a class's deployment (e.g.
+	// from predictor.ChunkBudget at the class's TBT).
+	ChunkFor func(class string) int
+	// Policy orders prefills inside each deployment (PolyServe uses
+	// deadline-aware ordering; default EDF).
+	Policy sched.Policy
+}
+
+// TotalReplicas sums the plan's replica counts.
+func (p PartitionedPlan) TotalReplicas() int {
+	n := 0
+	for _, v := range p.Replicas {
+		n += v
+	}
+	return n
+}
+
+// RunPartitioned simulates the partitioned deployment over the trace.
+func RunPartitioned(cfg model.Config, plan PartitionedPlan, trace []*request.Request, horizon sim.Time) (*metrics.Summary, error) {
+	if plan.ChunkFor == nil {
+		return nil, fmt.Errorf("cluster: partitioned plan needs ChunkFor")
+	}
+	silo := SiloPlan{
+		Replicas: plan.Replicas,
+		Factory: func(class string) sched.Scheduler {
+			chunk := plan.ChunkFor(class)
+			if chunk <= 0 {
+				chunk = sched.DefaultChunk
+			}
+			return sched.NewSarathi(plan.Policy, chunk)
+		},
+	}
+	return RunSiloed(cfg, silo, trace, horizon)
+}
+
+// SizePartition computes, for each class present in the trace, the replica
+// count needed to serve that class's share of totalQPS at the measured
+// per-replica goodput — the arithmetic behind Figure 15b's GPU bars.
+// goodput maps class name to per-replica QPS.
+func SizePartition(trace []*request.Request, totalQPS float64, goodput map[string]float64) (map[string]int, error) {
+	shares := map[string]int{}
+	for _, r := range trace {
+		shares[r.Class.Name]++
+	}
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("cluster: empty trace")
+	}
+	out := make(map[string]int, len(shares))
+	// Deterministic iteration for reproducible error messages.
+	names := make([]string, 0, len(shares))
+	for name := range shares {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g, ok := goodput[name]
+		if !ok || g <= 0 {
+			return nil, fmt.Errorf("cluster: no goodput for class %q", name)
+		}
+		classQPS := totalQPS * float64(shares[name]) / float64(len(trace))
+		n := int(classQPS / g)
+		if float64(n)*g < classQPS {
+			n++
+		}
+		if n < 1 {
+			n = 1
+		}
+		out[name] = n
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+// Dynamic chunking (Section 3.3 / Algorithm 1's GET_PREFILL_BUDGET): the
+// per-iteration latency budget derived from decode slack, its inversion to
+// a prefill token budget via the latency predictor, the TTFT-rush escape,
+// and the post-assembly batch trim.
+package core
+
+import (
+	"qoserve/internal/predictor"
+	"qoserve/internal/qos"
+	"qoserve/internal/sched"
+	"qoserve/internal/sim"
+)
+
+// decodeCtxs lists the context length of each in-flight decode.
+func (s *Scheduler) decodeCtxs() []int {
+	ctx := make([]int, len(s.decodes))
+	for i, r := range s.decodes {
+		ctx[i] = r.ContextLen()
+	}
+	return ctx
+}
+
+// iterationBudget computes the latency budget for the next iteration
+// (GET_MIN_SLACK feeding GET_PREFILL_BUDGET in Algorithm 1). Each in-flight
+// decode contributes max(SlackSafety * slack_i, TBT_i): a decode ahead of
+// its Eq. 2 schedule donates its slack, while one that has fallen behind is
+// paced at its own TBT rather than starving prefill forever (non-interactive
+// decodes, which have no TBT, floor at LatePacing). The batch budget is the
+// minimum over decodes; with no decodes the budget is unbounded and the
+// chunk cap applies.
+func (s *Scheduler) iterationBudget(now sim.Time) (budget sim.Time, floorBound bool) {
+	budget = sim.Forever
+	for _, r := range s.decodes {
+		slack := r.NextTokenDeadline() - now
+		if slack > 0 {
+			slack = sim.Time(float64(slack) * s.opts.SlackSafety)
+		}
+		floor := r.Class.SLO.TBT
+		if floor == 0 {
+			floor = s.opts.LatePacing
+		}
+		bound := slack < floor
+		if bound {
+			slack = floor
+		}
+		if slack < budget {
+			budget, floorBound = slack, bound
+		}
+	}
+	return budget, floorBound
+}
+
+// prefillBudget is GET_PREFILL_BUDGET: the dynamic chunk size C. It also
+// selects the predictor used to verify the plan: the margined predictor
+// when the budget is genuine deadline slack, the raw one when the budget is
+// merely a TBT pacing floor (the affected tokens are late either way, and
+// conservatism there only starves prefill).
+func (s *Scheduler) prefillBudget(now sim.Time, frontCtx int) (int, sim.Time) {
+	s.planPred = s.pred
+	if !s.opts.DynamicChunking {
+		c := s.opts.FallbackChunk - len(s.decodes)
+		if c < 0 {
+			c = 0
+		}
+		return c, 0
+	}
+	budget, floorBound := s.iterationBudget(now)
+	if floorBound {
+		s.planPred = s.rawPred
+		if boost := s.ttftRushBudget(now); boost > budget {
+			budget = boost
+		}
+	}
+	c := predictor.ChunkBudget(s.planPred, s.decodeCtxs(), frontCtx, budget, s.opts.MaxChunk)
+	if c < s.opts.MinChunk {
+		c = s.opts.MinChunk
+	}
+	return c, budget
+}
+
+// ttftRushBudget returns the boosted iteration budget when the front
+// main-queue interactive request would miss its TTFT at the achieved
+// prefill rate, and zero otherwise.
+func (s *Scheduler) ttftRushBudget(now sim.Time) sim.Time {
+	if s.opts.TTFTRush <= 0 {
+		return 0
+	}
+	f := s.mainQ.Front()
+	if f == nil || f.Class.Kind != qos.Interactive {
+		return 0
+	}
+	projected := now + s.prefillTime(f.RemainingPrefill()) + sim.FromSeconds(s.iterTime)
+	if projected > f.FirstTokenDeadline() {
+		return s.opts.TTFTRush
+	}
+	return 0
+}
+
+// trimToBudget verifies the assembled batch against the latency budget and
+// shrinks prefill allocations from the back until it fits. The token budget
+// C was priced assuming the front request's context; a packed
+// partially-prefilled request with a deeper context can make the true batch
+// costlier, and without this check a slack-stretched iteration could land
+// decode tokens past their deadlines. A one-token floor on the first
+// allocation guarantees forward progress.
+func (s *Scheduler) trimToBudget(b *sched.Batch, budget sim.Time) {
+	for len(b.Prefill) > 0 {
+		if s.planPred.PredictSafe(b.Shape()) <= budget {
+			return
+		}
+		last := len(b.Prefill) - 1
+		alloc := &b.Prefill[last]
+		// Binary-search the largest size of the last allocation that fits.
+		lo, hi := 0, alloc.Tokens // lo fits or is zero; hi doesn't
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			alloc.Tokens = mid
+			if s.planPred.PredictSafe(b.Shape()) <= budget {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			alloc.Tokens = lo
+			return
+		}
+		if last == 0 {
+			// Even a minimal chunk exceeds budget (e.g. the decode side
+			// alone is already over); keep MinChunk for progress.
+			alloc.Tokens = min(s.opts.MinChunk, alloc.Req.RemainingPrefill())
+			return
+		}
+		b.Prefill = b.Prefill[:last]
+	}
+}

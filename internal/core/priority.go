@@ -1,0 +1,90 @@
+// Hybrid prioritization (Section 3.4, Eqs. 4-5): the alpha interpolation
+// between EDF and SRPF, load-adaptive alpha switching, and the selective-
+// preemption boost for at-risk partially-prefilled requests.
+package core
+
+import (
+	"qoserve/internal/qos"
+	"qoserve/internal/request"
+	"qoserve/internal/sched"
+	"qoserve/internal/sim"
+)
+
+// alpha returns the effective interpolation factor.
+func (s *Scheduler) alpha() sim.Time {
+	if !s.opts.HybridPriority {
+		return 0
+	}
+	if s.opts.AdaptiveAlpha && !s.highAlpha {
+		return s.opts.AlphaLow
+	}
+	return s.opts.Alpha
+}
+
+// priorityKey implements Eqs. 4-5 in seconds: arrival + SLO + alpha*work.
+func (s *Scheduler) priorityKey(r *request.Request) float64 {
+	a := s.alpha().Seconds()
+	switch r.Class.Kind {
+	case qos.Interactive:
+		return (r.Arrival + r.Class.SLO.TTFT).Seconds() + a*float64(r.RemainingPrefill())
+	default:
+		work := float64(r.RemainingPrefill() + r.EstDecodeTokens)
+		return (r.Arrival + r.Class.SLO.TTLT).Seconds() + a*work
+	}
+}
+
+// atRiskPartial finds the highest-priority partially-prefilled main-queue
+// request that would miss its first-token deadline if it sat out one more
+// iteration.
+func (s *Scheduler) atRiskPartial(now sim.Time) *request.Request {
+	items := s.mainQ.Items()
+	for _, r := range items {
+		if r.PrefilledTokens == 0 {
+			continue
+		}
+		finishIfDeferred := now + sim.FromSeconds(s.iterTime) + s.bestPrefillTime(r.RemainingPrefill())
+		if finishIfDeferred > r.FirstTokenDeadline() &&
+			now+s.bestPrefillTime(r.RemainingPrefill()) <= r.FirstTokenDeadline() {
+			return r
+		}
+	}
+	return nil
+}
+
+// updateAlphaRegime switches between low and high alpha and re-keys the
+// queues when the regime changes. With eager relegation active, the signal
+// is deadline pressure from the queue projection; otherwise it falls back
+// to raw backlog exceeding AlphaSwitchBacklog.
+func (s *Scheduler) updateAlphaRegime(now sim.Time) {
+	if !s.opts.AdaptiveAlpha || !s.opts.HybridPriority {
+		return
+	}
+	var high bool
+	if s.opts.EagerRelegation {
+		high = s.deadlinePressure
+	} else {
+		work := 0
+		for _, r := range s.mainQ.Items() {
+			work += r.RemainingPrefill()
+		}
+		backlog := sim.FromSeconds(float64(work) / s.prefillRate)
+		high = backlog > s.opts.AlphaSwitchBacklog
+	}
+	if high == s.highAlpha {
+		return
+	}
+	s.highAlpha = high
+	s.rekey(&s.mainQ)
+	s.rekey(&s.relQ)
+}
+
+// rekey rebuilds a queue with fresh priority keys.
+func (s *Scheduler) rekey(q *sched.Queue) {
+	items := append([]*request.Request(nil), q.Items()...)
+	for _, r := range items {
+		q.Remove(r)
+	}
+	for _, r := range items {
+		q.Insert(r, s.priorityKey(r))
+	}
+}

@@ -1,0 +1,378 @@
+// Package core implements the paper's contribution: the QoServe scheduler.
+//
+// QoServe co-schedules requests of multiple QoS classes on one replica using
+// three techniques (Section 3):
+//
+//   - Dynamic chunking: each iteration's prefill token budget is the largest
+//     chunk whose predicted latency fits the minimum deadline slack of the
+//     in-flight decodes, so relaxed tiers' slack buys prefill throughput.
+//   - Hybrid prioritization: prefill order follows
+//     P = arrival + SLO + alpha * (remaining work), interpolating EDF
+//     (alpha=0) and SRPF (alpha->inf) — Equations 4 and 5.
+//   - Eager relegation: requests that have violated, or are projected to
+//     violate, their TTFT/TTLT deadline move to a relegated queue served
+//     only with spare budget; low-priority (free-tier) requests are
+//     relegated first to protect important traffic (Section 3.4).
+//
+// Selective preemption falls out of the queue discipline: only prefill-phase
+// requests can be displaced by higher-priority arrivals, never decodes, and
+// a partially-prefilled request at risk of missing its deadline is boosted
+// rather than displaced.
+package core
+
+import (
+	"qoserve/internal/estimate"
+	"qoserve/internal/model"
+	"qoserve/internal/predictor"
+	"qoserve/internal/request"
+	"qoserve/internal/sched"
+	"qoserve/internal/sim"
+)
+
+// Options configures the QoServe scheduler. The zero value is not useful;
+// start from DefaultOptions.
+type Options struct {
+	// Alpha is the hybrid-prioritization interpolation factor, expressed
+	// as time per remaining token (Eqs. 4-5). The paper's offline sweep
+	// found 8 ms/token best for fixed-QPS runs.
+	Alpha sim.Time
+	// AlphaLow is used instead of Alpha while the system is underloaded
+	// when AdaptiveAlpha is set (the paper uses 1 ms/token at low load to
+	// protect tail latency).
+	AlphaLow sim.Time
+	// AdaptiveAlpha enables load-adaptive switching between AlphaLow and
+	// Alpha based on the projected prefill backlog.
+	AdaptiveAlpha bool
+	// AlphaSwitchBacklog is the backlog (projected queue drain time) above
+	// which adaptive mode switches to the high Alpha. Default 10 s.
+	AlphaSwitchBacklog sim.Time
+
+	// MaxChunk caps the dynamic chunk size; the paper uses 2500, where
+	// Figure 4's throughput curve saturates.
+	MaxChunk int
+	// MinChunk guarantees forward progress when slack is exhausted.
+	MinChunk int
+	// FallbackChunk is the fixed token budget used when DynamicChunking
+	// is disabled (ablations), mirroring the Sarathi baseline.
+	FallbackChunk int
+	// LatePacing is the iteration budget used when every decode is
+	// already past its next-token deadline and no TBT target applies;
+	// it bounds how far a late batch may be stretched further.
+	LatePacing sim.Time
+
+	// Feature flags for the Table 5 ablation.
+	DynamicChunking bool
+	EagerRelegation bool
+	HybridPriority  bool // false forces alpha = 0, i.e. pure EDF ordering
+	// SelectivePreemption boosts an in-flight prefill that would miss its
+	// deadline if displaced by higher-priority arrivals.
+	SelectivePreemption bool
+
+	// RelegationInterval throttles the queue-wide relegation projection.
+	RelegationInterval sim.Time
+
+	// SlackSafety is the fraction of measured decode slack the dynamic
+	// chunk may consume (default 0.9). The predictor's margin covers its
+	// average error; this shaves the tail where an outlier prediction
+	// would let a slack-stretched iteration land a token past its Eq. 2
+	// deadline.
+	SlackSafety float64
+
+	// TTFTRush is the iteration budget used instead of the TBT floor
+	// when the highest-priority queued interactive request is projected
+	// to miss its first-token deadline at the currently achieved prefill
+	// rate. A TTFT miss is a hard request-level violation while a
+	// bounded spell of slower token pacing is soft drift, so the
+	// scheduler briefly trades the latter for the former. Default 200 ms.
+	TTFTRush sim.Time
+}
+
+// DefaultOptions returns the paper's deployment configuration.
+func DefaultOptions() Options {
+	return Options{
+		Alpha:               8 * sim.Millisecond,
+		AlphaLow:            1 * sim.Millisecond,
+		AdaptiveAlpha:       true,
+		AlphaSwitchBacklog:  10 * sim.Second,
+		MaxChunk:            2500,
+		MinChunk:            32,
+		FallbackChunk:       sched.DefaultChunk,
+		LatePacing:          100 * sim.Millisecond,
+		DynamicChunking:     true,
+		EagerRelegation:     true,
+		HybridPriority:      true,
+		SelectivePreemption: true,
+		RelegationInterval:  500 * sim.Millisecond,
+		SlackSafety:         0.9,
+		TTFTRush:            200 * sim.Millisecond,
+	}
+}
+
+// Scheduler is the QoServe scheduler. It implements sched.Scheduler.
+type Scheduler struct {
+	opts Options
+	pred predictor.SafePredictor
+	// rawPred drops the safety margin; used in the TBT-floor regime,
+	// where the budget is a pacing target rather than a deadline and
+	// conservatism only wastes throughput.
+	rawPred  predictor.SafePredictor
+	planPred predictor.SafePredictor // predictor used for the current plan
+	est      *estimate.Tracker
+
+	mainQ   sched.Queue // non-relegated prefill-phase requests
+	relQ    sched.Queue // relegated prefill-phase requests
+	decodes []*request.Request
+
+	pending int
+
+	// Self-calibrating execution estimates, updated from observed
+	// iterations (the scheduler never reads the ground-truth cost model).
+	prefillRate float64 // sustained prefill tokens/s (EWMA, queue-wide)
+	// bestRate is the prefill rate a single request would enjoy with the
+	// replica to itself at max chunk, given the current decode load;
+	// recomputed each plan. Doom checks use it so that only genuinely
+	// unsalvageable requests are relegated.
+	bestRate     float64
+	iterTime     float64 // seconds per iteration (EWMA)
+	lastPlanAt   sim.Time
+	planOutstand bool
+
+	lastRelegationPass sim.Time
+	highAlpha          bool
+	// deadlinePressure is set when the latest queue projection found
+	// requests that will miss deadlines given the backlog — the
+	// load-adaptive alpha signal (raw backlog seconds are a poor proxy:
+	// a deep queue of relaxed-deadline work is not overload).
+	deadlinePressure bool
+
+	// Stats observable by experiments.
+	relegations      int
+	chunkLog         []ChunkRecord
+	logChunks        bool
+	relegationPasses int
+}
+
+// ChunkRecord captures one iteration's dynamic-chunking decision (Fig. 9).
+type ChunkRecord struct {
+	At       sim.Time
+	Chunk    int
+	Decodes  int
+	Budget   sim.Time
+	ExecTime sim.Time // filled at completion
+}
+
+var _ sched.Scheduler = (*Scheduler)(nil)
+
+// New returns a QoServe scheduler using the given latency predictor.
+func New(pred predictor.SafePredictor, opts Options) *Scheduler {
+	s := &Scheduler{
+		opts:    opts,
+		pred:    pred,
+		rawPred: predictor.NoMargin(pred),
+		est:     estimate.NewTracker(),
+	}
+	s.planPred = s.pred
+	if s.opts.MaxChunk <= 0 {
+		s.opts.MaxChunk = 2500
+	}
+	if s.opts.MinChunk <= 0 {
+		s.opts.MinChunk = 32
+	}
+	if s.opts.FallbackChunk <= 0 {
+		s.opts.FallbackChunk = sched.DefaultChunk
+	}
+	if s.opts.LatePacing <= 0 {
+		s.opts.LatePacing = 100 * sim.Millisecond
+	}
+	if s.opts.RelegationInterval <= 0 {
+		s.opts.RelegationInterval = 500 * sim.Millisecond
+	}
+	if s.opts.SlackSafety <= 0 || s.opts.SlackSafety > 1 {
+		s.opts.SlackSafety = 0.9
+	}
+	// Seed the rate estimates from the predictor: a lone max-size chunk.
+	t := pred.PredictSafe(model.BatchShape{
+		Prefill: []model.ChunkShape{{Tokens: s.opts.MaxChunk}},
+	}).Seconds()
+	if t > 0 {
+		s.prefillRate = float64(s.opts.MaxChunk) / t
+	} else {
+		s.prefillRate = 1
+	}
+	s.bestRate = s.prefillRate
+	s.iterTime = 0.05
+	return s
+}
+
+// Name identifies the scheduler in experiment output.
+func (s *Scheduler) Name() string { return "QoServe" }
+
+// EnableChunkLog records per-iteration chunk decisions for Figure 9.
+func (s *Scheduler) EnableChunkLog() { s.logChunks = true }
+
+// ChunkLog returns the recorded chunk decisions.
+func (s *Scheduler) ChunkLog() []ChunkRecord { return s.chunkLog }
+
+// Relegations is the count of relegation events so far.
+func (s *Scheduler) Relegations() int { return s.relegations }
+
+// RelegationPasses is the count of queue-wide relegation projections run.
+func (s *Scheduler) RelegationPasses() int { return s.relegationPasses }
+
+// Add enqueues a new arrival. A pre-set EstDecodeTokens is respected
+// (oracle-estimate ablations); otherwise the per-app history supplies the
+// mean+2-sigma estimate.
+func (s *Scheduler) Add(r *request.Request, now sim.Time) {
+	if r.EstDecodeTokens == 0 {
+		r.EstDecodeTokens = s.est.Estimate(r.App)
+	}
+	s.pending++
+	s.mainQ.Insert(r, s.priorityKey(r))
+}
+
+// Pending is the number of unfinished requests.
+func (s *Scheduler) Pending() int { return s.pending }
+
+// QueueLen reports (main, relegated, decode) queue sizes.
+func (s *Scheduler) QueueLen() (main, relegated, decode int) {
+	return s.mainQ.Len(), s.relQ.Len(), len(s.decodes)
+}
+
+// PlanBatch builds the next iteration (Algorithm 1's CREATE_BATCH).
+func (s *Scheduler) PlanBatch(now sim.Time) sched.Batch {
+	s.lastPlanAt = now
+	s.planOutstand = true
+	s.updateBestRate()
+	s.updateAlphaRegime(now)
+	if s.opts.EagerRelegation {
+		s.relegationPass(now)
+	}
+
+	b := sched.Batch{Decodes: s.decodes}
+	frontCtx := 0
+	if f := s.mainQ.Front(); f != nil {
+		frontCtx = f.PrefilledTokens
+	}
+	budgetTokens, budgetTime := s.prefillBudget(now, frontCtx)
+	if s.mainQ.Len() == 0 && s.relQ.Len() == 0 {
+		budgetTokens = 0 // decode-only batch
+	}
+
+	remaining := budgetTokens
+	remaining = s.fillFrom(&s.mainQ, &b, remaining, now, true)
+	// Spare budget serves relegated requests opportunistically.
+	remaining = s.fillFrom(&s.relQ, &b, remaining, now, false)
+	_ = remaining
+
+	if s.opts.DynamicChunking && budgetTime > 0 {
+		s.trimToBudget(&b, budgetTime)
+	}
+
+	if s.logChunks {
+		s.chunkLog = append(s.chunkLog, ChunkRecord{
+			At:      now,
+			Chunk:   b.PrefillTokens(),
+			Decodes: len(b.Decodes),
+			Budget:  budgetTime,
+		})
+	}
+	return b
+}
+
+// fillFrom packs prefill chunks from q into b, in priority order, applying
+// the per-pop violation check (Algorithm 1 lines 12-15) when checkViolation
+// is set. It returns the unused budget.
+func (s *Scheduler) fillFrom(q *sched.Queue, b *sched.Batch, budget int, now sim.Time, checkViolation bool) int {
+	if budget <= 0 {
+		return budget
+	}
+	// Selective preemption: an in-flight (partially prefilled) request
+	// that would miss its deadline if displaced this iteration is served
+	// first regardless of queue order.
+	var boosted *request.Request
+	if checkViolation && s.opts.SelectivePreemption {
+		boosted = s.atRiskPartial(now)
+	}
+
+	var relegate []*request.Request
+	take := func(r *request.Request) {
+		n := r.RemainingPrefill()
+		if n > budget {
+			n = budget
+		}
+		if n <= 0 {
+			return
+		}
+		b.Prefill = append(b.Prefill, sched.PrefillAlloc{Req: r, Tokens: n})
+		budget -= n
+	}
+
+	if boosted != nil {
+		take(boosted)
+	}
+	for i := 0; i < q.Len() && budget > 0; i++ {
+		r := q.At(i)
+		if r == boosted {
+			continue
+		}
+		if checkViolation && s.opts.EagerRelegation && s.willViolateAlone(r, now) {
+			relegate = append(relegate, r)
+			continue
+		}
+		take(r)
+	}
+	for _, r := range relegate {
+		s.relegate(r)
+	}
+	return budget
+}
+
+// OnBatchComplete performs queue bookkeeping after the replica has
+// accounted the iteration, and updates the self-calibrating rate estimates.
+func (s *Scheduler) OnBatchComplete(b sched.Batch, now sim.Time) {
+	if s.planOutstand {
+		dur := (now - s.lastPlanAt).Seconds()
+		if dur > 0 {
+			const w = 0.1
+			s.iterTime = (1-w)*s.iterTime + w*dur
+			if pt := b.PrefillTokens(); pt > 0 {
+				rate := float64(pt) / dur
+				s.prefillRate = (1-w)*s.prefillRate + w*rate
+			}
+		}
+		s.planOutstand = false
+		if s.logChunks && len(s.chunkLog) > 0 {
+			s.chunkLog[len(s.chunkLog)-1].ExecTime = now - s.lastPlanAt
+		}
+	}
+
+	for _, p := range b.Prefill {
+		q := &s.mainQ
+		if p.Req.Relegated {
+			q = &s.relQ
+		}
+		q.Remove(p.Req)
+		switch p.Req.Phase() {
+		case request.Queued, request.Prefill:
+			q.Insert(p.Req, s.priorityKey(p.Req))
+		case request.Decode:
+			s.decodes = append(s.decodes, p.Req)
+		case request.Done:
+			s.finish(p.Req)
+		}
+	}
+	live := s.decodes[:0]
+	for _, r := range s.decodes {
+		if r.Phase() == request.Done {
+			s.finish(r)
+		} else {
+			live = append(live, r)
+		}
+	}
+	s.decodes = live
+}
+
+func (s *Scheduler) finish(r *request.Request) {
+	s.est.Observe(r.App, r.DecodeTokens)
+	s.pending--
+}

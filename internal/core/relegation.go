@@ -1,0 +1,174 @@
+// Eager relegation (Section 3.4): self-calibrating service-rate estimates,
+// deadline projections, the WILL_VIOLATE check of Algorithm 1, and the
+// queue-wide protection pass that relegates free-tier requests first.
+package core
+
+import (
+	"qoserve/internal/model"
+	"qoserve/internal/qos"
+	"qoserve/internal/request"
+	"qoserve/internal/sim"
+)
+
+// updateBestRate refreshes the dedicated-service prefill rate under the
+// current decode load.
+func (s *Scheduler) updateBestRate() {
+	shape := model.BatchShape{
+		Prefill:   []model.ChunkShape{{Tokens: s.opts.MaxChunk}},
+		DecodeCtx: s.decodeCtxs(),
+	}
+	t := s.pred.PredictSafe(shape).Seconds()
+	if t > 0 {
+		s.bestRate = float64(s.opts.MaxChunk) / t
+	}
+}
+
+// prefillTime estimates the time to process n prompt tokens at the
+// sustained queue-wide rate.
+func (s *Scheduler) prefillTime(n int) sim.Time {
+	return sim.FromSeconds(float64(n) / s.prefillRate)
+}
+
+// bestPrefillTime estimates the time to process n prompt tokens with the
+// replica dedicated to the request.
+func (s *Scheduler) bestPrefillTime(n int) sim.Time {
+	return sim.FromSeconds(float64(n) / s.bestRate)
+}
+
+// projectedFinish estimates when r would deliver its first token (and, for
+// non-interactive requests, complete) if its prefill started at t.
+func (s *Scheduler) projectedFinish(r *request.Request, t sim.Time) (firstToken, completion sim.Time) {
+	firstToken = t + s.prefillTime(r.RemainingPrefill())
+	decodeIters := r.EstDecodeTokens - 1
+	if decodeIters < 0 {
+		decodeIters = 0
+	}
+	completion = firstToken + sim.FromSeconds(float64(decodeIters)*s.iterTime)
+	return firstToken, completion
+}
+
+// willViolateAlone is WILL_VIOLATE from Algorithm 1: even starting right
+// now with the replica to itself (best-case dedicated rate), the request
+// cannot meet its deadline. Using the best-case rate keeps long-but-savable
+// requests out of the relegated queue — backlog-induced risk is handled
+// separately by the protection pass.
+func (s *Scheduler) willViolateAlone(r *request.Request, now sim.Time) bool {
+	first := now + s.bestPrefillTime(r.RemainingPrefill())
+	if r.Class.Kind == qos.Interactive {
+		return first > r.FirstTokenDeadline()
+	}
+	decodeIters := r.EstDecodeTokens - 1
+	if decodeIters < 0 {
+		decodeIters = 0
+	}
+	completion := first + sim.FromSeconds(float64(decodeIters)*s.iterTime)
+	return completion > r.Arrival+r.Class.SLO.TTLT
+}
+
+// relegate moves r from the main queue to the relegated queue.
+func (s *Scheduler) relegate(r *request.Request) {
+	if r.Relegated {
+		return
+	}
+	s.mainQ.Remove(r)
+	r.Relegated = true
+	s.relegations++
+	s.relQ.Insert(r, s.priorityKey(r))
+}
+
+// relegationPass is the queue-wide projection (throttled): walk the main
+// queue in priority order, accumulate backlog, and find requests that will
+// miss deadlines given the traffic ahead of them. Low-priority requests are
+// relegated first to protect important traffic; high-priority requests are
+// relegated only when doomed even in isolation (Section 3.4).
+func (s *Scheduler) relegationPass(now sim.Time) {
+	if now-s.lastRelegationPass < s.opts.RelegationInterval {
+		return
+	}
+	s.lastRelegationPass = now
+	s.relegationPasses++
+
+	// Greedily relegate the largest low-priority request ahead of a
+	// violating high-priority one until the projection clears.
+	for iter := 0; iter < s.mainQ.Len()+1; iter++ {
+		victim := s.findProtectionVictim(now)
+		if victim == nil {
+			break
+		}
+		s.relegate(victim)
+	}
+
+	// Relegate requests that cannot make their deadline even alone.
+	var doomed []*request.Request
+	for _, r := range s.mainQ.Items() {
+		if s.willViolateAlone(r, now) {
+			doomed = append(doomed, r)
+		}
+	}
+	for _, r := range doomed {
+		s.relegate(r)
+	}
+
+	// Refresh the load signal for adaptive alpha, with hysteresis: a
+	// single transiently-late request at light load must not flip the
+	// system into SRPF-flavoured ordering (with alpha = 8 ms/token a
+	// 14K-token prompt is penalized by ~2 minutes of queue priority — a
+	// self-fulfilling starvation if triggered spuriously). High alpha
+	// engages only when several requests, and a meaningful share of the
+	// queue, are projected to miss; it releases when the projection is
+	// clean.
+	violators := s.countProjectedViolators(now)
+	switch {
+	case violators >= 2 && violators*20 >= s.mainQ.Len():
+		s.deadlinePressure = true
+	case violators == 0:
+		s.deadlinePressure = false
+	}
+}
+
+// countProjectedViolators walks the main queue in priority order at the
+// sustained rate and counts requests projected to miss their deadline.
+func (s *Scheduler) countProjectedViolators(now sim.Time) int {
+	t := now
+	n := 0
+	for _, r := range s.mainQ.Items() {
+		first, completion := s.projectedFinish(r, t)
+		if r.Class.Kind == qos.Interactive {
+			if first > r.FirstTokenDeadline() {
+				n++
+			}
+		} else if completion > r.Arrival+r.Class.SLO.TTLT {
+			n++
+		}
+		t = first
+	}
+	return n
+}
+
+// findProtectionVictim simulates queue drain in priority order. If a
+// high-priority request is projected to violate because of backlog, it
+// returns the largest low-priority request queued ahead of it; nil when the
+// projection is clean or no protection is possible.
+func (s *Scheduler) findProtectionVictim(now sim.Time) *request.Request {
+	t := now
+	var biggestLow *request.Request
+	for _, r := range s.mainQ.Items() {
+		first, completion := s.projectedFinish(r, t)
+		violates := false
+		if r.Class.Kind == qos.Interactive {
+			violates = first > r.FirstTokenDeadline()
+		} else {
+			violates = completion > r.Arrival+r.Class.SLO.TTLT
+		}
+		if violates && r.Priority == qos.High && biggestLow != nil {
+			return biggestLow
+		}
+		if r.Priority == qos.Low {
+			if biggestLow == nil || r.RemainingPrefill() > biggestLow.RemainingPrefill() {
+				biggestLow = r
+			}
+		}
+		t = first // prefill service is serialized; decode piggybacks
+	}
+	return nil
+}

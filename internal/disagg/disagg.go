@@ -1,0 +1,56 @@
+// Package disagg models prefill-decode disaggregated serving (§4.1.3).
+//
+// In PD disaggregation, prefill nodes run prompts to completion and ship the
+// KV cache to a separate decode tier. The paper evaluates QoServe's hybrid
+// prioritization and eager relegation on the *prefill* nodes only: the
+// decode tier is identical across schemes (it runs at a batch size meeting
+// the strictest TBT), so prefill goodput directly determines the number of
+// prefill replicas required. Because no decodes share the prefill replica,
+// there is no TBT pressure and a large default chunk (8K) is used; dynamic
+// chunking has little room to help, which is why the paper's gains here are
+// smaller than under colocation.
+package disagg
+
+import (
+	"qoserve/internal/cluster"
+	"qoserve/internal/metrics"
+	"qoserve/internal/model"
+	"qoserve/internal/request"
+	"qoserve/internal/sim"
+	"qoserve/internal/workload"
+)
+
+// DefaultChunk is the large prefill budget used on disaggregated prefill
+// nodes (no TBT constraint applies there).
+const DefaultChunk = 8192
+
+// PrefillOnly converts a trace to its prefill-node equivalent: each request
+// completes at its first token (DecodeTokens=1), so TTFT/TTLT collapse to
+// prompt-completion latency and the existing schedulers, cost model, and
+// violation accounting apply unchanged.
+func PrefillOnly(trace []*request.Request) []*request.Request {
+	out := workload.Clone(trace)
+	for _, r := range out {
+		r.DecodeTokens = 1
+	}
+	return out
+}
+
+// Run simulates n prefill replicas serving the prefill-only projection of
+// the trace and returns the summary over the projected requests.
+func Run(cfg model.Config, n int, factory cluster.SchedulerFactory, trace []*request.Request, horizon sim.Time) (*metrics.Summary, error) {
+	return cluster.RunShared(cfg, n, factory, PrefillOnly(trace), horizon)
+}
+
+// MaxGoodput finds the maximum per-prefill-replica QPS within the violation
+// target, mirroring cluster.MaxGoodput for the disaggregated mode.
+func MaxGoodput(cfg model.Config, factory cluster.SchedulerFactory, gen cluster.TraceGen, opts cluster.SearchOptions) (float64, *metrics.Summary, error) {
+	wrapped := func(qps float64) ([]*request.Request, error) {
+		trace, err := gen(qps)
+		if err != nil {
+			return nil, err
+		}
+		return PrefillOnly(trace), nil
+	}
+	return cluster.MaxGoodput(cfg, factory, wrapped, opts)
+}

@@ -1,0 +1,270 @@
+package disagg
+
+import (
+	"fmt"
+	"sort"
+
+	"qoserve/internal/cluster"
+	"qoserve/internal/metrics"
+	"qoserve/internal/model"
+	"qoserve/internal/request"
+	"qoserve/internal/sim"
+)
+
+// The paper evaluates only the prefill side of PD disaggregation and holds
+// the decode tier fixed ("efficiently supporting different TBT SLOs in the
+// decode nodes is left to future work"). This file builds that future-work
+// substrate: an end-to-end pipeline where prompts are prefilled on a
+// prefill cluster, the KV cache is shipped over an interconnect, and
+// decoding proceeds on dedicated decode nodes batched under a cap chosen
+// for the strictest TBT.
+
+// PipelineConfig describes an end-to-end disaggregated deployment.
+type PipelineConfig struct {
+	Model model.Config
+
+	PrefillReplicas int
+	// PrefillFactory builds the scheduler for each prefill node (e.g.
+	// QoServe with an 8K chunk cap, or Sarathi-EDF).
+	PrefillFactory cluster.SchedulerFactory
+
+	DecodeReplicas int
+	// MaxDecodeBatch caps a decode node's batch so iteration latency
+	// meets the strictest TBT. Zero derives it from the cost model and
+	// StrictestTBT.
+	MaxDecodeBatch int
+	// StrictestTBT is used to derive MaxDecodeBatch when unset.
+	StrictestTBT sim.Time
+
+	// TransferBandwidth is the prefill->decode interconnect, bytes/s
+	// (default 64 GB/s, an NVLink-class link).
+	TransferBandwidth float64
+}
+
+func (c PipelineConfig) validate() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.PrefillReplicas <= 0 || c.DecodeReplicas <= 0 {
+		return fmt.Errorf("disagg: replica counts (%d,%d) must be positive",
+			c.PrefillReplicas, c.DecodeReplicas)
+	}
+	if c.PrefillFactory == nil {
+		return fmt.Errorf("disagg: nil prefill factory")
+	}
+	return nil
+}
+
+// DeriveDecodeBatch returns the largest decode-only batch whose iteration
+// latency stays within tbt, assuming contexts of typicalCtx tokens.
+func DeriveDecodeBatch(mc model.Config, tbt sim.Time, typicalCtx int) int {
+	if tbt <= 0 {
+		return 64
+	}
+	lo, hi := 1, 4096
+	if mc.BatchTime(decodeShape(1, typicalCtx)) > tbt {
+		return 1
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if mc.BatchTime(decodeShape(mid, typicalCtx)) <= tbt {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func decodeShape(n, ctx int) model.BatchShape {
+	s := model.BatchShape{DecodeCtx: make([]int, n)}
+	for i := range s.DecodeCtx {
+		s.DecodeCtx[i] = ctx
+	}
+	return s
+}
+
+// decodeNode runs decode-only batches capped at maxBatch, FCFS admission.
+type decodeNode struct {
+	cfg      model.Config
+	engine   *sim.Engine
+	maxBatch int
+	active   []*request.Request
+	waiting  []*request.Request
+	busy     bool
+}
+
+func (d *decodeNode) enqueue(r *request.Request) {
+	d.waiting = append(d.waiting, r)
+	if !d.busy {
+		d.iterate(d.engine.Now())
+	}
+}
+
+// load is the node's queue pressure, used for least-loaded routing.
+func (d *decodeNode) load() int { return len(d.active) + len(d.waiting) }
+
+func (d *decodeNode) iterate(now sim.Time) {
+	// Admit waiters up to the batch cap.
+	for len(d.active) < d.maxBatch && len(d.waiting) > 0 {
+		d.active = append(d.active, d.waiting[0])
+		d.waiting = d.waiting[1:]
+	}
+	if len(d.active) == 0 {
+		d.busy = false
+		return
+	}
+	d.busy = true
+	batch := append([]*request.Request(nil), d.active...)
+	shape := model.BatchShape{DecodeCtx: make([]int, len(batch))}
+	for i, r := range batch {
+		shape.DecodeCtx[i] = r.ContextLen()
+	}
+	exec := d.cfg.BatchTime(shape)
+	d.engine.At(now+exec, sim.EventFunc(func(_ *sim.Engine, end sim.Time) {
+		live := d.active[:0]
+		for _, r := range batch {
+			r.RecordDecodeToken(end)
+			if r.Phase() != request.Done {
+				live = append(live, r)
+			}
+		}
+		d.active = live
+		d.iterate(end)
+	}))
+}
+
+// PipelineResult carries the end-to-end summary plus tier statistics.
+type PipelineResult struct {
+	Summary *metrics.Summary
+	// MaxDecodeBatch actually used.
+	MaxDecodeBatch int
+	// TransferTimeP50 is the median KV-transfer latency.
+	TransferTimeP50 sim.Time
+}
+
+// RunPipeline simulates the full disaggregated pipeline over the trace:
+// prefill on the prefill cluster (requests projected to prefill-only
+// clones), KV transfer, then decode on the least-loaded decode node. The
+// original requests carry the end-to-end timestamps: the first token is
+// stamped when the transferred KV reaches a decode node, and subsequent
+// tokens as the decode tier paces them.
+func RunPipeline(cfg PipelineConfig, trace []*request.Request, horizon sim.Time) (*PipelineResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TransferBandwidth <= 0 {
+		cfg.TransferBandwidth = 64e9
+	}
+	maxBatch := cfg.MaxDecodeBatch
+	if maxBatch <= 0 {
+		tbt := cfg.StrictestTBT
+		if tbt <= 0 {
+			tbt = 50 * sim.Millisecond
+		}
+		maxBatch = DeriveDecodeBatch(cfg.Model, tbt, typicalContext(trace))
+	}
+
+	engine := sim.NewEngine()
+	prefillTier, err := cluster.New(engine, cfg.Model, cfg.PrefillReplicas, cfg.PrefillFactory)
+	if err != nil {
+		return nil, err
+	}
+	decodeNodes := make([]*decodeNode, cfg.DecodeReplicas)
+	for i := range decodeNodes {
+		decodeNodes[i] = &decodeNode{cfg: cfg.Model, engine: engine, maxBatch: maxBatch}
+	}
+
+	// Each original request is paired with a prefill-only clone served by
+	// the prefill tier; the clone's completion (its FinishedAt is stamped
+	// the moment prefill ends, since it has DecodeTokens=1) triggers the
+	// KV transfer and the decode handoff.
+	clones := PrefillOnly(trace)
+	var transferTimes []sim.Time
+	for i := range clones {
+		clone := clones[i]
+		engine.AtPriority(clone.Arrival, -1, sim.EventFunc(func(_ *sim.Engine, _ sim.Time) {
+			prefillTier.Submit(clone)
+		}))
+	}
+
+	// A fine-grained periodic sweep translates clone completions into
+	// transfer events; the 1 ms period bounds detection skew, negligible
+	// at the latencies involved.
+	const sweepPeriod = sim.Millisecond
+	handed := make([]bool, len(trace))
+	var sweep func(e *sim.Engine, now sim.Time)
+	remaining := len(trace)
+	sweep = func(e *sim.Engine, now sim.Time) {
+		for i := range trace {
+			if handed[i] || clones[i].Phase() != request.Done {
+				continue
+			}
+			handed[i] = true
+			remaining--
+			orig, clone := trace[i], clones[i]
+			// KV transfer: full prompt context across the interconnect.
+			bytes := cfg.Model.Model.KVBytesPerToken() * float64(orig.PromptTokens)
+			dt := sim.FromSeconds(bytes / cfg.TransferBandwidth)
+			transferTimes = append(transferTimes, dt)
+			arriveAt := clone.FinishedAt + dt
+			if arriveAt < now {
+				arriveAt = now
+			}
+			e.At(arriveAt, sim.EventFunc(func(_ *sim.Engine, t sim.Time) {
+				// First token materializes at the decode tier.
+				orig.RecordPrefill(orig.PromptTokens, t)
+				if orig.Phase() == request.Done {
+					return // single-token request
+				}
+				node := decodeNodes[0]
+				for _, d := range decodeNodes[1:] {
+					if d.load() < node.load() {
+						node = d
+					}
+				}
+				node.enqueue(orig)
+			}))
+		}
+		if remaining > 0 {
+			e.At(now+sweepPeriod, sim.EventFunc(sweep))
+		}
+	}
+	engine.At(0, sim.EventFunc(sweep))
+
+	end := engine.RunUntil(horizon)
+	res := &PipelineResult{
+		Summary:        metrics.NewSummary(trace, end, cfg.PrefillReplicas+cfg.DecodeReplicas),
+		MaxDecodeBatch: maxBatch,
+	}
+	if len(transferTimes) > 0 {
+		res.TransferTimeP50 = medianTime(transferTimes)
+	}
+	return res, nil
+}
+
+// typicalContext estimates the median final context of the trace.
+func typicalContext(trace []*request.Request) int {
+	if len(trace) == 0 {
+		return 2048
+	}
+	vals := make([]int, len(trace))
+	for i, r := range trace {
+		vals[i] = r.TotalTokens()
+	}
+	return medianInt(vals)
+}
+
+func medianInt(v []int) int {
+	cp := append([]int(nil), v...)
+	sort.Ints(cp)
+	return cp[len(cp)/2]
+}
+
+func medianTime(v []sim.Time) sim.Time {
+	ints := make([]int, len(v))
+	for i, t := range v {
+		ints[i] = int(t)
+	}
+	return sim.Time(medianInt(ints))
+}

@@ -1,0 +1,101 @@
+// Package estimate maintains per-application decode-length statistics.
+//
+// Decode length is unknown at scheduling time, which complicates modelling
+// the priority of non-interactive requests (Section 3.4). The paper's
+// insight: use historic per-application output lengths and over-approximate
+// by two standard deviations. This package implements that tracker with
+// Welford's online algorithm.
+package estimate
+
+import "math"
+
+// stats is a Welford accumulator.
+type stats struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+func (s *stats) add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+func (s *stats) stddev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Tracker estimates decode lengths per application, falling back to global
+// statistics (and then to a configurable prior) while an app's history is
+// cold.
+type Tracker struct {
+	perApp map[string]*stats
+	global stats
+	// Prior is the estimate returned before any history exists.
+	Prior int
+	// Sigmas is the over-approximation factor; the paper uses 2.
+	Sigmas float64
+	// MinSamples is the history size below which the app falls back to
+	// global statistics.
+	MinSamples int
+}
+
+// NewTracker returns a tracker with the paper's defaults: 2-sigma
+// over-approximation, prior of 256 tokens, 8 samples to trust an app.
+func NewTracker() *Tracker {
+	return &Tracker{
+		perApp:     make(map[string]*stats),
+		Prior:      256,
+		Sigmas:     2,
+		MinSamples: 8,
+	}
+}
+
+// Observe records the actual decode length of a completed request.
+func (t *Tracker) Observe(app string, decodeTokens int) {
+	if decodeTokens <= 0 {
+		return
+	}
+	s := t.perApp[app]
+	if s == nil {
+		s = &stats{}
+		t.perApp[app] = s
+	}
+	s.add(float64(decodeTokens))
+	t.global.add(float64(decodeTokens))
+}
+
+// Estimate returns the over-approximated decode length for a new request of
+// the given application: mean + Sigmas*stddev of the app's history, falling
+// back to global history, then the prior. The result is always >= 1.
+func (t *Tracker) Estimate(app string) int {
+	s := t.perApp[app]
+	if s == nil || s.n < t.MinSamples {
+		if t.global.n >= t.MinSamples {
+			s = &t.global
+		} else {
+			if t.Prior < 1 {
+				return 1
+			}
+			return t.Prior
+		}
+	}
+	est := int(math.Ceil(s.mean + t.Sigmas*s.stddev()))
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// Samples reports how many observations the app has.
+func (t *Tracker) Samples(app string) int {
+	if s := t.perApp[app]; s != nil {
+		return s.n
+	}
+	return 0
+}

@@ -1,0 +1,101 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPriorBeforeHistory(t *testing.T) {
+	tr := NewTracker()
+	if got := tr.Estimate("chat"); got != 256 {
+		t.Errorf("cold estimate = %d, want prior 256", got)
+	}
+	tr.Prior = 0
+	if got := tr.Estimate("chat"); got != 1 {
+		t.Errorf("degenerate prior estimate = %d, want 1", got)
+	}
+}
+
+func TestGlobalFallback(t *testing.T) {
+	tr := NewTracker()
+	for i := 0; i < 20; i++ {
+		tr.Observe("appA", 100)
+	}
+	// appB has no history; global has 20 samples of 100 with zero spread.
+	if got := tr.Estimate("appB"); got != 100 {
+		t.Errorf("global-fallback estimate = %d, want 100", got)
+	}
+}
+
+func TestPerAppOverApproximation(t *testing.T) {
+	tr := NewTracker()
+	rng := rand.New(rand.NewSource(1))
+	// App with mean 200, stddev ~50.
+	var sum, sumSq float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		v := 200 + 50*rng.NormFloat64()
+		if v < 1 {
+			v = 1
+		}
+		tr.Observe("summarize", int(v))
+		sum += math.Round(v)
+		sumSq += math.Round(v) * math.Round(v)
+	}
+	mean := sum / n
+	std := math.Sqrt((sumSq - sum*sum/n) / (n - 1))
+	want := mean + 2*std
+	got := float64(tr.Estimate("summarize"))
+	if math.Abs(got-want) > 3 {
+		t.Errorf("estimate = %v, want ~%v (mean+2sigma)", got, want)
+	}
+	// The estimate must cover the vast majority of actual lengths: check
+	// over-approximation property empirically (~97.7% for a normal).
+	covered := 0
+	for i := 0; i < 1000; i++ {
+		v := 200 + 50*rng.NormFloat64()
+		if float64(tr.Estimate("summarize")) >= v {
+			covered++
+		}
+	}
+	if covered < 950 {
+		t.Errorf("estimate covers only %d/1000 samples", covered)
+	}
+}
+
+func TestSeparateApps(t *testing.T) {
+	tr := NewTracker()
+	for i := 0; i < 20; i++ {
+		tr.Observe("short", 10)
+		tr.Observe("long", 1000)
+	}
+	if s, l := tr.Estimate("short"), tr.Estimate("long"); s >= l {
+		t.Errorf("short est %d >= long est %d", s, l)
+	}
+	if got := tr.Samples("short"); got != 20 {
+		t.Errorf("samples = %d", got)
+	}
+	if got := tr.Samples("unknown"); got != 0 {
+		t.Errorf("unknown samples = %d", got)
+	}
+}
+
+func TestObserveIgnoresNonPositive(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe("x", 0)
+	tr.Observe("x", -5)
+	if tr.Samples("x") != 0 {
+		t.Error("non-positive observations recorded")
+	}
+}
+
+func TestEstimateNeverBelowOne(t *testing.T) {
+	tr := NewTracker()
+	for i := 0; i < 20; i++ {
+		tr.Observe("tiny", 1)
+	}
+	if got := tr.Estimate("tiny"); got < 1 {
+		t.Errorf("estimate = %d < 1", got)
+	}
+}

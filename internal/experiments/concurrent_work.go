@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"time"
+
+	"qoserve/internal/core"
+	"qoserve/internal/metrics"
+	"qoserve/internal/model"
+	"qoserve/internal/request"
+	"qoserve/internal/sched"
+	"qoserve/internal/sim"
+	"qoserve/internal/workload"
+)
+
+func init() {
+	register("slosserve", "Section 4.5.3 — SLOs-Serve DP scheduling overhead vs QoServe (complexity argument)", runSLOsServe)
+	register("vllm", "Extra baseline — vanilla (non-chunked) vLLM vs Sarathi vs QoServe", runVLLM)
+}
+
+// runSLOsServe reproduces the §4.5.3 qualitative comparison with
+// measurements: SLOs-Serve's periodic dynamic program costs
+// O(N_new x M) per round (N_new queued requests, M KV blocks) while
+// QoServe plans with O(log N_new) queue operations plus a throttled O(N)
+// projection. Part 1 measures one planning round at growing queue depths;
+// part 2 runs both end to end and reports quality plus total planning time.
+func runSLOsServe(e *Env) error {
+	mc := model.Llama3_8B_A100_TP1()
+	kvTokens := mc.KVCapacityTokens()
+
+	e.printf("Planning cost for one admission round (M = %d KV blocks):\n", kvTokens/16)
+	e.printf("%-10s%18s%16s%18s\n", "Queue N", "SLOs-Serve ops", "SLOs-Serve", "QoServe plan")
+	for _, n := range []int{50, 100, 200, 400} {
+		trace, err := e.Trace(workload.AzureCode, standardTiers(), 4, int64(1000+n))
+		if err != nil {
+			return err
+		}
+		if len(trace) < n {
+			n = len(trace)
+		}
+
+		ss := sched.NewSLOsServe(256, kvTokens, 5000, sim.Millisecond)
+		for _, r := range trace[:n] {
+			ss.Add(r, 0)
+		}
+		ssStart := time.Now()
+		ss.PlanBatch(sim.Millisecond)
+		ssWall := time.Since(ssStart)
+		_, ops, _ := ss.PlanningCost()
+
+		qs := core.New(e.Predictor(mc), core.DefaultOptions())
+		for _, r := range workload.Clone(trace)[:n] {
+			qs.Add(r, 0)
+		}
+		qsStart := time.Now()
+		qs.PlanBatch(sim.Millisecond)
+		qsWall := time.Since(qsStart)
+
+		e.printf("%-10d%18d%16v%18v\n", n, ops, ssWall.Round(time.Microsecond), qsWall.Round(time.Microsecond))
+	}
+
+	// End-to-end quality and overhead at a moderate load.
+	trace, err := e.Trace(workload.AzureCode, standardTiers(), 3, e.Seed+18)
+	if err != nil {
+		return err
+	}
+	ss := sched.NewSLOsServe(256, kvTokens, 5000, 250*sim.Millisecond)
+	ssSum, err := runSingle(mc, ss, workload.Clone(trace))
+	if err != nil {
+		return err
+	}
+	rounds, ops, wall := ss.PlanningCost()
+	qsSum, err := runSingle(mc, core.New(e.Predictor(mc), core.DefaultOptions()), workload.Clone(trace))
+	if err != nil {
+		return err
+	}
+	e.printf("\nEnd-to-end at 3 QPS (Azure-Code): SLOs-Serve violations %.2f%%, QoServe %.2f%%\n",
+		100*ssSum.ViolationRate(metrics.All), 100*qsSum.ViolationRate(metrics.All))
+	e.printf("SLOs-Serve planning: %d rounds, %d DP cell ops, %v total\n", rounds, ops, wall.Round(time.Millisecond))
+	return nil
+}
+
+// runSingle simulates one replica with the given scheduler.
+func runSingle(mc model.Config, s sched.Scheduler, trace []*request.Request) (*metrics.Summary, error) {
+	sum, _, err := replicaRun(mc, s, trace)
+	return sum, err
+}
+
+// runVLLM demonstrates why the paper omits the non-chunked vLLM baseline:
+// Sarathi's chunked prefill strictly dominates it on TBT (vLLM stalls all
+// decodes for the length of each prefill batch), and QoServe dominates
+// both.
+func runVLLM(e *Env) error {
+	mc := model.Llama3_8B_A100_TP1()
+	ds := workload.AzureConv // decode-heavy enough for TBT to matter
+	ref, err := e.refCapacity("vllm-edf", mc, e.Sarathi(sched.EDF, 256), ds, standardTiers(), e.Seed+19)
+	if err != nil {
+		return err
+	}
+	loads := scaleLoads(ref, []float64{0.5, 0.8, 1.1})
+	scheds := []namedFactory{
+		{"vLLM", func() sched.Scheduler { return sched.NewVLLM(0) }},
+		{"Sarathi-EDF", e.Sarathi(sched.EDF, 256)},
+		{"QoServe", e.QoServe(mc)},
+	}
+	results, err := e.loadSweep(mc, ds, standardTiers(), loads, scheds, e.Seed+19)
+	if err != nil {
+		return err
+	}
+	e.printSweepTable("p99 worst inter-token gap, interactive requests (s)", results, scheds, loads,
+		func(s *metrics.Summary) float64 { return s.MaxTBTQuantile(metrics.ByClass("Q1"), 0.99) })
+	e.printSweepTable("TBT deadline violations (%)", results, scheds, loads,
+		func(s *metrics.Summary) float64 { return 100 * s.TBTViolationRate(metrics.All) })
+	e.printSweepTable("Overall deadline violations (%)", results, scheds, loads,
+		func(s *metrics.Summary) float64 { return 100 * s.ViolationRate(metrics.All) })
+	return nil
+}

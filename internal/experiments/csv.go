@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// writeCSV dumps a sweep table to <CSVDir>/<experiment>_<slug>.csv with a
+// "qps" column followed by one column per scheduler. Failures are reported
+// on the experiment output but do not abort the run.
+func (e *Env) writeCSV(title string, scheds []namedFactory, loads []float64, values map[string]map[float64]float64) {
+	if e.CSVDir == "" {
+		return
+	}
+	name := fmt.Sprintf("%s_%s.csv", e.current, slugify(title))
+	path := filepath.Join(e.CSVDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		e.printf("(csv: %v)\n", err)
+		return
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"qps"}
+	for _, s := range scheds {
+		header = append(header, s.label)
+	}
+	if err := w.Write(header); err != nil {
+		e.printf("(csv: %v)\n", err)
+		return
+	}
+	for _, qps := range loads {
+		row := []string{strconv.FormatFloat(qps, 'f', -1, 64)}
+		for _, s := range scheds {
+			row = append(row, strconv.FormatFloat(values[s.label][qps], 'g', -1, 64))
+		}
+		if err := w.Write(row); err != nil {
+			e.printf("(csv: %v)\n", err)
+			return
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		e.printf("(csv: %v)\n", err)
+	}
+}
+
+// slugify turns a table title into a filename fragment.
+func slugify(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_' || r == '/':
+			b.WriteByte('-')
+		}
+	}
+	out := strings.Trim(b.String(), "-")
+	for strings.Contains(out, "--") {
+		out = strings.ReplaceAll(out, "--", "-")
+	}
+	if len(out) > 60 {
+		out = out[:60]
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qoserve/internal/core"
+	"qoserve/internal/metrics"
+	"qoserve/internal/model"
+	"qoserve/internal/sim"
+	"qoserve/internal/workload"
+)
+
+func init() {
+	register("fig14", "Figure 14 — hybrid prioritization alpha sweep (Azure-Code, Llama3-8B)", runFig14)
+}
+
+// runFig14 varies the interpolation factor alpha (0, 2, 4 ms/token, fixed —
+// no load-adaptive switching) and reports median latency and long-request
+// violations across load: larger alpha deprioritizes long requests, cutting
+// median latency at the cost of long-job fairness.
+// alphaOpts fixes the hybrid factor to alphaMS ms/token with adaptivity off.
+func alphaOpts(alphaMS int) core.Options {
+	opts := core.DefaultOptions()
+	opts.AdaptiveAlpha = false
+	opts.Alpha = sim.Time(alphaMS) * sim.Millisecond
+	opts.HybridPriority = alphaMS > 0
+	return opts
+}
+
+func runFig14(e *Env) error {
+	mc := model.Llama3_8B_A100_TP1()
+	ds := workload.AzureCode
+	ref, err := e.refCapacity("fig14-edf", mc, e.QoServeOpts(mc, alphaOpts(0)), ds, standardTiers(), e.Seed+7)
+	if err != nil {
+		return err
+	}
+	e.printf("Reference capacity (alpha=0): %.2f QPS\n", ref)
+	loads := scaleLoads(ref, []float64{0.7, 1.0, 1.4, 1.8, 2.2})
+	var scheds []namedFactory
+	for _, alphaMS := range []int{0, 2, 4} {
+		scheds = append(scheds, namedFactory{
+			label:   fmt.Sprintf("alpha=%d", alphaMS),
+			factory: e.QoServeOpts(mc, alphaOpts(alphaMS)),
+		})
+	}
+	results, err := e.loadSweep(mc, ds, standardTiers(), loads, scheds, e.Seed+7)
+	if err != nil {
+		return err
+	}
+	long := workload.LongThreshold(ds)
+	e.printSweepTable("Median request latency (s)", results, scheds, loads,
+		func(s *metrics.Summary) float64 { return s.LatencyQuantile(metrics.All, 0.5) })
+	e.printSweepTable("Long-request deadline violations (%)", results, scheds, loads,
+		func(s *metrics.Summary) float64 { return 100 * s.ViolationRate(metrics.LongerThan(long)) })
+	e.printSweepTable("Overall deadline violations (%)", results, scheds, loads,
+		func(s *metrics.Summary) float64 { return 100 * s.ViolationRate(metrics.All) })
+	return nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"qoserve/internal/metrics"
+	"qoserve/internal/model"
+	"qoserve/internal/sched"
+	"qoserve/internal/workload"
+)
+
+func init() {
+	register("fig2", "Figure 2 — traditional multi-SLA policies vs QoServe (Azure-Code, Llama3-8B, strictest tier)", runFig2)
+}
+
+// runFig2 reproduces the motivation study: FCFS / SJF / SRPF / EDF /
+// QoServe across a load sweep, reporting median and tail latency of the
+// strictest QoS class, its violation rate, and the violation rate of long
+// requests (prompt >= dataset p90).
+func runFig2(e *Env) error {
+	mc := model.Llama3_8B_A100_TP1()
+	ds := workload.AzureCode
+	// Sweep relative to the EDF baseline's capacity (paper sweeps 2-6 QPS
+	// around Sarathi-EDF's ~2.75 QPS capacity, i.e. ~0.7x-2.2x).
+	ref, err := e.refCapacity("fig2-edf", mc, e.Sarathi(sched.EDF, 256), ds, standardTiers(), e.Seed)
+	if err != nil {
+		return err
+	}
+	e.printf("Reference capacity (Sarathi-EDF): %.2f QPS\n", ref)
+	loads := scaleLoads(ref, []float64{0.7, 1.0, 1.4, 1.8, 2.2})
+	scheds := []namedFactory{
+		{"FCFS", e.Sarathi(sched.FCFS, 256)},
+		{"SJF", e.Sarathi(sched.SJF, 256)},
+		{"SRPF", e.Sarathi(sched.SRPF, 256)},
+		{"EDF", e.Sarathi(sched.EDF, 256)},
+		{"QoServe", e.QoServe(mc)},
+	}
+	results, err := e.loadSweep(mc, ds, standardTiers(), loads, scheds, e.Seed)
+	if err != nil {
+		return err
+	}
+
+	long := workload.LongThreshold(ds)
+	q1 := metrics.ByClass("Q1")
+	e.printSweepTable("(a) Median TTFT of strictest class (s)", results, scheds, loads,
+		func(s *metrics.Summary) float64 { return s.TTFTQuantile(q1, 0.5) })
+	e.printSweepTable("(b) p99 TTFT of strictest class (s)", results, scheds, loads,
+		func(s *metrics.Summary) float64 { return s.TTFTQuantile(q1, 0.99) })
+	e.printSweepTable("(c) Deadline violations, strictest class (%)", results, scheds, loads,
+		func(s *metrics.Summary) float64 { return 100 * s.ViolationRate(q1) })
+	e.printSweepTable("(d) Deadline violations, long requests (%)", results, scheds, loads,
+		func(s *metrics.Summary) float64 { return 100 * s.ViolationRate(metrics.LongerThan(long)) })
+	e.printf("\nSLO: Q1 TTFT 6s. Long threshold: %d prompt tokens (dataset p90).\n", long)
+	return nil
+}

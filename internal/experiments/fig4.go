@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"qoserve/internal/model"
+	"qoserve/internal/sim"
+)
+
+func init() {
+	register("fig4", "Figure 4 — throughput/latency vs chunk size (Llama3-8B, A100-TP1)", runFig4)
+}
+
+// runFig4 sweeps the prefill chunk size on the cost model, reproducing the
+// throughput-latency trade-off that motivates dynamic chunking: latency
+// grows linearly with chunk size (crossing ~50 ms near chunk 330) while
+// throughput saturates around chunk 2500 at roughly double the throughput
+// of the TBT-mandated 256 chunk.
+func runFig4(e *Env) error {
+	mc := model.Llama3_8B_A100_TP1()
+	e.printf("%-10s%16s%14s\n", "Chunk", "Tokens/s", "Latency(ms)")
+	chunks := []int{64, 128, 256, 330, 512, 768, 1024, 1536, 2000, 2500, 3000, 4000}
+	for _, c := range chunks {
+		lat := mc.BatchTime(model.BatchShape{Prefill: []model.ChunkShape{{Tokens: c}}})
+		e.printf("%-10d%16.0f%14.1f\n", c, mc.PrefillThroughput(c, 0),
+			float64(lat)/float64(sim.Millisecond))
+	}
+	r256 := mc.PrefillThroughput(256, 0)
+	r2500 := mc.PrefillThroughput(2500, 0)
+	e.printf("\nThroughput(2500)/Throughput(256) = %.2fx (paper: ~2x)\n", r2500/r256)
+	e.printf("Latency at chunk 330 = %.1f ms (paper: ~50 ms at the 50 ms SLO line)\n",
+		mc.BatchTime(model.BatchShape{Prefill: []model.ChunkShape{{Tokens: 330}}}).Seconds()*1000)
+	return nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"qoserve/internal/cluster"
+	"qoserve/internal/model"
+	"qoserve/internal/sched"
+	"qoserve/internal/workload"
+)
+
+func init() {
+	register("fig7", "Figure 7 — max goodput per replica, shared cluster (3 models x 3 datasets)", runFig7)
+}
+
+// runFig7 measures the maximum per-replica load (QPS) each scheduler
+// sustains with <=1% deadline violations across the Table 1 model/hardware
+// configurations and Table 2 datasets. The paper reports QoServe at
+// 1.5-2.4x Sarathi-FCFS and 20-40% above Sarathi-EDF.
+func runFig7(e *Env) error {
+	for _, mc := range model.Presets() {
+		e.printf("\n%s\n", mc.Name())
+		e.printf("%-12s%14s%14s%14s%12s%12s\n",
+			"Dataset", "Sarathi-FCFS", "Sarathi-EDF", "QoServe", "vs FCFS", "vs EDF")
+		for _, ds := range workload.Datasets() {
+			gen := e.TraceGen(ds, standardTiers(), e.Seed+2)
+			capacity := func(f cluster.SchedulerFactory) (float64, error) {
+				qps, _, err := cluster.MaxGoodput(mc, f, gen, e.searchOpts())
+				return qps, err
+			}
+			fcfs, err := capacity(e.Sarathi(sched.FCFS, 256))
+			if err != nil {
+				return err
+			}
+			edf, err := capacity(e.Sarathi(sched.EDF, 256))
+			if err != nil {
+				return err
+			}
+			qsv, err := capacity(e.QoServe(mc))
+			if err != nil {
+				return err
+			}
+			e.printf("%-12s%14.2f%14.2f%14.2f%11.2fx%11.2fx\n",
+				ds.Name, fcfs, edf, qsv, ratio(qsv, fcfs), ratio(qsv, edf))
+		}
+	}
+	return nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"qoserve/internal/metrics"
+	"qoserve/internal/model"
+	"qoserve/internal/qos"
+	"qoserve/internal/sched"
+	"qoserve/internal/workload"
+)
+
+func init() {
+	register("multiapp", "Extension — heterogeneous applications: each tier drawn from a different production trace", runMultiApp)
+}
+
+// multiAppTiers builds the heterogeneous mix: the interactive tier is a
+// chat application (Azure-Conv shapes), Q2 a summarization-style service
+// (ShareGPT shapes: long prompts, long outputs), Q3 a code-batch pipeline
+// (Azure-Code shapes). The paper splits a single dataset across tiers; real
+// deployments colocate genuinely different applications, which stresses the
+// scheduler with correlated shape/tier structure.
+func multiAppTiers() []workload.Tier {
+	classes := qos.Table3()
+	conv, share, code := workload.AzureConv, workload.ShareGPT, workload.AzureCode
+	tiers := workload.EqualTiers(classes)
+	tiers[0].Dataset = &conv
+	tiers[1].Dataset = &share
+	tiers[2].Dataset = &code
+	return tiers
+}
+
+// runMultiApp sweeps load over the heterogeneous mix for the shared-cluster
+// schedulers, reporting overall and per-tier violations.
+func runMultiApp(e *Env) error {
+	mc := model.Llama3_8B_A100_TP1()
+	tiers := multiAppTiers()
+	ref, err := e.refCapacity("multiapp-edf", mc, e.Sarathi(sched.EDF, 256),
+		workload.AzureConv, tiers, e.Seed+26)
+	if err != nil {
+		return err
+	}
+	e.printf("Reference capacity (Sarathi-EDF, heterogeneous mix): %.2f QPS\n", ref)
+	loads := scaleLoads(ref, []float64{0.7, 1.0, 1.4, 1.8})
+	scheds := []namedFactory{
+		{"Sarathi-FCFS", e.Sarathi(sched.FCFS, 256)},
+		{"Sarathi-EDF", e.Sarathi(sched.EDF, 256)},
+		{"QoServe", e.QoServe(mc)},
+	}
+	results, err := e.loadSweep(mc, workload.AzureConv, tiers, loads, scheds, e.Seed+26)
+	if err != nil {
+		return err
+	}
+	e.printSweepTable("Overall violations (%)", results, scheds, loads,
+		func(s *metrics.Summary) float64 { return 100 * s.ViolationRate(metrics.All) })
+	for _, tier := range []string{"Q1", "Q2", "Q3"} {
+		f := metrics.ByClass(tier)
+		e.printSweepTable(tier+" violations (%)", results, scheds, loads,
+			func(s *metrics.Summary) float64 { return 100 * s.ViolationRate(f) })
+	}
+	return nil
+}

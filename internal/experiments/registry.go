@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a named, runnable reproduction of one paper artifact.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(e *Env) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(name, title string, run func(e *Env) error) {
+	registry[name] = Experiment{Name: name, Title: title, Run: run}
+}
+
+// Lookup finds an experiment by name ("fig7", "table5", ...).
+func Lookup(name string) (Experiment, error) {
+	exp, ok := registry[name]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (try 'list')", name)
+	}
+	return exp, nil
+}
+
+// All returns every experiment sorted by name.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RunByName runs one experiment against the environment.
+func RunByName(name string, e *Env) error {
+	exp, err := Lookup(name)
+	if err != nil {
+		return err
+	}
+	e.current = name
+	defer func() { e.current = "" }()
+	e.header(exp.Title)
+	return exp.Run(e)
+}

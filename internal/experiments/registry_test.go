@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"qoserve/internal/model"
+)
+
+func TestLookupAndAll(t *testing.T) {
+	all := All()
+	if len(all) < 18 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Name <= all[i-1].Name {
+			t.Fatal("All() not sorted")
+		}
+	}
+	for _, want := range []string{
+		"fig2", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15a", "fig15b",
+		"table4", "table5", "table6", "slovar",
+		"preempt", "predablate", "estimator",
+	} {
+		exp, err := Lookup(want)
+		if err != nil {
+			t.Errorf("missing experiment %q", want)
+			continue
+		}
+		if exp.Title == "" || exp.Run == nil {
+			t.Errorf("experiment %q incomplete", want)
+		}
+	}
+	if _, err := Lookup("nonsense"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+// TestAllExperimentsRun executes every registered experiment at a very
+// small scale, verifying the whole harness end to end (each produces
+// non-empty output and no error).
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run is slow")
+	}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			env := NewEnv(0.015, &buf)
+			if err := RunByName(exp.Name, env); err != nil {
+				t.Fatalf("%s: %v", exp.Name, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", exp.Name)
+			}
+			if !strings.Contains(buf.String(), exp.Title) {
+				t.Errorf("%s output missing its banner", exp.Name)
+			}
+		})
+	}
+}
+
+func TestEnvDefaults(t *testing.T) {
+	e := NewEnv(0, io.Discard)
+	if e.Scale != 0.05 {
+		t.Errorf("default scale = %v", e.Scale)
+	}
+	if e.Duration() <= 0 {
+		t.Error("non-positive duration")
+	}
+	// Tiny scales floor at two minutes.
+	e2 := NewEnv(1e-9, io.Discard)
+	if e2.Duration().Seconds() < 119 {
+		t.Errorf("duration floor broken: %v", e2.Duration())
+	}
+}
+
+func TestPredictorCachedPerConfig(t *testing.T) {
+	e := NewEnv(0.02, io.Discard)
+	mc := modelPreset()
+	p1 := e.Predictor(mc)
+	p2 := e.Predictor(mc)
+	if p1 != p2 {
+		t.Error("predictor not cached")
+	}
+}
+
+func TestScaleLoads(t *testing.T) {
+	loads := scaleLoads(4.0, []float64{0.5, 1.0, 2.0})
+	want := []float64{2, 4, 8}
+	for i := range want {
+		if loads[i] != want[i] {
+			t.Errorf("loads = %v, want %v", loads, want)
+		}
+	}
+	// Zero reference still yields positive loads.
+	for _, l := range scaleLoads(0, []float64{1}) {
+		if l <= 0 {
+			t.Error("non-positive load")
+		}
+	}
+}
+
+// modelPreset gives tests a standard configuration.
+func modelPreset() model.Config { return model.Llama3_8B_A100_TP1() }
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	e := NewEnv(0.02, io.Discard)
+	e.CSVDir = dir
+	if err := RunByName("fig4", e); err != nil { // fig4 has no sweep tables; use fig5-like path via slugify test below
+		t.Fatal(err)
+	}
+	// Exercise writeCSV directly for determinism.
+	e.current = "unit"
+	scheds := []namedFactory{{label: "A"}, {label: "B"}}
+	loads := []float64{1, 2}
+	values := map[string]map[float64]float64{
+		"A": {1: 0.5, 2: 1.5},
+		"B": {1: 0.25, 2: 0.75},
+	}
+	e.writeCSV("Test Table (s)", scheds, loads, values)
+	data, err := os.ReadFile(dir + "/unit_test-table-s.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "qps,A,B\n1,0.5,0.25\n2,1.5,0.75\n"
+	if string(data) != want {
+		t.Fatalf("csv = %q, want %q", data, want)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	for in, want := range map[string]string{
+		"(a) Overall violations (%)": "a-overall-violations",
+		"p50 TTFT Q1 (s)":            "p50-ttft-q1-s",
+		"Median request latency (s)": "median-request-latency-s",
+		"weird***{}chars":            "weirdchars",
+	} {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

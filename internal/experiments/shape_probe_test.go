@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"qoserve/internal/cluster"
+	"qoserve/internal/metrics"
+	"qoserve/internal/model"
+	"qoserve/internal/qos"
+	"qoserve/internal/sched"
+	"qoserve/internal/workload"
+)
+
+// TestGoodputOrderingProbe is the repository's headline shape check, run at
+// reduced scale with sustained load: on a shared cluster, QoServe must
+// sustain materially more load within the 1% violation target than
+// Sarathi-FCFS and Sarathi-EDF (paper Fig. 7: 1.5-2.4x over FCFS, 20-40%
+// over EDF).
+func TestGoodputOrderingProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity search is slow")
+	}
+	e := NewEnv(0.04, io.Discard) // ~9.6 simulated minutes per probe
+	mc := model.Llama3_8B_A100_TP1()
+	tiers := workload.EqualTiers(qos.Table3())
+	gen := e.TraceGen(workload.AzureCode, tiers, 31)
+
+	capacity := func(factory cluster.SchedulerFactory) float64 {
+		qps, _, err := cluster.MaxGoodput(mc, factory, gen, e.searchOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qps
+	}
+
+	fcfs := capacity(e.Sarathi(sched.FCFS, 256))
+	edf := capacity(e.Sarathi(sched.EDF, 256))
+	qsv := capacity(e.QoServe(mc))
+	t.Logf("goodput: FCFS=%.2f EDF=%.2f QoServe=%.2f (QoServe/FCFS=%.2fx, QoServe/EDF=%.2fx)",
+		fcfs, edf, qsv, qsv/fcfs, qsv/edf)
+
+	if qsv <= fcfs {
+		t.Errorf("QoServe capacity %.2f <= FCFS %.2f", qsv, fcfs)
+	}
+	if qsv <= edf*1.1 {
+		t.Errorf("QoServe capacity %.2f not >10%% above EDF %.2f", qsv, edf)
+	}
+	if ratio := qsv / fcfs; ratio < 1.3 {
+		t.Errorf("QoServe/FCFS ratio %.2f below expectation", ratio)
+	}
+}
+
+// TestOverloadViolationOrderingProbe: well past every scheduler's capacity
+// under sustained load, QoServe's violations must be far below the
+// baselines' (paper Fig. 11: order-of-magnitude gap under overload).
+func TestOverloadViolationOrderingProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload run is slow")
+	}
+	e := NewEnv(0.08, io.Discard) // ~19 simulated minutes
+	mc := model.Llama3_8B_A100_TP1()
+	tiers := workload.EqualTiers(qos.Table3())
+
+	viol := func(factory cluster.SchedulerFactory) float64 {
+		trace, err := e.Trace(workload.AzureCode, tiers, 6, 33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := RunJudged(mc, 1, factory, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum.ViolationRate(metrics.All)
+	}
+	fcfs := viol(e.Sarathi(sched.FCFS, 256))
+	edf := viol(e.Sarathi(sched.EDF, 256))
+	srpf := viol(e.Sarathi(sched.SRPF, 256))
+	qsv := viol(e.QoServe(mc))
+	t.Logf("overload violations: FCFS=%.1f%% EDF=%.1f%% SRPF=%.1f%% QoServe=%.1f%%",
+		100*fcfs, 100*edf, 100*srpf, 100*qsv)
+	if qsv >= fcfs {
+		t.Errorf("QoServe violations %.3f not below FCFS %.3f", qsv, fcfs)
+	}
+	if qsv >= edf {
+		t.Errorf("QoServe violations %.3f not below EDF %.3f", qsv, edf)
+	}
+	if qsv >= srpf {
+		t.Errorf("QoServe violations %.3f not below SRPF %.3f", qsv, srpf)
+	}
+}
+
+// TestAblationLadderProbe guards Table 5's monotone ladder: each QoServe
+// technique must add capacity on top of the previous configuration.
+func TestAblationLadderProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity search is slow")
+	}
+	e := NewEnv(0.03, io.Discard)
+	mc := model.Llama3_8B_A100_TP1()
+	gen := e.TraceGen(workload.AzureCode, standardTiers(), 55)
+
+	capacity := func(f cluster.SchedulerFactory) float64 {
+		qps, _, err := cluster.MaxGoodput(mc, f, gen, e.searchOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qps
+	}
+	cfgs := table5Configs(e, mc)
+	edf := capacity(cfgs[0].factory)
+	dc := capacity(cfgs[1].factory)
+	dcER := capacity(cfgs[2].factory)
+	t.Logf("ladder: EDF=%.2f DC=%.2f DC+ER=%.2f", edf, dc, dcER)
+	if dc <= edf {
+		t.Errorf("dynamic chunking added no capacity: %.2f <= %.2f", dc, edf)
+	}
+	if dcER < dc*0.95 {
+		t.Errorf("eager relegation lost capacity: %.2f < %.2f", dcER, dc)
+	}
+}
+
+// TestDiurnalPriorityProtectionProbe guards Fig. 12's key property: under
+// the diurnal overload with 20% free-tier traffic, QoServe's high-priority
+// violation rate stays well below the baselines' and below a few percent.
+func TestDiurnalPriorityProtectionProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diurnal run is slow")
+	}
+	e := NewEnv(0.03, io.Discard)
+	mc := model.Llama3_8B_A100_TP1()
+	trace, err := e.diurnalTrace(e.Seed + 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qsv, err := RunJudged(mc, 1, e.QoServe(mc), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edfTrace, err := e.diurnalTrace(e.Seed + 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edf, err := RunJudged(mc, 1, e.Sarathi(sched.EDF, 256), edfTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qsvHi := qsv.ViolationRate(metrics.And(metrics.All, metrics.ByPriority(qos.High)))
+	edfHi := edf.ViolationRate(metrics.ByPriority(qos.High))
+	t.Logf("high-priority violations: QoServe %.2f%%, EDF %.2f%%", 100*qsvHi, 100*edfHi)
+	if qsvHi > 0.05 {
+		t.Errorf("QoServe high-priority violations %.3f above 5%%", qsvHi)
+	}
+	if edfHi < qsvHi*5 {
+		t.Errorf("EDF high-priority violations %.3f not far above QoServe %.3f", edfHi, qsvHi)
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"qoserve/internal/asciiplot"
+	"qoserve/internal/cluster"
+	"qoserve/internal/htmlreport"
+	"qoserve/internal/metrics"
+	"qoserve/internal/model"
+	"qoserve/internal/qos"
+	"qoserve/internal/workload"
+)
+
+// namedFactory pairs a display label with a scheduler factory.
+type namedFactory struct {
+	label   string
+	factory cluster.SchedulerFactory
+}
+
+// sweepResult holds one (scheduler, load) run.
+type sweepResult struct {
+	label string
+	qps   float64
+	sum   *metrics.Summary
+}
+
+// loadSweep runs every scheduler at every load on a fresh copy of the same
+// seeded workload and returns all summaries.
+func (e *Env) loadSweep(mc model.Config, ds workload.Dataset, tiers []workload.Tier, loads []float64, scheds []namedFactory, seed int64) ([]sweepResult, error) {
+	var out []sweepResult
+	for _, qps := range loads {
+		trace, err := e.Trace(ds, tiers, qps, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range scheds {
+			sum, err := RunJudged(mc, 1, s.factory, workload.Clone(trace))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sweepResult{label: s.label, qps: qps, sum: sum})
+		}
+	}
+	return out, nil
+}
+
+// printSweepTable prints one metric across the sweep: rows are loads,
+// columns are schedulers. With Env.Plot set, it also renders the sweep as
+// a terminal line chart — the closest thing to the paper's figures.
+func (e *Env) printSweepTable(title string, results []sweepResult, scheds []namedFactory, loads []float64, metric func(*metrics.Summary) float64) {
+	e.printf("\n%s\n", title)
+	e.printf("%-8s", "QPS")
+	for _, s := range scheds {
+		e.printf("%14s", s.label)
+	}
+	e.printf("\n")
+	series := make([]asciiplot.Series, len(scheds))
+	for i, s := range scheds {
+		series[i].Name = s.label
+	}
+	values := make(map[string]map[float64]float64, len(scheds))
+	for _, s := range scheds {
+		values[s.label] = map[float64]float64{}
+	}
+	for _, qps := range loads {
+		e.printf("%-8.2f", qps)
+		for i, s := range scheds {
+			for _, r := range results {
+				if r.label == s.label && r.qps == qps {
+					v := metric(r.sum)
+					e.printf("%14.3f", v)
+					series[i].X = append(series[i].X, qps)
+					series[i].Y = append(series[i].Y, v)
+					values[s.label][qps] = v
+				}
+			}
+		}
+		e.printf("\n")
+	}
+	e.writeCSV(title, scheds, loads, values)
+	if e.HTML != nil {
+		hs := make([]htmlreport.Series, len(series))
+		for i, sr := range series {
+			hs[i] = htmlreport.Series{Name: sr.Name, X: sr.X, Y: sr.Y}
+		}
+		e.HTML.Add(htmlreport.Chart{
+			Experiment: e.current,
+			Title:      title,
+			XLabel:     "load (QPS)",
+			Series:     hs,
+		})
+	}
+	if e.Plot {
+		e.printf("\n%s", asciiplot.Render(series, asciiplot.Options{
+			XLabel: "load (QPS)", YLabel: title,
+		}))
+	}
+}
+
+// standardTiers is the Table 3 default workload mix.
+func standardTiers() []workload.Tier {
+	return workload.EqualTiers(qos.Table3())
+}
+
+// refCapacity measures (and caches) the max-goodput capacity of a reference
+// scheduler on a workload. Load sweeps are expressed as multiples of this
+// reference so that experiment shapes are scale-invariant: at small scales
+// absolute capacities inflate (deadline slack can be borrowed against the
+// end of a short run), but the *relative* operating points — below, at, and
+// beyond saturation — are what the paper's figures turn on.
+func (e *Env) refCapacity(key string, mc model.Config, factory cluster.SchedulerFactory, ds workload.Dataset, tiers []workload.Tier, seed int64) (float64, error) {
+	if e.capCache == nil {
+		e.capCache = map[string]float64{}
+	}
+	if v, ok := e.capCache[key]; ok {
+		return v, nil
+	}
+	qps, _, err := cluster.MaxGoodput(mc, factory, e.TraceGen(ds, tiers, seed), e.searchOpts())
+	if err != nil {
+		return 0, err
+	}
+	e.capCache[key] = qps
+	return qps, nil
+}
+
+// scaleLoads multiplies a reference capacity by each factor, rounding to
+// 0.05 QPS for readable tables.
+func scaleLoads(ref float64, mults []float64) []float64 {
+	out := make([]float64, len(mults))
+	for i, m := range mults {
+		v := ref * m
+		out[i] = float64(int(v*20+0.5)) / 20
+		if out[i] <= 0 {
+			out[i] = 0.05
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"qoserve/internal/cluster"
+	"qoserve/internal/core"
+	"qoserve/internal/metrics"
+	"qoserve/internal/model"
+	"qoserve/internal/sched"
+	"qoserve/internal/workload"
+)
+
+func init() {
+	register("table5", "Table 5 — ablation: dynamic chunking, eager relegation, hybrid prioritization", runTable5)
+}
+
+// table5Configs builds the ablation ladder starting from Sarathi-EDF.
+func table5Configs(e *Env, mc model.Config) []namedFactory {
+	dc := core.DefaultOptions()
+	dc.EagerRelegation = false
+	dc.HybridPriority = false
+	dc.AdaptiveAlpha = false
+
+	dcER := dc
+	dcER.EagerRelegation = true
+
+	dcERHP := dcER
+	dcERHP.HybridPriority = true
+	dcERHP.AdaptiveAlpha = true
+
+	return []namedFactory{
+		{"Sarathi-EDF", e.Sarathi(sched.EDF, 256)},
+		{"QoServe(DC)", e.QoServeOpts(mc, dc)},
+		{"QoServe(DC+ER)", e.QoServeOpts(mc, dcER)},
+		{"QoServe(DC+ER+HP)", e.QoServeOpts(mc, dcERHP)},
+	}
+}
+
+// runTable5 measures each configuration's optimal load (max QPS within 1%
+// violations) and its violation rate at a fixed high load of 6 QPS,
+// mirroring Table 5's two columns. The paper: DC +20% capacity, ER +9%,
+// HP marginal at optimal load but large at overload (100 -> 74 -> 26 ->
+// 16% violations at 6 QPS).
+func runTable5(e *Env) error {
+	mc := model.Llama3_8B_A100_TP1()
+	ds := workload.AzureCode
+	gen := e.TraceGen(ds, standardTiers(), e.Seed+12)
+
+	// The paper's "high load" column fixes QPS=6 against Sarathi-EDF's
+	// 2.75 QPS capacity, i.e. ~2.2x; keep that ratio across scales.
+	ref, err := e.refCapacity("table5-edf", mc, e.Sarathi(sched.EDF, 256), ds, standardTiers(), e.Seed+12)
+	if err != nil {
+		return err
+	}
+	highLoad := scaleLoads(ref, []float64{2.2})[0]
+	e.printf("Reference capacity (Sarathi-EDF): %.2f QPS; high load = %.2f QPS\n", ref, highLoad)
+
+	e.printf("%-20s%16s%10s%18s\n", "Config", "OptimalQPS", "Gain%", "Viol@HighLoad(%)")
+	prev := 0.0
+	for _, cfg := range table5Configs(e, mc) {
+		qps, _, err := cluster.MaxGoodput(mc, cfg.factory, gen, e.searchOpts())
+		if err != nil {
+			return err
+		}
+		trace, err := e.Trace(ds, standardTiers(), highLoad, e.Seed+12)
+		if err != nil {
+			return err
+		}
+		sum, err := RunJudged(mc, 1, cfg.factory, trace)
+		if err != nil {
+			return err
+		}
+		gain := 0.0
+		if prev > 0 {
+			gain = 100 * (qps/prev - 1)
+		}
+		e.printf("%-20s%16.2f%10.1f%18.2f\n", cfg.label, qps, gain,
+			100*sum.ViolationRate(metrics.All))
+		prev = qps
+	}
+	return nil
+}

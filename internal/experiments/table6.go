@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"qoserve/internal/cluster"
+	"qoserve/internal/metrics"
+	"qoserve/internal/model"
+	"qoserve/internal/qos"
+	"qoserve/internal/sched"
+	"qoserve/internal/workload"
+)
+
+func init() {
+	register("table6", "Table 6 — skewed workload compositions at 4.5 QPS (Azure-Code, Llama3-8B)", runTable6)
+	register("slovar", "Section 4.4.2 — stricter SLO targets: QoServe vs Sarathi-EDF capacity (Azure-Conv)", runSLOVar)
+}
+
+// runTable6 evaluates the 70-15-15 (interactive-dominant) and 15-15-70
+// (batch-dominant) mixes at 4.5 QPS: median latency per tier plus overall
+// violations, for Sarathi-FCFS, Sarathi-EDF, and QoServe.
+func runTable6(e *Env) error {
+	mc := model.Llama3_8B_A100_TP1()
+	// The paper's 4.5 QPS is ~1.6x Sarathi-EDF's capacity on the default
+	// mix; keep that relative operating point across scales.
+	ref, err := e.refCapacity("table6-edf", mc, e.Sarathi(sched.EDF, 256),
+		workload.AzureCode, standardTiers(), e.Seed+13)
+	if err != nil {
+		return err
+	}
+	load := scaleLoads(ref, []float64{1.6})[0]
+	e.printf("Reference capacity (Sarathi-EDF): %.2f QPS; operating load = %.2f QPS\n", ref, load)
+	mixes := []struct {
+		name  string
+		split []float64
+	}{
+		{"70-15-15", []float64{0.70, 0.15, 0.15}},
+		{"15-15-70", []float64{0.15, 0.15, 0.70}},
+	}
+	scheds := []namedFactory{
+		{"Sarathi-FCFS", e.Sarathi(sched.FCFS, 256)},
+		{"Sarathi-EDF", e.Sarathi(sched.EDF, 256)},
+		{"QoServe", e.QoServe(mc)},
+	}
+	for _, mix := range mixes {
+		tiers, err := workload.WeightedTiers(qos.Table3(), mix.split)
+		if err != nil {
+			return err
+		}
+		e.printf("\nComposition: %s\n", mix.name)
+		e.printf("%-14s%14s%14s%14s%16s%14s\n",
+			"Scheme", "Q1 p50(s)", "Q2 p50(s)", "Q3 p50(s)", "Violations%", "Relegated%")
+		for _, s := range scheds {
+			trace, err := e.Trace(workload.AzureCode, tiers, load, e.Seed+13)
+			if err != nil {
+				return err
+			}
+			sum, err := RunJudged(mc, 1, s.factory, trace)
+			if err != nil {
+				return err
+			}
+			e.printf("%-14s%14.2f%14.2f%14.2f%16.2f%14.2f\n", s.label,
+				sum.LatencyQuantile(metrics.ByClass("Q1"), 0.5),
+				sum.LatencyQuantile(metrics.ByClass("Q2"), 0.5),
+				sum.LatencyQuantile(metrics.ByClass("Q3"), 0.5),
+				100*sum.ViolationRate(metrics.All),
+				100*sum.RelegationRate(metrics.All))
+		}
+	}
+	return nil
+}
+
+// runSLOVar evaluates the stricter SLO configuration of §4.4.2 — Q1
+// (3s, 50ms) and Q2 (6s, 50ms) interactive, Q3 TTLT 1000s, equal split —
+// on Azure-Conv, comparing sustainable load. The paper: QoServe 5 QPS vs
+// Sarathi-EDF 3.7 QPS (~26% gap).
+func runSLOVar(e *Env) error {
+	mc := model.Llama3_8B_A100_TP1()
+	tiers := workload.EqualTiers(qos.StrictVariant())
+	gen := e.TraceGen(workload.AzureConv, tiers, e.Seed+14)
+
+	results := map[string]float64{}
+	for _, s := range []namedFactory{
+		{"Sarathi-EDF", e.Sarathi(sched.EDF, 256)},
+		{"QoServe", e.QoServe(mc)},
+	} {
+		qps, _, err := cluster.MaxGoodput(mc, s.factory, gen, e.searchOpts())
+		if err != nil {
+			return err
+		}
+		results[s.label] = qps
+		e.printf("%-14s goodput %.2f QPS\n", s.label, qps)
+	}
+	if edf := results["Sarathi-EDF"]; edf > 0 {
+		e.printf("QoServe advantage: %.0f%% (paper: ~26%%)\n",
+			100*(results["QoServe"]/edf-1))
+	}
+	return nil
+}

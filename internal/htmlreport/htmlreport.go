@@ -1,0 +1,194 @@
+// Package htmlreport renders experiment sweeps as a self-contained HTML
+// document with inline SVG line charts — the closest artifact to the
+// paper's figures this repository produces. cmd/experiments -html collects
+// every sweep table of a run into one report.
+package htmlreport
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labelled line of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is one figure.
+type Chart struct {
+	Experiment string
+	Title      string
+	XLabel     string
+	Series     []Series
+}
+
+// Builder accumulates charts for one report.
+type Builder struct {
+	charts []Chart
+}
+
+// Add appends a chart. Series are copied shallowly; callers must not
+// mutate the slices afterwards.
+func (b *Builder) Add(c Chart) { b.charts = append(b.charts, c) }
+
+// Len reports the number of collected charts.
+func (b *Builder) Len() int { return len(b.charts) }
+
+// palette holds distinguishable line colors.
+var palette = []string{
+	"#1668a8", "#d1495b", "#3d8361", "#8d5fd3", "#c77d1e", "#3aa6a6",
+}
+
+// Write renders the report.
+func (b *Builder) Write(w io.Writer, heading string) error {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&sb, "<title>%s</title>\n", html.EscapeString(heading))
+	sb.WriteString(`<style>
+body { font: 14px/1.4 system-ui, sans-serif; margin: 2em auto; max-width: 1200px; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+.grid { display: flex; flex-wrap: wrap; gap: 1.5em; }
+figure { margin: 0; }
+figcaption { font-size: 0.85em; color: #555; max-width: 420px; }
+svg { background: #fafafa; border: 1px solid #ddd; }
+</style></head><body>
+`)
+	fmt.Fprintf(&sb, "<h1>%s</h1>\n", html.EscapeString(heading))
+
+	current := ""
+	open := false
+	for _, c := range b.charts {
+		if c.Experiment != current {
+			if open {
+				sb.WriteString("</div>\n")
+			}
+			current = c.Experiment
+			fmt.Fprintf(&sb, "<h2>%s</h2>\n<div class=\"grid\">\n", html.EscapeString(current))
+			open = true
+		}
+		sb.WriteString(renderSVG(c))
+	}
+	if open {
+		sb.WriteString("</div>\n")
+	}
+	sb.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// chart geometry.
+const (
+	width   = 420
+	height  = 260
+	marginL = 56
+	marginR = 12
+	marginT = 10
+	marginB = 46
+)
+
+// renderSVG draws one chart as an inline SVG figure.
+func renderSVG(c Chart) string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		n := min(len(s.X), len(s.Y))
+		for i := 0; i < n; i++ {
+			if bad(s.X[i]) || bad(s.Y[i]) {
+				continue
+			}
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if minX > maxX {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if maxX == minX {
+		maxX++
+	}
+	if maxY == minY {
+		maxY++
+	}
+	if minY > 0 && minY < maxY/10 {
+		minY = 0 // anchor near-zero ranges at zero for honest areas
+	}
+
+	px := func(x float64) float64 {
+		return marginL + (x-minX)/(maxX-minX)*(width-marginL-marginR)
+	}
+	py := func(y float64) float64 {
+		return float64(height-marginB) - (y-minY)/(maxY-minY)*(height-marginT-marginB)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<figure><svg width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height+16*len(c.Series), width, height+16*len(c.Series))
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999"/>`,
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999"/>`,
+		marginL, marginT, marginL, height-marginB)
+	// Ticks.
+	for i := 0; i <= 4; i++ {
+		fx := minX + float64(i)/4*(maxX-minX)
+		fy := minY + float64(i)/4*(maxY-minY)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`,
+			px(fx), height-marginB+14, tick(fx))
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`,
+			marginL-4, py(fy)+3, tick(fy))
+	}
+	// Series.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		var pts []string
+		n := min(len(s.X), len(s.Y))
+		for j := 0; j < n; j++ {
+			if bad(s.X[j]) || bad(s.Y[j]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[j]), py(s.Y[j])))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`,
+				strings.Join(pts, " "), color)
+			for _, p := range pts {
+				fmt.Fprintf(&sb, `<circle cx="%s" cy="%s" r="2.4" fill="%s"/>`,
+					before(p), after(p), color)
+			}
+		}
+		// Legend row.
+		ly := height + 12 + 16*i
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`,
+			marginL, ly-4, marginL+22, ly-4, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11">%s</text>`,
+			marginL+28, ly, html.EscapeString(s.Name))
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="10" text-anchor="middle">%s</text>`,
+		(marginL+width-marginR)/2, height-marginB+30, html.EscapeString(c.XLabel))
+	sb.WriteString(`</svg>`)
+	fmt.Fprintf(&sb, `<figcaption>%s</figcaption></figure>`, html.EscapeString(c.Title))
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+func bad(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+func tick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func before(pt string) string { return pt[:strings.IndexByte(pt, ',')] }
+func after(pt string) string  { return pt[strings.IndexByte(pt, ',')+1:] }

@@ -1,0 +1,89 @@
+package htmlreport
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleChart(exp, title string) Chart {
+	return Chart{
+		Experiment: exp,
+		Title:      title,
+		XLabel:     "load (QPS)",
+		Series: []Series{
+			{Name: "EDF", X: []float64{1, 2, 3}, Y: []float64{0, 10, 90}},
+			{Name: "QoServe", X: []float64{1, 2, 3}, Y: []float64{0, 1, 3}},
+		},
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	var b Builder
+	b.Add(sampleChart("fig11", "Overall violations (%)"))
+	b.Add(sampleChart("fig11", "Q1 violations (%)"))
+	b.Add(sampleChart("fig14", "Median latency (s)"))
+	if b.Len() != 3 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	var buf bytes.Buffer
+	if err := b.Write(&buf, "QoServe results"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"<h1>QoServe results</h1>",
+		"<h2>fig11</h2>",
+		"<h2>fig14</h2>",
+		"Overall violations",
+		"polyline",
+		"EDF", "QoServe",
+		"load (QPS)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Two experiment groups -> two grids.
+	if got := strings.Count(out, `<div class="grid">`); got != 2 {
+		t.Errorf("grid count = %d, want 2", got)
+	}
+	// Six polylines (2 per chart x 3 charts).
+	if got := strings.Count(out, "<polyline"); got != 6 {
+		t.Errorf("polyline count = %d, want 6", got)
+	}
+}
+
+func TestWriteEscapesHTML(t *testing.T) {
+	var b Builder
+	c := sampleChart("fig<script>", "title <b>bold</b>")
+	c.Series[0].Name = "<img src=x>"
+	b.Add(c)
+	var buf bytes.Buffer
+	if err := b.Write(&buf, "<h1>inject</h1>"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, forbidden := range []string{"<script>", "<b>bold</b>", "<img src=x>", "<h1>inject</h1>"} {
+		if strings.Contains(out, forbidden) {
+			t.Errorf("unescaped %q leaked into report", forbidden)
+		}
+	}
+}
+
+func TestRenderDegenerateSeries(t *testing.T) {
+	cases := []Chart{
+		{Experiment: "e", Title: "empty"},
+		{Experiment: "e", Title: "nan", Series: []Series{{Name: "n", X: []float64{1}, Y: []float64{math.NaN()}}}},
+		{Experiment: "e", Title: "single", Series: []Series{{Name: "s", X: []float64{5}, Y: []float64{5}}}},
+		{Experiment: "e", Title: "mismatch", Series: []Series{{Name: "m", X: []float64{1, 2}, Y: []float64{1}}}},
+	}
+	for _, c := range cases {
+		out := renderSVG(c)
+		if !strings.Contains(out, "<svg") || strings.Contains(out, "NaN") {
+			t.Errorf("chart %q rendered badly", c.Title)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package kvcache implements a paged KV-cache block manager in the style of
+// vLLM's PagedAttention allocator. Each request's context occupies
+// fixed-size token blocks; the manager tracks capacity so a replica can
+// apply admission control (don't start a prefill whose KV won't fit) and
+// model memory pressure during overload.
+package kvcache
+
+import "fmt"
+
+// DefaultBlockTokens matches vLLM's default block size.
+const DefaultBlockTokens = 16
+
+// Manager allocates KV-cache blocks to requests. It is not safe for
+// concurrent use; a replica owns exactly one manager.
+type Manager struct {
+	blockTokens int
+	totalBlocks int
+	freeBlocks  int
+	held        map[uint64]int // request ID -> blocks held
+	peakUsed    int
+}
+
+// NewManager returns a manager for a cache of capacityTokens tokens divided
+// into blocks of blockTokens (DefaultBlockTokens if zero).
+func NewManager(capacityTokens, blockTokens int) (*Manager, error) {
+	if blockTokens == 0 {
+		blockTokens = DefaultBlockTokens
+	}
+	if blockTokens < 1 {
+		return nil, fmt.Errorf("kvcache: block size %d", blockTokens)
+	}
+	if capacityTokens < 0 {
+		return nil, fmt.Errorf("kvcache: capacity %d tokens", capacityTokens)
+	}
+	blocks := capacityTokens / blockTokens
+	return &Manager{
+		blockTokens: blockTokens,
+		totalBlocks: blocks,
+		freeBlocks:  blocks,
+		held:        make(map[uint64]int),
+	}, nil
+}
+
+// blocksFor is the blocks needed to hold tokens.
+func (m *Manager) blocksFor(tokens int) int {
+	if tokens <= 0 {
+		return 0
+	}
+	return (tokens + m.blockTokens - 1) / m.blockTokens
+}
+
+// CapacityTokens is the total cache size in tokens.
+func (m *Manager) CapacityTokens() int { return m.totalBlocks * m.blockTokens }
+
+// FreeTokens is the token capacity of currently free blocks.
+func (m *Manager) FreeTokens() int { return m.freeBlocks * m.blockTokens }
+
+// Utilization is the fraction of blocks in use, in [0,1].
+func (m *Manager) Utilization() float64 {
+	if m.totalBlocks == 0 {
+		return 1
+	}
+	return float64(m.totalBlocks-m.freeBlocks) / float64(m.totalBlocks)
+}
+
+// PeakUtilization is the high-water fraction of blocks ever in use.
+func (m *Manager) PeakUtilization() float64 {
+	if m.totalBlocks == 0 {
+		return 1
+	}
+	return float64(m.peakUsed) / float64(m.totalBlocks)
+}
+
+// CanGrow reports whether request id could extend its allocation to cover
+// tokens total context without exceeding capacity.
+func (m *Manager) CanGrow(id uint64, tokens int) bool {
+	need := m.blocksFor(tokens) - m.held[id]
+	return need <= m.freeBlocks
+}
+
+// Grow extends (or creates) request id's allocation to cover tokens total
+// context. It reports whether the allocation succeeded; on failure the
+// request's existing allocation is unchanged.
+func (m *Manager) Grow(id uint64, tokens int) bool {
+	cur := m.held[id]
+	want := m.blocksFor(tokens)
+	if want <= cur {
+		return true // already covered; blocks are never shrunk mid-flight
+	}
+	need := want - cur
+	if need > m.freeBlocks {
+		return false
+	}
+	m.freeBlocks -= need
+	m.held[id] = want
+	if used := m.totalBlocks - m.freeBlocks; used > m.peakUsed {
+		m.peakUsed = used
+	}
+	return true
+}
+
+// Release frees all blocks held by request id. Releasing an unknown id is a
+// no-op so that callers can release unconditionally on request completion.
+func (m *Manager) Release(id uint64) {
+	if blocks, ok := m.held[id]; ok {
+		m.freeBlocks += blocks
+		delete(m.held, id)
+	}
+}
+
+// HeldTokens is the token capacity allocated to request id.
+func (m *Manager) HeldTokens(id uint64) int { return m.held[id] * m.blockTokens }
+
+// Holders is the number of requests with live allocations.
+func (m *Manager) Holders() int { return len(m.held) }
+
+// checkInvariant panics if block accounting is corrupted. Exposed for tests.
+func (m *Manager) checkInvariant() {
+	sum := 0
+	for _, b := range m.held {
+		sum += b
+	}
+	if sum+m.freeBlocks != m.totalBlocks {
+		panic(fmt.Sprintf("kvcache: held %d + free %d != total %d", sum, m.freeBlocks, m.totalBlocks))
+	}
+}

@@ -1,0 +1,179 @@
+package kvcache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustManager(t *testing.T, capacity, block int) *Manager {
+	t.Helper()
+	m, err := NewManager(capacity, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(-1, 16); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := NewManager(100, -2); err == nil {
+		t.Error("negative block size accepted")
+	}
+	m, err := NewManager(1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.blockTokens != DefaultBlockTokens {
+		t.Errorf("default block size = %d", m.blockTokens)
+	}
+}
+
+func TestGrowAndRelease(t *testing.T) {
+	m := mustManager(t, 160, 16) // 10 blocks
+
+	if !m.Grow(1, 40) { // 3 blocks
+		t.Fatal("grow failed with free capacity")
+	}
+	if got := m.HeldTokens(1); got != 48 {
+		t.Errorf("held tokens = %d, want 48 (3 blocks)", got)
+	}
+	if m.FreeTokens() != 112 {
+		t.Errorf("free tokens = %d, want 112", m.FreeTokens())
+	}
+
+	// Growing to a smaller size is a no-op success.
+	if !m.Grow(1, 10) {
+		t.Error("shrink-grow failed")
+	}
+	if m.HeldTokens(1) != 48 {
+		t.Error("shrink-grow changed allocation")
+	}
+
+	// Extend within capacity.
+	if !m.Grow(1, 100) { // 7 blocks
+		t.Fatal("extension failed")
+	}
+	if m.HeldTokens(1) != 112 {
+		t.Errorf("held = %d, want 112", m.HeldTokens(1))
+	}
+
+	m.Release(1)
+	if m.FreeTokens() != 160 || m.Holders() != 0 {
+		t.Errorf("after release: free %d holders %d", m.FreeTokens(), m.Holders())
+	}
+	m.Release(1) // double release is harmless
+	m.checkInvariant()
+}
+
+func TestGrowRejectsOverCapacity(t *testing.T) {
+	m := mustManager(t, 160, 16)
+	if !m.Grow(1, 150) {
+		t.Fatal("initial grow failed")
+	}
+	if m.Grow(2, 32) {
+		t.Error("over-capacity grow succeeded")
+	}
+	// Failed grow leaves state untouched.
+	if m.HeldTokens(2) != 0 {
+		t.Error("failed grow left allocation")
+	}
+	if m.Grow(2, 16) { // only 0 blocks free (150 tokens = 10 blocks)
+		t.Error("grow succeeded with zero free blocks")
+	}
+	m.checkInvariant()
+}
+
+func TestCanGrow(t *testing.T) {
+	m := mustManager(t, 160, 16)
+	if !m.CanGrow(1, 160) {
+		t.Error("CanGrow full capacity = false")
+	}
+	if m.CanGrow(1, 161) {
+		t.Error("CanGrow beyond capacity = true")
+	}
+	m.Grow(1, 80)
+	// Request 1 already holds 5 blocks; growing to 160 needs 5 more — fits.
+	if !m.CanGrow(1, 160) {
+		t.Error("CanGrow extension = false")
+	}
+	// A second request can't take 96 tokens (6 blocks) when only 5 remain.
+	if m.CanGrow(2, 96) {
+		t.Error("CanGrow over free = true")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m := mustManager(t, 160, 16)
+	if m.Utilization() != 0 {
+		t.Errorf("empty utilization = %v", m.Utilization())
+	}
+	m.Grow(1, 80)
+	if m.Utilization() != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", m.Utilization())
+	}
+	m.Grow(2, 80)
+	if m.Utilization() != 1 {
+		t.Errorf("utilization = %v, want 1", m.Utilization())
+	}
+	m.Release(1)
+	m.Release(2)
+	if m.PeakUtilization() != 1 {
+		t.Errorf("peak utilization = %v, want 1", m.PeakUtilization())
+	}
+	// Degenerate zero-capacity manager reports full.
+	z := mustManager(t, 0, 16)
+	if z.Utilization() != 1 || z.PeakUtilization() != 1 {
+		t.Error("zero-capacity manager should report full")
+	}
+}
+
+// Property: under any interleaving of grows and releases, block accounting
+// is conserved and free tokens never go negative.
+func TestAccountingProperty(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		m, err := NewManager(10000, 16)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		live := map[uint64]bool{}
+		for _, op := range ops {
+			id := uint64(op % 32)
+			if rng.Intn(3) == 0 && live[id] {
+				m.Release(id)
+				delete(live, id)
+			} else {
+				tokens := int(op % 4000)
+				if m.Grow(id, tokens) && tokens > 0 {
+					live[id] = true
+				}
+			}
+			if m.FreeTokens() < 0 || m.Holders() != len(live) {
+				return false
+			}
+			m.checkInvariant()
+		}
+		for id := range live {
+			m.Release(id)
+		}
+		return m.FreeTokens() == m.CapacityTokens()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGrowRelease(b *testing.B) {
+	m, _ := NewManager(1<<20, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i % 64)
+		m.Grow(id, 2048)
+		if i%2 == 1 {
+			m.Release(id)
+		}
+	}
+}

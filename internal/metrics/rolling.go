@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"sort"
+
+	"qoserve/internal/sim"
+)
+
+// SeriesPoint is one point of a time-series metric (Figure 13).
+type SeriesPoint struct {
+	At    sim.Time
+	Value float64
+}
+
+// RollingQuantile computes the q-th quantile of the headline latency of
+// matching requests over sliding windows of the given width, keyed by
+// request arrival time (the paper's Figure 13 plots a rolling p99 over 60 s
+// windows against arrival time). It emits one point per stride.
+func (s *Summary) RollingQuantile(f Filter, q float64, window, stride sim.Time) []SeriesPoint {
+	if window <= 0 || stride <= 0 {
+		return nil
+	}
+	type sample struct {
+		at  sim.Time
+		val float64
+	}
+	var samples []sample
+	for _, o := range s.Outcomes {
+		if !f(o) {
+			continue
+		}
+		samples = append(samples, sample{at: o.Arrival, val: o.Latency(s.End).Seconds()})
+	}
+	if len(samples) == 0 {
+		return nil
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].at < samples[j].at })
+
+	var out []SeriesPoint
+	last := samples[len(samples)-1].at
+	lo := 0
+	for start := samples[0].at; start <= last; start += stride {
+		end := start + window
+		for lo < len(samples) && samples[lo].at < start {
+			lo++
+		}
+		hi := lo
+		var vals []float64
+		for hi < len(samples) && samples[hi].at < end {
+			vals = append(vals, samples[hi].val)
+			hi++
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		sort.Float64s(vals)
+		out = append(out, SeriesPoint{At: start, Value: quantile(vals, q)})
+	}
+	return out
+}
+
+// MaxLatency returns the largest headline latency among matching requests,
+// or zero when none match (used for the paper's §4.3 "maximum latency of
+// relegated requests" comparison).
+func (s *Summary) MaxLatency(f Filter) sim.Time {
+	var max sim.Time
+	for _, o := range s.Outcomes {
+		if !f(o) {
+			continue
+		}
+		if l := o.Latency(s.End); l > max {
+			max = l
+		}
+	}
+	return max
+}

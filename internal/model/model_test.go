@@ -1,0 +1,251 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qoserve/internal/sim"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, c := range Presets() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := Llama3_8B_A100_TP1()
+
+	bad := base
+	bad.TP = 0
+	if bad.Validate() == nil {
+		t.Error("TP=0 accepted")
+	}
+
+	bad = base
+	bad.Efficiency = 0
+	if bad.Validate() == nil {
+		t.Error("efficiency 0 accepted")
+	}
+
+	bad = base
+	bad.Efficiency = 1.5
+	if bad.Validate() == nil {
+		t.Error("efficiency > 1 accepted")
+	}
+
+	bad = base
+	bad.Model.Params = -1
+	if bad.Validate() == nil {
+		t.Error("negative params accepted")
+	}
+
+	bad = base
+	bad.Model.KVHeads = 3 // 32 % 3 != 0
+	if bad.Validate() == nil {
+		t.Error("non-divisible KV heads accepted")
+	}
+
+	bad = base
+	bad.GPU.FLOPS = 0
+	if bad.Validate() == nil {
+		t.Error("zero FLOPS accepted")
+	}
+}
+
+func TestKVBytesPerToken(t *testing.T) {
+	// Llama3-8B: 2 (K,V) * 32 layers * 8 KV heads * 128 dim * 2 bytes = 128 KiB.
+	got := Llama3_8B.KVBytesPerToken()
+	if got != 131072 {
+		t.Errorf("Llama3-8B KV bytes/token = %v, want 131072", got)
+	}
+	// Qwen-7B is MHA: 4x more KV heads than Llama3-8B.
+	if r := Qwen_7B.KVBytesPerToken() / got; r != 4 {
+		t.Errorf("Qwen/Llama KV ratio = %v, want 4", r)
+	}
+}
+
+// TestFigure4Anchors pins the calibration of the cost model to the paper's
+// Figure 4: ~50ms latency at chunk size 330, and chunk 2500 delivering about
+// 2x the throughput of chunk 256.
+func TestFigure4Anchors(t *testing.T) {
+	c := Llama3_8B_A100_TP1()
+
+	lat330 := c.BatchTime(BatchShape{Prefill: []ChunkShape{{Tokens: 330}}})
+	if lat330 < 40*sim.Millisecond || lat330 > 60*sim.Millisecond {
+		t.Errorf("latency at chunk 330 = %v, want ~50ms", lat330)
+	}
+
+	ratio := c.PrefillThroughput(2500, 0) / c.PrefillThroughput(256, 0)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("throughput(2500)/throughput(256) = %.2f, want ~2", ratio)
+	}
+
+	// Saturation: going from 2500 to 4000 should gain little (<12%).
+	gain := c.PrefillThroughput(4000, 0) / c.PrefillThroughput(2500, 0)
+	if gain > 1.12 {
+		t.Errorf("throughput still rising steeply past 2500: gain %.3f", gain)
+	}
+}
+
+func TestBatchTimeMonotonicInChunk(t *testing.T) {
+	c := Llama3_8B_A100_TP1()
+	prev := sim.Time(0)
+	for chunk := 64; chunk <= 4096; chunk *= 2 {
+		cur := c.BatchTime(BatchShape{Prefill: []ChunkShape{{Tokens: chunk}}})
+		if cur <= prev {
+			t.Errorf("latency not increasing at chunk %d: %v <= %v", chunk, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestBatchTimeEmptyIsZero(t *testing.T) {
+	c := Llama3_8B_A100_TP1()
+	if got := c.BatchTime(BatchShape{}); got != 0 {
+		t.Errorf("empty batch time = %v, want 0", got)
+	}
+}
+
+func TestDecodeAttnGrowsWithContext(t *testing.T) {
+	c := Llama3_8B_A100_TP1()
+	small := c.DecodeAttnTime(512)
+	big := c.DecodeAttnTime(4096)
+	if big <= small {
+		t.Errorf("decode attention not increasing with context: %v <= %v", big, small)
+	}
+	// Linear scaling: 8x context ~ 8x time.
+	r := float64(big) / float64(small)
+	if math.Abs(r-8) > 0.01 {
+		t.Errorf("decode attention scaling = %.3f, want 8", r)
+	}
+}
+
+func TestMHADecodeCostlierThanGQA(t *testing.T) {
+	llama := Llama3_8B_A100_TP1()
+	qwen := Qwen_7B_A100_TP2()
+	// Per-GPU-normalized decode attention: Qwen (MHA, TP2) reads 4x the KV
+	// bytes over 2x the bandwidth, so per-replica time should be ~2x.
+	r := float64(qwen.DecodeAttnTime(2048)) / float64(llama.DecodeAttnTime(2048))
+	if r < 1.8 || r > 2.2 {
+		t.Errorf("Qwen/Llama decode attention ratio = %.2f, want ~2", r)
+	}
+}
+
+func TestKVCapacity(t *testing.T) {
+	c := Llama3_8B_A100_TP1()
+	got := c.KVCapacityTokens()
+	// 80GB - 16GB weights - 6GB reserve = 58GB / 128KiB/token ~ 442k tokens.
+	if got < 400_000 || got > 500_000 {
+		t.Errorf("KV capacity = %d tokens, want ~442k", got)
+	}
+	// A model too big for its hardware has zero capacity.
+	big := c
+	big.Model.Params = 80e9 // 160 GB of weights > 80 GB HBM
+	if big.KVCapacityTokens() != 0 {
+		t.Errorf("oversized model KV capacity = %d, want 0", big.KVCapacityTokens())
+	}
+}
+
+func TestTPReducesPerTokenTime(t *testing.T) {
+	tp1 := mustConfig(Llama3_8B, A100, 1, defaultEfficiency, a100TP1Overhead)
+	tp4 := mustConfig(Llama3_8B, A100, 4, defaultEfficiency, a100TP1Overhead)
+	if tp4.LinearTimePerToken() >= tp1.LinearTimePerToken() {
+		t.Errorf("TP4 per-token time %v >= TP1 %v", tp4.LinearTimePerToken(), tp1.LinearTimePerToken())
+	}
+	// But not a full 4x: communication takes its cut.
+	speedup := float64(tp1.LinearTimePerToken()) / float64(tp4.LinearTimePerToken())
+	if speedup >= 4 {
+		t.Errorf("TP4 speedup %.2f >= 4; communication cost missing", speedup)
+	}
+}
+
+// Property: batch time is superadditive-ish — adding any request to a batch
+// never reduces its execution time.
+func TestBatchTimeMonotoneProperty(t *testing.T) {
+	c := Llama3_8B_A100_TP1()
+	f := func(chunks []uint16, decodes []uint16, extra uint16) bool {
+		b := BatchShape{}
+		for _, ch := range chunks {
+			if ch == 0 {
+				continue
+			}
+			b.Prefill = append(b.Prefill, ChunkShape{Tokens: int(ch % 4096), CtxStart: int(ch)})
+		}
+		for _, d := range decodes {
+			b.DecodeCtx = append(b.DecodeCtx, int(d))
+		}
+		before := c.BatchTime(b)
+		b.DecodeCtx = append(b.DecodeCtx, int(extra))
+		after := c.BatchTime(b)
+		return after >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefillAttnZeroChunk(t *testing.T) {
+	c := Llama3_8B_A100_TP1()
+	if got := c.PrefillAttnTime(0, 1000); got != 0 {
+		t.Errorf("zero-chunk attention time = %v, want 0", got)
+	}
+}
+
+func TestConfigName(t *testing.T) {
+	if got := Llama3_8B_A100_TP1().Name(); got != "Llama3-8B/A100-TP1" {
+		t.Errorf("Name() = %q", got)
+	}
+}
+
+func BenchmarkBatchTime(b *testing.B) {
+	c := Llama3_8B_A100_TP1()
+	shape := BatchShape{
+		Prefill:   []ChunkShape{{Tokens: 512, CtxStart: 1024}},
+		DecodeCtx: []int{100, 2000, 512, 4096, 900, 1500, 777, 3000},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.BatchTime(shape)
+	}
+}
+
+// TestAllPresetsCurveSanity extends the Fig. 4 anchors to every Table 1
+// configuration: latency must grow monotonically with chunk size and
+// throughput must flatten (saturate) at large chunks.
+func TestAllPresetsCurveSanity(t *testing.T) {
+	for _, c := range Presets() {
+		prev := sim.Time(0)
+		for chunk := 128; chunk <= 4096; chunk *= 2 {
+			cur := c.BatchTime(BatchShape{Prefill: []ChunkShape{{Tokens: chunk}}})
+			if cur <= prev {
+				t.Errorf("%s: latency not increasing at chunk %d", c.Name(), chunk)
+			}
+			prev = cur
+		}
+		gain := c.PrefillThroughput(4096, 0) / c.PrefillThroughput(2048, 0)
+		if gain > 1.25 {
+			t.Errorf("%s: no saturation (2048->4096 gain %.2f)", c.Name(), gain)
+		}
+		if c.KVCapacityTokens() < 50_000 {
+			t.Errorf("%s: implausible KV capacity %d", c.Name(), c.KVCapacityTokens())
+		}
+	}
+}
+
+// TestLargerModelSlowerPerToken: at equal parallelism-normalized compute,
+// a 70B model's per-token linear time must exceed an 8B's on the same GPU
+// generation scaled by TP.
+func TestLargerModelSlowerPerToken(t *testing.T) {
+	small := Llama3_8B_A100_TP1()
+	big := Llama3_70B_H100_TP4()
+	// Per effective FLOP: 70B/TP4-H100 still costs more per token than
+	// 8B/TP1-A100 because params grow faster than the FLOP budget here.
+	if big.LinearTimePerToken() <= small.LinearTimePerToken()/2 {
+		t.Errorf("70B per-token %v implausibly cheap vs 8B %v",
+			big.LinearTimePerToken(), small.LinearTimePerToken())
+	}
+}

@@ -1,0 +1,184 @@
+package predictor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qoserve/internal/model"
+	"qoserve/internal/profile"
+	"qoserve/internal/sim"
+)
+
+// LatencyPredictor estimates the execution latency of a batch shape. The
+// replica's scheduler consults it every iteration, so implementations must
+// be cheap (the paper reports CPU-side prediction with negligible
+// overhead).
+type LatencyPredictor interface {
+	Predict(b model.BatchShape) sim.Time
+}
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	Trees         int     // default 20
+	SampleFrac    float64 // bootstrap fraction per tree, default 0.7
+	Tree          TreeConfig
+	FeatureSubset int   // features per split, default 3 of 5
+	Seed          int64 // PRNG seed for bagging
+	// SafetyMargin inflates predictions used for budget inversion so the
+	// chunk choice under-shoots rather than over-shoots (Section 3.6.1);
+	// default 0.10 (10%).
+	SafetyMargin float64
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.Trees == 0 {
+		c.Trees = 20
+	}
+	if c.SampleFrac == 0 {
+		c.SampleFrac = 0.7
+	}
+	if c.FeatureSubset == 0 {
+		c.FeatureSubset = 3
+	}
+	if c.SafetyMargin == 0 {
+		c.SafetyMargin = 0.10
+	}
+	return c
+}
+
+// Forest is a bagged ensemble of regression trees implementing
+// LatencyPredictor.
+type Forest struct {
+	trees  []*Tree
+	margin float64
+}
+
+// Train fits a random forest on profiled samples.
+func Train(samples []profile.Sample, cfg ForestConfig) (*Forest, error) {
+	cfg = cfg.withDefaults()
+	if len(samples) < 2*cfg.Tree.withDefaults().MinLeaf {
+		return nil, fmt.Errorf("predictor: %d samples is too few to train", len(samples))
+	}
+	if cfg.SampleFrac <= 0 || cfg.SampleFrac > 1 {
+		return nil, fmt.Errorf("predictor: sample fraction %v outside (0,1]", cfg.SampleFrac)
+	}
+	if cfg.SafetyMargin < 0 || cfg.SafetyMargin > 1 {
+		return nil, fmt.Errorf("predictor: safety margin %v outside [0,1]", cfg.SafetyMargin)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	treeCfg := cfg.Tree
+	treeCfg.FeatureSubset = cfg.FeatureSubset
+
+	f := &Forest{margin: cfg.SafetyMargin}
+	perTree := int(cfg.SampleFrac * float64(len(samples)))
+	if perTree < 1 {
+		perTree = 1
+	}
+	for t := 0; t < cfg.Trees; t++ {
+		idx := make([]int, perTree)
+		for i := range idx {
+			idx[i] = rng.Intn(len(samples))
+		}
+		pick := func(n int) []int {
+			perm := rng.Perm(profile.FeatureCount)
+			return perm[:n]
+		}
+		f.trees = append(f.trees, FitTree(samples, idx, treeCfg, pick))
+	}
+	return f, nil
+}
+
+// Predict returns the mean prediction across trees, without the safety
+// margin (raw latency estimate).
+func (f *Forest) Predict(b model.BatchShape) sim.Time {
+	x := profile.Features(b)
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return sim.FromSeconds(s / float64(len(f.trees)))
+}
+
+// PredictSafe returns the margin-inflated prediction used for budget
+// checks: latency the scheduler should assume the batch takes.
+func (f *Forest) PredictSafe(b model.BatchShape) sim.Time {
+	return sim.Time(float64(f.Predict(b)) * (1 + f.margin))
+}
+
+// Trees returns the ensemble size.
+func (f *Forest) Trees() int { return len(f.trees) }
+
+// Oracle is a LatencyPredictor that consults the analytic cost model
+// directly. It is the "perfect predictor" used in ablations to separate
+// prediction error from scheduling policy.
+type Oracle struct {
+	Config model.Config
+	// Margin mirrors the forest's safety margin so ablations isolate the
+	// learning, not the conservatism. Usually 0 for a true oracle.
+	Margin float64
+}
+
+// Predict returns the exact batch time.
+func (o Oracle) Predict(b model.BatchShape) sim.Time {
+	return o.Config.BatchTime(b)
+}
+
+// PredictSafe returns the margin-inflated exact time.
+func (o Oracle) PredictSafe(b model.BatchShape) sim.Time {
+	return sim.Time(float64(o.Predict(b)) * (1 + o.Margin))
+}
+
+// SafePredictor is the interface dynamic chunking needs: a conservative
+// latency estimate.
+type SafePredictor interface {
+	LatencyPredictor
+	PredictSafe(b model.BatchShape) sim.Time
+}
+
+// NoMargin adapts a predictor so its safe estimate equals its raw estimate.
+// Schedulers use it in regimes where conservatism only wastes throughput —
+// e.g. when the iteration budget is already floored at a TBT target and the
+// affected tokens are late regardless.
+func NoMargin(p LatencyPredictor) SafePredictor { return noMargin{p} }
+
+type noMargin struct{ LatencyPredictor }
+
+func (n noMargin) PredictSafe(b model.BatchShape) sim.Time { return n.Predict(b) }
+
+// ChunkBudget implements GET_PREFILL_BUDGET from Algorithm 1: the largest
+// prefill chunk (up to maxChunk) that keeps the predicted iteration latency
+// within budget, given the decode side of the batch. It returns 0 when even
+// a minimal chunk cannot fit.
+//
+// The latency surface is monotone in chunk size, so a binary search over
+// [0, maxChunk] suffices; with tree predictors the surface is piecewise
+// constant, and the search still converges to a safe (conservative) value
+// because PredictSafe is non-decreasing along the probed path.
+func ChunkBudget(p SafePredictor, decodeCtx []int, prefillCtx int, budget sim.Time, maxChunk int) int {
+	if maxChunk <= 0 || budget <= 0 {
+		return 0
+	}
+	shapeFor := func(chunk int) model.BatchShape {
+		b := model.BatchShape{DecodeCtx: decodeCtx}
+		if chunk > 0 {
+			b.Prefill = []model.ChunkShape{{Tokens: chunk, CtxStart: prefillCtx}}
+		}
+		return b
+	}
+	if p.PredictSafe(shapeFor(maxChunk)) <= budget {
+		return maxChunk
+	}
+	lo, hi := 0, maxChunk // invariant: lo fits, hi doesn't
+	if p.PredictSafe(shapeFor(0)) > budget {
+		return 0
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.PredictSafe(shapeFor(mid)) <= budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

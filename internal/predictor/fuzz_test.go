@@ -1,0 +1,32 @@
+package predictor
+
+import (
+	"strings"
+	"testing"
+
+	"qoserve/internal/model"
+)
+
+// FuzzLoad ensures arbitrary bytes never panic the forest loader, and that
+// any forest it accepts terminates on Predict (the structural validation
+// must reject graphs that could loop).
+func FuzzLoad(f *testing.F) {
+	f.Add(`{"version":1,"margin":0.1,"trees":[{"nodes":[{"f":-1,"v":0.5}]}]}`)
+	f.Add(`{"version":1,"margin":0.1,"trees":[{"nodes":[{"f":0,"t":100,"l":1,"r":2},{"f":-1,"v":1},{"f":-1,"v":2}]}]}`)
+	f.Add(`{"version":1`)
+	f.Add(`{"version":1,"margin":0.1,"trees":[{"nodes":[{"f":0,"l":0,"r":0}]}]}`)
+
+	shape := model.BatchShape{
+		Prefill:   []model.ChunkShape{{Tokens: 256, CtxStart: 100}},
+		DecodeCtx: []int{500, 1000},
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		forest, err := Load(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted forests must predict without hanging or panicking.
+		_ = forest.Predict(shape)
+		_ = forest.PredictSafe(shape)
+	})
+}

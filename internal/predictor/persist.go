@@ -1,0 +1,93 @@
+package predictor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"qoserve/internal/profile"
+)
+
+// The paper trains one predictor per (model, hardware, parallelism)
+// configuration from an offline profiling pass and ships it with the
+// deployment. Save/Load provide that artifact: a JSON encoding of the
+// forest so serving processes do not re-profile on startup.
+
+type wireNode struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t,omitempty"`
+	Left      int32   `json:"l,omitempty"`
+	Right     int32   `json:"r,omitempty"`
+	Value     float64 `json:"v,omitempty"`
+}
+
+type wireTree struct {
+	Nodes []wireNode `json:"nodes"`
+}
+
+type wireForest struct {
+	Version int        `json:"version"`
+	Margin  float64    `json:"margin"`
+	Trees   []wireTree `json:"trees"`
+}
+
+const wireVersion = 1
+
+// Save serializes the forest as JSON.
+func (f *Forest) Save(w io.Writer) error {
+	wf := wireForest{Version: wireVersion, Margin: f.margin}
+	for _, t := range f.trees {
+		wt := wireTree{Nodes: make([]wireNode, len(t.nodes))}
+		for i, n := range t.nodes {
+			wt.Nodes[i] = wireNode{
+				Feature: n.feature, Threshold: n.threshold,
+				Left: n.left, Right: n.right, Value: n.value,
+			}
+		}
+		wf.Trees = append(wf.Trees, wt)
+	}
+	return json.NewEncoder(w).Encode(wf)
+}
+
+// Load reads a forest saved by Save, validating structural integrity
+// (children in range, no trivial cycles) so a corrupt file cannot cause an
+// infinite Predict loop.
+func Load(r io.Reader) (*Forest, error) {
+	var wf wireForest
+	if err := json.NewDecoder(r).Decode(&wf); err != nil {
+		return nil, fmt.Errorf("predictor: decoding forest: %w", err)
+	}
+	if wf.Version != wireVersion {
+		return nil, fmt.Errorf("predictor: unsupported forest version %d", wf.Version)
+	}
+	if wf.Margin < 0 || wf.Margin > 1 {
+		return nil, fmt.Errorf("predictor: margin %v outside [0,1]", wf.Margin)
+	}
+	if len(wf.Trees) == 0 {
+		return nil, fmt.Errorf("predictor: empty forest")
+	}
+	f := &Forest{margin: wf.Margin}
+	for ti, wt := range wf.Trees {
+		if len(wt.Nodes) == 0 {
+			return nil, fmt.Errorf("predictor: tree %d has no nodes", ti)
+		}
+		t := &Tree{nodes: make([]treeNode, len(wt.Nodes))}
+		for i, n := range wt.Nodes {
+			if n.Feature >= 0 {
+				if n.Feature >= profile.FeatureCount {
+					return nil, fmt.Errorf("predictor: tree %d node %d: feature %d out of range", ti, i, n.Feature)
+				}
+				if int(n.Left) <= i || int(n.Right) <= i ||
+					int(n.Left) >= len(wt.Nodes) || int(n.Right) >= len(wt.Nodes) {
+					return nil, fmt.Errorf("predictor: tree %d node %d: child indices invalid", ti, i)
+				}
+			}
+			t.nodes[i] = treeNode{
+				feature: n.Feature, threshold: n.Threshold,
+				left: n.Left, right: n.Right, value: n.Value,
+			}
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}

@@ -1,0 +1,236 @@
+// Package predictor implements the dynamic-chunking batch-latency predictor
+// of Section 3.6.1: a bagged random forest of CART regression trees trained
+// on profiled latency samples, plus the inverse query GET_PREFILL_BUDGET
+// (Algorithm 1) that finds the largest chunk fitting a latency budget.
+//
+// The paper tunes the model "to err on the side of under-predicting chunk
+// size": we implement this as a multiplicative safety margin applied to
+// predicted latencies before the budget comparison, so the chosen chunk is
+// conservative and TBT targets are never blown by prediction error.
+package predictor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qoserve/internal/profile"
+)
+
+// treeNode is one node of a CART regression tree stored in a flat slice.
+type treeNode struct {
+	feature   int     // split feature; -1 for leaf
+	threshold float64 // go left if x[feature] <= threshold
+	left      int32   // child indices into the node slice
+	right     int32
+	value     float64 // leaf prediction (mean of targets)
+}
+
+// Tree is a CART regression tree.
+type Tree struct {
+	nodes []treeNode
+}
+
+// TreeConfig bounds tree growth.
+type TreeConfig struct {
+	MaxDepth      int // default 12
+	MinLeaf       int // minimum samples per leaf, default 4
+	FeatureSubset int // features considered per split; 0 means all
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = 4
+	}
+	return c
+}
+
+// trainSet is a column-oriented view of samples for efficient splitting.
+type trainSet struct {
+	feats   [][profile.FeatureCount]float64
+	targets []float64
+}
+
+// FitTree grows a regression tree on the given sample indices. rng-like
+// feature subsetting is driven by the caller via cfg.FeatureSubset and
+// featOrder; passing nil featOrder uses all features.
+func FitTree(samples []profile.Sample, idx []int, cfg TreeConfig, featPick func(n int) []int) *Tree {
+	cfg = cfg.withDefaults()
+	ts := trainSet{
+		feats:   make([][profile.FeatureCount]float64, len(samples)),
+		targets: make([]float64, len(samples)),
+	}
+	for i, s := range samples {
+		ts.feats[i] = s.Features
+		ts.targets[i] = s.Latency
+	}
+	if idx == nil {
+		idx = make([]int, len(samples))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	t := &Tree{}
+	t.grow(ts, idx, 0, cfg, featPick)
+	return t
+}
+
+// grow recursively builds the subtree over idx and returns its node index.
+func (t *Tree) grow(ts trainSet, idx []int, depth int, cfg TreeConfig, featPick func(n int) []int) int32 {
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, treeNode{feature: -1, value: mean(ts.targets, idx)})
+
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || constantTargets(ts.targets, idx) {
+		return self
+	}
+
+	feats := allFeatures()
+	if featPick != nil && cfg.FeatureSubset > 0 && cfg.FeatureSubset < profile.FeatureCount {
+		feats = featPick(cfg.FeatureSubset)
+	}
+
+	bestFeat, bestThresh, bestGain := -1, 0.0, 0.0
+	for _, f := range feats {
+		thresh, gain, ok := bestSplit(ts, idx, f, cfg.MinLeaf)
+		if ok && gain > bestGain {
+			bestFeat, bestThresh, bestGain = f, thresh, gain
+		}
+	}
+	if bestFeat < 0 {
+		return self
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if ts.feats[i][bestFeat] <= bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.MinLeaf || len(right) < cfg.MinLeaf {
+		return self
+	}
+
+	l := t.grow(ts, left, depth+1, cfg, featPick)
+	r := t.grow(ts, right, depth+1, cfg, featPick)
+	t.nodes[self] = treeNode{feature: bestFeat, threshold: bestThresh, left: l, right: r}
+	return self
+}
+
+// bestSplit finds the threshold for feature f maximizing SSE reduction,
+// using the incremental sum trick over the sorted column.
+func bestSplit(ts trainSet, idx []int, f, minLeaf int) (thresh, gain float64, ok bool) {
+	order := make([]int, len(idx))
+	copy(order, idx)
+	sort.Slice(order, func(a, b int) bool {
+		return ts.feats[order[a]][f] < ts.feats[order[b]][f]
+	})
+
+	n := float64(len(order))
+	var total, totalSq float64
+	for _, i := range order {
+		y := ts.targets[i]
+		total += y
+		totalSq += y * y
+	}
+	parentSSE := totalSq - total*total/n
+
+	var leftSum, leftSq float64
+	bestGain := 0.0
+	for k := 0; k < len(order)-1; k++ {
+		y := ts.targets[order[k]]
+		leftSum += y
+		leftSq += y * y
+		// Can't split between equal feature values.
+		cur, next := ts.feats[order[k]][f], ts.feats[order[k+1]][f]
+		if cur == next {
+			continue
+		}
+		nl := float64(k + 1)
+		nr := n - nl
+		if int(nl) < minLeaf || int(nr) < minLeaf {
+			continue
+		}
+		rightSum := total - leftSum
+		rightSq := totalSq - leftSq
+		sse := (leftSq - leftSum*leftSum/nl) + (rightSq - rightSum*rightSum/nr)
+		if g := parentSSE - sse; g > bestGain {
+			bestGain = g
+			thresh = (cur + next) / 2
+			ok = true
+		}
+	}
+	return thresh, bestGain, ok
+}
+
+// Predict returns the tree's latency estimate (seconds) for a feature
+// vector.
+func (t *Tree) Predict(x [profile.FeatureCount]float64) float64 {
+	i := int32(0)
+	for {
+		n := t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// Depth returns the maximum depth of the tree (root = 0).
+func (t *Tree) Depth() int { return t.depth(0) }
+
+func (t *Tree) depth(i int32) int {
+	n := t.nodes[i]
+	if n.feature < 0 {
+		return 0
+	}
+	l, r := t.depth(n.left), t.depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Nodes returns the node count, a proxy for model size.
+func (t *Tree) Nodes() int { return len(t.nodes) }
+
+func mean(y []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func constantTargets(y []float64, idx []int) bool {
+	for _, i := range idx[1:] {
+		if math.Abs(y[i]-y[idx[0]]) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func allFeatures() []int {
+	f := make([]int, profile.FeatureCount)
+	for i := range f {
+		f[i] = i
+	}
+	return f
+}
+
+// String summarizes the tree.
+func (t *Tree) String() string {
+	return fmt.Sprintf("Tree{nodes: %d, depth: %d}", t.Nodes(), t.Depth())
+}

@@ -1,0 +1,146 @@
+// Package profile is the offline profiling harness that generates training
+// data for the dynamic-chunking latency predictor.
+//
+// The paper collects latency profiles of MLP and attention operations "at
+// varying chunk sizes, batch sizes as well as context lengths" using a
+// harness exposed by the Vidur inference simulator, one profile per (model,
+// hardware, parallelism) configuration. Our equivalent samples the analytic
+// cost model of package model over the same axes and perturbs each
+// measurement with multiplicative Gaussian noise, mimicking real profiling
+// jitter. The predictor must then learn the latency surface from noisy
+// observations rather than being handed the analytic formula.
+package profile
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qoserve/internal/model"
+	"qoserve/internal/sim"
+)
+
+// FeatureCount is the length of a sample's feature vector.
+const FeatureCount = 5
+
+// Feature indices within a sample vector. These are the batch statistics
+// named in Algorithm 1 (num_decodes, batch_decode_context) plus the chunk
+// and prefill context, which together determine iteration latency.
+const (
+	FeatChunkTokens = iota // prefill tokens in this iteration
+	FeatPrefillCtx         // context already processed for the prefill request
+	FeatNumDecodes         // requests in decode phase
+	FeatSumDecodeCtx
+	FeatMaxDecodeCtx
+)
+
+// Sample is one profiled (batch shape, latency) observation.
+type Sample struct {
+	Features [FeatureCount]float64
+	Latency  float64 // seconds
+}
+
+// Features extracts the predictor feature vector from a batch shape.
+// Multi-request prefill batches are summarized by total chunk tokens and
+// the maximum context offset, which bounds attention cost.
+func Features(b model.BatchShape) [FeatureCount]float64 {
+	var f [FeatureCount]float64
+	for _, p := range b.Prefill {
+		f[FeatChunkTokens] += float64(p.Tokens)
+		if c := float64(p.CtxStart); c > f[FeatPrefillCtx] {
+			f[FeatPrefillCtx] = c
+		}
+	}
+	f[FeatNumDecodes] = float64(len(b.DecodeCtx))
+	for _, c := range b.DecodeCtx {
+		f[FeatSumDecodeCtx] += float64(c)
+		if fc := float64(c); fc > f[FeatMaxDecodeCtx] {
+			f[FeatMaxDecodeCtx] = fc
+		}
+	}
+	return f
+}
+
+// Config controls the profiling sweep.
+type Config struct {
+	// ChunkSizes to sweep; defaults to a geometric ladder 32..4096.
+	ChunkSizes []int
+	// DecodeBatchSizes to sweep; defaults to 0..64.
+	DecodeBatchSizes []int
+	// ContextLengths to sweep for both prefill offset and decode context;
+	// defaults to 0..8192.
+	ContextLengths []int
+	// NoiseStdDev is the relative standard deviation of measurement
+	// noise; defaults to 3%.
+	NoiseStdDev float64
+	// SamplesPerPoint repeats each grid point with fresh noise; default 2.
+	SamplesPerPoint int
+	// Seed for the noise generator.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.ChunkSizes) == 0 {
+		c.ChunkSizes = []int{0, 32, 64, 128, 256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096}
+	}
+	if len(c.DecodeBatchSizes) == 0 {
+		c.DecodeBatchSizes = []int{0, 1, 2, 4, 8, 16, 32, 64}
+	}
+	if len(c.ContextLengths) == 0 {
+		c.ContextLengths = []int{0, 256, 1024, 2048, 4096, 8192}
+	}
+	if c.NoiseStdDev == 0 {
+		c.NoiseStdDev = 0.03
+	}
+	if c.SamplesPerPoint == 0 {
+		c.SamplesPerPoint = 2
+	}
+	return c
+}
+
+// Collect runs the profiling sweep against the given model/hardware
+// configuration and returns noisy latency samples.
+func Collect(mc model.Config, pc Config) ([]Sample, error) {
+	if err := mc.Validate(); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	pc = pc.withDefaults()
+	if pc.NoiseStdDev < 0 || pc.NoiseStdDev > 0.5 {
+		return nil, fmt.Errorf("profile: noise stddev %v outside [0,0.5]", pc.NoiseStdDev)
+	}
+	rng := rand.New(rand.NewSource(pc.Seed))
+	var out []Sample
+	for _, chunk := range pc.ChunkSizes {
+		for _, nDec := range pc.DecodeBatchSizes {
+			if chunk == 0 && nDec == 0 {
+				continue // empty batch
+			}
+			for _, ctx := range pc.ContextLengths {
+				shape := model.BatchShape{}
+				if chunk > 0 {
+					shape.Prefill = []model.ChunkShape{{Tokens: chunk, CtxStart: ctx}}
+				}
+				for i := 0; i < nDec; i++ {
+					shape.DecodeCtx = append(shape.DecodeCtx, ctx)
+				}
+				truth := mc.BatchTime(shape).Seconds()
+				for s := 0; s < pc.SamplesPerPoint; s++ {
+					noisy := truth * (1 + pc.NoiseStdDev*rng.NormFloat64())
+					if noisy < 0 {
+						noisy = 0
+					}
+					out = append(out, Sample{
+						Features: Features(shape),
+						Latency:  noisy,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// TrueLatency returns the noise-free latency for a shape, used by tests and
+// the oracle predictor.
+func TrueLatency(mc model.Config, b model.BatchShape) sim.Time {
+	return mc.BatchTime(b)
+}

@@ -1,0 +1,120 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"qoserve/internal/model"
+)
+
+func TestCollectProducesSamples(t *testing.T) {
+	mc := model.Llama3_8B_A100_TP1()
+	samples, err := Collect(mc, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 1000 {
+		t.Fatalf("only %d samples collected", len(samples))
+	}
+	for i, s := range samples {
+		if s.Latency < 0 {
+			t.Fatalf("sample %d negative latency", i)
+		}
+		if s.Features[FeatChunkTokens] == 0 && s.Features[FeatNumDecodes] == 0 {
+			t.Fatalf("sample %d is an empty batch", i)
+		}
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	mc := model.Llama3_8B_A100_TP1()
+	a, err := Collect(mc, Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(mc, Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestCollectNoiseLevel(t *testing.T) {
+	mc := model.Llama3_8B_A100_TP1()
+	cfg := Config{
+		ChunkSizes:       []int{512},
+		DecodeBatchSizes: []int{0},
+		ContextLengths:   []int{0},
+		NoiseStdDev:      0.05,
+		SamplesPerPoint:  4000,
+		Seed:             3,
+	}
+	samples, err := Collect(mc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := mc.BatchTime(model.BatchShape{
+		Prefill: []model.ChunkShape{{Tokens: 512}},
+	}).Seconds()
+	var sum, sumSq float64
+	for _, s := range samples {
+		sum += s.Latency
+		sumSq += s.Latency * s.Latency
+	}
+	n := float64(len(samples))
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-truth)/truth > 0.01 {
+		t.Errorf("noisy mean %v vs truth %v", mean, truth)
+	}
+	if rel := std / truth; math.Abs(rel-0.05) > 0.01 {
+		t.Errorf("relative noise %v, want ~0.05", rel)
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	mc := model.Llama3_8B_A100_TP1()
+	if _, err := Collect(mc, Config{NoiseStdDev: 0.9}); err == nil {
+		t.Error("huge noise accepted")
+	}
+	bad := mc
+	bad.TP = 0
+	if _, err := Collect(bad, Config{}); err == nil {
+		t.Error("invalid model config accepted")
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	b := model.BatchShape{
+		Prefill:   []model.ChunkShape{{Tokens: 100, CtxStart: 50}, {Tokens: 30, CtxStart: 200}},
+		DecodeCtx: []int{10, 500, 90},
+	}
+	f := Features(b)
+	if f[FeatChunkTokens] != 130 {
+		t.Errorf("chunk tokens = %v", f[FeatChunkTokens])
+	}
+	if f[FeatPrefillCtx] != 200 {
+		t.Errorf("prefill ctx = %v", f[FeatPrefillCtx])
+	}
+	if f[FeatNumDecodes] != 3 {
+		t.Errorf("num decodes = %v", f[FeatNumDecodes])
+	}
+	if f[FeatSumDecodeCtx] != 600 {
+		t.Errorf("sum decode ctx = %v", f[FeatSumDecodeCtx])
+	}
+	if f[FeatMaxDecodeCtx] != 500 {
+		t.Errorf("max decode ctx = %v", f[FeatMaxDecodeCtx])
+	}
+}
+
+func TestTrueLatencyMatchesModel(t *testing.T) {
+	mc := model.Llama3_8B_A100_TP1()
+	b := model.BatchShape{Prefill: []model.ChunkShape{{Tokens: 256}}}
+	if TrueLatency(mc, b) != mc.BatchTime(b) {
+		t.Error("TrueLatency deviates from model")
+	}
+}

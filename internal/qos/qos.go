@@ -1,0 +1,155 @@
+// Package qos defines Quality-of-Service classes, SLO targets, the deadline
+// arithmetic of the paper's Section 3.2 (Equations 1-3), and request
+// priority tiers used for eager relegation.
+package qos
+
+import (
+	"fmt"
+
+	"qoserve/internal/sim"
+)
+
+// Kind distinguishes the two QoS classes of Section 3.2.
+type Kind int
+
+// QoS class kinds.
+const (
+	// Interactive requests carry TTFT and TBT SLOs (chat, coding
+	// assistants).
+	Interactive Kind = iota
+	// NonInteractive requests carry a single TTLT SLO (summarization,
+	// batch analytics).
+	NonInteractive
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Interactive:
+		return "interactive"
+	case NonInteractive:
+		return "non-interactive"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Priority is the application-provided importance hint (Section 3.4): under
+// overload, low-priority (free-tier) requests are relegated before
+// high-priority (paid-tier) ones.
+type Priority int
+
+// Priority tiers.
+const (
+	High Priority = iota // paid tier / important
+	Low                  // free tier
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case High:
+		return "high"
+	case Low:
+		return "low"
+	default:
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+}
+
+// SLO holds the latency targets of one QoS class. Interactive classes set
+// TTFT and TBT; non-interactive classes set TTLT. Unset targets are zero.
+type SLO struct {
+	TTFT sim.Time // time to first token
+	TBT  sim.Time // time between tokens
+	TTLT sim.Time // time to last token
+}
+
+// Class is a named QoS bucket an application subscribes its requests to.
+type Class struct {
+	Name string
+	Kind Kind
+	SLO  SLO
+}
+
+// Validate reports a configuration error, if any.
+func (c Class) Validate() error {
+	switch c.Kind {
+	case Interactive:
+		if c.SLO.TTFT <= 0 || c.SLO.TBT <= 0 {
+			return fmt.Errorf("qos class %q: interactive requires positive TTFT and TBT", c.Name)
+		}
+	case NonInteractive:
+		if c.SLO.TTLT <= 0 {
+			return fmt.Errorf("qos class %q: non-interactive requires positive TTLT", c.Name)
+		}
+	default:
+		return fmt.Errorf("qos class %q: unknown kind %d", c.Name, int(c.Kind))
+	}
+	return nil
+}
+
+// FirstTokenDeadline implements Eq. 1 for interactive and Eq. 3 for
+// non-interactive classes: the latest acceptable time for the first output
+// token (interactive) or for full completion (non-interactive). For
+// non-interactive requests the first-token deadline equals the total
+// deadline, since only completion is promised.
+func (c Class) FirstTokenDeadline(arrival sim.Time) sim.Time {
+	if c.Kind == Interactive {
+		return arrival + c.SLO.TTFT
+	}
+	return arrival + c.SLO.TTLT
+}
+
+// TokenDeadline implements Eq. 2: the deadline of the n-th output token
+// (1-based). For non-interactive classes, every token shares the TTLT
+// deadline (Eq. 3) because only completion matters.
+func (c Class) TokenDeadline(arrival sim.Time, n int) sim.Time {
+	if n < 1 {
+		n = 1
+	}
+	if c.Kind == Interactive {
+		return arrival + c.SLO.TTFT + sim.Time(int64(n-1))*c.SLO.TBT
+	}
+	return arrival + c.SLO.TTLT
+}
+
+// CompletionDeadline is the latest acceptable finish time: Eq. 3 for
+// non-interactive classes; for interactive classes the deadline of the last
+// token given the expected decode length.
+func (c Class) CompletionDeadline(arrival sim.Time, decodeTokens int) sim.Time {
+	if c.Kind == Interactive {
+		return c.TokenDeadline(arrival, decodeTokens)
+	}
+	return arrival + c.SLO.TTLT
+}
+
+// Table3 returns the paper's default three-tier configuration: Q1
+// interactive (TTFT 6 s, TBT 50 ms), Q2 non-interactive (TTLT 600 s), Q3
+// non-interactive (TTLT 1800 s).
+func Table3() []Class {
+	return []Class{
+		{Name: "Q1", Kind: Interactive, SLO: SLO{TTFT: 6 * sim.Second, TBT: 50 * sim.Millisecond}},
+		{Name: "Q2", Kind: NonInteractive, SLO: SLO{TTLT: 600 * sim.Second}},
+		{Name: "Q3", Kind: NonInteractive, SLO: SLO{TTLT: 1800 * sim.Second}},
+	}
+}
+
+// StrictVariant returns the Section 4.4.2 "varying SLO" configuration:
+// Q1 (3 s, 50 ms), Q2 (6 s, 50 ms) both interactive, Q3 TTLT 1000 s.
+func StrictVariant() []Class {
+	return []Class{
+		{Name: "Q1", Kind: Interactive, SLO: SLO{TTFT: 3 * sim.Second, TBT: 50 * sim.Millisecond}},
+		{Name: "Q2", Kind: Interactive, SLO: SLO{TTFT: 6 * sim.Second, TBT: 50 * sim.Millisecond}},
+		{Name: "Q3", Kind: NonInteractive, SLO: SLO{TTLT: 1000 * sim.Second}},
+	}
+}
+
+// PolyServeTiers returns the Section 4.5.2 two-tier interactive setup:
+// Q1 50 ms TBT and Q2 100 ms TBT, both with 6 s TTFT.
+func PolyServeTiers() []Class {
+	return []Class{
+		{Name: "Q1", Kind: Interactive, SLO: SLO{TTFT: 6 * sim.Second, TBT: 50 * sim.Millisecond}},
+		{Name: "Q2", Kind: Interactive, SLO: SLO{TTFT: 6 * sim.Second, TBT: 100 * sim.Millisecond}},
+	}
+}

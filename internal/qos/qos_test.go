@@ -1,0 +1,128 @@
+package qos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qoserve/internal/sim"
+)
+
+func TestTable3Valid(t *testing.T) {
+	classes := Table3()
+	if len(classes) != 3 {
+		t.Fatalf("Table3 has %d classes, want 3", len(classes))
+	}
+	for _, c := range classes {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	if classes[0].Kind != Interactive || classes[1].Kind != NonInteractive {
+		t.Error("Table3 kinds wrong")
+	}
+	if classes[0].SLO.TTFT != 6*sim.Second || classes[0].SLO.TBT != 50*sim.Millisecond {
+		t.Errorf("Q1 SLO = %+v", classes[0].SLO)
+	}
+	if classes[1].SLO.TTLT != 600*sim.Second || classes[2].SLO.TTLT != 1800*sim.Second {
+		t.Error("Q2/Q3 TTLT wrong")
+	}
+}
+
+func TestVariantsValid(t *testing.T) {
+	for _, set := range [][]Class{StrictVariant(), PolyServeTiers()} {
+		for _, c := range set {
+			if err := c.Validate(); err != nil {
+				t.Errorf("%s: %v", c.Name, err)
+			}
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Class{
+		{Name: "no-ttft", Kind: Interactive, SLO: SLO{TBT: sim.Millisecond}},
+		{Name: "no-tbt", Kind: Interactive, SLO: SLO{TTFT: sim.Second}},
+		{Name: "no-ttlt", Kind: NonInteractive},
+		{Name: "bad-kind", Kind: Kind(9), SLO: SLO{TTFT: 1, TBT: 1, TTLT: 1}},
+	}
+	for _, c := range cases {
+		if c.Validate() == nil {
+			t.Errorf("class %q accepted", c.Name)
+		}
+	}
+}
+
+func TestInteractiveDeadlines(t *testing.T) {
+	c := Class{Name: "Q1", Kind: Interactive,
+		SLO: SLO{TTFT: 6 * sim.Second, TBT: 50 * sim.Millisecond}}
+	arrival := 10 * sim.Second
+
+	// Eq. 1: D_first = arrival + SLO_TTFT.
+	if got := c.FirstTokenDeadline(arrival); got != 16*sim.Second {
+		t.Errorf("first-token deadline = %v, want 16s", got)
+	}
+	// Eq. 2: D_n = arrival + SLO_TTFT + (n-1)*SLO_TBT.
+	if got := c.TokenDeadline(arrival, 1); got != 16*sim.Second {
+		t.Errorf("token-1 deadline = %v, want 16s", got)
+	}
+	if got := c.TokenDeadline(arrival, 21); got != 17*sim.Second {
+		t.Errorf("token-21 deadline = %v, want 17s", got)
+	}
+	// n < 1 clamps to the first token.
+	if got := c.TokenDeadline(arrival, 0); got != 16*sim.Second {
+		t.Errorf("token-0 deadline = %v, want 16s", got)
+	}
+	// Completion deadline is the last token's deadline.
+	if got := c.CompletionDeadline(arrival, 21); got != 17*sim.Second {
+		t.Errorf("completion deadline = %v, want 17s", got)
+	}
+}
+
+func TestNonInteractiveDeadlines(t *testing.T) {
+	c := Class{Name: "Q2", Kind: NonInteractive, SLO: SLO{TTLT: 600 * sim.Second}}
+	arrival := 5 * sim.Second
+
+	// Eq. 3: one deadline for everything.
+	want := 605 * sim.Second
+	if got := c.FirstTokenDeadline(arrival); got != want {
+		t.Errorf("first-token deadline = %v, want %v", got, want)
+	}
+	if got := c.TokenDeadline(arrival, 100); got != want {
+		t.Errorf("token deadline = %v, want %v", got, want)
+	}
+	if got := c.CompletionDeadline(arrival, 100); got != want {
+		t.Errorf("completion deadline = %v, want %v", got, want)
+	}
+}
+
+// Property: token deadlines are non-decreasing in n for any class.
+func TestTokenDeadlineMonotoneProperty(t *testing.T) {
+	classes := append(Table3(), StrictVariant()...)
+	f := func(arrivalMS uint32, n uint8) bool {
+		arrival := sim.Time(arrivalMS) * sim.Millisecond
+		for _, c := range classes {
+			if c.TokenDeadline(arrival, int(n)+1) > c.TokenDeadline(arrival, int(n)+2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Interactive.String() != "interactive" || NonInteractive.String() != "non-interactive" {
+		t.Error("Kind.String wrong")
+	}
+	if Kind(7).String() != "Kind(7)" {
+		t.Errorf("unknown kind string = %q", Kind(7).String())
+	}
+	if High.String() != "high" || Low.String() != "low" {
+		t.Error("Priority.String wrong")
+	}
+	if Priority(3).String() != "Priority(3)" {
+		t.Errorf("unknown priority string = %q", Priority(3).String())
+	}
+}

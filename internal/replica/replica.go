@@ -1,0 +1,199 @@
+// Package replica implements one serving replica: the iteration loop that
+// asks a scheduler for a batch, prices it with the ground-truth cost model,
+// advances the virtual clock, performs token accounting, and manages the
+// paged KV cache (admission control and recompute-preemption under memory
+// pressure).
+package replica
+
+import (
+	"fmt"
+
+	"qoserve/internal/kvcache"
+	"qoserve/internal/model"
+	"qoserve/internal/request"
+	"qoserve/internal/sched"
+	"qoserve/internal/sim"
+)
+
+// Replica couples a scheduler with hardware. Create with New and feed it
+// arrivals via Submit; it runs itself on the shared sim engine.
+type Replica struct {
+	cfg    model.Config
+	sch    sched.Scheduler
+	kv     *kvcache.Manager
+	engine *sim.Engine
+
+	busy bool
+
+	// Stats.
+	iterations uint64
+	tokens     uint64
+	busyTime   sim.Time
+	kvDeferred uint64
+	rejected   uint64
+	served     []*request.Request
+}
+
+// New builds a replica. The KV cache is sized from the model/hardware
+// configuration.
+func New(engine *sim.Engine, cfg model.Config, sch sched.Scheduler) (*Replica, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	kv, err := kvcache.NewManager(cfg.KVCapacityTokens(), kvcache.DefaultBlockTokens)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{cfg: cfg, sch: sch, kv: kv, engine: engine}, nil
+}
+
+// Scheduler returns the replica's scheduler.
+func (r *Replica) Scheduler() sched.Scheduler { return r.sch }
+
+// Submit hands a request to the replica at the current virtual time.
+// A request whose final context cannot fit the KV cache at all is
+// unserveable on this replica: it is rejected immediately (counted, and
+// left unserved so metrics report it as a violation) rather than letting
+// its admission retry forever.
+func (r *Replica) Submit(req *request.Request) {
+	now := r.engine.Now()
+	r.served = append(r.served, req)
+	if req.TotalTokens() > r.kv.CapacityTokens() {
+		r.rejected++
+		return
+	}
+	r.sch.Add(req, now)
+	if !r.busy {
+		r.startIteration(now)
+	}
+}
+
+// Rejected counts requests refused at submit because their full context
+// exceeds the replica's KV capacity.
+func (r *Replica) Rejected() uint64 { return r.rejected }
+
+// Served returns every request this replica has accepted.
+func (r *Replica) Served() []*request.Request { return r.served }
+
+// Iterations is the number of executed batches.
+func (r *Replica) Iterations() uint64 { return r.iterations }
+
+// TokensProcessed is the total new tokens executed.
+func (r *Replica) TokensProcessed() uint64 { return r.tokens }
+
+// Utilization is the fraction of virtual time the replica spent executing.
+func (r *Replica) Utilization() float64 {
+	if now := r.engine.Now(); now > 0 {
+		return r.busyTime.Seconds() / now.Seconds()
+	}
+	return 0
+}
+
+// KVDeferrals counts prefill admissions deferred by KV pressure.
+func (r *Replica) KVDeferrals() uint64 { return r.kvDeferred }
+
+// KV exposes the cache manager for inspection.
+func (r *Replica) KV() *kvcache.Manager { return r.kv }
+
+// startIteration plans and launches one batch; the replica idles if the
+// scheduler has nothing to run.
+func (r *Replica) startIteration(now sim.Time) {
+	batch := r.sch.PlanBatch(now)
+	planned := !batch.Empty()
+	batch = r.admit(batch)
+	if batch.Empty() {
+		if planned {
+			// KV admission deferred everything; retry shortly rather
+			// than stalling until the next arrival.
+			r.busy = true
+			r.engine.After(10*sim.Millisecond, sim.EventFunc(func(_ *sim.Engine, t sim.Time) {
+				r.startIteration(t)
+			}))
+			return
+		}
+		r.busy = false
+		return
+	}
+	r.busy = true
+	execTime := r.cfg.BatchTime(batch.Shape())
+	if execTime <= 0 {
+		panic(fmt.Sprintf("replica: non-positive batch time %v for %v", execTime, batch))
+	}
+	r.engine.At(now+execTime, sim.EventFunc(func(_ *sim.Engine, end sim.Time) {
+		r.completeIteration(batch, now, end)
+	}))
+}
+
+// admit enforces KV capacity. A request's full final context (prompt plus
+// every decode token) is reserved when its first chunk is admitted, so
+// decode-phase requests can never be starved of cache mid-flight — memory
+// pressure instead manifests as deferred prefill admissions, which the
+// scheduler experiences as queue backlog, mirroring vLLM's watermark
+// admission.
+func (r *Replica) admit(b sched.Batch) sched.Batch {
+	// Decode growth is covered by the reservation made at admission; a
+	// failure here means the reservation invariant was broken.
+	for _, d := range b.Decodes {
+		if !r.kv.Grow(d.ID, d.ContextLen()+1) {
+			panic(fmt.Sprintf("replica: request %d decode outgrew its KV reservation", d.ID))
+		}
+	}
+	// Admit prefill chunks: the first chunk reserves the full final
+	// context. Admission is strictly in batch (priority) order: once a
+	// new request's reservation fails, no new request behind it is
+	// admitted this iteration — otherwise small requests would slip past
+	// a large one indefinitely and starve it of cache. Requests that
+	// already hold a reservation (partials) always proceed.
+	kept := b.Prefill[:0]
+	blocked := false
+	for _, p := range b.Prefill {
+		isNew := p.Req.PrefilledTokens == 0
+		if blocked && isNew {
+			r.kvDeferred++
+			continue
+		}
+		if r.kv.Grow(p.Req.ID, p.Req.TotalTokens()) {
+			kept = append(kept, p)
+		} else {
+			r.kvDeferred++
+			blocked = true
+		}
+	}
+	b.Prefill = kept
+	return b
+}
+
+// completeIteration performs token accounting and schedules the next batch.
+func (r *Replica) completeIteration(b sched.Batch, started, now sim.Time) {
+	r.iterations++
+	r.tokens += uint64(b.NewTokens())
+	r.busyTime += now - started
+
+	for _, p := range b.Prefill {
+		p.Req.RecordPrefill(p.Tokens, now)
+	}
+	for _, d := range b.Decodes {
+		d.RecordDecodeToken(now)
+	}
+	// Release the KV of everything that finished.
+	for _, p := range b.Prefill {
+		if p.Req.Phase() == request.Done {
+			r.kv.Release(p.Req.ID)
+		}
+	}
+	for _, d := range b.Decodes {
+		if d.Phase() == request.Done {
+			r.kv.Release(d.ID)
+		}
+	}
+	r.sch.OnBatchComplete(b, now)
+	r.startIteration(now)
+}
+
+// Kick restarts the iteration loop if the replica is idle but the scheduler
+// has pending work (used after out-of-band state changes, e.g. in tests).
+func (r *Replica) Kick() {
+	if !r.busy && r.sch.Pending() > 0 {
+		r.startIteration(r.engine.Now())
+	}
+}

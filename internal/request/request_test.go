@@ -1,0 +1,313 @@
+package request
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qoserve/internal/qos"
+	"qoserve/internal/sim"
+)
+
+func interactive() qos.Class {
+	return qos.Class{Name: "Q1", Kind: qos.Interactive,
+		SLO: qos.SLO{TTFT: 6 * sim.Second, TBT: 50 * sim.Millisecond}}
+}
+
+func batch() qos.Class {
+	return qos.Class{Name: "Q2", Kind: qos.NonInteractive,
+		SLO: qos.SLO{TTLT: 600 * sim.Second}}
+}
+
+func newReq(prompt, decode int, class qos.Class) *Request {
+	return &Request{ID: 1, App: "test", Class: class,
+		Arrival: sim.Second, PromptTokens: prompt, DecodeTokens: decode}
+}
+
+func TestLifecyclePhases(t *testing.T) {
+	r := newReq(100, 3, interactive())
+	if r.Phase() != Queued {
+		t.Fatalf("initial phase = %v", r.Phase())
+	}
+	r.RecordPrefill(60, 2*sim.Second)
+	if r.Phase() != Prefill {
+		t.Fatalf("after partial prefill phase = %v", r.Phase())
+	}
+	if r.RemainingPrefill() != 40 {
+		t.Fatalf("remaining prefill = %d", r.RemainingPrefill())
+	}
+	r.RecordPrefill(40, 3*sim.Second)
+	if r.Phase() != Decode {
+		t.Fatalf("after full prefill phase = %v", r.Phase())
+	}
+	// Completing prefill emits the first token.
+	if ttft, ok := r.TTFT(); !ok || ttft != 2*sim.Second {
+		t.Fatalf("TTFT = %v ok=%v, want 2s", ttft, ok)
+	}
+	r.RecordDecodeToken(3*sim.Second + 40*sim.Millisecond)
+	r.RecordDecodeToken(3*sim.Second + 80*sim.Millisecond)
+	if r.Phase() != Done {
+		t.Fatalf("after all decodes phase = %v", r.Phase())
+	}
+	if ttlt, ok := r.TTLT(); !ok || ttlt != 2*sim.Second+80*sim.Millisecond {
+		t.Fatalf("TTLT = %v ok=%v", ttlt, ok)
+	}
+	if r.MaxTBT != 40*sim.Millisecond {
+		t.Fatalf("MaxTBT = %v", r.MaxTBT)
+	}
+	if r.TBTViolations != 0 {
+		t.Fatalf("TBT violations = %d", r.TBTViolations)
+	}
+}
+
+func TestSingleTokenRequestFinishesAtPrefill(t *testing.T) {
+	r := newReq(50, 1, batch())
+	r.RecordPrefill(50, 4*sim.Second)
+	if r.Phase() != Done {
+		t.Fatalf("phase = %v, want done", r.Phase())
+	}
+	if ttlt, ok := r.TTLT(); !ok || ttlt != 3*sim.Second {
+		t.Fatalf("TTLT = %v ok=%v", ttlt, ok)
+	}
+}
+
+func TestTBTViolationCounting(t *testing.T) {
+	// Arrival 1s, TTFT SLO 6s: token-2 deadline 7.05s, token-3 7.10s (Eq 2).
+	r := newReq(10, 3, interactive())
+	r.RecordPrefill(10, 2*sim.Second)
+	r.RecordDecodeToken(7*sim.Second + 80*sim.Millisecond) // past 7.05s deadline
+	r.RecordDecodeToken(7*sim.Second + 90*sim.Millisecond) // before 7.10s deadline
+	if r.TBTViolations != 1 {
+		t.Fatalf("TBT violations = %d, want 1", r.TBTViolations)
+	}
+	if r.MaxTBT != 5*sim.Second+80*sim.Millisecond {
+		t.Fatalf("MaxTBT = %v", r.MaxTBT)
+	}
+}
+
+// TestTBTSlackSpending verifies the Eq. 2 anchoring: a request that finished
+// prefill early may emit tokens with gaps far larger than the TBT SLO
+// without violating, as long as each token beats its absolute deadline.
+func TestTBTSlackSpending(t *testing.T) {
+	r := newReq(10, 3, interactive())   // arrival 1s, deadlines 7s/7.05s/7.1s
+	r.RecordPrefill(10, 2*sim.Second)   // 5s of slack accumulated
+	r.RecordDecodeToken(4 * sim.Second) // 2s gap >> 50ms SLO, but before 7.05s
+	r.RecordDecodeToken(6 * sim.Second) // before 7.10s
+	if r.TBTViolations != 0 {
+		t.Fatalf("TBT violations = %d, want 0 (slack spent legally)", r.TBTViolations)
+	}
+	if r.MaxTBT != 2*sim.Second {
+		t.Fatalf("MaxTBT = %v", r.MaxTBT)
+	}
+}
+
+func TestResetPrefill(t *testing.T) {
+	r := newReq(10, 2, batch())
+	r.RecordPrefill(6, 2*sim.Second)
+	r.ResetPrefill()
+	if r.Phase() != Queued || r.PrefilledTokens != 0 {
+		t.Fatalf("after reset: phase %v prefilled %d", r.Phase(), r.PrefilledTokens)
+	}
+	// Reset after decode start panics.
+	r.RecordPrefill(10, 3*sim.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("ResetPrefill after decode did not panic")
+		}
+	}()
+	r.ResetPrefill()
+}
+
+func TestBatchClassCountsNoTBTViolations(t *testing.T) {
+	r := newReq(10, 3, batch())
+	r.RecordPrefill(10, 2*sim.Second)
+	r.RecordDecodeToken(10 * sim.Second)
+	r.RecordDecodeToken(20 * sim.Second)
+	if r.TBTViolations != 0 {
+		t.Fatalf("non-interactive TBT violations = %d, want 0", r.TBTViolations)
+	}
+}
+
+func TestViolatedSLOInteractive(t *testing.T) {
+	r := newReq(10, 2, interactive())
+	// Deadline is arrival(1s) + 6s = 7s.
+	if r.ViolatedSLO(6 * sim.Second) {
+		t.Error("violated before deadline")
+	}
+	if !r.ViolatedSLO(8 * sim.Second) {
+		t.Error("not violated after deadline with no first token")
+	}
+	// First token just in time: never violated afterwards.
+	r.RecordPrefill(10, 7*sim.Second)
+	if r.ViolatedSLO(100 * sim.Second) {
+		t.Error("violated despite on-time first token")
+	}
+	// A late first token is a permanent violation.
+	r2 := newReq(10, 2, interactive())
+	r2.RecordPrefill(10, 8*sim.Second)
+	if !r2.ViolatedSLO(8 * sim.Second) {
+		t.Error("late first token not violated")
+	}
+}
+
+func TestViolatedSLONonInteractive(t *testing.T) {
+	r := newReq(10, 2, batch())
+	// Deadline = 1s + 600s = 601s.
+	if r.ViolatedSLO(600 * sim.Second) {
+		t.Error("violated before TTLT deadline")
+	}
+	if !r.ViolatedSLO(602 * sim.Second) {
+		t.Error("unfinished request past deadline not violated")
+	}
+	r.RecordPrefill(10, 100*sim.Second)
+	r.RecordDecodeToken(101 * sim.Second)
+	if r.ViolatedSLO(9999 * sim.Second) {
+		t.Error("finished-in-time request violated")
+	}
+}
+
+func TestDeadlines(t *testing.T) {
+	r := newReq(10, 5, interactive())
+	if got := r.FirstTokenDeadline(); got != 7*sim.Second {
+		t.Errorf("first-token deadline = %v", got)
+	}
+	if got := r.NextTokenDeadline(); got != 7*sim.Second {
+		t.Errorf("next-token deadline before any tokens = %v", got)
+	}
+	r.RecordPrefill(10, 2*sim.Second) // token 1 out
+	// Next token is #2: 7s + 50ms.
+	if got := r.NextTokenDeadline(); got != 7*sim.Second+50*sim.Millisecond {
+		t.Errorf("next-token deadline = %v", got)
+	}
+}
+
+func TestCompletionDeadlineUsesEstimate(t *testing.T) {
+	r := newReq(10, 100, interactive())
+	r.EstDecodeTokens = 21
+	want := 7*sim.Second + 20*50*sim.Millisecond
+	if got := r.CompletionDeadline(); got != want {
+		t.Errorf("completion deadline = %v, want %v", got, want)
+	}
+	// Estimate below observed progress is clamped up.
+	r.EstDecodeTokens = 1
+	r.RecordPrefill(10, 2*sim.Second)
+	for i := 0; i < 4; i++ {
+		r.RecordDecodeToken(3 * sim.Second)
+	}
+	// 5 tokens emitted; deadline must be for token >= 6.
+	min := 7*sim.Second + 5*50*sim.Millisecond
+	if got := r.CompletionDeadline(); got != min {
+		t.Errorf("clamped completion deadline = %v, want %v", got, min)
+	}
+}
+
+func TestOverPrefillPanics(t *testing.T) {
+	r := newReq(10, 2, batch())
+	defer func() {
+		if recover() == nil {
+			t.Error("over-prefill did not panic")
+		}
+	}()
+	r.RecordPrefill(11, sim.Second)
+}
+
+func TestDecodeBeforePrefillPanics(t *testing.T) {
+	r := newReq(10, 2, batch())
+	defer func() {
+		if recover() == nil {
+			t.Error("decode before prefill did not panic")
+		}
+	}()
+	r.RecordDecodeToken(sim.Second)
+}
+
+func TestValidate(t *testing.T) {
+	good := newReq(10, 2, interactive())
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+	for _, bad := range []*Request{
+		newReq(0, 2, interactive()),
+		newReq(10, 0, interactive()),
+		newReq(10, 2, qos.Class{Name: "broken", Kind: qos.Interactive}),
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("invalid request %+v accepted", bad)
+		}
+	}
+}
+
+// Property: for any prefill chunking and decode pacing, token accounting
+// conserves totals and context length equals prompt+decoded.
+func TestAccountingConservationProperty(t *testing.T) {
+	f := func(chunks []uint8, decode uint8) bool {
+		prompt := 0
+		for _, c := range chunks {
+			prompt += int(c)
+		}
+		if prompt == 0 || decode == 0 {
+			return true // skip degenerate inputs
+		}
+		r := newReq(prompt, int(decode), batch())
+		now := 2 * sim.Second
+		for _, c := range chunks {
+			if c == 0 {
+				continue
+			}
+			now += sim.Millisecond
+			r.RecordPrefill(int(c), now)
+		}
+		for r.Phase() == Decode {
+			now += sim.Millisecond
+			r.RecordDecodeToken(now)
+		}
+		return r.Phase() == Done &&
+			r.PrefilledTokens == prompt &&
+			r.DecodedTokens == int(decode) &&
+			r.ContextLen() == r.TotalTokens()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	for p, want := range map[Phase]string{
+		Queued: "queued", Prefill: "prefill", Decode: "decode", Done: "done",
+		Phase(9): "Phase(9)",
+	} {
+		if p.String() != want {
+			t.Errorf("Phase(%d).String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+// Property: TBT violations are counted exactly for tokens that are both
+// late against Eq. 2 and slower-paced than the TBT SLO, for arbitrary
+// emission schedules.
+func TestTBTCountingProperty(t *testing.T) {
+	f := func(gapsMS []uint16) bool {
+		if len(gapsMS) == 0 || len(gapsMS) > 50 {
+			return true
+		}
+		r := newReq(10, len(gapsMS)+1, interactive())
+		now := 2 * sim.Second
+		r.RecordPrefill(10, now) // token 1
+		want := 0
+		prev := now
+		for i, g := range gapsMS {
+			gap := sim.Time(g%400) * sim.Millisecond
+			now = prev + gap
+			n := i + 2 // 1-based token index being emitted
+			deadline := r.Class.TokenDeadline(r.Arrival, n)
+			if gap > r.Class.SLO.TBT && now > deadline {
+				want++
+			}
+			r.RecordDecodeToken(now)
+			prev = now
+		}
+		return r.TBTViolations == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

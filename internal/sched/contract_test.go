@@ -1,0 +1,290 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"qoserve/internal/model"
+	"qoserve/internal/predictor"
+	"qoserve/internal/qos"
+	"qoserve/internal/request"
+	"qoserve/internal/sim"
+)
+
+// contractFactories enumerates every baseline scheduler in this package for
+// the randomized contract checker (the QoServe core scheduler runs the same
+// harness from its own package via replica tests).
+func contractFactories() map[string]func() Scheduler {
+	mc := model.Llama3_8B_A100_TP1()
+	pred := predictor.Oracle{Config: mc}
+	return map[string]func() Scheduler{
+		"sarathi-fcfs": func() Scheduler { return NewSarathi(FCFS, 256) },
+		"sarathi-sjf":  func() Scheduler { return NewSarathi(SJF, 256) },
+		"sarathi-srpf": func() Scheduler { return NewSarathi(SRPF, 256) },
+		"sarathi-edf":  func() Scheduler { return NewSarathi(EDF, 256) },
+		"medha":        func() Scheduler { return NewMedha(pred, 50*sim.Millisecond, 4096) },
+		"vllm":         func() Scheduler { return NewVLLM(4096) },
+		"slos-serve": func() Scheduler {
+			return NewSLOsServe(256, mc.KVCapacityTokens(), 5000, 100*sim.Millisecond)
+		},
+	}
+}
+
+// TestSchedulerContract subjects every scheduler to randomized workloads
+// and validates the sched.Scheduler contract each iteration:
+//
+//  1. prefill allocations reference only added, unfinished requests, at
+//     most once per batch, never exceeding remaining prompt tokens;
+//  2. decode entries are genuinely in decode phase and unique;
+//  3. with pending work the scheduler eventually produces non-empty
+//     batches (no livelock), and all requests drain to Done;
+//  4. Pending() matches the ground truth count.
+func TestSchedulerContract(t *testing.T) {
+	for name, factory := range contractFactories() {
+		name, factory := name, factory
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			for trial := 0; trial < 5; trial++ {
+				runContractTrial(t, factory(), rng, trial)
+			}
+		})
+	}
+}
+
+func runContractTrial(t *testing.T, s Scheduler, rng *rand.Rand, trial int) {
+	t.Helper()
+	classes := []qos.Class{
+		{Name: "Q1", Kind: qos.Interactive,
+			SLO: qos.SLO{TTFT: 6 * sim.Second, TBT: 50 * sim.Millisecond}},
+		{Name: "Q2", Kind: qos.NonInteractive, SLO: qos.SLO{TTLT: 600 * sim.Second}},
+	}
+	n := 10 + rng.Intn(30)
+	reqs := make([]*request.Request, n)
+	for i := range reqs {
+		reqs[i] = &request.Request{
+			ID:           uint64(i + 1),
+			App:          "app",
+			Class:        classes[rng.Intn(len(classes))],
+			Arrival:      sim.Time(rng.Intn(2000)) * sim.Millisecond,
+			PromptTokens: 1 + rng.Intn(3000),
+			DecodeTokens: 1 + rng.Intn(30),
+		}
+	}
+
+	live := map[uint64]*request.Request{}
+	now := sim.Time(0)
+	idx := 0
+	emptyStreak := 0
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			t.Fatalf("trial %d: no drain after %d iterations (pending %d)", trial, iter, s.Pending())
+		}
+		for idx < n && reqs[idx].Arrival <= now {
+			s.Add(reqs[idx], now)
+			live[reqs[idx].ID] = reqs[idx]
+			idx++
+		}
+		if len(live) == 0 && idx >= n {
+			break
+		}
+
+		b := s.PlanBatch(now)
+		validateBatch(t, trial, iter, b, live)
+
+		if b.Empty() {
+			emptyStreak++
+			if emptyStreak > 10 && len(live) > 0 && idx >= n {
+				t.Fatalf("trial %d: scheduler idle with %d live requests", trial, len(live))
+			}
+			if idx < n {
+				now = reqs[idx].Arrival
+			} else {
+				now += 10 * sim.Millisecond
+			}
+			continue
+		}
+		emptyStreak = 0
+
+		now += sim.Time(10+rng.Intn(40)) * sim.Millisecond
+		for _, p := range b.Prefill {
+			p.Req.RecordPrefill(p.Tokens, now)
+		}
+		for _, d := range b.Decodes {
+			d.RecordDecodeToken(now)
+		}
+		s.OnBatchComplete(b, now)
+		for id, r := range live {
+			if r.Phase() == request.Done {
+				delete(live, id)
+			}
+		}
+		if got := s.Pending(); got != len(live)+(n-idx)-countNotAdded(reqs[idx:]) {
+			// Pending counts added-but-unfinished only.
+			if got != len(live) {
+				t.Fatalf("trial %d iter %d: Pending()=%d, live=%d", trial, iter, got, len(live))
+			}
+		}
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("trial %d: Pending()=%d after drain", trial, s.Pending())
+	}
+}
+
+func countNotAdded(rest []*request.Request) int { return len(rest) }
+
+func validateBatch(t *testing.T, trial, iter int, b Batch, live map[uint64]*request.Request) {
+	t.Helper()
+	seen := map[uint64]bool{}
+	for _, p := range b.Prefill {
+		if p.Req == nil {
+			t.Fatalf("trial %d iter %d: nil prefill request", trial, iter)
+		}
+		if _, ok := live[p.Req.ID]; !ok {
+			t.Fatalf("trial %d iter %d: prefill for unknown/finished request %d", trial, iter, p.Req.ID)
+		}
+		if seen[p.Req.ID] {
+			t.Fatalf("trial %d iter %d: request %d appears twice", trial, iter, p.Req.ID)
+		}
+		seen[p.Req.ID] = true
+		if p.Tokens <= 0 || p.Tokens > p.Req.RemainingPrefill() {
+			t.Fatalf("trial %d iter %d: alloc %d tokens with %d remaining (req %d)",
+				trial, iter, p.Tokens, p.Req.RemainingPrefill(), p.Req.ID)
+		}
+	}
+	for _, d := range b.Decodes {
+		if _, ok := live[d.ID]; !ok {
+			t.Fatalf("trial %d iter %d: decode for unknown/finished request %d", trial, iter, d.ID)
+		}
+		if seen[d.ID] {
+			t.Fatalf("trial %d iter %d: request %d in both roles", trial, iter, d.ID)
+		}
+		seen[d.ID] = true
+		if d.Phase() != request.Decode {
+			t.Fatalf("trial %d iter %d: decode entry in phase %v", trial, iter, d.Phase())
+		}
+	}
+}
+
+func TestVLLMStallsDecodesDuringPrefill(t *testing.T) {
+	v := NewVLLM(4096)
+	// One request decoding, one prompt waiting: vLLM must run the prompt
+	// whole, without the decode.
+	d := req(1, 0, 64, 10, batchClass())
+	v.Add(d, 0)
+	b := v.PlanBatch(0)
+	if len(b.Prefill) != 1 || b.Prefill[0].Tokens != 64 {
+		t.Fatalf("first batch = %v", b)
+	}
+	d.RecordPrefill(64, 40*sim.Millisecond)
+	v.OnBatchComplete(b, 40*sim.Millisecond)
+
+	p := req(2, 40*sim.Millisecond, 3000, 2, batchClass())
+	v.Add(p, 40*sim.Millisecond)
+	b = v.PlanBatch(40 * sim.Millisecond)
+	if len(b.Decodes) != 0 {
+		t.Error("vLLM included decodes in a prefill iteration")
+	}
+	if len(b.Prefill) != 1 || b.Prefill[0].Tokens != 3000 {
+		t.Fatalf("prefill batch = %v, want whole 3000-token prompt", b)
+	}
+}
+
+func TestVLLMBatchesWholePrompts(t *testing.T) {
+	v := NewVLLM(1000)
+	a := req(1, 0, 600, 2, batchClass())
+	b2 := req(2, 0, 600, 2, batchClass())
+	v.Add(a, 0)
+	v.Add(b2, 0)
+	b := v.PlanBatch(0)
+	// 600+600 > 1000: only the first fits; prompts are never split.
+	if len(b.Prefill) != 1 || b.Prefill[0].Req != a || b.Prefill[0].Tokens != 600 {
+		t.Fatalf("batch = %v", b)
+	}
+	// An oversized prompt still runs whole, alone.
+	v2 := NewVLLM(1000)
+	huge := req(3, 0, 5000, 2, batchClass())
+	v2.Add(huge, 0)
+	b = v2.PlanBatch(0)
+	if len(b.Prefill) != 1 || b.Prefill[0].Tokens != 5000 {
+		t.Fatalf("oversized prompt batch = %v", b)
+	}
+}
+
+func TestSLOsServeAdmissionRespectsKV(t *testing.T) {
+	// Capacity for ~2 of the 3 requests (each ~1030 tokens -> 65 blocks;
+	// capacity 130 blocks = 2080 tokens).
+	s := NewSLOsServe(256, 2080, 5000, sim.Millisecond)
+	for i := 1; i <= 3; i++ {
+		s.Add(req(uint64(i), 0, 1000, 30, interactiveClass()), 0)
+	}
+	s.PlanBatch(sim.Millisecond)
+	admitted := s.inner.Pending()
+	if admitted != 2 {
+		t.Fatalf("admitted %d requests into 2-request capacity", admitted)
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", s.Pending())
+	}
+	rounds, ops, _ := s.PlanningCost()
+	if rounds != 1 || ops == 0 {
+		t.Fatalf("planning cost rounds=%d ops=%d", rounds, ops)
+	}
+}
+
+func TestSLOsServeValuesDeadlines(t *testing.T) {
+	// Capacity for exactly one: the DP must pick the request that can
+	// still meet its deadline over the doomed one.
+	s := NewSLOsServe(256, 1200, 5000, sim.Millisecond)
+	doomed := req(1, 0, 1000, 2, interactiveClass())
+	now := 10 * sim.Second // past doomed's 6s TTFT
+	feasible := req(2, now, 1000, 2, interactiveClass())
+	s.Add(doomed, now)
+	s.Add(feasible, now)
+	s.PlanBatch(now)
+	b := s.PlanBatch(now)
+	if len(b.Prefill) == 0 || b.Prefill[0].Req != feasible {
+		t.Fatalf("DP admitted %v first, want the feasible request", b.Prefill)
+	}
+}
+
+func TestSLOsServeName(t *testing.T) {
+	names := map[string]Scheduler{
+		"SLOs-Serve": NewSLOsServe(0, 1000, 0, 0),
+		"vLLM":       NewVLLM(0),
+	}
+	for want, s := range names {
+		if s.Name() != want {
+			t.Errorf("Name() = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestRateLimitedRejectsAtThreshold(t *testing.T) {
+	rl := NewRateLimited(NewSarathi(FCFS, 256), 2)
+	a := req(1, 0, 100, 2, batchClass())
+	b := req(2, 0, 100, 2, batchClass())
+	c := req(3, 0, 100, 2, batchClass())
+	rl.Add(a, 0)
+	rl.Add(b, 0)
+	rl.Add(c, 0) // over threshold: rejected
+	if rl.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", rl.Pending())
+	}
+	if got := rl.Rejected(); len(got) != 1 || got[0] != c {
+		t.Fatalf("rejected = %v", got)
+	}
+	if rl.Name() != "Sarathi-FCFS+RateLimit" {
+		t.Errorf("name = %q", rl.Name())
+	}
+	// The rejected request never progresses.
+	batch := rl.PlanBatch(0)
+	for _, p := range batch.Prefill {
+		if p.Req == c {
+			t.Fatal("rejected request scheduled")
+		}
+	}
+	// Default threshold applied for nonsense values.
+	if NewRateLimited(NewSarathi(FCFS, 256), -1).MaxQueue != 64 {
+		t.Error("default threshold not applied")
+	}
+}

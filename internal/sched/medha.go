@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"qoserve/internal/predictor"
+	"qoserve/internal/request"
+	"qoserve/internal/sim"
+)
+
+// Medha implements the adaptive-chunking policy of Medha [6] as described
+// in the paper's §4.5.1: serve prefills FCFS, choosing each chunk so the
+// predicted iteration latency stays within a fixed TBT target. Because
+// attention cost grows with the prefill's processed context, chunks start
+// large and progressively shrink across a long prompt — but the policy is
+// blind to slack accumulated by the current batch, which is what QoServe
+// exploits.
+type Medha struct {
+	pred     predictor.SafePredictor
+	tbt      sim.Time
+	maxChunk int
+	inner    Sarathi // reuse FCFS queue/decode bookkeeping with a huge budget
+}
+
+// NewMedha returns a Medha scheduler targeting the given TBT per iteration.
+func NewMedha(pred predictor.SafePredictor, tbt sim.Time, maxChunk int) *Medha {
+	if maxChunk <= 0 {
+		maxChunk = 4096
+	}
+	return &Medha{pred: pred, tbt: tbt, maxChunk: maxChunk, inner: *NewSarathi(FCFS, 1)}
+}
+
+// Name identifies the scheduler.
+func (m *Medha) Name() string { return "Medha" }
+
+// Add enqueues an arrival.
+func (m *Medha) Add(r *request.Request, now sim.Time) { m.inner.Add(r, now) }
+
+// PlanBatch picks the FCFS-first prefill request and sizes its chunk so the
+// predicted batch latency fits the fixed TBT target.
+func (m *Medha) PlanBatch(now sim.Time) Batch {
+	b := Batch{Decodes: m.inner.decodes}
+	front := m.inner.queue.Front()
+	if front == nil {
+		return b
+	}
+	ctx := make([]int, len(b.Decodes))
+	for i, r := range b.Decodes {
+		ctx[i] = r.ContextLen()
+	}
+	chunk := predictor.ChunkBudget(m.pred, ctx, front.PrefilledTokens, m.tbt, m.maxChunk)
+	if rem := front.RemainingPrefill(); chunk > rem {
+		chunk = rem
+	}
+	if chunk <= 0 {
+		// Even the smallest chunk would blow the TBT target; take a
+		// minimal step to guarantee progress, as Medha's floor chunk does.
+		chunk = min(32, front.RemainingPrefill())
+	}
+	b.Prefill = append(b.Prefill, PrefillAlloc{Req: front, Tokens: chunk})
+	return b
+}
+
+// OnBatchComplete delegates queue bookkeeping.
+func (m *Medha) OnBatchComplete(b Batch, now sim.Time) { m.inner.OnBatchComplete(b, now) }
+
+// Pending is the number of unfinished requests.
+func (m *Medha) Pending() int { return m.inner.Pending() }

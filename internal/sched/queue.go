@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"sort"
+
+	"qoserve/internal/request"
+)
+
+// Queue is a sorted prefill queue: ascending by a float64 key, ties broken
+// by request ID for determinism. Keys are captured at insertion time;
+// re-prioritizing a request means removing and re-inserting it. The
+// sorted-slice representation keeps the whole queue traversable in priority
+// order, which QoServe's relegation pass needs.
+type Queue struct {
+	keys  []float64
+	items []*request.Request
+}
+
+// Len is the queue size.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Insert adds r with the given priority key (lower = served earlier).
+func (q *Queue) Insert(r *request.Request, key float64) {
+	i := sort.Search(len(q.items), func(i int) bool {
+		if q.keys[i] != key {
+			return q.keys[i] > key
+		}
+		return q.items[i].ID > r.ID
+	})
+	q.keys = append(q.keys, 0)
+	q.items = append(q.items, nil)
+	copy(q.keys[i+1:], q.keys[i:])
+	copy(q.items[i+1:], q.items[i:])
+	q.keys[i] = key
+	q.items[i] = r
+}
+
+// At returns the i-th request in priority order.
+func (q *Queue) At(i int) *request.Request { return q.items[i] }
+
+// KeyAt returns the i-th priority key.
+func (q *Queue) KeyAt(i int) float64 { return q.keys[i] }
+
+// Front returns the highest-priority request, or nil when empty.
+func (q *Queue) Front() *request.Request {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// RemoveAt deletes the i-th entry.
+func (q *Queue) RemoveAt(i int) {
+	q.keys = append(q.keys[:i], q.keys[i+1:]...)
+	q.items = append(q.items[:i], q.items[i+1:]...)
+}
+
+// Remove deletes the given request, reporting whether it was present.
+func (q *Queue) Remove(r *request.Request) bool {
+	for i, it := range q.items {
+		if it == r {
+			q.RemoveAt(i)
+			return true
+		}
+	}
+	return false
+}
+
+// PopFront removes and returns the highest-priority request, or nil.
+func (q *Queue) PopFront() *request.Request {
+	if len(q.items) == 0 {
+		return nil
+	}
+	r := q.items[0]
+	q.RemoveAt(0)
+	return r
+}
+
+// Items exposes the underlying priority-ordered slice; callers must not
+// mutate it.
+func (q *Queue) Items() []*request.Request { return q.items }

@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"qoserve/internal/request"
+	"qoserve/internal/sim"
+)
+
+// RateLimited wraps a scheduler with the §2.2 "rate limiting" overload
+// mechanism the paper criticises: when the queue of waiting-for-prefill
+// requests exceeds a threshold, new arrivals are rejected outright —
+// regardless of their importance or how close they are to their deadlines.
+// Rejected requests never execute; they surface in metrics as violated,
+// never-completed requests, which is exactly the poor user experience the
+// paper contrasts with eager relegation's graceful degradation.
+type RateLimited struct {
+	Inner Scheduler
+	// MaxQueue is the admission threshold on Inner's pending count.
+	MaxQueue int
+
+	rejected []*request.Request
+}
+
+// NewRateLimited wraps inner with a queue-threshold admission limiter.
+func NewRateLimited(inner Scheduler, maxQueue int) *RateLimited {
+	if maxQueue <= 0 {
+		maxQueue = 64
+	}
+	return &RateLimited{Inner: inner, MaxQueue: maxQueue}
+}
+
+// Name identifies the scheduler.
+func (r *RateLimited) Name() string { return r.Inner.Name() + "+RateLimit" }
+
+// Add admits the request unless the system is at its queue threshold.
+func (r *RateLimited) Add(req *request.Request, now sim.Time) {
+	if r.Inner.Pending() >= r.MaxQueue {
+		r.rejected = append(r.rejected, req)
+		return
+	}
+	r.Inner.Add(req, now)
+}
+
+// PlanBatch delegates to the wrapped scheduler.
+func (r *RateLimited) PlanBatch(now sim.Time) Batch { return r.Inner.PlanBatch(now) }
+
+// OnBatchComplete delegates to the wrapped scheduler.
+func (r *RateLimited) OnBatchComplete(b Batch, now sim.Time) { r.Inner.OnBatchComplete(b, now) }
+
+// Pending counts only admitted, unfinished requests; rejected requests are
+// gone from the system's perspective.
+func (r *RateLimited) Pending() int { return r.Inner.Pending() }
+
+// Rejected returns the requests turned away so far.
+func (r *RateLimited) Rejected() []*request.Request { return r.rejected }

@@ -1,0 +1,95 @@
+// Package sched defines the scheduling framework shared by every policy in
+// this repository — the batch plan a scheduler hands to a replica, the
+// Scheduler interface, a priority queue for prefill requests — and
+// implements the baseline schedulers the paper compares against:
+// Sarathi-style fixed-chunk serving under FCFS / SJF / SRPF / EDF ordering,
+// and Medha's adaptive chunking (§4.5.1). The paper's own scheduler lives
+// in package core.
+package sched
+
+import (
+	"fmt"
+
+	"qoserve/internal/model"
+	"qoserve/internal/request"
+	"qoserve/internal/sim"
+)
+
+// PrefillAlloc assigns part of one iteration's token budget to the prompt of
+// a request.
+type PrefillAlloc struct {
+	Req    *request.Request
+	Tokens int
+}
+
+// Batch is one iteration's work: at most one chunk per prefill request plus
+// every request in decode phase (decodes are never preempted).
+type Batch struct {
+	Prefill []PrefillAlloc
+	Decodes []*request.Request
+}
+
+// Empty reports whether the batch contains no work.
+func (b Batch) Empty() bool { return len(b.Prefill) == 0 && len(b.Decodes) == 0 }
+
+// NewTokens is the number of tokens this batch processes.
+func (b Batch) NewTokens() int {
+	n := len(b.Decodes)
+	for _, p := range b.Prefill {
+		n += p.Tokens
+	}
+	return n
+}
+
+// PrefillTokens is the prompt-token portion of the batch.
+func (b Batch) PrefillTokens() int {
+	n := 0
+	for _, p := range b.Prefill {
+		n += p.Tokens
+	}
+	return n
+}
+
+// Shape converts the batch to the cost model's input.
+func (b Batch) Shape() model.BatchShape {
+	s := model.BatchShape{}
+	if len(b.Prefill) > 0 {
+		s.Prefill = make([]model.ChunkShape, len(b.Prefill))
+		for i, p := range b.Prefill {
+			s.Prefill[i] = model.ChunkShape{Tokens: p.Tokens, CtxStart: p.Req.PrefilledTokens}
+		}
+	}
+	if len(b.Decodes) > 0 {
+		s.DecodeCtx = make([]int, len(b.Decodes))
+		for i, r := range b.Decodes {
+			s.DecodeCtx[i] = r.ContextLen()
+		}
+	}
+	return s
+}
+
+// String summarizes the batch.
+func (b Batch) String() string {
+	return fmt.Sprintf("Batch{prefill: %d reqs/%d tokens, decodes: %d}",
+		len(b.Prefill), b.PrefillTokens(), len(b.Decodes))
+}
+
+// Scheduler is the policy a replica consults every iteration.
+//
+// Contract: the replica calls Add on arrival, PlanBatch when it is ready to
+// execute an iteration, and OnBatchComplete after it has performed token
+// accounting (request phases observed in OnBatchComplete reflect the
+// completed iteration). A scheduler must only plan prefill allocations for
+// requests previously Added and not yet Done. Chunked-prefill schedulers
+// (Sarathi, Medha, QoServe) include every decode-phase request in every
+// batch so decodes are never stalled; schedulers are permitted to omit
+// decodes from a batch (vanilla vLLM's prefill-prioritized iterations do)
+// at the cost of inflated TBT.
+type Scheduler interface {
+	Name() string
+	Add(r *request.Request, now sim.Time)
+	PlanBatch(now sim.Time) Batch
+	OnBatchComplete(b Batch, now sim.Time)
+	// Pending is the number of requests added but not finished.
+	Pending() int
+}

@@ -1,0 +1,359 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qoserve/internal/model"
+	"qoserve/internal/predictor"
+	"qoserve/internal/qos"
+	"qoserve/internal/request"
+	"qoserve/internal/sim"
+)
+
+func interactiveClass() qos.Class {
+	return qos.Class{Name: "Q1", Kind: qos.Interactive,
+		SLO: qos.SLO{TTFT: 6 * sim.Second, TBT: 50 * sim.Millisecond}}
+}
+
+func batchClass() qos.Class {
+	return qos.Class{Name: "Q3", Kind: qos.NonInteractive,
+		SLO: qos.SLO{TTLT: 1800 * sim.Second}}
+}
+
+func req(id uint64, arrival sim.Time, prompt, decode int, class qos.Class) *request.Request {
+	return &request.Request{ID: id, App: class.Name, Class: class,
+		Arrival: arrival, PromptTokens: prompt, DecodeTokens: decode}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	a := req(1, 0, 10, 1, batchClass())
+	b := req(2, 0, 10, 1, batchClass())
+	c := req(3, 0, 10, 1, batchClass())
+	q.Insert(b, 2)
+	q.Insert(a, 1)
+	q.Insert(c, 3)
+	if q.Len() != 3 || q.Front() != a {
+		t.Fatalf("front = %v", q.Front())
+	}
+	if q.PopFront() != a || q.PopFront() != b || q.PopFront() != c {
+		t.Fatal("pop order wrong")
+	}
+	if q.PopFront() != nil || q.Front() != nil {
+		t.Fatal("empty queue not nil")
+	}
+}
+
+func TestQueueTieBreakByID(t *testing.T) {
+	var q Queue
+	b := req(2, 0, 10, 1, batchClass())
+	a := req(1, 0, 10, 1, batchClass())
+	q.Insert(b, 5)
+	q.Insert(a, 5)
+	if q.At(0) != a || q.At(1) != b {
+		t.Fatal("equal keys not ordered by ID")
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	var q Queue
+	a := req(1, 0, 10, 1, batchClass())
+	b := req(2, 0, 10, 1, batchClass())
+	q.Insert(a, 1)
+	q.Insert(b, 2)
+	if !q.Remove(a) {
+		t.Fatal("Remove existing returned false")
+	}
+	if q.Remove(a) {
+		t.Fatal("Remove missing returned true")
+	}
+	if q.Len() != 1 || q.Front() != b {
+		t.Fatal("queue state after remove wrong")
+	}
+}
+
+// Property: any insertion sequence yields a non-decreasing key sequence.
+func TestQueueSortedProperty(t *testing.T) {
+	f := func(keys []float64) bool {
+		var q Queue
+		for i, k := range keys {
+			q.Insert(req(uint64(i+1), 0, 10, 1, batchClass()), k)
+		}
+		for i := 1; i < q.Len(); i++ {
+			if q.KeyAt(i) < q.KeyAt(i-1) {
+				return false
+			}
+		}
+		return q.Len() == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{
+		FCFS: "FCFS", SJF: "SJF", SRPF: "SRPF", EDF: "EDF", Policy(8): "Policy(8)",
+	} {
+		if p.String() != want {
+			t.Errorf("Policy(%d).String() = %q", int(p), p.String())
+		}
+	}
+}
+
+func TestSarathiFCFSOrder(t *testing.T) {
+	s := NewSarathi(FCFS, 256)
+	early := req(1, sim.Second, 1000, 2, batchClass())
+	late := req(2, 2*sim.Second, 10, 2, batchClass())
+	s.Add(late, 2*sim.Second)
+	s.Add(early, 2*sim.Second)
+	b := s.PlanBatch(2 * sim.Second)
+	if len(b.Prefill) == 0 || b.Prefill[0].Req != early {
+		t.Fatalf("FCFS served %v first", b.Prefill)
+	}
+	if b.Prefill[0].Tokens != 256 {
+		t.Fatalf("chunk = %d, want 256", b.Prefill[0].Tokens)
+	}
+}
+
+func TestSarathiPacksMultiplePrefills(t *testing.T) {
+	s := NewSarathi(FCFS, 256)
+	a := req(1, 0, 100, 2, batchClass())
+	b2 := req(2, sim.Millisecond, 500, 2, batchClass())
+	s.Add(a, sim.Millisecond)
+	s.Add(b2, sim.Millisecond)
+	b := s.PlanBatch(sim.Millisecond)
+	if len(b.Prefill) != 2 {
+		t.Fatalf("packed %d prefills, want 2", len(b.Prefill))
+	}
+	if b.Prefill[0].Tokens != 100 || b.Prefill[1].Tokens != 156 {
+		t.Fatalf("allocs = %d,%d want 100,156", b.Prefill[0].Tokens, b.Prefill[1].Tokens)
+	}
+	if b.NewTokens() != 256 {
+		t.Fatalf("batch tokens = %d", b.NewTokens())
+	}
+}
+
+func TestSarathiBudgetSharedWithDecodes(t *testing.T) {
+	s := NewSarathi(FCFS, 256)
+	// Put one request into decode phase.
+	d := req(1, 0, 64, 5, batchClass())
+	s.Add(d, 0)
+	b := s.PlanBatch(0)
+	d.RecordPrefill(64, 40*sim.Millisecond)
+	s.OnBatchComplete(b, 40*sim.Millisecond)
+	if s.DecodeLen() != 1 {
+		t.Fatalf("decode len = %d", s.DecodeLen())
+	}
+	// New prefill arrives; budget should be 256-1 decode = 255.
+	p := req(2, 50*sim.Millisecond, 1000, 2, batchClass())
+	s.Add(p, 50*sim.Millisecond)
+	b = s.PlanBatch(50 * sim.Millisecond)
+	if len(b.Decodes) != 1 {
+		t.Fatalf("decodes in batch = %d", len(b.Decodes))
+	}
+	if len(b.Prefill) != 1 || b.Prefill[0].Tokens != 255 {
+		t.Fatalf("prefill alloc = %+v, want 255 tokens", b.Prefill)
+	}
+}
+
+func TestSarathiEDFOrder(t *testing.T) {
+	s := NewSarathi(EDF, 256)
+	// Interactive deadline = arrival+6s; batch deadline = arrival+1800s.
+	urgent := req(1, 10*sim.Second, 500, 2, interactiveClass())
+	relaxed := req(2, sim.Second, 500, 2, batchClass())
+	s.Add(relaxed, 10*sim.Second)
+	s.Add(urgent, 10*sim.Second)
+	b := s.PlanBatch(10 * sim.Second)
+	if b.Prefill[0].Req != urgent {
+		t.Fatal("EDF did not pick the earliest deadline")
+	}
+}
+
+func TestSarathiSRPFReordersOnProgress(t *testing.T) {
+	s := NewSarathi(SRPF, 100)
+	big := req(1, 0, 150, 2, batchClass())
+	s.Add(big, 0)
+	b := s.PlanBatch(0)
+	if b.Prefill[0].Req != big || b.Prefill[0].Tokens != 100 {
+		t.Fatalf("first alloc = %+v", b.Prefill)
+	}
+	big.RecordPrefill(100, 40*sim.Millisecond)
+	s.OnBatchComplete(b, 40*sim.Millisecond)
+
+	// A fresh request with 120 remaining: big now has only 50 remaining,
+	// so SRPF keeps big first.
+	mid := req(2, 40*sim.Millisecond, 120, 2, batchClass())
+	s.Add(mid, 40*sim.Millisecond)
+	b = s.PlanBatch(40 * sim.Millisecond)
+	if b.Prefill[0].Req != big {
+		t.Fatal("SRPF did not prefer the smaller remaining prefill")
+	}
+}
+
+func TestSarathiSJFUsesEstimate(t *testing.T) {
+	s := NewSarathi(SJF, 256)
+	// Train history: app "short" decodes 10 tokens, app "long" 500.
+	for i := 0; i < 20; i++ {
+		s.est.Observe("short", 10)
+		s.est.Observe("long", 500)
+	}
+	a := req(1, 0, 300, 10, batchClass())
+	a.App = "long"
+	b2 := req(2, 0, 300, 10, batchClass())
+	b2.App = "short"
+	s.Add(a, 0)
+	s.Add(b2, 0)
+	b := s.PlanBatch(0)
+	if b.Prefill[0].Req != b2 {
+		t.Fatal("SJF did not prefer the shorter estimated job")
+	}
+}
+
+func TestSarathiLifecycleAccounting(t *testing.T) {
+	s := NewSarathi(FCFS, 256)
+	r := req(1, 0, 100, 3, batchClass())
+	s.Add(r, 0)
+	if s.Pending() != 1 || s.QueueLen() != 1 {
+		t.Fatal("add not reflected")
+	}
+	now := sim.Time(0)
+	for s.Pending() > 0 {
+		b := s.PlanBatch(now)
+		if b.Empty() {
+			t.Fatal("empty batch with pending work")
+		}
+		now += 40 * sim.Millisecond
+		for _, p := range b.Prefill {
+			p.Req.RecordPrefill(p.Tokens, now)
+		}
+		for _, d := range b.Decodes {
+			d.RecordDecodeToken(now)
+		}
+		s.OnBatchComplete(b, now)
+	}
+	if r.Phase() != request.Done {
+		t.Fatalf("request phase = %v", r.Phase())
+	}
+	if s.QueueLen() != 0 || s.DecodeLen() != 0 {
+		t.Fatal("queues not drained")
+	}
+}
+
+func TestBatchShape(t *testing.T) {
+	a := req(1, 0, 100, 2, batchClass())
+	a.RecordPrefill(30, sim.Millisecond)
+	d := req(2, 0, 50, 5, batchClass())
+	d.RecordPrefill(50, sim.Millisecond)
+	d.RecordDecodeToken(2 * sim.Millisecond)
+	b := Batch{
+		Prefill: []PrefillAlloc{{Req: a, Tokens: 40}},
+		Decodes: []*request.Request{d},
+	}
+	shape := b.Shape()
+	want := model.BatchShape{
+		Prefill:   []model.ChunkShape{{Tokens: 40, CtxStart: 30}},
+		DecodeCtx: []int{52},
+	}
+	if len(shape.Prefill) != 1 || shape.Prefill[0] != want.Prefill[0] {
+		t.Errorf("shape prefill = %+v", shape.Prefill)
+	}
+	if len(shape.DecodeCtx) != 1 || shape.DecodeCtx[0] != 52 {
+		t.Errorf("shape decode ctx = %v", shape.DecodeCtx)
+	}
+	if b.Empty() {
+		t.Error("non-empty batch reported empty")
+	}
+	if (Batch{}).Empty() == false {
+		t.Error("empty batch not reported empty")
+	}
+	if b.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestMedhaShrinksChunksAcrossLongPrefill(t *testing.T) {
+	mc := model.Llama3_8B_A100_TP1()
+	pred := predictor.Oracle{Config: mc}
+	m := NewMedha(pred, 150*sim.Millisecond, 4096)
+	// One giant prompt: as prefill progresses, attention over the
+	// processed context grows, so the TBT-fitting chunk shrinks.
+	r := req(1, 0, 60000, 5, batchClass())
+	r.PromptTokens = 60000
+	m.Add(r, 0)
+	var chunks []int
+	now := sim.Time(0)
+	for i := 0; i < 40 && r.Phase() != request.Decode && r.Phase() != request.Done; i++ {
+		b := m.PlanBatch(now)
+		if len(b.Prefill) != 1 {
+			t.Fatalf("iteration %d: %d prefills", i, len(b.Prefill))
+		}
+		chunks = append(chunks, b.Prefill[0].Tokens)
+		now += mc.BatchTime(b.Shape())
+		for _, p := range b.Prefill {
+			p.Req.RecordPrefill(p.Tokens, now)
+		}
+		m.OnBatchComplete(b, now)
+	}
+	if len(chunks) < 5 {
+		t.Fatalf("only %d chunks planned", len(chunks))
+	}
+	if chunks[len(chunks)-1] >= chunks[0] {
+		t.Errorf("chunks did not shrink: first %d, last %d", chunks[0], chunks[len(chunks)-1])
+	}
+	for i, c := range chunks {
+		if c <= 0 {
+			t.Fatalf("chunk %d = %d", i, c)
+		}
+	}
+}
+
+func TestMedhaFloorsChunkForProgress(t *testing.T) {
+	mc := model.Llama3_8B_A100_TP1()
+	pred := predictor.Oracle{Config: mc}
+	// TBT target below even the iteration overhead: Medha must still move.
+	m := NewMedha(pred, sim.Millisecond, 4096)
+	r := req(1, 0, 100, 2, batchClass())
+	m.Add(r, 0)
+	b := m.PlanBatch(0)
+	if len(b.Prefill) != 1 || b.Prefill[0].Tokens <= 0 {
+		t.Fatalf("no progress under tight TBT: %+v", b.Prefill)
+	}
+}
+
+func TestSarathiRandomizedConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		s := NewSarathi(Policy(rng.Intn(4)), 128+rng.Intn(512))
+		var reqs []*request.Request
+		for i := 0; i < 30; i++ {
+			reqs = append(reqs, req(uint64(i+1), sim.Time(rng.Intn(100))*sim.Millisecond,
+				1+rng.Intn(2000), 1+rng.Intn(20), batchClass()))
+		}
+		for _, r := range reqs {
+			s.Add(r, r.Arrival)
+		}
+		now := 100 * sim.Millisecond
+		for iter := 0; s.Pending() > 0; iter++ {
+			if iter > 100000 {
+				t.Fatal("scheduler did not drain")
+			}
+			b := s.PlanBatch(now)
+			now += 30 * sim.Millisecond
+			for _, p := range b.Prefill {
+				p.Req.RecordPrefill(p.Tokens, now)
+			}
+			for _, d := range b.Decodes {
+				d.RecordDecodeToken(now)
+			}
+			s.OnBatchComplete(b, now)
+		}
+		for _, r := range reqs {
+			if r.Phase() != request.Done {
+				t.Fatalf("request %d not done", r.ID)
+			}
+		}
+	}
+}

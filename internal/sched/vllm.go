@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"qoserve/internal/request"
+	"qoserve/internal/sim"
+)
+
+// VLLM is the vanilla (pre-chunked-prefill) vLLM scheduler: iterations are
+// either prefill-only — every waiting prompt is processed whole, batched up
+// to a token limit — or decode-only. Prefills take priority ("prefill
+// prioritizing"), which maximizes admission throughput but stalls ongoing
+// decodes for the entire duration of long prompts, inflating TBT. The paper
+// omits this baseline because Sarathi's chunking strictly dominates it
+// (§4, Baselines); implementing it lets the repository demonstrate that
+// claim (see the "vllm" experiment).
+type VLLM struct {
+	maxBatchTokens int
+	queue          Queue
+	decodes        []*request.Request
+	pending        int
+}
+
+// DefaultVLLMBatchTokens bounds a prefill-only batch, mirroring vLLM's
+// max_num_batched_tokens.
+const DefaultVLLMBatchTokens = 8192
+
+// NewVLLM returns a vanilla vLLM scheduler with the given prefill batch
+// token limit (DefaultVLLMBatchTokens if zero). Prefills are admitted FCFS.
+func NewVLLM(maxBatchTokens int) *VLLM {
+	if maxBatchTokens <= 0 {
+		maxBatchTokens = DefaultVLLMBatchTokens
+	}
+	return &VLLM{maxBatchTokens: maxBatchTokens}
+}
+
+// Name identifies the scheduler.
+func (v *VLLM) Name() string { return "vLLM" }
+
+// Add enqueues an arrival in FCFS order.
+func (v *VLLM) Add(r *request.Request, now sim.Time) {
+	v.pending++
+	v.queue.Insert(r, r.Arrival.Seconds())
+}
+
+// PlanBatch builds either a prefill-only batch (whole prompts, FCFS, up to
+// the token limit) or, when no prompts wait, a decode-only batch.
+func (v *VLLM) PlanBatch(now sim.Time) Batch {
+	if v.queue.Len() > 0 {
+		b := Batch{}
+		budget := v.maxBatchTokens
+		for i := 0; i < v.queue.Len(); i++ {
+			r := v.queue.At(i)
+			need := r.RemainingPrefill()
+			if need > budget && len(b.Prefill) > 0 {
+				break // whole prompts only; next iteration takes it
+			}
+			if need > budget {
+				// A single prompt larger than the limit still runs whole
+				// (vLLM admits it alone).
+				budget = need
+			}
+			b.Prefill = append(b.Prefill, PrefillAlloc{Req: r, Tokens: need})
+			budget -= need
+			if budget <= 0 {
+				break
+			}
+		}
+		return b
+	}
+	return Batch{Decodes: v.decodes}
+}
+
+// OnBatchComplete re-files requests by phase.
+func (v *VLLM) OnBatchComplete(b Batch, now sim.Time) {
+	for _, p := range b.Prefill {
+		v.queue.Remove(p.Req)
+		switch p.Req.Phase() {
+		case request.Queued, request.Prefill:
+			// KV deferral can leave the prompt unprocessed; requeue.
+			v.queue.Insert(p.Req, p.Req.Arrival.Seconds())
+		case request.Decode:
+			v.decodes = append(v.decodes, p.Req)
+		case request.Done:
+			v.pending--
+		}
+	}
+	live := v.decodes[:0]
+	for _, r := range v.decodes {
+		if r.Phase() == request.Done {
+			v.pending--
+		} else {
+			live = append(live, r)
+		}
+	}
+	v.decodes = live
+}
+
+// Pending is the number of unfinished requests.
+func (v *VLLM) Pending() int { return v.pending }

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Client talks to a qoserved instance over HTTP. It is safe for concurrent
+// use; create with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8080"). A nil httpClient uses a default with no
+// timeout, since generate streams can be long-lived.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{}
+	}
+	return &Client{base: baseURL, http: httpClient}
+}
+
+// Generate submits a request and consumes its token stream, invoking
+// onToken (if non-nil) per token event, and returns the final done event.
+func (c *Client) Generate(ctx context.Context, req GenerateRequest, onToken func(TokenEvent)) (TokenEvent, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return TokenEvent{}, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/generate", bytes.NewReader(body))
+	if err != nil {
+		return TokenEvent{}, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		return TokenEvent{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg := make([]byte, 256)
+		n, _ := resp.Body.Read(msg)
+		return TokenEvent{}, fmt.Errorf("server: generate status %d: %s",
+			resp.StatusCode, bytes.TrimSpace(msg[:n]))
+	}
+
+	scanner := bufio.NewScanner(resp.Body)
+	var last TokenEvent
+	for scanner.Scan() {
+		var ev TokenEvent
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			return TokenEvent{}, fmt.Errorf("server: bad event %q: %w", scanner.Text(), err)
+		}
+		if onToken != nil {
+			onToken(ev)
+		}
+		last = ev
+		if ev.Event == "done" {
+			return last, nil
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return TokenEvent{}, err
+	}
+	return TokenEvent{}, fmt.Errorf("server: stream ended without done event")
+}
+
+// FetchStats reads /v1/stats.
+func (c *Client) FetchStats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	return out, c.getJSON(ctx, "/v1/stats", &out)
+}
+
+// ClassInfo mirrors one /v1/classes entry.
+type ClassInfo struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	TTFTMS float64 `json:"ttft_ms,omitempty"`
+	TBTMS  float64 `json:"tbt_ms,omitempty"`
+	TTLTMS float64 `json:"ttlt_ms,omitempty"`
+}
+
+// FetchClasses reads /v1/classes.
+func (c *Client) FetchClasses(ctx context.Context) ([]ClassInfo, error) {
+	var out []ClassInfo
+	return out, c.getJSON(ctx, "/v1/classes", &out)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %s status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// LoadReport summarizes a DriveLoad run.
+type LoadReport struct {
+	Requests  int
+	Violated  int
+	Relegated int
+	Wall      time.Duration
+	// TTFTs holds each request's virtual TTFT for percentile analysis.
+	TTFTs []time.Duration
+}
+
+// DriveLoad runs concurrent closed-loop clients against the daemon: each of
+// the workers loops issuing requests from the reqs list (round-robin) until
+// total requests have completed. It is the library behind cmd/qoserve-bench.
+func (c *Client) DriveLoad(ctx context.Context, reqs []GenerateRequest, workers, total int) (*LoadReport, error) {
+	if len(reqs) == 0 || workers <= 0 || total <= 0 {
+		return nil, fmt.Errorf("server: DriveLoad needs requests, workers, and a total")
+	}
+	start := time.Now()
+	type outcome struct {
+		ev  TokenEvent
+		err error
+	}
+	work := make(chan GenerateRequest)
+	results := make(chan outcome, total)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for req := range work {
+				ev, err := c.Generate(ctx, req, nil)
+				results <- outcome{ev, err}
+			}
+		}()
+	}
+	go func() {
+		defer close(work)
+		for i := 0; i < total; i++ {
+			select {
+			case work <- reqs[i%len(reqs)]:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	rep := &LoadReport{}
+	for i := 0; i < total; i++ {
+		select {
+		case res := <-results:
+			if res.err != nil {
+				return nil, res.err
+			}
+			rep.Requests++
+			if res.ev.Violated {
+				rep.Violated++
+			}
+			if res.ev.Relegate {
+				rep.Relegated++
+			}
+			rep.TTFTs = append(rep.TTFTs,
+				time.Duration(res.ev.TTFTMS*float64(time.Millisecond)))
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	rep.Wall = time.Since(start)
+	return rep, nil
+}

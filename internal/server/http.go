@@ -1,0 +1,187 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"qoserve/internal/qos"
+)
+
+// HTTP request/response wire types for the qoserved API.
+
+// GenerateRequest is the POST /v1/generate body.
+type GenerateRequest struct {
+	App          string `json:"app,omitempty"`
+	Class        string `json:"class"`
+	Priority     string `json:"priority,omitempty"` // "high" (default) or "low"
+	PromptTokens int    `json:"prompt_tokens"`
+	DecodeTokens int    `json:"decode_tokens"`
+}
+
+// TokenEvent is one line of the streamed generate response.
+type TokenEvent struct {
+	Event string  `json:"event"` // "token" or "done"
+	Token int     `json:"token,omitempty"`
+	AtMS  float64 `json:"at_ms"`
+	// Final-event fields.
+	TTFTMS   float64 `json:"ttft_ms,omitempty"`
+	TTLTMS   float64 `json:"ttlt_ms,omitempty"`
+	Violated bool    `json:"violated,omitempty"`
+	Relegate bool    `json:"relegated,omitempty"`
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	VirtualNowMS  float64 `json:"virtual_now_ms"`
+	Pending       int     `json:"pending"`
+	Served        int     `json:"served"`
+	Iterations    uint64  `json:"iterations"`
+	Tokens        uint64  `json:"tokens"`
+	ViolationRate float64 `json:"violation_rate"`
+}
+
+// Handler exposes the server over HTTP:
+//
+//	POST /v1/generate — submit a request; the response streams one JSON
+//	                    object per token (chunked), ending with a "done"
+//	                    event carrying the outcome.
+//	GET  /v1/stats    — serving counters and the running violation rate.
+//	GET  /v1/classes  — the configured QoS classes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/classes", s.handleClasses)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// handleMetrics exposes the counters in Prometheus text format so standard
+// scrapers can watch a qoserved instance.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP qoserve_requests_total Requests accepted since start.\n")
+	fmt.Fprintf(w, "# TYPE qoserve_requests_total counter\n")
+	fmt.Fprintf(w, "qoserve_requests_total %d\n", st.Served)
+	fmt.Fprintf(w, "# HELP qoserve_requests_pending Requests not yet finished.\n")
+	fmt.Fprintf(w, "# TYPE qoserve_requests_pending gauge\n")
+	fmt.Fprintf(w, "qoserve_requests_pending %d\n", st.Pending)
+	fmt.Fprintf(w, "# HELP qoserve_iterations_total Executed batches.\n")
+	fmt.Fprintf(w, "# TYPE qoserve_iterations_total counter\n")
+	fmt.Fprintf(w, "qoserve_iterations_total %d\n", st.Iterations)
+	fmt.Fprintf(w, "# HELP qoserve_tokens_total Tokens processed.\n")
+	fmt.Fprintf(w, "# TYPE qoserve_tokens_total counter\n")
+	fmt.Fprintf(w, "qoserve_tokens_total %d\n", st.Tokens)
+	fmt.Fprintf(w, "# HELP qoserve_violation_ratio Lifetime SLO violation fraction.\n")
+	fmt.Fprintf(w, "# TYPE qoserve_violation_ratio gauge\n")
+	fmt.Fprintf(w, "qoserve_violation_ratio %g\n", st.ViolationRate)
+	fmt.Fprintf(w, "# HELP qoserve_virtual_seconds Virtual clock position.\n")
+	fmt.Fprintf(w, "# TYPE qoserve_virtual_seconds counter\n")
+	fmt.Fprintf(w, "qoserve_virtual_seconds %g\n", st.VirtualNow.Seconds())
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	prio := qos.High
+	switch req.Priority {
+	case "", "high":
+	case "low":
+		prio = qos.Low
+	default:
+		http.Error(w, fmt.Sprintf("unknown priority %q", req.Priority), http.StatusBadRequest)
+		return
+	}
+	stream, err := s.Submit(Submission{
+		App:          req.App,
+		Class:        req.Class,
+		Priority:     prio,
+		PromptTokens: req.PromptTokens,
+		DecodeTokens: req.DecodeTokens,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for {
+		select {
+		case ev, ok := <-stream.Events:
+			if !ok {
+				return
+			}
+			out := TokenEvent{Event: "token", Token: ev.Token, AtMS: ms(ev.At)}
+			if ev.Done {
+				res := stream.Result()
+				out.Event = "done"
+				out.TTFTMS = ms(res.TTFT)
+				out.TTLTMS = ms(res.TTLT)
+				out.Violated = res.Violated
+				out.Relegate = res.Releg
+			}
+			if err := enc.Encode(out); err != nil {
+				return // client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if ev.Done {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	writeJSON(w, StatsResponse{
+		VirtualNowMS:  ms(st.VirtualNow),
+		Pending:       st.Pending,
+		Served:        st.Served,
+		Iterations:    st.Iterations,
+		Tokens:        st.Tokens,
+		ViolationRate: st.ViolationRate,
+	})
+}
+
+func (s *Server) handleClasses(w http.ResponseWriter, _ *http.Request) {
+	type classInfo struct {
+		Name   string  `json:"name"`
+		Kind   string  `json:"kind"`
+		TTFTMS float64 `json:"ttft_ms,omitempty"`
+		TBTMS  float64 `json:"tbt_ms,omitempty"`
+		TTLTMS float64 `json:"ttlt_ms,omitempty"`
+	}
+	out := make([]classInfo, 0, len(s.cfg.Classes))
+	for _, c := range s.cfg.Classes {
+		out = append(out, classInfo{
+			Name:   c.Name,
+			Kind:   c.Kind.String(),
+			TTFTMS: ms(c.SLO.TTFT.Duration()),
+			TBTMS:  ms(c.SLO.TBT.Duration()),
+			TTLTMS: ms(c.SLO.TTLT.Duration()),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,315 @@
+// Package server runs a QoServe scheduler in real time: a wall-clock
+// serving loop that executes the same iteration cycle as the simulator —
+// plan batch, "execute" for the cost-model duration, account tokens — and
+// streams token events to concurrent clients.
+//
+// This is the serving-system face of the reproduction: the paper's artifact
+// is a scheduler inside a serving engine, and this package provides that
+// engine shape without GPUs. Execution time comes from the calibrated cost
+// model, optionally accelerated by a timescale factor, so the server doubles
+// as a QoS-policy load-testing harness: clients declare their request
+// shapes (prompt/decode token counts) and observe exactly the TTFT/TBT/TTLT
+// behaviour the scheduler produces under contention. cmd/qoserved exposes it
+// over HTTP.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"qoserve/internal/metrics"
+	"qoserve/internal/model"
+	"qoserve/internal/qos"
+	"qoserve/internal/request"
+	"qoserve/internal/sched"
+	"qoserve/internal/sim"
+)
+
+// Event is one streamed token notification.
+type Event struct {
+	// Token is the 1-based output token index.
+	Token int
+	// At is the virtual emission time.
+	At time.Duration
+	// Done marks the final token.
+	Done bool
+}
+
+// Stream delivers a request's token events. The channel is buffered for the
+// request's full output, so the serving loop never blocks on a slow
+// consumer; it is closed after the Done event.
+type Stream struct {
+	ID     uint64
+	Events <-chan Event
+	req    *request.Request
+	srv    *Server
+}
+
+// Result summarizes a finished request. Valid once the stream has closed.
+type Result struct {
+	TTFT     time.Duration
+	TTLT     time.Duration
+	Violated bool
+	Releg    bool
+}
+
+// Result reports the request's outcome as of now.
+func (s *Stream) Result() Result {
+	s.srv.mu.Lock()
+	defer s.srv.mu.Unlock()
+	res := Result{Violated: s.req.ViolatedSLO(s.srv.vnowLocked()), Releg: s.req.Relegated}
+	if ttft, ok := s.req.TTFT(); ok {
+		res.TTFT = ttft.Duration()
+	}
+	if ttlt, ok := s.req.TTLT(); ok {
+		res.TTLT = ttlt.Duration()
+	}
+	return res
+}
+
+// Config configures a real-time server.
+type Config struct {
+	Model model.Config
+	// Scheduler serves the requests; it must not be shared.
+	Scheduler sched.Scheduler
+	// Classes that submissions may reference.
+	Classes []qos.Class
+	// Timescale accelerates virtual time relative to wall time (e.g.
+	// 100 means a 50 ms iteration sleeps 0.5 ms). Default 1.
+	Timescale float64
+	// MaxDecodeTokens bounds a submission's declared output length
+	// (default 4096) so stream buffers stay sane.
+	MaxDecodeTokens int
+}
+
+// Server is the real-time serving loop. Create with New, stop with Close.
+type Server struct {
+	cfg     Config
+	classes map[string]qos.Class
+
+	mu      sync.Mutex
+	wake    *sync.Cond
+	closed  bool
+	nextID  uint64
+	start   time.Time
+	streams map[uint64]chan Event
+	served  []*request.Request
+
+	iterations uint64
+	tokens     uint64
+
+	done chan struct{}
+}
+
+// New validates the configuration and starts the serving loop.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("server: nil scheduler")
+	}
+	if cfg.Timescale == 0 {
+		cfg.Timescale = 1
+	}
+	if cfg.Timescale < 0 {
+		return nil, fmt.Errorf("server: negative timescale")
+	}
+	if cfg.MaxDecodeTokens == 0 {
+		cfg.MaxDecodeTokens = 4096
+	}
+	if len(cfg.Classes) == 0 {
+		return nil, fmt.Errorf("server: no QoS classes configured")
+	}
+	s := &Server{
+		cfg:     cfg,
+		classes: make(map[string]qos.Class, len(cfg.Classes)),
+		streams: make(map[uint64]chan Event),
+		start:   time.Now(),
+		done:    make(chan struct{}),
+	}
+	for _, c := range cfg.Classes {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		s.classes[c.Name] = c
+	}
+	s.wake = sync.NewCond(&s.mu)
+	go s.loop()
+	return s, nil
+}
+
+// vnowLocked is the current virtual time; callers hold s.mu.
+func (s *Server) vnowLocked() sim.Time {
+	return sim.Time(float64(time.Since(s.start)) * s.cfg.Timescale)
+}
+
+// Submission describes one request.
+type Submission struct {
+	App          string
+	Class        string
+	Priority     qos.Priority
+	PromptTokens int
+	DecodeTokens int
+}
+
+// Submit enqueues a request and returns its token stream.
+func (s *Server) Submit(sub Submission) (*Stream, error) {
+	cls, ok := s.classes[sub.Class]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown class %q", sub.Class)
+	}
+	if sub.PromptTokens <= 0 {
+		return nil, fmt.Errorf("server: prompt tokens %d", sub.PromptTokens)
+	}
+	if sub.DecodeTokens <= 0 || sub.DecodeTokens > s.cfg.MaxDecodeTokens {
+		return nil, fmt.Errorf("server: decode tokens %d outside [1,%d]", sub.DecodeTokens, s.cfg.MaxDecodeTokens)
+	}
+	app := sub.App
+	if app == "" {
+		app = sub.Class
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server: closed")
+	}
+	s.nextID++
+	req := &request.Request{
+		ID:           s.nextID,
+		App:          app,
+		Class:        cls,
+		Priority:     sub.Priority,
+		Arrival:      s.vnowLocked(),
+		PromptTokens: sub.PromptTokens,
+		DecodeTokens: sub.DecodeTokens,
+	}
+	events := make(chan Event, sub.DecodeTokens+1)
+	s.streams[req.ID] = events
+	s.served = append(s.served, req)
+	s.cfg.Scheduler.Add(req, req.Arrival)
+	s.wake.Signal()
+	return &Stream{ID: req.ID, Events: events, req: req, srv: s}, nil
+}
+
+// loop is the serving iteration cycle.
+func (s *Server) loop() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for !s.closed && s.cfg.Scheduler.Pending() == 0 {
+			s.wake.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		now := s.vnowLocked()
+		batch := s.cfg.Scheduler.PlanBatch(now)
+		s.mu.Unlock()
+
+		if batch.Empty() {
+			// Pending work but nothing runnable this instant (can happen
+			// transiently with admission-style schedulers); back off.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+
+		exec := s.cfg.Model.BatchTime(batch.Shape())
+		time.Sleep(time.Duration(float64(exec.Duration()) / s.cfg.Timescale))
+
+		s.mu.Lock()
+		end := s.vnowLocked()
+		s.iterations++
+		s.tokens += uint64(batch.NewTokens())
+		for _, p := range batch.Prefill {
+			before := p.Req.DecodedTokens
+			p.Req.RecordPrefill(p.Tokens, end)
+			if p.Req.DecodedTokens > before {
+				s.emitLocked(p.Req, end)
+			}
+		}
+		for _, d := range batch.Decodes {
+			d.RecordDecodeToken(end)
+			s.emitLocked(d, end)
+		}
+		s.cfg.Scheduler.OnBatchComplete(batch, end)
+		s.mu.Unlock()
+	}
+}
+
+// emitLocked streams the request's newest token; callers hold s.mu.
+func (s *Server) emitLocked(r *request.Request, at sim.Time) {
+	events, ok := s.streams[r.ID]
+	if !ok {
+		return
+	}
+	done := r.Phase() == request.Done
+	events <- Event{Token: r.DecodedTokens, At: at.Duration(), Done: done}
+	if done {
+		close(events)
+		delete(s.streams, r.ID)
+	}
+}
+
+// Stats is a snapshot of server health.
+type Stats struct {
+	VirtualNow    time.Duration
+	Pending       int
+	Served        int
+	Iterations    uint64
+	Tokens        uint64
+	ViolationRate float64
+}
+
+// Stats snapshots current counters and the violation rate over all
+// requests seen so far.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum := metrics.NewSummary(s.served, s.vnowLocked(), 1)
+	return Stats{
+		VirtualNow:    s.vnowLocked().Duration(),
+		Pending:       s.cfg.Scheduler.Pending(),
+		Served:        len(s.served),
+		Iterations:    s.iterations,
+		Tokens:        s.tokens,
+		ViolationRate: sum.ViolationRate(metrics.All),
+	}
+}
+
+// Drain blocks until every accepted request has finished or the context is
+// cancelled.
+func (s *Server) Drain(ctx context.Context) error {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		pending := s.cfg.Scheduler.Pending()
+		s.mu.Unlock()
+		if pending == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close stops the serving loop. In-flight streams stop receiving events.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.wake.Broadcast()
+	s.mu.Unlock()
+	<-s.done
+}

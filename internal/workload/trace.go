@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"qoserve/internal/qos"
+	"qoserve/internal/request"
+	"qoserve/internal/sim"
+)
+
+// traceRecord is the JSON-lines wire form of one request.
+type traceRecord struct {
+	ID           uint64        `json:"id"`
+	App          string        `json:"app"`
+	ClassName    string        `json:"class"`
+	Kind         string        `json:"kind"`
+	TTFT         time.Duration `json:"ttft_slo,omitempty"`
+	TBT          time.Duration `json:"tbt_slo,omitempty"`
+	TTLT         time.Duration `json:"ttlt_slo,omitempty"`
+	Priority     string        `json:"priority"`
+	ArrivalNS    int64         `json:"arrival_ns"`
+	PromptTokens int           `json:"prompt_tokens"`
+	DecodeTokens int           `json:"decode_tokens"`
+}
+
+// WriteTrace serializes requests as JSON lines.
+func WriteTrace(w io.Writer, reqs []*request.Request) error {
+	enc := json.NewEncoder(w)
+	for _, r := range reqs {
+		rec := traceRecord{
+			ID:           r.ID,
+			App:          r.App,
+			ClassName:    r.Class.Name,
+			Kind:         r.Class.Kind.String(),
+			TTFT:         r.Class.SLO.TTFT.Duration(),
+			TBT:          r.Class.SLO.TBT.Duration(),
+			TTLT:         r.Class.SLO.TTLT.Duration(),
+			Priority:     r.Priority.String(),
+			ArrivalNS:    int64(r.Arrival),
+			PromptTokens: r.PromptTokens,
+			DecodeTokens: r.DecodeTokens,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("workload: encoding request %d: %w", r.ID, err)
+		}
+	}
+	return nil
+}
+
+// ReadTrace parses a JSON-lines trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]*request.Request, error) {
+	dec := json.NewDecoder(r)
+	var out []*request.Request
+	for dec.More() {
+		var rec traceRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("workload: decoding trace: %w", err)
+		}
+		kind := qos.Interactive
+		switch rec.Kind {
+		case qos.Interactive.String():
+		case qos.NonInteractive.String():
+			kind = qos.NonInteractive
+		default:
+			return nil, fmt.Errorf("workload: request %d: unknown kind %q", rec.ID, rec.Kind)
+		}
+		prio := qos.High
+		switch rec.Priority {
+		case qos.High.String():
+		case qos.Low.String():
+			prio = qos.Low
+		default:
+			return nil, fmt.Errorf("workload: request %d: unknown priority %q", rec.ID, rec.Priority)
+		}
+		req := &request.Request{
+			ID:  rec.ID,
+			App: rec.App,
+			Class: qos.Class{
+				Name: rec.ClassName,
+				Kind: kind,
+				SLO: qos.SLO{
+					TTFT: sim.FromDuration(rec.TTFT),
+					TBT:  sim.FromDuration(rec.TBT),
+					TTLT: sim.FromDuration(rec.TTLT),
+				},
+			},
+			Priority:     prio,
+			Arrival:      sim.Time(rec.ArrivalNS),
+			PromptTokens: rec.PromptTokens,
+			DecodeTokens: rec.DecodeTokens,
+		}
+		if err := req.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, req)
+	}
+	return out, nil
+}
+
+// Clone deep-copies a trace so that independent simulations (e.g. several
+// schedulers over the same workload) do not share mutable request state.
+func Clone(reqs []*request.Request) []*request.Request {
+	out := make([]*request.Request, len(reqs))
+	for i, r := range reqs {
+		cp := *r
+		// Reset any execution state so a used trace can be replayed.
+		cp.PrefilledTokens = 0
+		cp.DecodedTokens = 0
+		cp.FirstTokenAt = 0
+		cp.FinishedAt = 0
+		cp.LastTokenAt = 0
+		cp.MaxTBT = 0
+		cp.TBTViolations = 0
+		cp.Relegated = false
+		cp.EstDecodeTokens = 0
+		out[i] = &cp
+	}
+	return out
+}

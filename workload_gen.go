@@ -1,0 +1,152 @@
+package qoserve
+
+import (
+	"fmt"
+	"time"
+
+	"qoserve/internal/qos"
+	"qoserve/internal/sim"
+	"qoserve/internal/workload"
+)
+
+// Dataset selects a workload shape, fit to the published percentiles of the
+// paper's evaluation traces (Table 2).
+type Dataset int
+
+// Evaluation datasets.
+const (
+	// DatasetShareGPT: long prompts, long decodes (p50 1730/415).
+	DatasetShareGPT Dataset = iota
+	// DatasetAzureConv: conversation production trace (p50 928/41).
+	DatasetAzureConv
+	// DatasetAzureCode: code production trace — long prompts, tiny
+	// decodes (p50 1930/8).
+	DatasetAzureCode
+)
+
+func (d Dataset) internal() workload.Dataset {
+	switch d {
+	case DatasetShareGPT:
+		return workload.ShareGPT
+	case DatasetAzureConv:
+		return workload.AzureConv
+	default:
+		return workload.AzureCode
+	}
+}
+
+// String implements fmt.Stringer.
+func (d Dataset) String() string { return d.internal().Name }
+
+// WorkloadSpec describes a synthetic trace.
+type WorkloadSpec struct {
+	// Dataset picks the token-count distributions.
+	Dataset Dataset
+	// Classes are assigned round-robin by Weights; default DefaultClasses
+	// with equal weights.
+	Classes []Class
+	// Weights gives each class's share of requests; default equal.
+	Weights []float64
+	// LowPriorityFraction tags this share of each class's requests as
+	// free-tier (relegated first under overload).
+	LowPriorityFraction float64
+	// QPS is the mean arrival rate (requests/second).
+	QPS float64
+	// BurstinessCV is the coefficient of variation of inter-arrival
+	// times: 0 or 1 gives Poisson arrivals; >1 gives burstier traffic
+	// (gamma renewal process), <1 smoother. Ignored when BurstQPS is set.
+	BurstinessCV float64
+	// BurstQPS, when > 0, alternates the arrival rate between QPS and
+	// BurstQPS every BurstPeriod (the paper's diurnal overload pattern).
+	BurstQPS    float64
+	BurstPeriod time.Duration
+	// Duration is the trace length; the request count is QPS-derived.
+	Duration time.Duration
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenerateWorkload synthesizes a request trace from the specification.
+func GenerateWorkload(spec WorkloadSpec) ([]Request, error) {
+	classes := spec.Classes
+	if len(classes) == 0 {
+		classes = DefaultClasses()
+	}
+	internalClasses := make([]qos.Class, len(classes))
+	for i, c := range classes {
+		ic, err := c.toInternal()
+		if err != nil {
+			return nil, err
+		}
+		internalClasses[i] = ic
+	}
+	var tiers []workload.Tier
+	if len(spec.Weights) > 0 {
+		var err error
+		tiers, err = workload.WeightedTiers(internalClasses, spec.Weights)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		tiers = workload.EqualTiers(internalClasses)
+	}
+	if spec.LowPriorityFraction > 0 {
+		tiers = workload.WithLowPriority(tiers, spec.LowPriorityFraction)
+	}
+
+	if spec.QPS <= 0 {
+		return nil, fmt.Errorf("qoserve: QPS must be positive")
+	}
+	if spec.Duration <= 0 {
+		return nil, fmt.Errorf("qoserve: duration must be positive")
+	}
+	var arrivals workload.ArrivalProcess = workload.Poisson{QPS: spec.QPS}
+	if cv := spec.BurstinessCV; cv > 0 && cv != 1 {
+		arrivals = workload.Gamma{QPS: spec.QPS, CV: cv}
+	}
+	avgQPS := spec.QPS
+	if spec.BurstQPS > 0 {
+		if spec.BurstPeriod <= 0 {
+			return nil, fmt.Errorf("qoserve: burst period must be positive")
+		}
+		arrivals = workload.Diurnal{
+			LowQPS:     spec.QPS,
+			HighQPS:    spec.BurstQPS,
+			HalfPeriod: sim.FromDuration(spec.BurstPeriod),
+		}
+		avgQPS = (spec.QPS + spec.BurstQPS) / 2
+	}
+	n := int(avgQPS * spec.Duration.Seconds())
+	if n < 1 {
+		return nil, fmt.Errorf("qoserve: duration %v at %v QPS yields no requests", spec.Duration, spec.QPS)
+	}
+
+	trace, err := workload.Generate(workload.Spec{
+		Dataset:  spec.Dataset.internal(),
+		Tiers:    tiers,
+		Arrivals: arrivals,
+		Requests: n,
+		Seed:     spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Request, len(trace))
+	for i, r := range trace {
+		prio := High
+		if r.Priority == qos.Low {
+			prio = Low
+		}
+		out[i] = Request{
+			ID:           r.ID,
+			App:          r.App,
+			Class:        r.Class.Name,
+			Priority:     prio,
+			Arrival:      r.Arrival.Duration(),
+			PromptTokens: r.PromptTokens,
+			DecodeTokens: r.DecodeTokens,
+		}
+	}
+	return out, nil
+}
