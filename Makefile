@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench experiments experiments-full examples quick clean
+.PHONY: all build vet test test-short race verify bench experiments experiments-full examples quick clean
 
 all: build vet test
 
@@ -20,6 +20,12 @@ test-short:
 
 race:
 	$(GO) test -race ./internal/server ./internal/sim
+
+# The pre-merge gate CI runs: static checks plus the full suite under the
+# race detector.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 # One pass over every table/figure benchmark.
 bench:

@@ -10,6 +10,11 @@
 //	curl -s -X POST localhost:8080/v1/generate \
 //	     -d '{"class":"Q1","prompt_tokens":1500,"decode_tokens":20}'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/debug/trace?n=20
+//	curl -s localhost:8080/debug/queues
+//
+// See docs/OPERATIONS.md for the full endpoint and metric reference.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"qoserve/internal/qos"
 	"qoserve/internal/sched"
 	"qoserve/internal/server"
+	"qoserve/internal/sim"
 )
 
 func main() {
@@ -34,9 +40,11 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		hardware   = flag.String("hardware", "llama3-8b", "llama3-8b | qwen-7b | llama3-70b")
-		policyName = flag.String("policy", "qoserve", "qoserve | sarathi-fcfs | sarathi-edf | vllm")
+		policyName = flag.String("policy", "qoserve", "qoserve | sarathi-fcfs | sarathi-edf | sarathi-srpf | vllm | medha")
 		timescale  = flag.Float64("timescale", 1, "virtual-time acceleration factor")
 		chunk      = flag.Int("chunk", 256, "fixed chunk for Sarathi policies")
+		traceDepth = flag.Int("trace", 1024, "iterations retained for /debug/trace (0 disables tracing)")
+		window     = flag.Duration("metrics-window", time.Minute, "virtual-time window for rolling per-class /metrics gauges")
 	)
 	flag.Parse()
 
@@ -52,9 +60,7 @@ func main() {
 		log.Fatalf("unknown hardware %q", *hardware)
 	}
 
-	var scheduler sched.Scheduler
-	switch *policyName {
-	case "qoserve":
+	trainPredictor := func() predictor.SafePredictor {
 		log.Printf("profiling %s and training the latency predictor ...", mc.Name())
 		samples, err := profile.Collect(mc, profile.Config{Seed: 1})
 		if err != nil {
@@ -64,22 +70,34 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		scheduler = core.New(forest, core.DefaultOptions())
+		return forest
+	}
+
+	var scheduler sched.Scheduler
+	switch *policyName {
+	case "qoserve":
+		scheduler = core.New(trainPredictor(), core.DefaultOptions())
 	case "sarathi-fcfs":
 		scheduler = sched.NewSarathi(sched.FCFS, *chunk)
 	case "sarathi-edf":
 		scheduler = sched.NewSarathi(sched.EDF, *chunk)
+	case "sarathi-srpf":
+		scheduler = sched.NewSarathi(sched.SRPF, *chunk)
 	case "vllm":
 		scheduler = sched.NewVLLM(0)
+	case "medha":
+		scheduler = sched.NewMedha(trainPredictor(), 50*sim.Millisecond, 0)
 	default:
 		log.Fatalf("unknown policy %q", *policyName)
 	}
 
 	srv, err := server.New(server.Config{
-		Model:     mc,
-		Scheduler: scheduler,
-		Classes:   qos.Table3(),
-		Timescale: *timescale,
+		Model:         mc,
+		Scheduler:     scheduler,
+		Classes:       qos.Table3(),
+		Timescale:     *timescale,
+		TraceDepth:    *traceDepth,
+		MetricsWindow: *window,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -27,6 +27,7 @@ import (
 	"qoserve/internal/request"
 	"qoserve/internal/sched"
 	"qoserve/internal/sim"
+	"qoserve/internal/trace"
 )
 
 // Options configures the QoServe scheduler. The zero value is not useful;
@@ -150,6 +151,9 @@ type Scheduler struct {
 	chunkLog         []ChunkRecord
 	logChunks        bool
 	relegationPasses int
+
+	// Live iteration tracing (sched.Traceable); disabled by default.
+	sched.TraceState
 }
 
 // ChunkRecord captures one iteration's dynamic-chunking decision (Fig. 9).
@@ -228,6 +232,7 @@ func (s *Scheduler) Add(r *request.Request, now sim.Time) {
 	}
 	s.pending++
 	s.mainQ.Insert(r, s.priorityKey(r))
+	s.TraceAdmission(r.ID, r.Class.Name, now)
 }
 
 // Pending is the number of unfinished requests.
@@ -276,6 +281,9 @@ func (s *Scheduler) PlanBatch(now sim.Time) sched.Batch {
 			Budget:  budgetTime,
 		})
 	}
+	if s.Tracing() {
+		s.TracePlan(s.Name(), b, now, s.planPred.PredictSafe(b.Shape()), s.mainQ.Len(), s.relQ.Len())
+	}
 	return b
 }
 
@@ -308,6 +316,8 @@ func (s *Scheduler) fillFrom(q *sched.Queue, b *sched.Batch, budget int, now sim
 	}
 
 	if boosted != nil {
+		s.TraceEvent(trace.Event{At: now, Kind: trace.Boost, Req: boosted.ID,
+			Class: boosted.Class.Name, Reason: "in-flight prefill would miss deadline if displaced"})
 		take(boosted)
 	}
 	for i := 0; i < q.Len() && budget > 0; i++ {
@@ -322,7 +332,7 @@ func (s *Scheduler) fillFrom(q *sched.Queue, b *sched.Batch, budget int, now sim
 		take(r)
 	}
 	for _, r := range relegate {
-		s.relegate(r)
+		s.relegate(r, now, "will miss deadline even at dedicated rate")
 	}
 	return budget
 }
@@ -330,6 +340,7 @@ func (s *Scheduler) fillFrom(q *sched.Queue, b *sched.Batch, budget int, now sim
 // OnBatchComplete performs queue bookkeeping after the replica has
 // accounted the iteration, and updates the self-calibrating rate estimates.
 func (s *Scheduler) OnBatchComplete(b sched.Batch, now sim.Time) {
+	s.TraceComplete(now)
 	if s.planOutstand {
 		dur := (now - s.lastPlanAt).Seconds()
 		if dur > 0 {

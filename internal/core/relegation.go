@@ -8,6 +8,7 @@ import (
 	"qoserve/internal/qos"
 	"qoserve/internal/request"
 	"qoserve/internal/sim"
+	"qoserve/internal/trace"
 )
 
 // updateBestRate refreshes the dedicated-service prefill rate under the
@@ -65,8 +66,9 @@ func (s *Scheduler) willViolateAlone(r *request.Request, now sim.Time) bool {
 	return completion > r.Arrival+r.Class.SLO.TTLT
 }
 
-// relegate moves r from the main queue to the relegated queue.
-func (s *Scheduler) relegate(r *request.Request) {
+// relegate moves r from the main queue to the relegated queue, logging the
+// decision (with the policy's reason) to an attached tracer.
+func (s *Scheduler) relegate(r *request.Request, now sim.Time, reason string) {
 	if r.Relegated {
 		return
 	}
@@ -74,6 +76,7 @@ func (s *Scheduler) relegate(r *request.Request) {
 	r.Relegated = true
 	s.relegations++
 	s.relQ.Insert(r, s.priorityKey(r))
+	s.TraceEvent(trace.Event{At: now, Kind: trace.Relegation, Req: r.ID, Class: r.Class.Name, Reason: reason})
 }
 
 // relegationPass is the queue-wide projection (throttled): walk the main
@@ -95,7 +98,7 @@ func (s *Scheduler) relegationPass(now sim.Time) {
 		if victim == nil {
 			break
 		}
-		s.relegate(victim)
+		s.relegate(victim, now, "protects high-priority backlog")
 	}
 
 	// Relegate requests that cannot make their deadline even alone.
@@ -106,7 +109,7 @@ func (s *Scheduler) relegationPass(now sim.Time) {
 		}
 	}
 	for _, r := range doomed {
-		s.relegate(r)
+		s.relegate(r, now, "doomed even at dedicated rate")
 	}
 
 	// Refresh the load signal for adaptive alpha, with hysteresis: a

@@ -218,6 +218,37 @@ func TestRollingQuantile(t *testing.T) {
 	}
 }
 
+func TestRecentWindowsOutcomes(t *testing.T) {
+	var reqs []*request.Request
+	// Arrivals at 0s, 40s, 80s; run ends at 100s.
+	for i, at := range []sim.Time{0, 40 * sim.Second, 80 * sim.Second} {
+		r := &request.Request{ID: uint64(i + 1), Class: batchClass(),
+			Arrival: at, PromptTokens: 10, DecodeTokens: 1}
+		r.RecordPrefill(10, at+sim.Second)
+		reqs = append(reqs, r)
+	}
+	s := NewSummary(reqs, 100*sim.Second, 1)
+
+	recent := s.Recent(30 * sim.Second)
+	if recent.Count(All) != 1 || recent.Outcomes[0].Arrival != 80*sim.Second {
+		t.Fatalf("30s window kept %d outcomes: %+v", recent.Count(All), recent.Outcomes)
+	}
+	if recent.End != s.End || recent.Replicas != s.Replicas {
+		t.Error("window summary lost End/Replicas")
+	}
+	if got := s.Recent(70 * sim.Second).Count(All); got != 2 {
+		t.Errorf("70s window count = %d, want 2", got)
+	}
+	// Non-positive window is the identity.
+	if s.Recent(0) != s {
+		t.Error("zero window did not return the summary unchanged")
+	}
+	// An empty window yields NaN quantiles, matching the /metrics contract.
+	if q := s.Recent(sim.Millisecond).TTFTQuantile(All, 0.5); !math.IsNaN(q) {
+		t.Errorf("empty window quantile = %v, want NaN", q)
+	}
+}
+
 func TestMaxLatency(t *testing.T) {
 	s := makeSummary(t)
 	if got := s.MaxLatency(All); got != 700*sim.Second {

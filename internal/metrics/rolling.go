@@ -59,6 +59,25 @@ func (s *Summary) RollingQuantile(f Filter, q float64, window, stride sim.Time) 
 	return out
 }
 
+// Recent returns a Summary restricted to requests that arrived within the
+// trailing window (End-window, End]. The live server's /metrics endpoint
+// uses it to turn the lifetime outcome list into rolling per-class gauges:
+// quantiles and violation rates over the last minute of traffic rather
+// than since process start. A non-positive window returns s unchanged.
+func (s *Summary) Recent(window sim.Time) *Summary {
+	if window <= 0 {
+		return s
+	}
+	cutoff := s.End - window
+	out := &Summary{End: s.End, Replicas: s.Replicas}
+	for _, o := range s.Outcomes {
+		if o.Arrival > cutoff {
+			out.Outcomes = append(out.Outcomes, o)
+		}
+	}
+	return out
+}
+
 // MaxLatency returns the largest headline latency among matching requests,
 // or zero when none match (used for the paper's §4.3 "maximum latency of
 // relegated requests" comparison).

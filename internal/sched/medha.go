@@ -18,6 +18,7 @@ type Medha struct {
 	tbt      sim.Time
 	maxChunk int
 	inner    Sarathi // reuse FCFS queue/decode bookkeeping with a huge budget
+	TraceState
 }
 
 // NewMedha returns a Medha scheduler targeting the given TBT per iteration.
@@ -32,7 +33,10 @@ func NewMedha(pred predictor.SafePredictor, tbt sim.Time, maxChunk int) *Medha {
 func (m *Medha) Name() string { return "Medha" }
 
 // Add enqueues an arrival.
-func (m *Medha) Add(r *request.Request, now sim.Time) { m.inner.Add(r, now) }
+func (m *Medha) Add(r *request.Request, now sim.Time) {
+	m.inner.Add(r, now)
+	m.TraceAdmission(r.ID, r.Class.Name, now)
+}
 
 // PlanBatch picks the FCFS-first prefill request and sizes its chunk so the
 // predicted batch latency fits the fixed TBT target.
@@ -40,6 +44,7 @@ func (m *Medha) PlanBatch(now sim.Time) Batch {
 	b := Batch{Decodes: m.inner.decodes}
 	front := m.inner.queue.Front()
 	if front == nil {
+		m.TracePlan(m.Name(), b, now, 0, 0, 0)
 		return b
 	}
 	ctx := make([]int, len(b.Decodes))
@@ -56,11 +61,23 @@ func (m *Medha) PlanBatch(now sim.Time) Batch {
 		chunk = min(32, front.RemainingPrefill())
 	}
 	b.Prefill = append(b.Prefill, PrefillAlloc{Req: front, Tokens: chunk})
+	if m.Tracing() {
+		m.TracePlan(m.Name(), b, now, m.pred.PredictSafe(b.Shape()), m.inner.queue.Len(), 0)
+	}
 	return b
 }
 
 // OnBatchComplete delegates queue bookkeeping.
-func (m *Medha) OnBatchComplete(b Batch, now sim.Time) { m.inner.OnBatchComplete(b, now) }
+func (m *Medha) OnBatchComplete(b Batch, now sim.Time) {
+	m.TraceComplete(now)
+	m.inner.OnBatchComplete(b, now)
+}
 
 // Pending is the number of unfinished requests.
 func (m *Medha) Pending() int { return m.inner.Pending() }
+
+// QueueLen reports (main, relegated, decode) queue sizes; Medha has no
+// relegated queue.
+func (m *Medha) QueueLen() (main, relegated, decode int) {
+	return m.inner.QueueLen()
+}

@@ -59,6 +59,7 @@ type Sarathi struct {
 	decodes []*request.Request
 	est     *estimate.Tracker
 	pending int
+	TraceState
 }
 
 // NewSarathi returns a Sarathi scheduler with the given ordering policy and
@@ -99,6 +100,7 @@ func (s *Sarathi) Add(r *request.Request, now sim.Time) {
 	}
 	s.pending++
 	s.queue.Insert(r, s.key(r))
+	s.TraceAdmission(r.ID, r.Class.Name, now)
 }
 
 // PlanBatch packs all decodes plus prefill chunks up to the fixed token
@@ -115,11 +117,13 @@ func (s *Sarathi) PlanBatch(now sim.Time) Batch {
 		b.Prefill = append(b.Prefill, PrefillAlloc{Req: r, Tokens: take})
 		budget -= take
 	}
+	s.TracePlan(s.Name(), b, now, 0, s.queue.Len(), 0)
 	return b
 }
 
 // OnBatchComplete re-files prefilled requests by their post-iteration phase.
 func (s *Sarathi) OnBatchComplete(b Batch, now sim.Time) {
+	s.TraceComplete(now)
 	for _, p := range b.Prefill {
 		s.queue.Remove(p.Req)
 		switch p.Req.Phase() {
@@ -150,8 +154,11 @@ func (s *Sarathi) finish(r *request.Request) {
 // Pending is the number of unfinished requests.
 func (s *Sarathi) Pending() int { return s.pending }
 
-// QueueLen is the number of requests waiting for prefill.
-func (s *Sarathi) QueueLen() int { return s.queue.Len() }
+// QueueLen reports (main, relegated, decode) queue sizes; Sarathi has no
+// relegated queue.
+func (s *Sarathi) QueueLen() (main, relegated, decode int) {
+	return s.queue.Len(), 0, len(s.decodes)
+}
 
 // DecodeLen is the number of requests in decode phase.
 func (s *Sarathi) DecodeLen() int { return len(s.decodes) }

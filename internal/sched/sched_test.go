@@ -216,7 +216,7 @@ func TestSarathiLifecycleAccounting(t *testing.T) {
 	s := NewSarathi(FCFS, 256)
 	r := req(1, 0, 100, 3, batchClass())
 	s.Add(r, 0)
-	if s.Pending() != 1 || s.QueueLen() != 1 {
+	if main, _, _ := s.QueueLen(); s.Pending() != 1 || main != 1 {
 		t.Fatal("add not reflected")
 	}
 	now := sim.Time(0)
@@ -237,7 +237,7 @@ func TestSarathiLifecycleAccounting(t *testing.T) {
 	if r.Phase() != request.Done {
 		t.Fatalf("request phase = %v", r.Phase())
 	}
-	if s.QueueLen() != 0 || s.DecodeLen() != 0 {
+	if main, _, decode := s.QueueLen(); main != 0 || decode != 0 {
 		t.Fatal("queues not drained")
 	}
 }

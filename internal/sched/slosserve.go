@@ -34,6 +34,8 @@ type SLOsServe struct {
 	dpCellOps   uint64
 	planWall    time.Duration
 	serviceRate float64 // assumed tokens/s for deadline projections
+
+	TraceState
 }
 
 // NewSLOsServe builds the scheduler. kvCapacityTokens should match the
@@ -64,6 +66,7 @@ func (s *SLOsServe) Name() string { return "SLOs-Serve" }
 // Add holds the arrival for the next admission round.
 func (s *SLOsServe) Add(r *request.Request, now sim.Time) {
 	s.waiting.Insert(r, r.FirstTokenDeadline().Seconds())
+	s.TraceAdmission(r.ID, r.Class.Name, now)
 }
 
 // PlanBatch runs the periodic admission DP, then delegates batch
@@ -81,7 +84,12 @@ func (s *SLOsServe) PlanBatch(now sim.Time) Batch {
 			s.inner.Add(r, now)
 		}
 	}
-	return s.inner.PlanBatch(now)
+	b := s.inner.PlanBatch(now)
+	// The inner Sarathi never has a tracer attached, so records come from
+	// here under this policy's name, counting not-yet-admitted waiters in
+	// the main queue depth.
+	s.TracePlan(s.Name(), b, now, 0, s.inner.queue.Len()+s.waiting.Len(), 0)
+	return b
 }
 
 // admissionDP solves a 0/1 knapsack over (waiting requests x free KV
@@ -178,11 +186,19 @@ func (s *SLOsServe) blocksFor(tokens int) int {
 
 // OnBatchComplete delegates to the inner scheduler.
 func (s *SLOsServe) OnBatchComplete(b Batch, now sim.Time) {
+	s.TraceComplete(now)
 	s.inner.OnBatchComplete(b, now)
 }
 
 // Pending counts waiting plus running requests.
 func (s *SLOsServe) Pending() int { return s.waiting.Len() + s.inner.Pending() }
+
+// QueueLen reports (main, relegated, decode) queue sizes; un-admitted
+// waiters count toward the main queue.
+func (s *SLOsServe) QueueLen() (main, relegated, decode int) {
+	innerMain, _, decode := s.inner.QueueLen()
+	return innerMain + s.waiting.Len(), 0, decode
+}
 
 // PlanningCost reports the accumulated DP cost: rounds, cell updates, and
 // wall time.

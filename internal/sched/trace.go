@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"qoserve/internal/sim"
+	"qoserve/internal/trace"
+)
+
+// Traceable is implemented by every scheduler in this repository: it lets a
+// server (or experiment harness) attach a trace.Tracer to watch scheduling
+// decisions live. Tracing is off by default; SetTracer(nil) turns it back
+// off.
+type Traceable interface {
+	SetTracer(t trace.Tracer)
+}
+
+// QueueReporter exposes live queue depths: prefill-phase requests waiting
+// in the main queue, requests in a relegated queue (zero for policies
+// without relegation), and in-flight decodes. GET /debug/queues and the
+// per-iteration trace records both read it.
+type QueueReporter interface {
+	QueueLen() (main, relegated, decode int)
+}
+
+// TraceBatch converts a planned batch into its trace form. Callers must
+// only invoke it when tracing is enabled — it allocates.
+func TraceBatch(b Batch) trace.BatchTrace {
+	bt := trace.BatchTrace{Decodes: len(b.Decodes)}
+	if len(b.Prefill) > 0 {
+		bt.Prefill = make([]trace.PrefillSlice, len(b.Prefill))
+		for i, p := range b.Prefill {
+			bt.Prefill[i] = trace.PrefillSlice{
+				Req:      p.Req.ID,
+				Tokens:   p.Tokens,
+				CtxStart: p.Req.PrefilledTokens,
+			}
+			bt.PrefillTokens += p.Tokens
+		}
+	}
+	return bt
+}
+
+// TraceState is the tracing state shared by the baseline schedulers. It is
+// embedded in each policy struct, providing the Traceable implementation
+// and the plan/complete record pairing. The zero value is a disabled
+// tracer; every method is a single branch when disabled (see
+// TestTraceDisabledZeroAlloc).
+type TraceState struct {
+	tracer  trace.Tracer
+	it      trace.Iteration
+	planned bool
+}
+
+// SetTracer attaches t (nil disables tracing).
+func (x *TraceState) SetTracer(t trace.Tracer) {
+	if t != nil && !t.Enabled() {
+		t = nil
+	}
+	x.tracer = t
+}
+
+// Tracing reports whether records should be built; callers that do extra
+// work to assemble a record (e.g. an additional predictor call) must check
+// it first.
+func (x *TraceState) Tracing() bool { return x.tracer != nil }
+
+// TraceEvent logs a point occurrence (relegation, boost, preemption).
+func (x *TraceState) TraceEvent(e trace.Event) {
+	if x.tracer == nil {
+		return
+	}
+	x.tracer.RecordEvent(e)
+}
+
+// TraceAdmission logs an arrival.
+func (x *TraceState) TraceAdmission(id uint64, class string, now sim.Time) {
+	if x.tracer == nil {
+		return
+	}
+	x.tracer.RecordEvent(trace.Event{At: now, Kind: trace.Admission, Req: id, Class: class})
+}
+
+// TracePlan snapshots one planned batch; the record is committed by
+// TraceComplete.
+func (x *TraceState) TracePlan(policy string, b Batch, now, predicted sim.Time, main, relegated int) {
+	if x.tracer == nil {
+		return
+	}
+	x.it = trace.Iteration{
+		Policy:         policy,
+		PlannedAt:      now,
+		Batch:          TraceBatch(b),
+		Predicted:      predicted,
+		QueueMain:      main,
+		QueueRelegated: relegated,
+		QueueDecode:    len(b.Decodes),
+	}
+	x.planned = true
+}
+
+// TraceComplete stamps the completion time and commits the pending record.
+// Schedulers call it from OnBatchComplete; a completion with no planned
+// record (tracer attached mid-flight) is dropped.
+func (x *TraceState) TraceComplete(now sim.Time) {
+	if x.tracer == nil || !x.planned {
+		return
+	}
+	x.it.CompletedAt = now
+	x.it.Actual = now - x.it.PlannedAt
+	x.tracer.RecordIteration(x.it)
+	x.it = trace.Iteration{}
+	x.planned = false
+}

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"testing"
+
+	"qoserve/internal/request"
+	"qoserve/internal/sim"
+	"qoserve/internal/trace"
+)
+
+// TestTraceDisabledZeroAlloc enforces the package trace performance
+// contract: with no tracer attached (the default), every trace hook must be
+// a single nil check — zero allocations on the scheduling hot path.
+func TestTraceDisabledZeroAlloc(t *testing.T) {
+	var x TraceState
+	r := req(1, 0, 500, 4, batchClass())
+	b := Batch{
+		Prefill: []PrefillAlloc{{Req: r, Tokens: 256}},
+		Decodes: []*request.Request{req(2, 0, 10, 5, batchClass())},
+	}
+	ev := trace.Event{Kind: trace.Relegation, Req: 1, Class: "Q3", Reason: "test"}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		x.TraceAdmission(1, "Q3", sim.Second)
+		x.TracePlan("test", b, sim.Second, 0, 1, 0)
+		x.TraceEvent(ev)
+		x.TraceComplete(2 * sim.Second)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %.1f times per iteration, want 0", allocs)
+	}
+	if x.Tracing() {
+		t.Fatal("zero-value TraceState reports tracing enabled")
+	}
+}
+
+func TestSetTracerNormalizesDisabled(t *testing.T) {
+	var x TraceState
+	x.SetTracer(trace.Nop())
+	if x.Tracing() {
+		t.Fatal("Nop tracer left tracing enabled")
+	}
+	x.SetTracer(trace.NewRing(4))
+	if !x.Tracing() {
+		t.Fatal("Ring tracer did not enable tracing")
+	}
+	x.SetTracer(nil)
+	if x.Tracing() {
+		t.Fatal("SetTracer(nil) did not disable tracing")
+	}
+}
+
+// benchPlanLoop measures the plan/complete cycle with the scheduler's
+// current tracer; compare BenchmarkPlanBatchUntraced against
+// BenchmarkPlanBatchTraced to see the tracing overhead.
+func benchPlanLoop(b *testing.B, s *Sarathi) {
+	r := req(1, 0, 1<<30, 1, batchClass())
+	s.Add(r, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		batch := s.PlanBatch(now)
+		now += 40 * sim.Millisecond
+		s.OnBatchComplete(batch, now)
+	}
+}
+
+func BenchmarkPlanBatchUntraced(b *testing.B) {
+	benchPlanLoop(b, NewSarathi(FCFS, 256))
+}
+
+func BenchmarkPlanBatchTraced(b *testing.B) {
+	s := NewSarathi(FCFS, 256)
+	s.SetTracer(trace.NewRing(1024))
+	benchPlanLoop(b, s)
+}
+
+// TestSarathiTracesIterations drives a small workload and checks the ring
+// captured each planned batch with the right composition and queue depths.
+func TestSarathiTracesIterations(t *testing.T) {
+	ring := trace.NewRing(64)
+	s := NewSarathi(FCFS, 256)
+	s.SetTracer(ring)
+
+	a := req(1, 0, 156, 2, batchClass())
+	b2 := req(2, 0, 100, 2, batchClass())
+	s.Add(a, 0)
+	s.Add(b2, 0)
+
+	now := sim.Time(0)
+	iters := 0
+	for s.Pending() > 0 {
+		b := s.PlanBatch(now)
+		now += 40 * sim.Millisecond
+		for _, p := range b.Prefill {
+			p.Req.RecordPrefill(p.Tokens, now)
+		}
+		for _, d := range b.Decodes {
+			d.RecordDecodeToken(now)
+		}
+		s.OnBatchComplete(b, now)
+		iters++
+	}
+
+	got := ring.Snapshot(0)
+	if len(got) != iters {
+		t.Fatalf("traced %d iterations, ran %d", len(got), iters)
+	}
+	first := got[0]
+	if first.Policy != "Sarathi-FCFS" {
+		t.Errorf("policy = %q", first.Policy)
+	}
+	// First iteration: both prefills packed into the 256 budget, both
+	// admissions folded in.
+	if first.Batch.PrefillTokens != 256 || len(first.Batch.Prefill) != 2 {
+		t.Errorf("first batch = %+v", first.Batch)
+	}
+	if first.QueueMain != 2 || first.QueueRelegated != 0 {
+		t.Errorf("first queues = %d/%d", first.QueueMain, first.QueueRelegated)
+	}
+	if len(first.Events) != 2 || first.Events[0].Kind != trace.Admission {
+		t.Errorf("first events = %+v", first.Events)
+	}
+	if first.Events[0].Req != 1 || first.Events[1].Req != 2 {
+		t.Errorf("admission order = %+v", first.Events)
+	}
+	// Iteration latency is the virtual step we advanced by.
+	if first.Actual != 40*sim.Millisecond {
+		t.Errorf("actual = %v", first.Actual)
+	}
+	// Sequence numbers ascend from 1 and tokens are conserved across the
+	// trace: total prefill tokens must equal the two prompts.
+	tokens := 0
+	for i, it := range got {
+		if it.Seq != uint64(i+1) {
+			t.Errorf("iteration %d has seq %d", i, it.Seq)
+		}
+		tokens += it.Batch.PrefillTokens
+	}
+	if want := a.PromptTokens + b2.PromptTokens; tokens != want {
+		t.Errorf("traced prefill tokens = %d, want %d", tokens, want)
+	}
+}

@@ -18,6 +18,7 @@ type VLLM struct {
 	queue          Queue
 	decodes        []*request.Request
 	pending        int
+	TraceState
 }
 
 // DefaultVLLMBatchTokens bounds a prefill-only batch, mirroring vLLM's
@@ -40,6 +41,7 @@ func (v *VLLM) Name() string { return "vLLM" }
 func (v *VLLM) Add(r *request.Request, now sim.Time) {
 	v.pending++
 	v.queue.Insert(r, r.Arrival.Seconds())
+	v.TraceAdmission(r.ID, r.Class.Name, now)
 }
 
 // PlanBatch builds either a prefill-only batch (whole prompts, FCFS, up to
@@ -65,13 +67,17 @@ func (v *VLLM) PlanBatch(now sim.Time) Batch {
 				break
 			}
 		}
+		v.TracePlan(v.Name(), b, now, 0, v.queue.Len(), 0)
 		return b
 	}
-	return Batch{Decodes: v.decodes}
+	b := Batch{Decodes: v.decodes}
+	v.TracePlan(v.Name(), b, now, 0, v.queue.Len(), 0)
+	return b
 }
 
 // OnBatchComplete re-files requests by phase.
 func (v *VLLM) OnBatchComplete(b Batch, now sim.Time) {
+	v.TraceComplete(now)
 	for _, p := range b.Prefill {
 		v.queue.Remove(p.Req)
 		switch p.Req.Phase() {
@@ -97,3 +103,9 @@ func (v *VLLM) OnBatchComplete(b Batch, now sim.Time) {
 
 // Pending is the number of unfinished requests.
 func (v *VLLM) Pending() int { return v.pending }
+
+// QueueLen reports (main, relegated, decode) queue sizes; vLLM has no
+// relegated queue.
+func (v *VLLM) QueueLen() (main, relegated, decode int) {
+	return v.queue.Len(), 0, len(v.decodes)
+}

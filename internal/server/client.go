@@ -46,10 +46,7 @@ func (c *Client) Generate(ctx context.Context, req GenerateRequest, onToken func
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg := make([]byte, 256)
-		n, _ := resp.Body.Read(msg)
-		return TokenEvent{}, fmt.Errorf("server: generate status %d: %s",
-			resp.StatusCode, bytes.TrimSpace(msg[:n]))
+		return TokenEvent{}, decodeError(resp, "generate")
 	}
 
 	scanner := bufio.NewScanner(resp.Body)
@@ -94,6 +91,23 @@ func (c *Client) FetchClasses(ctx context.Context) ([]ClassInfo, error) {
 	return out, c.getJSON(ctx, "/v1/classes", &out)
 }
 
+// FetchTrace reads /debug/trace, asking for up to n recent iterations
+// (server default if n <= 0).
+func (c *Client) FetchTrace(ctx context.Context, n int) (TraceResponse, error) {
+	path := "/debug/trace"
+	if n > 0 {
+		path += fmt.Sprintf("?n=%d", n)
+	}
+	var out TraceResponse
+	return out, c.getJSON(ctx, path, &out)
+}
+
+// FetchQueues reads /debug/queues.
+func (c *Client) FetchQueues(ctx context.Context) (QueuesResponse, error) {
+	var out QueuesResponse
+	return out, c.getJSON(ctx, "/debug/queues", &out)
+}
+
 func (c *Client) getJSON(ctx context.Context, path string, v any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
@@ -105,9 +119,22 @@ func (c *Client) getJSON(ctx context.Context, path string, v any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("server: %s status %d", path, resp.StatusCode)
+		return decodeError(resp, path)
 	}
 	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// decodeError turns a non-2xx response carrying the ErrorResponse schema
+// into a Go error; unparseable bodies fall back to the status code alone.
+func decodeError(resp *http.Response, what string) error {
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err == nil && er.Error != "" {
+		if er.Field != "" {
+			return fmt.Errorf("server: %s status %d: %s (field %q)", what, resp.StatusCode, er.Error, er.Field)
+		}
+		return fmt.Errorf("server: %s status %d: %s", what, resp.StatusCode, er.Error)
+	}
+	return fmt.Errorf("server: %s status %d", what, resp.StatusCode)
 }
 
 // LoadReport summarizes a DriveLoad run.

@@ -2,11 +2,16 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
+	"qoserve/internal/metrics"
 	"qoserve/internal/qos"
+	"qoserve/internal/sim"
+	"qoserve/internal/trace"
 )
 
 // HTTP request/response wire types for the qoserved API.
@@ -42,51 +47,277 @@ type StatsResponse struct {
 	ViolationRate float64 `json:"violation_rate"`
 }
 
+// ErrorResponse is the JSON body of every non-2xx API response.
+type ErrorResponse struct {
+	// Error is a human-readable description of what was rejected.
+	Error string `json:"error"`
+	// Field names the offending request field (JSON naming) when the
+	// error concerns one; empty otherwise.
+	Field string `json:"field,omitempty"`
+}
+
+// TracedEvent is a scheduler event inside a /debug/trace iteration record.
+type TracedEvent struct {
+	AtMS   float64 `json:"at_ms"`
+	Kind   string  `json:"kind"` // admission | relegation | boost | preemption
+	Req    uint64  `json:"req"`
+	Class  string  `json:"class,omitempty"`
+	Reason string  `json:"reason,omitempty"`
+}
+
+// TracedPrefill is one prefill allocation inside a traced batch.
+type TracedPrefill struct {
+	Req      uint64 `json:"req"`
+	Tokens   int    `json:"tokens"`
+	CtxStart int    `json:"ctx_start"`
+}
+
+// TracedIteration is one scheduler iteration in the /debug/trace response.
+type TracedIteration struct {
+	Seq           uint64          `json:"seq"`
+	Policy        string          `json:"policy"`
+	PlannedAtMS   float64         `json:"planned_at_ms"`
+	CompletedAtMS float64         `json:"completed_at_ms"`
+	ChunkTokens   int             `json:"chunk_tokens"`
+	Prefill       []TracedPrefill `json:"prefill,omitempty"`
+	Decodes       int             `json:"decodes"`
+	PredictedMS   float64         `json:"predicted_ms,omitempty"`
+	ActualMS      float64         `json:"actual_ms"`
+	QueueMain     int             `json:"queue_main"`
+	QueueReleg    int             `json:"queue_relegated"`
+	QueueDecode   int             `json:"queue_decode"`
+	Events        []TracedEvent   `json:"events,omitempty"`
+}
+
+// TraceResponse is the GET /debug/trace body.
+type TraceResponse struct {
+	Enabled    bool              `json:"enabled"`
+	Capacity   int               `json:"capacity,omitempty"`
+	Total      uint64            `json:"total"`
+	Iterations []TracedIteration `json:"iterations"`
+}
+
+// QueuesResponse is the GET /debug/queues body.
+type QueuesResponse struct {
+	Policy         string  `json:"policy"`
+	VirtualNowMS   float64 `json:"virtual_now_ms"`
+	Pending        int     `json:"pending"`
+	Served         int     `json:"served"`
+	QueueMain      int     `json:"queue_main"`
+	QueueRelegated int     `json:"queue_relegated"`
+	QueueDecode    int     `json:"queue_decode"`
+	// QueuesReported is false when the scheduler cannot report depths;
+	// the queue fields are then zero.
+	QueuesReported bool   `json:"queues_reported"`
+	TraceEnabled   bool   `json:"trace_enabled"`
+	Iterations     uint64 `json:"iterations"`
+}
+
 // Handler exposes the server over HTTP:
 //
-//	POST /v1/generate — submit a request; the response streams one JSON
-//	                    object per token (chunked), ending with a "done"
-//	                    event carrying the outcome.
-//	GET  /v1/stats    — serving counters and the running violation rate.
-//	GET  /v1/classes  — the configured QoS classes.
+//	POST /v1/generate  — submit a request; the response streams one JSON
+//	                     object per token (chunked), ending with a "done"
+//	                     event carrying the outcome.
+//	GET  /v1/stats     — serving counters and the running violation rate.
+//	GET  /v1/classes   — the configured QoS classes.
+//	GET  /metrics      — Prometheus text exposition: counters, queue-depth
+//	                     gauges, the iteration-latency histogram, and
+//	                     rolling per-class TTFT/TTLT/TBT and violation
+//	                     gauges.
+//	GET  /debug/trace  — recent scheduler iterations (chunk size, batch
+//	                     composition, predicted vs. measured latency,
+//	                     queue depths, relegation/boost/admission events)
+//	                     as JSON; requires Config.TraceDepth > 0.
+//	GET  /debug/queues — live queue-depth snapshot.
+//
+// Non-2xx responses carry an ErrorResponse JSON body.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/classes", s.handleClasses)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
+	mux.HandleFunc("GET /debug/queues", s.handleDebugQueues)
 	return mux
 }
 
-// handleMetrics exposes the counters in Prometheus text format so standard
-// scrapers can watch a qoserved instance.
+// handleMetrics exposes the instrumentation in Prometheus text format so
+// standard scrapers can watch a qoserved instance. Per-class latency and
+// violation gauges are computed over the trailing Config.MetricsWindow of
+// virtual time; everything else is lifetime.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	st := s.Stats()
+	s.mu.Lock()
+	vnow := s.vnowLocked()
+	sum := metrics.NewSummary(s.served, vnow, 1)
+	served := len(s.served)
+	pending := s.cfg.Scheduler.Pending()
+	iterations, tokens := s.iterations, s.tokens
+	prefillTokens, decodeTokens := s.prefillTokens, s.decodeTokens
+	queues := s.queuesLocked()
+	cum, hsum, htotal := s.iterHist.snapshot()
+	relegations, hasReleg := 0, false
+	if rc, ok := s.cfg.Scheduler.(interface{ Relegations() int }); ok {
+		relegations, hasReleg = rc.Relegations(), true
+	}
+	s.mu.Unlock()
+
+	recent := sum.Recent(sim.FromDuration(s.cfg.MetricsWindow))
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP qoserve_requests_total Requests accepted since start.\n")
-	fmt.Fprintf(w, "# TYPE qoserve_requests_total counter\n")
-	fmt.Fprintf(w, "qoserve_requests_total %d\n", st.Served)
-	fmt.Fprintf(w, "# HELP qoserve_requests_pending Requests not yet finished.\n")
-	fmt.Fprintf(w, "# TYPE qoserve_requests_pending gauge\n")
-	fmt.Fprintf(w, "qoserve_requests_pending %d\n", st.Pending)
-	fmt.Fprintf(w, "# HELP qoserve_iterations_total Executed batches.\n")
-	fmt.Fprintf(w, "# TYPE qoserve_iterations_total counter\n")
-	fmt.Fprintf(w, "qoserve_iterations_total %d\n", st.Iterations)
-	fmt.Fprintf(w, "# HELP qoserve_tokens_total Tokens processed.\n")
-	fmt.Fprintf(w, "# TYPE qoserve_tokens_total counter\n")
-	fmt.Fprintf(w, "qoserve_tokens_total %d\n", st.Tokens)
-	fmt.Fprintf(w, "# HELP qoserve_violation_ratio Lifetime SLO violation fraction.\n")
-	fmt.Fprintf(w, "# TYPE qoserve_violation_ratio gauge\n")
-	fmt.Fprintf(w, "qoserve_violation_ratio %g\n", st.ViolationRate)
-	fmt.Fprintf(w, "# HELP qoserve_virtual_seconds Virtual clock position.\n")
-	fmt.Fprintf(w, "# TYPE qoserve_virtual_seconds counter\n")
-	fmt.Fprintf(w, "qoserve_virtual_seconds %g\n", st.VirtualNow.Seconds())
+	p := promWriter{w}
+
+	p.header("qoserve_requests_total", "Requests accepted since start.", "counter")
+	p.intValue("qoserve_requests_total", "", uint64(served))
+	p.header("qoserve_requests_pending", "Requests not yet finished.", "gauge")
+	p.intValue("qoserve_requests_pending", "", uint64(pending))
+	p.header("qoserve_iterations_total", "Executed batches.", "counter")
+	p.intValue("qoserve_iterations_total", "", iterations)
+	p.header("qoserve_tokens_total", "Tokens processed.", "counter")
+	p.intValue("qoserve_tokens_total", "", tokens)
+	p.header("qoserve_prefill_tokens_total", "Prompt tokens processed.", "counter")
+	p.intValue("qoserve_prefill_tokens_total", "", prefillTokens)
+	p.header("qoserve_decode_tokens_total", "Output tokens generated.", "counter")
+	p.intValue("qoserve_decode_tokens_total", "", decodeTokens)
+	p.header("qoserve_violation_ratio", "Lifetime SLO violation fraction.", "gauge")
+	p.value("qoserve_violation_ratio", "", sum.ViolationRate(metrics.All))
+	p.header("qoserve_virtual_seconds", "Virtual clock position.", "counter")
+	p.value("qoserve_virtual_seconds", "", vnow.Seconds())
+
+	if hasReleg {
+		p.header("qoserve_relegations_total", "Requests eagerly relegated.", "counter")
+		p.intValue("qoserve_relegations_total", "", uint64(relegations))
+	}
+	if queues.Reported {
+		p.header("qoserve_queue_depth", "Scheduler queue depths by queue.", "gauge")
+		p.intValue("qoserve_queue_depth", `{queue="main"}`, uint64(queues.Main))
+		p.intValue("qoserve_queue_depth", `{queue="relegated"}`, uint64(queues.Relegated))
+		p.intValue("qoserve_queue_depth", `{queue="decode"}`, uint64(queues.Decode))
+	}
+	if s.tracer != nil {
+		p.header("qoserve_trace_iterations_total", "Iterations recorded by the tracer.", "counter")
+		p.intValue("qoserve_trace_iterations_total", "", s.tracer.Total())
+		p.header("qoserve_trace_events_total", "Scheduler events recorded by the tracer.", "counter")
+		p.intValue("qoserve_trace_events_total", "", s.tracer.Events())
+	}
+
+	p.histogramMetric("qoserve_iteration_virtual_seconds",
+		"Iteration (batch) execution time in virtual seconds.", cum, hsum, htotal)
+
+	// Rolling per-class gauges over the trailing metrics window. Classes
+	// with no traffic in the window report NaN quantiles, the Prometheus
+	// convention for undefined summaries.
+	quantiles := []struct {
+		label string
+		q     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}}
+
+	p.header("qoserve_class_ttft_seconds", "Rolling time-to-first-token quantiles by class.", "gauge")
+	for _, c := range s.cfg.Classes {
+		f := metrics.ByClass(c.Name)
+		for _, qq := range quantiles {
+			p.value("qoserve_class_ttft_seconds",
+				fmt.Sprintf(`{class=%q,quantile=%q}`, c.Name, qq.label), recent.TTFTQuantile(f, qq.q))
+		}
+	}
+	p.header("qoserve_class_ttlt_seconds", "Rolling completion-latency quantiles by class.", "gauge")
+	for _, c := range s.cfg.Classes {
+		f := metrics.ByClass(c.Name)
+		for _, qq := range quantiles {
+			p.value("qoserve_class_ttlt_seconds",
+				fmt.Sprintf(`{class=%q,quantile=%q}`, c.Name, qq.label), recent.TTLTQuantile(f, qq.q))
+		}
+	}
+	p.header("qoserve_class_max_tbt_seconds", "Rolling worst inter-token gap p99 by class.", "gauge")
+	for _, c := range s.cfg.Classes {
+		p.value("qoserve_class_max_tbt_seconds",
+			fmt.Sprintf(`{class=%q,quantile="0.99"}`, c.Name),
+			recent.MaxTBTQuantile(metrics.ByClass(c.Name), 0.99))
+	}
+	p.header("qoserve_class_violation_ratio", "Rolling SLO violation fraction by class.", "gauge")
+	for _, c := range s.cfg.Classes {
+		p.value("qoserve_class_violation_ratio",
+			fmt.Sprintf(`{class=%q}`, c.Name), recent.ViolationRate(metrics.ByClass(c.Name)))
+	}
+	p.header("qoserve_class_requests_total", "Lifetime requests by class.", "counter")
+	for _, c := range s.cfg.Classes {
+		p.intValue("qoserve_class_requests_total",
+			fmt.Sprintf(`{class=%q}`, c.Name), uint64(sum.Count(metrics.ByClass(c.Name))))
+	}
+}
+
+// handleDebugTrace serves the most recent iteration records. Query
+// parameter n bounds the count (default 100). With tracing disabled the
+// response reports enabled=false and no records.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if arg := r.URL.Query().Get("n"); arg != "" {
+		v, err := strconv.Atoi(arg)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "n", "must be a positive integer, got %q", arg)
+			return
+		}
+		n = v
+	}
+	resp := TraceResponse{Iterations: []TracedIteration{}}
+	if s.tracer != nil {
+		resp.Enabled = true
+		resp.Capacity = s.tracer.Cap()
+		resp.Total = s.tracer.Total()
+		for _, it := range s.tracer.Snapshot(n) {
+			resp.Iterations = append(resp.Iterations, tracedIteration(it))
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func tracedIteration(it trace.Iteration) TracedIteration {
+	out := TracedIteration{
+		Seq:           it.Seq,
+		Policy:        it.Policy,
+		PlannedAtMS:   msT(it.PlannedAt),
+		CompletedAtMS: msT(it.CompletedAt),
+		ChunkTokens:   it.Batch.PrefillTokens,
+		Decodes:       it.Batch.Decodes,
+		PredictedMS:   msT(it.Predicted),
+		ActualMS:      msT(it.Actual),
+		QueueMain:     it.QueueMain,
+		QueueReleg:    it.QueueRelegated,
+		QueueDecode:   it.QueueDecode,
+	}
+	for _, pf := range it.Batch.Prefill {
+		out.Prefill = append(out.Prefill, TracedPrefill{Req: pf.Req, Tokens: pf.Tokens, CtxStart: pf.CtxStart})
+	}
+	for _, ev := range it.Events {
+		out.Events = append(out.Events, TracedEvent{
+			AtMS: msT(ev.At), Kind: ev.Kind.String(), Req: ev.Req, Class: ev.Class, Reason: ev.Reason,
+		})
+	}
+	return out
+}
+
+// handleDebugQueues serves a live queue snapshot.
+func (s *Server) handleDebugQueues(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := QueuesResponse{
+		Policy:       s.cfg.Scheduler.Name(),
+		VirtualNowMS: msT(s.vnowLocked()),
+		Pending:      s.cfg.Scheduler.Pending(),
+		Served:       len(s.served),
+		Iterations:   s.iterations,
+		TraceEnabled: s.tracer != nil,
+	}
+	q := s.queuesLocked()
+	resp.QueueMain, resp.QueueRelegated, resp.QueueDecode = q.Main, q.Relegated, q.Decode
+	resp.QueuesReported = q.Reported
+	s.mu.Unlock()
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var req GenerateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "", "malformed request body: %v", err)
 		return
 	}
 	prio := qos.High
@@ -95,7 +326,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	case "low":
 		prio = qos.Low
 	default:
-		http.Error(w, fmt.Sprintf("unknown priority %q", req.Priority), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "priority", "unknown priority %q (want \"high\" or \"low\")", req.Priority)
 		return
 	}
 	stream, err := s.Submit(Submission{
@@ -106,7 +337,15 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		DecodeTokens: req.DecodeTokens,
 	})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		var serr *SubmissionError
+		switch {
+		case errors.As(err, &serr):
+			writeError(w, http.StatusBadRequest, serr.Field, "%s", serr.Msg)
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "", "server is shutting down")
+		default:
+			writeError(w, http.StatusInternalServerError, "", "%v", err)
+		}
 		return
 	}
 
@@ -180,8 +419,18 @@ func (s *Server) handleClasses(w http.ResponseWriter, _ *http.Request) {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "", "%v", err)
 	}
 }
 
+// writeError emits the ErrorResponse schema with the given status. field
+// may be empty when the error is not attributable to one request field.
+func writeError(w http.ResponseWriter, status int, field, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...), Field: field})
+}
+
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func msT(t sim.Time) float64 { return ms(t.Duration()) }

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Counter/gauge/histogram instrumentation for the serving loop, rendered in
+// Prometheus text exposition format (version 0.0.4) by GET /metrics. The
+// implementation is deliberately dependency-free: a fixed-bucket histogram
+// and a tiny writer, updated under the server mutex the loop already holds.
+
+// iterBuckets are the upper bounds (virtual seconds) of the iteration-
+// latency histogram. Iteration times in this system run from a few
+// milliseconds (decode-only batches) to a couple of seconds (relaxed-tier
+// slack stretched by dynamic chunking), so the buckets span that range
+// log-ish.
+var iterBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// histogram is a fixed-bucket cumulative histogram. Not safe for concurrent
+// use; the server guards it with its mutex.
+type histogram struct {
+	counts []uint64 // one per bucket plus +Inf
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(v float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(iterBuckets)+1)
+	}
+	h.sum += v
+	h.total++
+	for i, ub := range iterBuckets {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(iterBuckets)]++
+}
+
+// snapshot returns cumulative bucket counts (Prometheus histograms are
+// cumulative), the sum, and the total count.
+func (h *histogram) snapshot() (cum []uint64, sum float64, total uint64) {
+	cum = make([]uint64, len(iterBuckets)+1)
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		cum[i] = acc
+	}
+	return cum, h.sum, h.total
+}
+
+// promWriter renders Prometheus text format. Write errors are ignored: the
+// destination is an http.ResponseWriter and a gone client needs no
+// recovery.
+type promWriter struct{ w io.Writer }
+
+func (p promWriter) header(name, help, typ string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// value writes one sample line; labels is preformatted like
+// `{class="Q1"}` or empty.
+func (p promWriter) value(name, labels string, v float64) {
+	if math.IsNaN(v) {
+		fmt.Fprintf(p.w, "%s%s NaN\n", name, labels)
+		return
+	}
+	fmt.Fprintf(p.w, "%s%s %g\n", name, labels, v)
+}
+
+func (p promWriter) intValue(name, labels string, v uint64) {
+	fmt.Fprintf(p.w, "%s%s %d\n", name, labels, v)
+}
+
+// histogramMetric writes a full histogram family from a snapshot.
+func (p promWriter) histogramMetric(name, help string, cum []uint64, sum float64, total uint64) {
+	p.header(name, help, "histogram")
+	for i, ub := range iterBuckets {
+		fmt.Fprintf(p.w, "%s_bucket{le=\"%g\"} %d\n", name, ub, cum[i])
+	}
+	fmt.Fprintf(p.w, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	p.value(name+"_sum", "", sum)
+	p.intValue(name+"_count", "", total)
+}

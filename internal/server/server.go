@@ -15,6 +15,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -25,7 +26,26 @@ import (
 	"qoserve/internal/request"
 	"qoserve/internal/sched"
 	"qoserve/internal/sim"
+	"qoserve/internal/trace"
 )
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("server: closed")
+
+// SubmissionError reports an invalid submission. The HTTP layer maps it to
+// a 400 response whose JSON body carries both fields (see the error schema
+// in docs/OPERATIONS.md).
+type SubmissionError struct {
+	// Field is the offending submission field, in wire (JSON) naming.
+	Field string
+	// Msg says what is wrong with it.
+	Msg string
+}
+
+// Error implements error.
+func (e *SubmissionError) Error() string {
+	return fmt.Sprintf("server: invalid %s: %s", e.Field, e.Msg)
+}
 
 // Event is one streamed token notification.
 type Event struct {
@@ -82,6 +102,15 @@ type Config struct {
 	// MaxDecodeTokens bounds a submission's declared output length
 	// (default 4096) so stream buffers stay sane.
 	MaxDecodeTokens int
+	// TraceDepth enables live iteration tracing with a ring buffer
+	// retaining that many iterations, served by GET /debug/trace. Zero
+	// (the default) disables tracing entirely: the scheduler keeps its
+	// no-op tracer and the hot path pays only a branch per iteration.
+	TraceDepth int
+	// MetricsWindow is the trailing window (virtual time) over which the
+	// per-class TTFT/TTLT/TBT and violation-rate gauges on GET /metrics
+	// are computed. Default one minute.
+	MetricsWindow time.Duration
 }
 
 // Server is the real-time serving loop. Create with New, stop with Close.
@@ -97,8 +126,14 @@ type Server struct {
 	streams map[uint64]chan Event
 	served  []*request.Request
 
-	iterations uint64
-	tokens     uint64
+	iterations    uint64
+	tokens        uint64
+	prefillTokens uint64
+	decodeTokens  uint64
+	iterHist      histogram
+
+	// tracer is non-nil when Config.TraceDepth enabled tracing.
+	tracer *trace.Ring
 
 	done chan struct{}
 }
@@ -120,6 +155,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxDecodeTokens == 0 {
 		cfg.MaxDecodeTokens = 4096
 	}
+	if cfg.TraceDepth < 0 {
+		return nil, fmt.Errorf("server: negative trace depth")
+	}
+	if cfg.MetricsWindow == 0 {
+		cfg.MetricsWindow = time.Minute
+	}
 	if len(cfg.Classes) == 0 {
 		return nil, fmt.Errorf("server: no QoS classes configured")
 	}
@@ -129,6 +170,14 @@ func New(cfg Config) (*Server, error) {
 		streams: make(map[uint64]chan Event),
 		start:   time.Now(),
 		done:    make(chan struct{}),
+	}
+	if cfg.TraceDepth > 0 {
+		tr, ok := cfg.Scheduler.(sched.Traceable)
+		if !ok {
+			return nil, fmt.Errorf("server: scheduler %s does not support tracing", cfg.Scheduler.Name())
+		}
+		s.tracer = trace.NewRing(cfg.TraceDepth)
+		tr.SetTracer(s.tracer)
 	}
 	for _, c := range cfg.Classes {
 		if err := c.Validate(); err != nil {
@@ -155,17 +204,20 @@ type Submission struct {
 	DecodeTokens int
 }
 
-// Submit enqueues a request and returns its token stream.
+// Submit enqueues a request and returns its token stream. Validation
+// failures are *SubmissionError; submitting to a closed server returns
+// ErrClosed.
 func (s *Server) Submit(sub Submission) (*Stream, error) {
 	cls, ok := s.classes[sub.Class]
 	if !ok {
-		return nil, fmt.Errorf("server: unknown class %q", sub.Class)
+		return nil, &SubmissionError{Field: "class", Msg: fmt.Sprintf("unknown class %q", sub.Class)}
 	}
 	if sub.PromptTokens <= 0 {
-		return nil, fmt.Errorf("server: prompt tokens %d", sub.PromptTokens)
+		return nil, &SubmissionError{Field: "prompt_tokens", Msg: fmt.Sprintf("%d, must be positive", sub.PromptTokens)}
 	}
 	if sub.DecodeTokens <= 0 || sub.DecodeTokens > s.cfg.MaxDecodeTokens {
-		return nil, fmt.Errorf("server: decode tokens %d outside [1,%d]", sub.DecodeTokens, s.cfg.MaxDecodeTokens)
+		return nil, &SubmissionError{Field: "decode_tokens",
+			Msg: fmt.Sprintf("%d outside [1,%d]", sub.DecodeTokens, s.cfg.MaxDecodeTokens)}
 	}
 	app := sub.App
 	if app == "" {
@@ -175,7 +227,7 @@ func (s *Server) Submit(sub Submission) (*Stream, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, fmt.Errorf("server: closed")
+		return nil, ErrClosed
 	}
 	s.nextID++
 	req := &request.Request{
@@ -225,6 +277,9 @@ func (s *Server) loop() {
 		end := s.vnowLocked()
 		s.iterations++
 		s.tokens += uint64(batch.NewTokens())
+		s.prefillTokens += uint64(batch.PrefillTokens())
+		s.decodeTokens += uint64(len(batch.Decodes))
+		s.iterHist.observe(exec.Seconds())
 		for _, p := range batch.Prefill {
 			before := p.Req.DecodedTokens
 			p.Req.RecordPrefill(p.Tokens, end)
@@ -279,6 +334,37 @@ func (s *Server) Stats() Stats {
 		Tokens:        s.tokens,
 		ViolationRate: sum.ViolationRate(metrics.All),
 	}
+}
+
+// Trace returns the live iteration trace ring, or nil when tracing is
+// disabled (Config.TraceDepth == 0).
+func (s *Server) Trace() *trace.Ring { return s.tracer }
+
+// QueueDepths is a live snapshot of the scheduler's queues.
+type QueueDepths struct {
+	Main      int
+	Relegated int
+	Decode    int
+	// Reported is false when the scheduler does not implement
+	// sched.QueueReporter; the depth fields are then zero.
+	Reported bool
+}
+
+// Queues snapshots the scheduler's queue depths.
+func (s *Server) Queues() QueueDepths {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queuesLocked()
+}
+
+func (s *Server) queuesLocked() QueueDepths {
+	qr, ok := s.cfg.Scheduler.(sched.QueueReporter)
+	if !ok {
+		return QueueDepths{}
+	}
+	d := QueueDepths{Reported: true}
+	d.Main, d.Relegated, d.Decode = qr.QueueLen()
+	return d
 }
 
 // Drain blocks until every accepted request has finished or the context is

@@ -1,0 +1,48 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"qoserve/internal/qos"
+	"qoserve/internal/request"
+	"qoserve/internal/sched"
+	"qoserve/internal/sim"
+	"qoserve/internal/trace"
+)
+
+// Example attaches a Ring tracer to a baseline scheduler, drives one small
+// request through it by hand, and prints the per-iteration decision log.
+// Iteration 1 prefills the whole 100-token prompt (emitting the first output
+// token); iterations 2 and 3 piggyback the remaining decode tokens.
+func Example() {
+	ring := trace.NewRing(16)
+	s := sched.NewSarathi(sched.FCFS, 256)
+	s.SetTracer(ring)
+
+	class := qos.Class{Name: "Q3", Kind: qos.NonInteractive,
+		SLO: qos.SLO{TTLT: 1800 * sim.Second}}
+	r := &request.Request{ID: 1, App: "demo", Class: class,
+		PromptTokens: 100, DecodeTokens: 3}
+	s.Add(r, 0)
+
+	now := sim.Time(0)
+	for s.Pending() > 0 {
+		b := s.PlanBatch(now)
+		now += 40 * sim.Millisecond
+		for _, p := range b.Prefill {
+			p.Req.RecordPrefill(p.Tokens, now)
+		}
+		for _, d := range b.Decodes {
+			d.RecordDecodeToken(now)
+		}
+		s.OnBatchComplete(b, now)
+	}
+
+	for _, it := range ring.Snapshot(0) {
+		fmt.Println(it)
+	}
+	// Output:
+	// iter 1 [Sarathi-FCFS]: chunk=100 prefill=1 decodes=0 queues=1/0/0 events=1
+	// iter 2 [Sarathi-FCFS]: chunk=0 prefill=0 decodes=1 queues=0/0/1 events=0
+	// iter 3 [Sarathi-FCFS]: chunk=0 prefill=0 decodes=1 queues=0/0/1 events=0
+}

@@ -1,0 +1,105 @@
+package trace
+
+import "sync"
+
+// Ring is a bounded, thread-safe iteration tracer: it retains the most
+// recent capacity iterations and discards older ones, so memory stays fixed
+// no matter how long the server runs. Events recorded between iterations
+// accumulate in a pending list and are attached to the next committed
+// iteration.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Iteration
+	cap     int
+	total   uint64 // iterations ever committed; also the latest Seq
+	events  uint64 // events ever recorded
+	pending []Event
+}
+
+// DefaultRingDepth is the ring capacity used when a caller asks for
+// tracing without choosing a depth.
+const DefaultRingDepth = 1024
+
+// NewRing returns a ring retaining the last capacity iterations
+// (DefaultRingDepth if capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingDepth
+	}
+	return &Ring{buf: make([]Iteration, 0, capacity), cap: capacity}
+}
+
+// Enabled reports true: a Ring always retains records.
+func (r *Ring) Enabled() bool { return true }
+
+// Cap is the ring capacity.
+func (r *Ring) Cap() int { return r.cap }
+
+// RecordEvent queues e for attachment to the next committed iteration.
+func (r *Ring) RecordEvent(e Event) {
+	r.mu.Lock()
+	r.pending = append(r.pending, e)
+	r.events++
+	r.mu.Unlock()
+}
+
+// RecordIteration commits it, assigning the next sequence number and
+// attaching all pending events. The oldest record is evicted once the ring
+// is full.
+func (r *Ring) RecordIteration(it Iteration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	it.Seq = r.total
+	if len(r.pending) > 0 {
+		// Hand the accumulated events to the record and start a fresh
+		// pending list; the record owns the slice from here.
+		it.Events = append(it.Events, r.pending...)
+		r.pending = r.pending[:0]
+	}
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, it)
+		return
+	}
+	r.buf[(r.total-1)%uint64(r.cap)] = it
+}
+
+// Total is the number of iterations ever committed (not just retained).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events is the number of events ever recorded.
+func (r *Ring) Events() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events
+}
+
+// Len is the number of iterations currently retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Snapshot returns up to n of the most recent iterations in commit order
+// (oldest first). n <= 0 or n > retained returns everything retained. The
+// returned slice is a copy and safe to use while recording continues.
+func (r *Ring) Snapshot(n int) []Iteration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	retained := len(r.buf)
+	if n <= 0 || n > retained {
+		n = retained
+	}
+	out := make([]Iteration, 0, n)
+	// The ring slot of iteration with Seq s is (s-1) % cap. Walk the last
+	// n sequence numbers in ascending order.
+	for seq := r.total - uint64(n) + 1; seq <= r.total; seq++ {
+		out = append(out, r.buf[(seq-1)%uint64(r.cap)])
+	}
+	return out
+}

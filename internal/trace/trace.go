@@ -1,0 +1,187 @@
+// Package trace records what a scheduler decided, iteration by iteration,
+// while a server or simulation is running.
+//
+// The evaluation pipeline in this repository is post-hoc: internal/metrics
+// freezes request outcomes after a run ends. That is the right shape for
+// reproducing the paper's tables, but it cannot answer the operational
+// question "what is the scheduler doing right now?" — which chunk size
+// dynamic chunking picked, what the batch looked like, how deep the main
+// and relegated queues are, and which requests were just relegated and why.
+// This package provides that live surface.
+//
+// # Model
+//
+// A scheduler emits two record types through the Tracer interface:
+//
+//   - Iteration: one record per planned batch, carrying the chosen prefill
+//     chunk size, the batch composition (per-request prefill allocations
+//     and the decode count), the predicted iteration latency (when the
+//     policy has a latency predictor), the measured latency, and the queue
+//     depths at planning time.
+//   - Event: a point occurrence between or during iterations — a request
+//     admission, an eager relegation (with the reason), or a selective-
+//     preemption boost. Events are folded into the next Iteration record,
+//     so a trace reads as a time-ordered log of decisions with their
+//     triggers attached.
+//
+// # Implementations
+//
+// Two Tracer implementations exist. Nop discards everything and reports
+// Enabled() == false; it is the default wired into every scheduler, and the
+// contract is that a disabled tracer costs nothing: schedulers guard record
+// construction behind Enabled(), so the no-op path performs zero
+// allocations (enforced by TestTraceDisabledZeroAlloc in package sched).
+// Ring retains the last N iterations in a fixed-size ring buffer under a
+// mutex; internal/server attaches one to serve GET /debug/trace.
+//
+// Overhead budget: with tracing enabled, recording one iteration costs one
+// mutex acquisition plus O(batch size) copying into the ring slot —
+// microseconds against iteration times of tens of milliseconds. Disabled
+// tracing costs one predictable branch per iteration.
+package trace
+
+import (
+	"fmt"
+
+	"qoserve/internal/sim"
+)
+
+// EventKind classifies a point occurrence in a scheduler's decision log.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// Admission marks a request entering the scheduler's queues.
+	Admission EventKind = iota
+	// Relegation marks a request moved to the relegated queue (Section
+	// 3.4 eager relegation); the event's Reason says which projection
+	// condemned it.
+	Relegation
+	// Boost marks a selective-preemption boost: a partially-prefilled
+	// request served out of priority order because displacing it would
+	// miss its deadline.
+	Boost
+	// Preemption marks a request whose prefill progress was discarded so
+	// its KV memory could be reclaimed.
+	Preemption
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case Admission:
+		return "admission"
+	case Relegation:
+		return "relegation"
+	case Boost:
+		return "boost"
+	case Preemption:
+		return "preemption"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one point occurrence: an admission, relegation, boost, or
+// preemption, stamped with virtual time and the request it concerns.
+type Event struct {
+	At    sim.Time
+	Kind  EventKind
+	Req   uint64
+	Class string
+	// Reason is a short policy-provided explanation, e.g. "doomed even
+	// alone" or "protects high-priority backlog".
+	Reason string
+}
+
+// PrefillSlice is one prefill allocation inside a traced batch: Tokens
+// prompt tokens of request Req, starting at prompt offset CtxStart.
+type PrefillSlice struct {
+	Req      uint64
+	Tokens   int
+	CtxStart int
+}
+
+// BatchTrace is the trace form of one iteration's batch composition.
+type BatchTrace struct {
+	// Prefill lists the per-request prefill allocations, in the order the
+	// scheduler packed them.
+	Prefill []PrefillSlice
+	// PrefillTokens is the total prompt tokens in the batch — the chosen
+	// chunk size for single-stream chunking policies.
+	PrefillTokens int
+	// Decodes is the number of decode-phase requests piggybacked on the
+	// batch (each contributes one output token).
+	Decodes int
+}
+
+// Iteration is one scheduler iteration's full decision record. The
+// scheduler fills the planning-time fields in PlanBatch and the completion
+// fields in OnBatchComplete; Seq is assigned by the tracer when the record
+// is committed.
+type Iteration struct {
+	// Seq is the 1-based global iteration sequence number.
+	Seq uint64
+	// Policy is the scheduler's Name().
+	Policy string
+	// PlannedAt / CompletedAt are the virtual times the batch was planned
+	// and observed complete.
+	PlannedAt   sim.Time
+	CompletedAt sim.Time
+
+	// Batch is the planned batch composition.
+	Batch BatchTrace
+
+	// Predicted is the policy's own latency prediction for the batch
+	// (zero for policies without a predictor); Actual is the measured
+	// iteration latency (CompletedAt - PlannedAt).
+	Predicted sim.Time
+	Actual    sim.Time
+
+	// QueueMain / QueueRelegated / QueueDecode are the queue depths at
+	// planning time (relegated is zero for policies without relegation).
+	QueueMain      int
+	QueueRelegated int
+	QueueDecode    int
+
+	// Events are the occurrences folded into this iteration: admissions
+	// since the previous iteration plus relegations/boosts decided while
+	// planning this one.
+	Events []Event
+}
+
+// String renders a compact one-line digest, the format the trace example
+// prints.
+func (it Iteration) String() string {
+	return fmt.Sprintf("iter %d [%s]: chunk=%d prefill=%d decodes=%d queues=%d/%d/%d events=%d",
+		it.Seq, it.Policy, it.Batch.PrefillTokens, len(it.Batch.Prefill), it.Batch.Decodes,
+		it.QueueMain, it.QueueRelegated, it.QueueDecode, len(it.Events))
+}
+
+// Tracer receives a scheduler's decision log. Implementations must be safe
+// for use from a single scheduler goroutine; Ring is additionally safe for
+// concurrent readers.
+//
+// The performance contract: callers MUST guard any record construction
+// behind Enabled(), so that a disabled tracer imposes no allocation and no
+// more than a branch per decision.
+type Tracer interface {
+	// Enabled reports whether records are being retained. Callers skip
+	// building records entirely when false.
+	Enabled() bool
+	// RecordEvent logs a point occurrence; it is folded into the next
+	// committed iteration.
+	RecordEvent(e Event)
+	// RecordIteration commits one iteration record.
+	RecordIteration(it Iteration)
+}
+
+// Nop returns the do-nothing Tracer: Enabled() is false and records are
+// discarded. It is the default for every scheduler.
+func Nop() Tracer { return nopTracer{} }
+
+type nopTracer struct{}
+
+func (nopTracer) Enabled() bool             { return false }
+func (nopTracer) RecordEvent(Event)         {}
+func (nopTracer) RecordIteration(Iteration) {}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"testing"
+
+	"qoserve/internal/sim"
+)
+
+func iter(chunk int) Iteration {
+	return Iteration{Policy: "test", Batch: BatchTrace{PrefillTokens: chunk}}
+}
+
+func TestNopDisabledAndSilent(t *testing.T) {
+	tr := Nop()
+	if tr.Enabled() {
+		t.Fatal("Nop tracer reports enabled")
+	}
+	// Must not panic or retain anything.
+	tr.RecordEvent(Event{Kind: Admission, Req: 1})
+	tr.RecordIteration(iter(1))
+}
+
+func TestRingAssignsSequencesInOrder(t *testing.T) {
+	r := NewRing(8)
+	if !r.Enabled() {
+		t.Fatal("ring not enabled")
+	}
+	for i := 1; i <= 5; i++ {
+		r.RecordIteration(iter(i * 100))
+	}
+	if r.Total() != 5 || r.Len() != 5 {
+		t.Fatalf("total = %d, len = %d", r.Total(), r.Len())
+	}
+	got := r.Snapshot(0)
+	if len(got) != 5 {
+		t.Fatalf("snapshot len = %d", len(got))
+	}
+	for i, it := range got {
+		if it.Seq != uint64(i+1) {
+			t.Errorf("snapshot[%d].Seq = %d, want %d", i, it.Seq, i+1)
+		}
+		if it.Batch.PrefillTokens != (i+1)*100 {
+			t.Errorf("snapshot[%d].PrefillTokens = %d", i, it.Batch.PrefillTokens)
+		}
+	}
+}
+
+func TestRingWrapsKeepingNewest(t *testing.T) {
+	const capacity = 4
+	r := NewRing(capacity)
+	for i := 1; i <= 11; i++ {
+		r.RecordIteration(iter(i))
+	}
+	if r.Total() != 11 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	if r.Len() != capacity {
+		t.Fatalf("len = %d, want %d", r.Len(), capacity)
+	}
+	got := r.Snapshot(0)
+	// Must be exactly iterations 8..11 in order.
+	for i, it := range got {
+		want := uint64(8 + i)
+		if it.Seq != want {
+			t.Errorf("snapshot[%d].Seq = %d, want %d", i, it.Seq, want)
+		}
+		if it.Batch.PrefillTokens != int(want) {
+			t.Errorf("snapshot[%d].PrefillTokens = %d, want %d", i, it.Batch.PrefillTokens, want)
+		}
+	}
+}
+
+func TestRingSnapshotBoundsN(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 6; i++ {
+		r.RecordIteration(iter(i))
+	}
+	got := r.Snapshot(2)
+	if len(got) != 2 || got[0].Seq != 5 || got[1].Seq != 6 {
+		t.Fatalf("snapshot(2) = %+v", got)
+	}
+	if got := r.Snapshot(100); len(got) != 4 {
+		t.Fatalf("snapshot(100) len = %d, want 4 (retained)", len(got))
+	}
+}
+
+func TestRingAttachesPendingEventsToNextIteration(t *testing.T) {
+	r := NewRing(4)
+	r.RecordEvent(Event{At: sim.Second, Kind: Admission, Req: 7, Class: "Q1"})
+	r.RecordEvent(Event{At: 2 * sim.Second, Kind: Relegation, Req: 7, Class: "Q1", Reason: "doomed"})
+	r.RecordIteration(iter(1))
+	r.RecordIteration(iter(2))
+
+	got := r.Snapshot(0)
+	if len(got[0].Events) != 2 {
+		t.Fatalf("first iteration events = %d, want 2", len(got[0].Events))
+	}
+	if got[0].Events[0].Kind != Admission || got[0].Events[1].Kind != Relegation {
+		t.Fatalf("event kinds = %v, %v", got[0].Events[0].Kind, got[0].Events[1].Kind)
+	}
+	if got[0].Events[1].Reason != "doomed" {
+		t.Fatalf("reason = %q", got[0].Events[1].Reason)
+	}
+	if len(got[1].Events) != 0 {
+		t.Fatalf("second iteration inherited %d events", len(got[1].Events))
+	}
+	if r.Events() != 2 {
+		t.Fatalf("events counter = %d", r.Events())
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	cases := map[EventKind]string{
+		Admission:    "admission",
+		Relegation:   "relegation",
+		Boost:        "boost",
+		Preemption:   "preemption",
+		EventKind(9): "EventKind(9)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestDefaultRingDepth(t *testing.T) {
+	if r := NewRing(0); r.Cap() != DefaultRingDepth {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+}
