@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race verify bench experiments experiments-full examples quick clean
+.PHONY: all build vet test test-short race chaos fuzz verify bench experiments experiments-full examples quick clean
 
 all: build vet test
 
@@ -21,11 +21,28 @@ test-short:
 race:
 	$(GO) test -race ./internal/server ./internal/sim
 
-# The pre-merge gate CI runs: static checks plus the full suite under the
-# race detector.
+# Fault-injection scenarios under the race detector: scripted and seeded
+# random fault schedules, replayed twice each to assert determinism.
+chaos:
+	$(GO) test -race -run Chaos ./internal/cluster/
+
+# Short fuzzing pass over every fuzz target. The committed seed corpora in
+# testdata/fuzz/ always run as part of `go test`; this adds a bounded
+# exploration on top.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzGenerateWorkload -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzGenerate$$ -fuzztime $(FUZZTIME) ./internal/workload
+	$(GO) test -run '^$$' -fuzz FuzzReadTrace -fuzztime $(FUZZTIME) ./internal/workload
+	$(GO) test -run '^$$' -fuzz FuzzParseSchedule -fuzztime $(FUZZTIME) ./internal/fault
+
+# The pre-merge gate CI runs: static checks, the full suite (seed corpora
+# and chaos scenarios included) under the race detector, then a short
+# fuzzing pass.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz
 
 # One pass over every table/figure benchmark.
 bench:

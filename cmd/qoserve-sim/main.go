@@ -8,6 +8,8 @@
 //	qoserve-sim -dataset ShareGPT -qps 2 -duration 5m -policy sarathi-edf -replicas 2
 //	qoserve-sim -trace trace.jsonl -policy qoserve
 //	qoserve-sim -qps 2 -burst-qps 5 -burst-period 2m -duration 20m -low-priority 0.2
+//	qoserve-sim -replicas 4 -fail "crash@2m:1,restart@4m:1"
+//	qoserve-sim -replicas 4 -fail-mtbf 5m -fail-mttr 1m -fail-seed 7
 package main
 
 import (
@@ -42,6 +44,13 @@ func main() {
 		alpha       = flag.Duration("alpha", 0, "QoServe hybrid alpha per token (0 = paper default, adaptive)")
 		tracePath   = flag.String("trace", "", "serve a JSON-lines trace file instead of synthesizing")
 		outPath     = flag.String("out", "", "write per-request outcomes as CSV to this path")
+
+		failSpec    = flag.String("fail", "", `explicit fault schedule, e.g. "crash@30s:1,restart@1m30s:1,slow@10s:2x3"`)
+		failMTBF    = flag.Duration("fail-mtbf", 0, "mean time between replica failures for a seeded random schedule (0 = no random faults)")
+		failMTTR    = flag.Duration("fail-mttr", 0, "mean time to recovery for random faults (0 = crashed replicas stay down)")
+		failSeed    = flag.Int64("fail-seed", 1, "fault schedule seed")
+		failRetries = flag.Int("fail-retries", 0, "max re-enqueues per crashed request (0 = default 3)")
+		failBackoff = flag.Duration("fail-backoff", 0, "delay before first re-enqueue, doubling per retry (0 = default 50ms)")
 	)
 	flag.Parse()
 
@@ -101,6 +110,14 @@ func main() {
 			Alpha:                *alpha,
 			DisableAdaptiveAlpha: *alpha > 0,
 		},
+		Faults: qoserve.FaultPlan{
+			Schedule:     *failSpec,
+			MTBF:         *failMTBF,
+			MTTR:         *failMTTR,
+			Seed:         *failSeed,
+			MaxRetries:   *failRetries,
+			RetryBackoff: *failBackoff,
+		},
 	}
 	start := time.Now()
 	report, err := qoserve.Serve(opts, reqs)
@@ -119,6 +136,10 @@ func main() {
 		report.Duration.Round(time.Second), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("violations=%.2f%% relegated=%.2f%% goodput=%.3f req/s/replica\n",
 		100*report.ViolationRate, 100*report.RelegationRate, report.Goodput)
+	if f := report.Faults; f != nil {
+		fmt.Printf("faults: crashes=%d restarts=%d retries=%d lost_tokens=%d failed=%d\n",
+			f.Crashes, f.Restarts, f.Retries, f.LostTokens, f.FailedRequests)
+	}
 	for _, c := range qoserve.DefaultClasses() {
 		if report.ViolationRateOf(c.Name) == 0 && report.TTFTPercentile(c.Name, 0.5) == 0 {
 			continue
@@ -142,7 +163,7 @@ func writeOutcomesCSV(path string, report *qoserve.Report) error {
 	w := csv.NewWriter(f)
 	if err := w.Write([]string{
 		"id", "class", "priority", "completed", "violated", "relegated",
-		"ttft_ms", "ttlt_ms", "max_tbt_ms",
+		"ttft_ms", "ttlt_ms", "max_tbt_ms", "retries", "fail_reason",
 	}); err != nil {
 		return err
 	}
@@ -161,6 +182,8 @@ func writeOutcomesCSV(path string, report *qoserve.Report) error {
 			strconv.FormatFloat(float64(o.TTFT)/1e6, 'f', 3, 64),
 			strconv.FormatFloat(float64(o.TTLT)/1e6, 'f', 3, 64),
 			strconv.FormatFloat(float64(o.MaxTBT)/1e6, 'f', 3, 64),
+			strconv.Itoa(o.Retries),
+			o.FailReason,
 		}
 		if err := w.Write(rec); err != nil {
 			return err

@@ -1,0 +1,56 @@
+package qoserve
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzGenerateWorkload throws arbitrary numeric specifications at the
+// public workload generator: it must never panic, hang, or attempt an
+// unbounded allocation — bad inputs return an error, and accepted inputs
+// produce a well-formed trace.
+func FuzzGenerateWorkload(f *testing.F) {
+	// The documented happy paths: steady, bursty (square wave), and
+	// gamma-burstiness traffic, plus degenerate near-misses.
+	f.Add(3.0, 0.0, int64(0), int64(600_000), 0.0, 0.0, int64(1), uint8(2))
+	f.Add(2.0, 5.0, int64(120_000), int64(1_200_000), 0.2, 0.0, int64(7), uint8(0))
+	f.Add(4.0, 0.0, int64(0), int64(300_000), 0.0, 2.5, int64(3), uint8(1))
+	f.Add(0.0, 0.0, int64(0), int64(0), 0.0, 0.0, int64(0), uint8(0))
+	f.Add(1e308, 1e308, int64(1), int64(1<<60), 1.5, -1.0, int64(-1), uint8(255))
+
+	f.Fuzz(func(t *testing.T, qps, burstQPS float64, burstPeriodMS, durationMS int64, lowPrio, cv float64, seed int64, dataset uint8) {
+		spec := WorkloadSpec{
+			Dataset:             Dataset(dataset % 3),
+			QPS:                 qps,
+			BurstQPS:            burstQPS,
+			BurstPeriod:         time.Duration(burstPeriodMS) * time.Millisecond,
+			Duration:            time.Duration(durationMS) * time.Millisecond,
+			LowPriorityFraction: lowPrio,
+			BurstinessCV:        cv,
+			Seed:                seed,
+		}
+		reqs, err := GenerateWorkload(spec)
+		if err != nil {
+			return // rejected loudly: exactly what hostile input should get
+		}
+		if len(reqs) == 0 {
+			t.Fatal("accepted spec produced an empty trace")
+		}
+		if len(reqs) > MaxTraceRequests {
+			t.Fatalf("trace length %d exceeds the documented cap", len(reqs))
+		}
+		prev := time.Duration(-1)
+		for _, r := range reqs {
+			if r.PromptTokens < 1 || r.DecodeTokens < 1 {
+				t.Fatalf("request %d has token counts %d/%d", r.ID, r.PromptTokens, r.DecodeTokens)
+			}
+			if r.Arrival < 0 || r.Arrival < prev {
+				t.Fatalf("request %d arrival %v out of order (prev %v)", r.ID, r.Arrival, prev)
+			}
+			prev = r.Arrival
+			if r.Class == "" {
+				t.Fatalf("request %d has no class", r.ID)
+			}
+		}
+	})
+}

@@ -18,8 +18,14 @@ type RoundRobin struct {
 	next int
 }
 
-// Pick returns successive indices modulo the cluster size.
+// Pick returns successive indices modulo the cluster size. The slice may
+// shrink between calls (health-aware routing passes only the live
+// replicas), so the cursor is clamped before use rather than trusted from
+// the previous call.
 func (b *RoundRobin) Pick(replicas []*replica.Replica, _ *request.Request) int {
+	if b.next >= len(replicas) {
+		b.next = 0
+	}
 	i := b.next
 	b.next = (b.next + 1) % len(replicas)
 	return i

@@ -3,17 +3,31 @@
 // of current practice, round-robin load balancing across replicas, and the
 // capacity searches behind the paper's goodput and GPU-count results
 // (Table 4, Figures 7 and 15b).
+//
+// The cluster also owns failure semantics. Replicas can crash, restart,
+// and degrade (internal/fault injects these deterministically); the
+// balancer routes around down replicas, and requests orphaned by a crash
+// are re-enqueued to a healthy replica with bounded retries and
+// exponential backoff. A retried request loses its KV progress — the
+// cache died with the replica — but keeps its original arrival time and
+// deadline, so EDF/hybrid priority and relegation decisions treat it
+// exactly like a request that had been queued all along. Requests that
+// exhaust the retry budget (or find no healthy replica within the park
+// timeout) are failed with a reason and reported as SLO violations: no
+// request is ever silently dropped.
 package cluster
 
 import (
 	"fmt"
 
+	"qoserve/internal/fault"
 	"qoserve/internal/metrics"
 	"qoserve/internal/model"
 	"qoserve/internal/replica"
 	"qoserve/internal/request"
 	"qoserve/internal/sched"
 	"qoserve/internal/sim"
+	"qoserve/internal/trace"
 )
 
 // SchedulerFactory builds a fresh scheduler for one replica.
@@ -23,8 +37,20 @@ type SchedulerFactory func() sched.Scheduler
 // (round-robin by default, as in the paper).
 type Cluster struct {
 	engine   *sim.Engine
+	cfg      model.Config
+	factory  SchedulerFactory
 	replicas []*replica.Replica
 	balancer Balancer
+	tracer   trace.Tracer
+
+	// Failure state.
+	health   []Health
+	recovery Recovery
+	parked   []*request.Request // waiting for any healthy replica
+	failed   []FailedRequest
+
+	retries    uint64
+	lostTokens uint64
 }
 
 // New builds a cluster of n replicas sharing the given engine.
@@ -32,13 +58,22 @@ func New(engine *sim.Engine, cfg model.Config, n int, factory SchedulerFactory) 
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: replica count %d", n)
 	}
-	c := &Cluster{engine: engine, balancer: &RoundRobin{}}
+	c := &Cluster{
+		engine:   engine,
+		cfg:      cfg,
+		factory:  factory,
+		balancer: &RoundRobin{},
+		tracer:   trace.Nop(),
+		recovery: DefaultRecovery(),
+		health:   make([]Health, n),
+	}
 	for i := 0; i < n; i++ {
 		rep, err := replica.New(engine, cfg, factory())
 		if err != nil {
 			return nil, err
 		}
 		c.replicas = append(c.replicas, rep)
+		c.health[i] = Health{Up: true, SlowFactor: 1}
 	}
 	return c, nil
 }
@@ -46,16 +81,184 @@ func New(engine *sim.Engine, cfg model.Config, n int, factory SchedulerFactory) 
 // SetBalancer replaces the routing policy (before submitting requests).
 func (c *Cluster) SetBalancer(b Balancer) { c.balancer = b }
 
-// Submit routes a request via the balancer.
+// SetRecovery replaces the crash-recovery policy (zero fields take
+// defaults). Call before submitting requests.
+func (c *Cluster) SetRecovery(r Recovery) { c.recovery = r.withDefaults() }
+
+// SetTracer attaches a tracer that receives replica up/down, retry, and
+// failure events (in addition to whatever the per-replica schedulers
+// record into their own tracers).
+func (c *Cluster) SetTracer(t trace.Tracer) {
+	if t == nil {
+		t = trace.Nop()
+	}
+	c.tracer = t
+}
+
+// Submit routes a request via the balancer, considering only healthy
+// replicas. With the whole cluster down the request parks until a replica
+// restarts (or the park timeout fails it).
 func (c *Cluster) Submit(r *request.Request) {
-	c.replicas[c.balancer.Pick(c.replicas, r)].Submit(r)
+	healthy := c.healthyReplicas()
+	if len(healthy) == 0 {
+		c.park(r)
+		return
+	}
+	picked := healthy[c.balancer.Pick(healthy, r)]
+	picked.Submit(r)
+}
+
+// healthyReplicas returns the live subset in index order. When every
+// replica is up it returns the backing slice without copying, so the
+// no-failure fast path allocates nothing.
+func (c *Cluster) healthyReplicas() []*replica.Replica {
+	down := 0
+	for i := range c.health {
+		if !c.health[i].Up {
+			down++
+		}
+	}
+	if down == 0 {
+		return c.replicas
+	}
+	healthy := make([]*replica.Replica, 0, len(c.replicas)-down)
+	for i, rep := range c.replicas {
+		if c.health[i].Up {
+			healthy = append(healthy, rep)
+		}
+	}
+	return healthy
+}
+
+// park queues a request while no replica is healthy and arms its timeout.
+func (c *Cluster) park(r *request.Request) {
+	now := c.engine.Now()
+	c.parked = append(c.parked, r)
+	deadline := now + c.recovery.ParkTimeout
+	c.engine.At(deadline, sim.EventFunc(func(_ *sim.Engine, t sim.Time) {
+		for i, p := range c.parked {
+			if p == r {
+				c.parked = append(c.parked[:i], c.parked[i+1:]...)
+				c.failRequest(r, t, fmt.Sprintf("no healthy replica within %v", c.recovery.ParkTimeout))
+				return
+			}
+		}
+	}))
+}
+
+// flushParked re-submits every parked request, in arrival order, once a
+// replica is healthy again.
+func (c *Cluster) flushParked() {
+	if len(c.parked) == 0 {
+		return
+	}
+	waiting := c.parked
+	c.parked = nil
+	for _, r := range waiting {
+		c.Submit(r)
+	}
+}
+
+// failRequest permanently gives up on a request, recording the reason.
+func (c *Cluster) failRequest(r *request.Request, now sim.Time, reason string) {
+	r.FailedReason = reason
+	c.failed = append(c.failed, FailedRequest{Req: r, At: now, Reason: reason})
+	if c.tracer.Enabled() {
+		c.tracer.RecordEvent(trace.Event{
+			At: now, Kind: trace.RequestFailed, Req: r.ID, Class: r.Class.Name, Reason: reason,
+		})
+	}
+}
+
+// recoverRequest re-enqueues a request orphaned by a crash: progress is
+// discarded (the KV cache died with the replica), the arrival time and
+// deadline survive, and the resubmission is delayed by exponential
+// backoff. Exhausting the retry budget fails the request with a reason.
+func (c *Cluster) recoverRequest(r *request.Request, now sim.Time) {
+	if r.Retries >= c.recovery.MaxRetries {
+		c.failRequest(r, now, fmt.Sprintf("retry budget exhausted after %d attempts", r.Retries+1))
+		return
+	}
+	c.lostTokens += uint64(r.ResetForRetry()) // increments r.Retries
+	c.retries++
+	backoff := c.recovery.Backoff << (r.Retries - 1)
+	if c.tracer.Enabled() {
+		c.tracer.RecordEvent(trace.Event{
+			At: now, Kind: trace.RequestRetry, Req: r.ID, Class: r.Class.Name,
+			Reason: fmt.Sprintf("attempt %d, backoff %v", r.Retries+1, backoff),
+		})
+	}
+	c.engine.At(now+backoff, sim.EventFunc(func(_ *sim.Engine, _ sim.Time) {
+		c.Submit(r)
+	}))
+}
+
+// Size is the number of replicas. (Also part of fault.Target.)
+func (c *Cluster) Size() int { return len(c.replicas) }
+
+// Crash kills replica i at the current virtual time: its in-flight work is
+// orphaned and every orphan re-enqueued (or failed) per the recovery
+// policy. Crashing an already-down replica is a no-op. Implements
+// fault.Target.
+func (c *Cluster) Crash(i int) {
+	if i < 0 || i >= len(c.replicas) || !c.health[i].Up {
+		return
+	}
+	now := c.engine.Now()
+	orphans := c.replicas[i].Fail()
+	c.health[i].Up = false
+	c.health[i].Since = now
+	c.health[i].Crashes++
+	if c.tracer.Enabled() {
+		c.tracer.RecordEvent(trace.Event{
+			At: now, Kind: trace.ReplicaDown, Req: uint64(i),
+			Reason: fmt.Sprintf("crash orphaned %d requests", len(orphans)),
+		})
+	}
+	for _, r := range orphans {
+		c.recoverRequest(r, now)
+	}
+}
+
+// Restart returns crashed replica i to service with a fresh scheduler and
+// an empty KV cache, then re-submits any parked requests. Restarting a
+// live replica is a no-op. Implements fault.Target.
+func (c *Cluster) Restart(i int) {
+	if i < 0 || i >= len(c.replicas) || c.health[i].Up {
+		return
+	}
+	now := c.engine.Now()
+	if err := c.replicas[i].Restart(c.factory()); err != nil {
+		panic(fmt.Sprintf("cluster: restart replica %d: %v", i, err))
+	}
+	c.health[i].Downtime += now - c.health[i].Since
+	c.health[i].Up = true
+	c.health[i].Since = now
+	c.health[i].Restarts++
+	if c.tracer.Enabled() {
+		c.tracer.RecordEvent(trace.Event{At: now, Kind: trace.ReplicaUp, Req: uint64(i)})
+	}
+	c.flushParked()
+}
+
+// SetSlow sets replica i's execution-time multiplier (<= 1 restores
+// nominal speed). Implements fault.Target.
+func (c *Cluster) SetSlow(i int, factor float64) {
+	if i < 0 || i >= len(c.replicas) {
+		return
+	}
+	c.replicas[i].SetSlowFactor(factor)
+	c.health[i].SlowFactor = c.replicas[i].SlowFactor()
+	if c.tracer.Enabled() {
+		c.tracer.RecordEvent(trace.Event{
+			At: c.engine.Now(), Kind: trace.ReplicaSlow, Req: uint64(i),
+			Reason: fmt.Sprintf("factor %g", c.replicas[i].SlowFactor()),
+		})
+	}
 }
 
 // Replicas returns the cluster's replicas.
 func (c *Cluster) Replicas() []*replica.Replica { return c.replicas }
-
-// Size is the number of replicas.
-func (c *Cluster) Size() int { return len(c.replicas) }
 
 // GPUs is the total GPU count (replicas x TP degree).
 func (c *Cluster) GPUs(cfg model.Config) int { return len(c.replicas) * cfg.GPUs() }
@@ -63,14 +266,30 @@ func (c *Cluster) GPUs(cfg model.Config) int { return len(c.replicas) * cfg.GPUs
 // RunShared simulates a shared cluster of n replicas serving the whole
 // trace, returning the metrics summary.
 func RunShared(cfg model.Config, n int, factory SchedulerFactory, trace []*request.Request, horizon sim.Time) (*metrics.Summary, error) {
+	sum, _, err := RunFaulty(cfg, n, factory, trace, horizon, nil, Recovery{})
+	return sum, err
+}
+
+// RunFaulty simulates a shared cluster of n replicas serving the trace
+// while the fault schedule plays out, returning the metrics summary and
+// the cluster's failure/recovery counters. A nil or empty schedule reduces
+// to RunShared. Determinism: with a fixed trace and schedule the run is a
+// pure function of its inputs — two runs produce identical summaries.
+func RunFaulty(cfg model.Config, n int, factory SchedulerFactory, trace []*request.Request, horizon sim.Time, faults fault.Schedule, rec Recovery) (*metrics.Summary, FaultStats, error) {
 	engine := sim.NewEngine()
 	c, err := New(engine, cfg, n, factory)
 	if err != nil {
-		return nil, err
+		return nil, FaultStats{}, err
+	}
+	c.SetRecovery(rec)
+	if len(faults) > 0 {
+		if err := fault.Arm(engine, c, faults); err != nil {
+			return nil, FaultStats{}, err
+		}
 	}
 	scheduleArrivals(engine, c, trace)
 	end := engine.RunUntil(horizon)
-	return metrics.NewSummary(trace, end, n), nil
+	return metrics.NewSummary(trace, end, n), c.FaultStats(), nil
 }
 
 // SiloPlan maps QoS class names to dedicated replica counts and the

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+
+	"qoserve/internal/request"
+	"qoserve/internal/sim"
+)
+
+// Health is the cluster's view of one replica: liveness, transition
+// history, degradation, and probe bookkeeping.
+type Health struct {
+	// Up reports whether the replica is in service.
+	Up bool
+	// Since is the virtual time of the last up/down transition.
+	Since sim.Time
+	// Crashes and Restarts count lifecycle transitions.
+	Crashes  uint64
+	Restarts uint64
+	// SlowFactor is the current execution-time multiplier (1 nominal).
+	SlowFactor float64
+	// Downtime accumulates virtual time spent down (closed intervals
+	// only; an ongoing outage is not included until it ends).
+	Downtime sim.Time
+	// LastProbe is the virtual time of the most recent periodic probe;
+	// Probes counts them.
+	LastProbe sim.Time
+	Probes    uint64
+}
+
+// Health returns a snapshot of per-replica health state, indexed like
+// Replicas().
+func (c *Cluster) Health() []Health {
+	out := make([]Health, len(c.health))
+	copy(out, c.health)
+	return out
+}
+
+// StartProbes schedules a periodic health probe every interval up to and
+// including the until bound. Probes observe each replica's liveness into
+// the Health records — the state a real control plane would collect from
+// heartbeats — without affecting routing, which reacts to failures
+// immediately (the simulator has no detection latency to model yet). An
+// explicit bound keeps the event queue finite so unbounded runs still
+// drain.
+func (c *Cluster) StartProbes(interval, until sim.Time) error {
+	if interval <= 0 {
+		return fmt.Errorf("cluster: probe interval %v", interval)
+	}
+	for t := c.engine.Now() + interval; t <= until; t += interval {
+		c.engine.At(t, sim.EventFunc(func(_ *sim.Engine, now sim.Time) {
+			for i := range c.health {
+				c.health[i].LastProbe = now
+				c.health[i].Probes++
+			}
+		}))
+	}
+	return nil
+}
+
+// Recovery configures how the cluster re-dispatches work orphaned by a
+// replica crash.
+type Recovery struct {
+	// MaxRetries bounds how many times one request may be re-enqueued
+	// before the cluster permanently fails it. Default 3.
+	MaxRetries int
+	// Backoff is the delay before the first re-enqueue; it doubles per
+	// retry (exponential backoff). Default 50 ms.
+	Backoff sim.Time
+	// ParkTimeout bounds how long a request may wait parked for any
+	// healthy replica before being failed. Default 5 minutes.
+	ParkTimeout sim.Time
+}
+
+// DefaultRecovery returns the default recovery policy.
+func DefaultRecovery() Recovery {
+	return Recovery{MaxRetries: 3, Backoff: 50 * sim.Millisecond, ParkTimeout: 5 * sim.Minute}
+}
+
+// withDefaults fills zero fields.
+func (r Recovery) withDefaults() Recovery {
+	d := DefaultRecovery()
+	if r.MaxRetries <= 0 {
+		r.MaxRetries = d.MaxRetries
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = d.Backoff
+	}
+	if r.ParkTimeout <= 0 {
+		r.ParkTimeout = d.ParkTimeout
+	}
+	return r
+}
+
+// FailedRequest records one request the cluster permanently gave up on,
+// with the reason — the contract is that no request ever disappears
+// silently: it completes, or it appears here (and is counted an SLO
+// violation in metrics).
+type FailedRequest struct {
+	Req    *request.Request
+	At     sim.Time
+	Reason string
+}
+
+// FaultStats aggregates the cluster's failure and recovery counters.
+type FaultStats struct {
+	// Crashes and Restarts count replica lifecycle transitions.
+	Crashes  uint64
+	Restarts uint64
+	// Retries counts request re-enqueues after crashes.
+	Retries uint64
+	// LostTokens is the total context tokens of progress discarded by
+	// crashes (prefilled prompt plus generated output at crash time).
+	LostTokens uint64
+	// FailedRequests counts requests permanently failed with a reason.
+	FailedRequests int
+	// Parked is the number of requests currently waiting for any healthy
+	// replica (nonzero only while the whole cluster is down).
+	Parked int
+	// Down is the number of replicas currently out of service.
+	Down int
+}
+
+// FaultStats snapshots the cluster's failure/recovery counters.
+func (c *Cluster) FaultStats() FaultStats {
+	s := FaultStats{
+		Retries:        c.retries,
+		LostTokens:     c.lostTokens,
+		FailedRequests: len(c.failed),
+		Parked:         len(c.parked),
+	}
+	for _, h := range c.health {
+		s.Crashes += h.Crashes
+		s.Restarts += h.Restarts
+		if !h.Up {
+			s.Down++
+		}
+	}
+	return s
+}
+
+// Failed returns every permanently failed request with its reason.
+func (c *Cluster) Failed() []FailedRequest {
+	out := make([]FailedRequest, len(c.failed))
+	copy(out, c.failed)
+	return out
+}

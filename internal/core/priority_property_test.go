@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"qoserve/internal/model"
+	"qoserve/internal/predictor"
+	"qoserve/internal/qos"
+	"qoserve/internal/request"
+	"qoserve/internal/sim"
+)
+
+// Property tests for the hybrid priority key (Section 3.4, Eqs. 4-5):
+// the key must induce a transitive order over arbitrary requests, reduce
+// to pure EDF at alpha = 0, and approach remaining-work (SRPF-like)
+// ordering as alpha grows without bound.
+
+// propScheduler builds a scheduler with a pinned alpha (no adaptive
+// switching, so the key is a pure function of the request).
+func propScheduler(alpha sim.Time) *Scheduler {
+	opts := DefaultOptions()
+	opts.Alpha = alpha
+	opts.AdaptiveAlpha = false
+	return New(predictor.Oracle{Config: model.Llama3_8B_A100_TP1()}, opts)
+}
+
+// randomRequest draws a request with random class, arrival, prompt
+// progress, and decode estimate from the given source.
+func randomRequest(rng *rand.Rand, id uint64) *request.Request {
+	classes := qos.Table3()
+	r := &request.Request{
+		ID:              id,
+		Class:           classes[rng.Intn(len(classes))],
+		Arrival:         sim.Time(rng.Int63n(int64(10 * sim.Minute))),
+		PromptTokens:    1 + rng.Intn(4000),
+		DecodeTokens:    1 + rng.Intn(1000),
+		EstDecodeTokens: 1 + rng.Intn(1000),
+	}
+	r.PrefilledTokens = rng.Intn(r.PromptTokens + 1) // partial progress allowed
+	return r
+}
+
+// deadline is the EDF key the paper's Eq. 4 reduces to at alpha = 0.
+func deadline(r *request.Request) sim.Time {
+	if r.Class.Kind == qos.Interactive {
+		return r.Arrival + r.Class.SLO.TTFT
+	}
+	return r.Arrival + r.Class.SLO.TTLT
+}
+
+// remainingWork mirrors the work term of Eq. 5.
+func remainingWork(r *request.Request) int {
+	if r.Class.Kind == qos.Interactive {
+		return r.RemainingPrefill()
+	}
+	return r.RemainingPrefill() + r.EstDecodeTokens
+}
+
+// TestPriorityKeyTransitive checks the key induces a consistent total
+// order: for random triples under the paper-default alpha, a <= b and
+// b <= c imply a <= c, and the comparison is antisymmetric.
+func TestPriorityKeyTransitive(t *testing.T) {
+	s := propScheduler(8 * sim.Millisecond)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		a := randomRequest(rng, 1)
+		b := randomRequest(rng, 2)
+		c := randomRequest(rng, 3)
+		ka, kb, kc := s.priorityKey(a), s.priorityKey(b), s.priorityKey(c)
+		if ka <= kb && kb <= kc && ka > kc {
+			t.Fatalf("transitivity violated: key(a)=%v <= key(b)=%v <= key(c)=%v but key(a) > key(c)", ka, kb, kc)
+		}
+		// Purity: the same request keys identically on repeated evaluation.
+		if s.priorityKey(a) != ka {
+			t.Fatal("priority key not a pure function of the request")
+		}
+	}
+}
+
+// TestPriorityKeyAlphaZeroIsEDF checks Eq. 4 at alpha = 0: the order is
+// exactly earliest-deadline-first, regardless of remaining work.
+func TestPriorityKeyAlphaZeroIsEDF(t *testing.T) {
+	s := propScheduler(0)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		a := randomRequest(rng, 1)
+		b := randomRequest(rng, 2)
+		ka, kb := s.priorityKey(a), s.priorityKey(b)
+		da, db := deadline(a), deadline(b)
+		if da < db && ka >= kb {
+			t.Fatalf("alpha=0: deadline(a)=%v < deadline(b)=%v but key(a)=%v >= key(b)=%v", da, db, ka, kb)
+		}
+		if da == db && ka != kb {
+			t.Fatalf("alpha=0: equal deadlines %v keyed differently: %v vs %v", da, ka, kb)
+		}
+	}
+}
+
+// TestPriorityKeyLargeAlphaIsSRPF checks the alpha -> infinity limit of
+// Eq. 5: with the work term dominating any deadline difference, the order
+// is shortest-remaining-work-first.
+func TestPriorityKeyLargeAlphaIsSRPF(t *testing.T) {
+	// 1000 hours per token: one token of work difference outweighs any
+	// deadline spread this test can generate (minutes).
+	s := propScheduler(1000 * sim.Hour)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		a := randomRequest(rng, 1)
+		b := randomRequest(rng, 2)
+		wa, wb := remainingWork(a), remainingWork(b)
+		ka, kb := s.priorityKey(a), s.priorityKey(b)
+		if wa < wb && ka >= kb {
+			t.Fatalf("large alpha: work(a)=%d < work(b)=%d but key(a)=%v >= key(b)=%v", wa, wb, ka, kb)
+		}
+		if wa == wb {
+			// Ties fall back to the deadline term.
+			da, db := deadline(a), deadline(b)
+			if da < db && ka >= kb {
+				t.Fatalf("large alpha tie: deadline(a)=%v < deadline(b)=%v but key(a)=%v >= key(b)=%v", da, db, ka, kb)
+			}
+		}
+	}
+}
+
+// TestPriorityKeyPrefillProgressRaisesPriority checks the mechanism the
+// selective-preemption boost relies on: as a request's prefill advances,
+// its remaining work shrinks, so at positive alpha its key can only
+// improve (decrease) while the deadline term stays fixed.
+func TestPriorityKeyPrefillProgressRaisesPriority(t *testing.T) {
+	s := propScheduler(8 * sim.Millisecond)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 500; trial++ {
+		r := randomRequest(rng, 1)
+		r.PrefilledTokens = 0
+		before := s.priorityKey(r)
+		r.PrefilledTokens = r.PromptTokens / 2
+		mid := s.priorityKey(r)
+		r.PrefilledTokens = r.PromptTokens
+		after := s.priorityKey(r)
+		if mid > before || after > mid {
+			t.Fatalf("key rose as prefill advanced: %v -> %v -> %v", before, mid, after)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package fault provides deterministic fault injection for the cluster
+// layer: scripted or seeded-random schedules of replica crashes, restarts,
+// and slow-replica (straggler) degradations, armed onto the discrete-event
+// simulation engine.
+//
+// Everything here is deterministic by construction. A Schedule is a plain
+// sorted list of timed injections; Random generates one from a seed using
+// exponential up/down alternation (MTBF/MTTR), and Arm turns a schedule
+// into simulation events. Two runs with the same workload seed and the
+// same fault schedule produce byte-identical metrics, which is what makes
+// chaos testing assertable: the test replays a schedule and checks that
+// no request is ever silently dropped.
+//
+// The package deliberately knows nothing about clusters or replicas beyond
+// the three-verb Target interface, so it sits below internal/cluster in
+// the dependency order and can drive any component that exposes indexed
+// crash/restart/degrade operations.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"qoserve/internal/sim"
+)
+
+// Kind classifies one injected fault.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// Crash kills a replica: in-flight work is orphaned, KV state lost.
+	Crash Kind = iota
+	// Restart returns a crashed replica to service (fresh scheduler,
+	// empty KV cache).
+	Restart
+	// Slow multiplies a replica's iteration time by Factor (a straggler
+	// GPU); Factor <= 1 restores nominal speed.
+	Slow
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Restart:
+		return "restart"
+	case Slow:
+		return "slow"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Injection is one timed fault: at virtual time At, apply Kind to replica
+// index Replica. Factor is the latency multiplier for Slow injections and
+// ignored otherwise.
+type Injection struct {
+	At      sim.Time
+	Replica int
+	Kind    Kind
+	Factor  float64
+}
+
+// Validate reports an input error, if any. replicas bounds the replica
+// index; pass 0 to skip the bound check (index unknown yet).
+func (in Injection) Validate(replicas int) error {
+	if in.At < 0 {
+		return fmt.Errorf("fault: injection at negative time %v", in.At)
+	}
+	if in.Replica < 0 {
+		return fmt.Errorf("fault: negative replica index %d", in.Replica)
+	}
+	if replicas > 0 && in.Replica >= replicas {
+		return fmt.Errorf("fault: replica index %d out of range [0,%d)", in.Replica, replicas)
+	}
+	if in.Kind == Slow && (in.Factor != in.Factor || in.Factor < 0) { // NaN or negative
+		return fmt.Errorf("fault: slow injection with factor %v", in.Factor)
+	}
+	if in.Kind > Slow {
+		return fmt.Errorf("fault: unknown kind %d", in.Kind)
+	}
+	return nil
+}
+
+// String renders the injection in the spec syntax ParseSchedule accepts:
+// kind@duration:replica for crash/restart, kind@duration:replicaxfactor
+// for slow.
+func (in Injection) String() string {
+	s := fmt.Sprintf("%s@%s:%d", in.Kind, in.At, in.Replica)
+	if in.Kind == Slow {
+		s += "x" + strconv.FormatFloat(in.Factor, 'g', -1, 64)
+	}
+	return s
+}
+
+// Schedule is a time-ordered list of injections.
+type Schedule []Injection
+
+// Validate checks every injection; replicas bounds the indices (0 skips).
+func (s Schedule) Validate(replicas int) error {
+	for i, in := range s {
+		if err := in.Validate(replicas); err != nil {
+			return fmt.Errorf("injection %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Sort orders the schedule by (time, replica, kind) so that arming it is
+// deterministic regardless of construction order. Restart sorts after
+// Crash at equal timestamps, preserving crash-then-recover semantics.
+func (s Schedule) Sort() {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].At != s[j].At {
+			return s[i].At < s[j].At
+		}
+		if s[i].Replica != s[j].Replica {
+			return s[i].Replica < s[j].Replica
+		}
+		return s[i].Kind < s[j].Kind
+	})
+}
+
+// String renders the schedule as a spec string ParseSchedule round-trips.
+func (s Schedule) String() string {
+	parts := make([]string, len(s))
+	for i, in := range s {
+		parts[i] = in.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSchedule parses a comma-separated injection spec:
+//
+//	crash@30s:1           crash replica 1 at t=30s
+//	restart@1m:1          restart replica 1 at t=1m
+//	slow@10s:2x3.5        slow replica 2 by 3.5x from t=10s
+//	slow@90s:2x1          restore replica 2 at t=90s
+//
+// Durations use Go syntax. The result is sorted and validated (indices
+// unbounded; pass the cluster size to Schedule.Validate for a bound check).
+func ParseSchedule(spec string) (Schedule, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var s Schedule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		in, err := parseInjection(part)
+		if err != nil {
+			return nil, err
+		}
+		s = append(s, in)
+	}
+	s.Sort()
+	if err := s.Validate(0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseInjection(part string) (Injection, error) {
+	kindStr, rest, ok := strings.Cut(part, "@")
+	if !ok {
+		return Injection{}, fmt.Errorf("fault: %q: want kind@time:replica", part)
+	}
+	var in Injection
+	switch kindStr {
+	case "crash":
+		in.Kind = Crash
+	case "restart":
+		in.Kind = Restart
+	case "slow":
+		in.Kind = Slow
+	default:
+		return Injection{}, fmt.Errorf("fault: %q: unknown kind %q (want crash, restart, or slow)", part, kindStr)
+	}
+	atStr, repStr, ok := strings.Cut(rest, ":")
+	if !ok {
+		return Injection{}, fmt.Errorf("fault: %q: missing replica index", part)
+	}
+	d, err := time.ParseDuration(atStr)
+	if err != nil {
+		return Injection{}, fmt.Errorf("fault: %q: bad time %q: %v", part, atStr, err)
+	}
+	in.At = sim.FromDuration(d)
+	if in.Kind == Slow {
+		idxStr, facStr, ok := strings.Cut(repStr, "x")
+		if !ok {
+			return Injection{}, fmt.Errorf("fault: %q: slow wants replicaxfactor (e.g. 2x3.5)", part)
+		}
+		f, err := strconv.ParseFloat(facStr, 64)
+		if err != nil {
+			return Injection{}, fmt.Errorf("fault: %q: bad factor %q: %v", part, facStr, err)
+		}
+		in.Factor = f
+		repStr = idxStr
+	}
+	idx, err := strconv.Atoi(repStr)
+	if err != nil {
+		return Injection{}, fmt.Errorf("fault: %q: bad replica index %q: %v", part, repStr, err)
+	}
+	in.Replica = idx
+	if err := in.Validate(0); err != nil {
+		return Injection{}, err
+	}
+	return in, nil
+}

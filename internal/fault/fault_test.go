@@ -1,0 +1,223 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"qoserve/internal/sim"
+)
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	spec := "crash@30s:1,restart@1m30s:1,slow@10s:2x3.5,slow@2m:2x1"
+	s, err := ParseSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 4 {
+		t.Fatalf("parsed %d injections, want 4", len(s))
+	}
+	// Sorted by time.
+	want := Schedule{
+		{At: 10 * sim.Second, Replica: 2, Kind: Slow, Factor: 3.5},
+		{At: 30 * sim.Second, Replica: 1, Kind: Crash},
+		{At: 90 * sim.Second, Replica: 1, Kind: Restart},
+		{At: 2 * sim.Minute, Replica: 2, Kind: Slow, Factor: 1},
+	}
+	if !reflect.DeepEqual(s, want) {
+		t.Fatalf("parsed %v, want %v", s, want)
+	}
+	// String() re-parses to the same schedule.
+	back, err := ParseSchedule(s.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s.String(), err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Fatalf("round trip %v != %v", back, s)
+	}
+}
+
+func TestParseScheduleEmpty(t *testing.T) {
+	for _, spec := range []string{"", "   ", ",", " , "} {
+		s, err := ParseSchedule(spec)
+		if err != nil || len(s) != 0 {
+			t.Errorf("ParseSchedule(%q) = %v, %v; want empty, nil", spec, s, err)
+		}
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, spec := range []string{
+		"explode@30s:1",  // unknown kind
+		"crash@30s",      // missing replica
+		"crash:1",        // missing time
+		"crash@eleven:1", // bad duration
+		"crash@30s:x",    // bad index
+		"crash@30s:-1",   // negative index
+		"crash@-5s:1",    // negative time
+		"slow@30s:1",     // slow without factor
+		"slow@30s:1x-2",  // negative factor
+		"slow@30s:1xq",   // unparseable factor
+	} {
+		if _, err := ParseSchedule(spec); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", spec)
+		}
+	}
+}
+
+func TestScheduleValidateBounds(t *testing.T) {
+	s := Schedule{{At: sim.Second, Replica: 3, Kind: Crash}}
+	if err := s.Validate(3); err == nil {
+		t.Error("out-of-range replica accepted")
+	}
+	if err := s.Validate(4); err != nil {
+		t.Errorf("in-range replica rejected: %v", err)
+	}
+	if err := s.Validate(0); err != nil {
+		t.Errorf("unbounded validation rejected: %v", err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	cfg := RandomConfig{Seed: 7, Replicas: 4, Horizon: sim.Hour, MTBF: 5 * sim.Minute, MTTR: sim.Minute}
+	a, err := Random(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("hour-long horizon with 5m MTBF produced no injections")
+	}
+	cfg.Seed = 8
+	c, err := Random(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Per-replica alternation: first event for each replica is a crash,
+	// and crashes/restarts alternate.
+	state := map[int]Kind{}
+	for _, in := range a {
+		if in.At >= cfg.Horizon {
+			t.Fatalf("injection %v beyond horizon", in)
+		}
+		prev, seen := state[in.Replica]
+		if !seen && in.Kind != Crash {
+			t.Fatalf("replica %d starts with %v, want crash", in.Replica, in.Kind)
+		}
+		if seen && in.Kind == prev {
+			t.Fatalf("replica %d has consecutive %v injections", in.Replica, in.Kind)
+		}
+		state[in.Replica] = in.Kind
+	}
+}
+
+func TestRandomNoRepair(t *testing.T) {
+	s, err := Random(RandomConfig{Seed: 1, Replicas: 3, Horizon: sim.Hour, MTBF: sim.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perReplica := map[int]int{}
+	for _, in := range s {
+		if in.Kind != Crash {
+			t.Fatalf("MTTR=0 produced %v", in)
+		}
+		perReplica[in.Replica]++
+	}
+	for rep, n := range perReplica {
+		if n != 1 {
+			t.Fatalf("replica %d crashed %d times without repair", rep, n)
+		}
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	bad := []RandomConfig{
+		{Seed: 1, Replicas: 0, Horizon: sim.Hour, MTBF: sim.Minute},
+		{Seed: 1, Replicas: 2, Horizon: 0, MTBF: sim.Minute},
+		{Seed: 1, Replicas: 2, Horizon: sim.Hour, MTBF: 0},
+		{Seed: 1, Replicas: 2, Horizon: sim.Hour, MTBF: sim.Minute, MTTR: -sim.Second},
+	}
+	for _, cfg := range bad {
+		if _, err := Random(cfg); err == nil {
+			t.Errorf("Random(%+v) accepted", cfg)
+		}
+	}
+}
+
+// fakeTarget records applied injections in order.
+type fakeTarget struct {
+	size int
+	log  []string
+	eng  *sim.Engine
+}
+
+func (f *fakeTarget) Size() int { return f.size }
+func (f *fakeTarget) Crash(i int) {
+	f.log = append(f.log, Injection{At: f.eng.Now(), Replica: i, Kind: Crash}.String())
+}
+func (f *fakeTarget) Restart(i int) {
+	f.log = append(f.log, Injection{At: f.eng.Now(), Replica: i, Kind: Restart}.String())
+}
+func (f *fakeTarget) SetSlow(i int, factor float64) {
+	f.log = append(f.log, Injection{At: f.eng.Now(), Replica: i, Kind: Slow, Factor: factor}.String())
+}
+
+func TestArmAppliesInOrder(t *testing.T) {
+	engine := sim.NewEngine()
+	target := &fakeTarget{size: 3, eng: engine}
+	s, err := ParseSchedule("restart@20s:0,crash@10s:0,slow@15s:1x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Arm(engine, target, s); err != nil {
+		t.Fatal(err)
+	}
+	engine.Run()
+	want := []string{"crash@10s:0", "slow@15s:1x2", "restart@20s:0"}
+	if !reflect.DeepEqual(target.log, want) {
+		t.Fatalf("applied %v, want %v", target.log, want)
+	}
+}
+
+func TestArmRejectsOutOfRange(t *testing.T) {
+	engine := sim.NewEngine()
+	target := &fakeTarget{size: 2, eng: engine}
+	s := Schedule{{At: sim.Second, Replica: 5, Kind: Crash}}
+	if err := Arm(engine, target, s); err == nil {
+		t.Fatal("out-of-range injection armed")
+	}
+}
+
+// orderTarget appends every applied injection to a shared ordered log.
+type orderTarget struct{ order *[]string }
+
+func (o orderTarget) Size() int            { return 1 }
+func (o orderTarget) Crash(int)            { *o.order = append(*o.order, "crash") }
+func (o orderTarget) Restart(int)          { *o.order = append(*o.order, "restart") }
+func (o orderTarget) SetSlow(int, float64) { *o.order = append(*o.order, "slow") }
+
+func TestInjectionsFireBeforeArrivals(t *testing.T) {
+	// A fault and an arrival at the same timestamp: the fault must win,
+	// otherwise a crash at t could race the arrival it should orphan.
+	engine := sim.NewEngine()
+	var order []string
+	engine.AtPriority(sim.Second, -1, sim.EventFunc(func(_ *sim.Engine, _ sim.Time) {
+		order = append(order, "arrival")
+	}))
+	if err := Arm(engine, orderTarget{&order}, Schedule{{At: sim.Second, Replica: 0, Kind: Crash}}); err != nil {
+		t.Fatal(err)
+	}
+	engine.Run()
+	want := []string{"crash", "arrival"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}

@@ -1,0 +1,37 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSchedule feeds arbitrary specification strings to the fault
+// schedule parser: it must never panic, and any schedule it accepts must
+// survive a String/Parse round trip unchanged (the property the CLI's
+// -fail flag relies on).
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("crash@30s:1,restart@1m30s:1,slow@10s:2x3.5")
+	f.Add("crash@0s:0")
+	f.Add("slow@1h:3x0.5")
+	f.Add("")
+	f.Add("crash@-5s:1")
+	f.Add("slow@30s:1x")
+	f.Add("explode@1s:2,,crash@@:x")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(0); err != nil {
+			t.Fatalf("accepted schedule fails validation: %v", err)
+		}
+		back, err := ParseSchedule(s.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", s.String(), err)
+		}
+		if !reflect.DeepEqual(back, s) {
+			t.Fatalf("round trip changed the schedule: %v != %v", back, s)
+		}
+	})
+}

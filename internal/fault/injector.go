@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"fmt"
+
+	"qoserve/internal/sim"
+)
+
+// Target is the surface an injector drives. internal/cluster.Cluster
+// implements it; tests can substitute fakes.
+type Target interface {
+	// Size is the number of replicas (bounds injection indices).
+	Size() int
+	// Crash kills replica i at the current virtual time.
+	Crash(i int)
+	// Restart returns crashed replica i to service.
+	Restart(i int)
+	// SetSlow sets replica i's execution-time multiplier (<= 1 restores
+	// nominal speed).
+	SetSlow(i int, factor float64)
+}
+
+// injectPriority orders fault events before arrival events (priority -1)
+// at the same timestamp: a replica that crashes at t must not receive the
+// arrival at t, and a replica that restarts at t must be routable for it.
+const injectPriority = -2
+
+// Arm validates the schedule against the target's size and schedules every
+// injection on the engine. The schedule is applied by value; mutating it
+// after Arm has no effect.
+func Arm(engine *sim.Engine, target Target, s Schedule) error {
+	if err := s.Validate(target.Size()); err != nil {
+		return err
+	}
+	for _, in := range s {
+		in := in
+		if in.At < engine.Now() {
+			return fmt.Errorf("fault: injection %v is in the past (now %v)", in, engine.Now())
+		}
+		engine.AtPriority(in.At, injectPriority, sim.EventFunc(func(_ *sim.Engine, _ sim.Time) {
+			switch in.Kind {
+			case Crash:
+				target.Crash(in.Replica)
+			case Restart:
+				target.Restart(in.Replica)
+			case Slow:
+				target.SetSlow(in.Replica, in.Factor)
+			}
+		}))
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qoserve/internal/sim"
+)
+
+// RandomConfig parameterizes seeded random schedule generation.
+type RandomConfig struct {
+	// Seed makes generation deterministic: equal seeds yield equal
+	// schedules.
+	Seed int64
+	// Replicas is the cluster size; every replica gets an independent
+	// up/down alternation.
+	Replicas int
+	// Horizon bounds injection times; no injection is generated at or
+	// beyond it.
+	Horizon sim.Time
+	// MTBF is the mean time between failures (mean healthy interval
+	// before a crash, exponentially distributed).
+	MTBF sim.Time
+	// MTTR is the mean time to recovery (mean downtime before the
+	// restart, exponentially distributed). Zero disables restarts:
+	// crashed replicas stay down.
+	MTTR sim.Time
+}
+
+// Validate reports a configuration error, if any.
+func (c RandomConfig) Validate() error {
+	if c.Replicas <= 0 {
+		return fmt.Errorf("fault: random schedule over %d replicas", c.Replicas)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("fault: random schedule with horizon %v", c.Horizon)
+	}
+	if c.MTBF <= 0 {
+		return fmt.Errorf("fault: random schedule with MTBF %v", c.MTBF)
+	}
+	if c.MTTR < 0 {
+		return fmt.Errorf("fault: random schedule with negative MTTR %v", c.MTTR)
+	}
+	return nil
+}
+
+// Random generates a crash/restart schedule by alternating each replica
+// between exponentially distributed healthy intervals (mean MTBF) and
+// downtimes (mean MTTR), the classic renewal model of machine failure.
+// Generation is per-replica in index order from a single seeded source, so
+// the result is a pure function of the configuration. The returned
+// schedule is sorted.
+func Random(c RandomConfig) (Schedule, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	var s Schedule
+	for rep := 0; rep < c.Replicas; rep++ {
+		t := sim.Time(0)
+		for {
+			t += sim.FromSeconds(rng.ExpFloat64() * c.MTBF.Seconds())
+			if t >= c.Horizon {
+				break
+			}
+			s = append(s, Injection{At: t, Replica: rep, Kind: Crash})
+			if c.MTTR <= 0 {
+				break // no repair: this replica is gone for good
+			}
+			t += sim.FromSeconds(rng.ExpFloat64() * c.MTTR.Seconds())
+			if t >= c.Horizon {
+				break
+			}
+			s = append(s, Injection{At: t, Replica: rep, Kind: Restart})
+		}
+	}
+	s.Sort()
+	return s, nil
+}

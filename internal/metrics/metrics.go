@@ -31,6 +31,11 @@ type Outcome struct {
 	MaxTBT        sim.Time
 	TBTViolations int
 	Violated      bool // missed its SLO (TTFT or TTLT per class kind)
+	// Retries counts re-enqueues after replica failures; FailedReason is
+	// non-empty when the serving layer permanently gave up (such requests
+	// are always Violated).
+	Retries      int
+	FailedReason string
 }
 
 // OutcomeOf snapshots a request's result as of time end. A request that
@@ -49,6 +54,8 @@ func OutcomeOf(r *request.Request, end sim.Time) Outcome {
 		MaxTBT:        r.MaxTBT,
 		TBTViolations: r.TBTViolations,
 		Violated:      r.ViolatedSLO(end),
+		Retries:       r.Retries,
+		FailedReason:  r.FailedReason,
 	}
 	if ttft, ok := r.TTFT(); ok {
 		o.TTFT, o.FirstToken = ttft, true
@@ -303,6 +310,31 @@ func (s *Summary) RelegationRate(f Filter) float64 {
 		return 0
 	}
 	return float64(rel) / float64(total)
+}
+
+// RetriedCount is the number of matching requests re-enqueued at least once
+// after a replica failure; TotalRetries sums every retry.
+func (s *Summary) RetriedCount(f Filter) (requests, retries int) {
+	for _, o := range s.Outcomes {
+		if !f(o) || o.Retries == 0 {
+			continue
+		}
+		requests++
+		retries += o.Retries
+	}
+	return requests, retries
+}
+
+// FailedCount is the number of matching requests the serving layer
+// permanently failed (each carries a reason; none are silently dropped).
+func (s *Summary) FailedCount(f Filter) int {
+	n := 0
+	for _, o := range s.Outcomes {
+		if f(o) && o.FailedReason != "" {
+			n++
+		}
+	}
+	return n
 }
 
 // Goodput is requests served within SLO per second per replica — the

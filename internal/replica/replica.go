@@ -17,6 +17,13 @@ import (
 
 // Replica couples a scheduler with hardware. Create with New and feed it
 // arrivals via Submit; it runs itself on the shared sim engine.
+//
+// A replica can fail and recover: Fail models a crash (all in-flight work
+// and KV state is lost; the orphaned requests are returned to the caller
+// for re-dispatch), Restart returns it to service with a fresh scheduler
+// and an empty KV cache, and SetSlowFactor degrades its execution speed
+// (a straggler GPU). The cluster layer drives these through fault
+// injection and owns the re-enqueue policy.
 type Replica struct {
 	cfg    model.Config
 	sch    sched.Scheduler
@@ -24,6 +31,16 @@ type Replica struct {
 	engine *sim.Engine
 
 	busy bool
+	down bool
+	slow float64 // execution-time multiplier; 0 or 1 means nominal
+
+	// pending is the in-flight iteration-completion (or KV-retry) event,
+	// cancelled on Fail so a dead replica never finishes work.
+	pending sim.Handle
+
+	// active holds accepted, unfinished requests in submission order, so
+	// a crash can orphan them deterministically.
+	active []*request.Request
 
 	// Stats.
 	iterations uint64
@@ -31,6 +48,8 @@ type Replica struct {
 	busyTime   sim.Time
 	kvDeferred uint64
 	rejected   uint64
+	crashes    uint64
+	restarts   uint64
 	served     []*request.Request
 }
 
@@ -56,12 +75,16 @@ func (r *Replica) Scheduler() sched.Scheduler { return r.sch }
 // left unserved so metrics report it as a violation) rather than letting
 // its admission retry forever.
 func (r *Replica) Submit(req *request.Request) {
+	if r.down {
+		panic(fmt.Sprintf("replica: submit request %d to down replica", req.ID))
+	}
 	now := r.engine.Now()
 	r.served = append(r.served, req)
 	if req.TotalTokens() > r.kv.CapacityTokens() {
 		r.rejected++
 		return
 	}
+	r.active = append(r.active, req)
 	r.sch.Add(req, now)
 	if !r.busy {
 		r.startIteration(now)
@@ -95,9 +118,85 @@ func (r *Replica) KVDeferrals() uint64 { return r.kvDeferred }
 // KV exposes the cache manager for inspection.
 func (r *Replica) KV() *kvcache.Manager { return r.kv }
 
+// Healthy reports whether the replica is up and serving.
+func (r *Replica) Healthy() bool { return !r.down }
+
+// Crashes counts Fail calls; Restarts counts successful Restart calls.
+func (r *Replica) Crashes() uint64  { return r.crashes }
+func (r *Replica) Restarts() uint64 { return r.restarts }
+
+// SlowFactor is the current execution-time multiplier (1 when nominal).
+func (r *Replica) SlowFactor() float64 {
+	if r.slow <= 0 {
+		return 1
+	}
+	return r.slow
+}
+
+// SetSlowFactor degrades (factor > 1) or restores (factor <= 1) the
+// replica's execution speed; subsequent iterations take factor times the
+// cost model's batch time. This models a straggler GPU — thermal
+// throttling, a noisy neighbour, a failing link — without taking the
+// replica out of service.
+func (r *Replica) SetSlowFactor(factor float64) {
+	if factor <= 1 {
+		r.slow = 1
+		return
+	}
+	r.slow = factor
+}
+
+// Fail crashes the replica: the in-flight iteration (if any) is cancelled,
+// every KV allocation is dropped, and the accepted-but-unfinished requests
+// are returned — in submission order — with their execution state intact so
+// the caller can account lost progress before re-dispatching them. The
+// replica refuses new work until Restart.
+func (r *Replica) Fail() []*request.Request {
+	if r.down {
+		return nil
+	}
+	r.down = true
+	r.crashes++
+	r.busy = false
+	if r.pending.Valid() {
+		r.engine.Cancel(r.pending)
+		r.pending = sim.Handle{}
+	}
+	orphans := r.active
+	r.active = nil
+	for _, req := range orphans {
+		r.kv.Release(req.ID)
+	}
+	return orphans
+}
+
+// Restart returns a failed replica to service with a fresh scheduler and an
+// empty KV cache. Cumulative statistics (iterations, tokens, busy time)
+// survive the restart; in-flight state does not, by construction — Fail
+// already orphaned it.
+func (r *Replica) Restart(sch sched.Scheduler) error {
+	if !r.down {
+		return fmt.Errorf("replica: restart while still up")
+	}
+	if sch == nil {
+		return fmt.Errorf("replica: restart with nil scheduler")
+	}
+	kv, err := kvcache.NewManager(r.cfg.KVCapacityTokens(), kvcache.DefaultBlockTokens)
+	if err != nil {
+		return err
+	}
+	r.sch, r.kv = sch, kv
+	r.down = false
+	r.restarts++
+	return nil
+}
+
 // startIteration plans and launches one batch; the replica idles if the
 // scheduler has nothing to run.
 func (r *Replica) startIteration(now sim.Time) {
+	if r.down {
+		return
+	}
 	batch := r.sch.PlanBatch(now)
 	planned := !batch.Empty()
 	batch = r.admit(batch)
@@ -106,7 +205,7 @@ func (r *Replica) startIteration(now sim.Time) {
 			// KV admission deferred everything; retry shortly rather
 			// than stalling until the next arrival.
 			r.busy = true
-			r.engine.After(10*sim.Millisecond, sim.EventFunc(func(_ *sim.Engine, t sim.Time) {
+			r.pending = r.engine.After(10*sim.Millisecond, sim.EventFunc(func(_ *sim.Engine, t sim.Time) {
 				r.startIteration(t)
 			}))
 			return
@@ -119,7 +218,10 @@ func (r *Replica) startIteration(now sim.Time) {
 	if execTime <= 0 {
 		panic(fmt.Sprintf("replica: non-positive batch time %v for %v", execTime, batch))
 	}
-	r.engine.At(now+execTime, sim.EventFunc(func(_ *sim.Engine, end sim.Time) {
+	if r.slow > 1 {
+		execTime = sim.Time(float64(execTime) * r.slow)
+	}
+	r.pending = r.engine.At(now+execTime, sim.EventFunc(func(_ *sim.Engine, end sim.Time) {
 		r.completeIteration(batch, now, end)
 	}))
 }
@@ -165,6 +267,7 @@ func (r *Replica) admit(b sched.Batch) sched.Batch {
 
 // completeIteration performs token accounting and schedules the next batch.
 func (r *Replica) completeIteration(b sched.Batch, started, now sim.Time) {
+	r.pending = sim.Handle{}
 	r.iterations++
 	r.tokens += uint64(b.NewTokens())
 	r.busyTime += now - started
@@ -186,6 +289,13 @@ func (r *Replica) completeIteration(b sched.Batch, started, now sim.Time) {
 			r.kv.Release(d.ID)
 		}
 	}
+	kept := r.active[:0]
+	for _, req := range r.active {
+		if req.Phase() != request.Done {
+			kept = append(kept, req)
+		}
+	}
+	r.active = kept
 	r.sch.OnBatchComplete(b, now)
 	r.startIteration(now)
 }
@@ -193,7 +303,7 @@ func (r *Replica) completeIteration(b sched.Batch, started, now sim.Time) {
 // Kick restarts the iteration loop if the replica is idle but the scheduler
 // has pending work (used after out-of-band state changes, e.g. in tests).
 func (r *Replica) Kick() {
-	if !r.busy && r.sch.Pending() > 0 {
+	if !r.down && !r.busy && r.sch.Pending() > 0 {
 		r.startIteration(r.engine.Now())
 	}
 }

@@ -77,6 +77,18 @@ type Request struct {
 	// keeps a request that fell behind once — an already-counted TTFT
 	// miss — from re-counting every correctly-paced subsequent token.
 	TBTViolations int
+
+	// Retries counts re-enqueues after replica failures. Each retry
+	// discards all execution progress (the KV cache died with the
+	// replica) but preserves Arrival, so deadlines and priority keys are
+	// unchanged: a retried request competes exactly as if it had queued
+	// since its original arrival.
+	Retries int
+	// FailedReason is non-empty once the serving layer has permanently
+	// given up on the request (retry budget exhausted, no healthy
+	// replica). A failed request never completes and is reported as an
+	// SLO violation rather than silently dropped.
+	FailedReason string
 }
 
 // Validate reports an input error, if any.
@@ -182,6 +194,29 @@ func (r *Request) ResetPrefill() {
 	r.PrefilledTokens = 0
 }
 
+// ResetForRetry discards all execution progress — prefill, decode, token
+// timestamps, TBT accounting — returning the request to the Queued phase so
+// it can be replayed from scratch on another replica after a crash. The
+// immutable workload inputs (Arrival, Class, Priority, token counts) are
+// untouched: deadlines stay anchored at the original arrival. It increments
+// Retries and returns the number of context tokens of progress lost.
+func (r *Request) ResetForRetry() int {
+	lost := r.ContextLen()
+	r.PrefilledTokens = 0
+	r.DecodedTokens = 0
+	r.FirstTokenAt = 0
+	r.FinishedAt = 0
+	r.LastTokenAt = 0
+	r.MaxTBT = 0
+	r.TBTViolations = 0
+	r.Retries++
+	return lost
+}
+
+// Failed reports whether the serving layer permanently gave up on the
+// request.
+func (r *Request) Failed() bool { return r.FailedReason != "" }
+
 // TTFT returns the observed time to first token; ok is false if the first
 // token has not been produced.
 func (r *Request) TTFT() (sim.Time, bool) {
@@ -228,6 +263,12 @@ func (r *Request) CompletionDeadline() sim.Time {
 // violation" metric; TBT misses are tracked separately (the paper reports
 // they stay <0.1% under all schemes).
 func (r *Request) ViolatedSLO(now sim.Time) bool {
+	if r.Failed() {
+		// Permanently failed requests can never meet any SLO; counting
+		// them as violations keeps them out of the "truncated, not yet
+		// judged" bucket so they are never silently dropped from metrics.
+		return true
+	}
 	switch r.Class.Kind {
 	case qos.Interactive:
 		if r.DecodedTokens >= 1 {

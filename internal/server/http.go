@@ -201,6 +201,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p.intValue("qoserve_trace_events_total", "", s.tracer.Events())
 	}
 
+	if s.cfg.FaultStatus != nil {
+		fs := s.cfg.FaultStatus()
+		p.header("qoserve_replica_up", "Replica liveness (1 up, 0 down).", "gauge")
+		for i, r := range fs.Replicas {
+			up := uint64(0)
+			if r.Up {
+				up = 1
+			}
+			p.intValue("qoserve_replica_up", fmt.Sprintf(`{replica="%d"}`, i), up)
+		}
+		p.header("qoserve_replica_crashes_total", "Replica crashes by replica.", "counter")
+		for i, r := range fs.Replicas {
+			p.intValue("qoserve_replica_crashes_total", fmt.Sprintf(`{replica="%d"}`, i), r.Crashes)
+		}
+		p.header("qoserve_replica_restarts_total", "Replica restarts by replica.", "counter")
+		for i, r := range fs.Replicas {
+			p.intValue("qoserve_replica_restarts_total", fmt.Sprintf(`{replica="%d"}`, i), r.Restarts)
+		}
+		p.header("qoserve_replica_slow_factor", "Execution-time multiplier (1 nominal).", "gauge")
+		for i, r := range fs.Replicas {
+			f := r.SlowFactor
+			if f <= 0 {
+				f = 1
+			}
+			p.value("qoserve_replica_slow_factor", fmt.Sprintf(`{replica="%d"}`, i), f)
+		}
+		p.header("qoserve_request_retries_total", "Requests re-enqueued after replica crashes.", "counter")
+		p.intValue("qoserve_request_retries_total", "", fs.Retries)
+		p.header("qoserve_lost_tokens_total", "Tokens of progress discarded by replica crashes.", "counter")
+		p.intValue("qoserve_lost_tokens_total", "", fs.LostTokens)
+		p.header("qoserve_requests_failed_total", "Requests permanently failed with a reason.", "counter")
+		p.intValue("qoserve_requests_failed_total", "", uint64(fs.FailedRequests))
+		p.header("qoserve_requests_parked", "Requests waiting for any healthy replica.", "gauge")
+		p.intValue("qoserve_requests_parked", "", uint64(fs.Parked))
+	}
+
 	p.histogramMetric("qoserve_iteration_virtual_seconds",
 		"Iteration (batch) execution time in virtual seconds.", cum, hsum, htotal)
 

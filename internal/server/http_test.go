@@ -129,6 +129,67 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 	if !strings.Contains(text, `qoserve_class_ttft_seconds{class="Q2",quantile="0.5"} NaN`) {
 		t.Error("idle class quantile not NaN")
 	}
+	// No FaultStatus hook configured: the fault series must be absent.
+	if strings.Contains(text, "qoserve_replica_up") {
+		t.Error("fault series present without a FaultStatus hook")
+	}
+}
+
+// TestMetricsFaultStatus wires a FaultStatus hook — the bridge a
+// cluster-backed deployment provides from Cluster.Health()/FaultStats() —
+// and checks the replica up/down gauges and retry/lost-work counters it
+// feeds appear on /metrics.
+func TestMetricsFaultStatus(t *testing.T) {
+	srv, err := New(Config{
+		Model:     model.Llama3_8B_A100_TP1(),
+		Scheduler: qoserveSched(),
+		Classes:   qos.Table3(),
+		Timescale: 2000,
+		FaultStatus: func() FaultStatus {
+			return FaultStatus{
+				Replicas: []ReplicaHealth{
+					{Up: true, SlowFactor: 1},
+					{Up: false, Crashes: 2, Restarts: 1, SlowFactor: 3.5},
+				},
+				Retries:        7,
+				LostTokens:     1234,
+				FailedRequests: 1,
+				Parked:         3,
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`qoserve_replica_up{replica="0"} 1`,
+		`qoserve_replica_up{replica="1"} 0`,
+		`qoserve_replica_crashes_total{replica="1"} 2`,
+		`qoserve_replica_restarts_total{replica="1"} 1`,
+		`qoserve_replica_slow_factor{replica="1"} 3.5`,
+		"qoserve_request_retries_total 7",
+		"qoserve_lost_tokens_total 1234",
+		"qoserve_requests_failed_total 1",
+		"qoserve_requests_parked 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
 }
 
 func TestDebugTraceReturnsRecentIterationsInOrder(t *testing.T) {

@@ -111,6 +111,34 @@ type Config struct {
 	// per-class TTFT/TTLT/TBT and violation-rate gauges on GET /metrics
 	// are computed. Default one minute.
 	MetricsWindow time.Duration
+	// FaultStatus, when non-nil, supplies replica health and recovery
+	// counters for GET /metrics (replica up/down gauges, retry and
+	// lost-work counters). Wire it to a cluster's fault state — e.g.
+	// bridge Cluster.Health() and Cluster.FaultStats() — or leave nil for
+	// single-replica servers, which then omit the fault series.
+	FaultStatus func() FaultStatus
+}
+
+// ReplicaHealth is one replica's liveness as exposed on /metrics.
+type ReplicaHealth struct {
+	Up         bool
+	Crashes    uint64
+	Restarts   uint64
+	SlowFactor float64
+}
+
+// FaultStatus carries failure and recovery state for /metrics.
+type FaultStatus struct {
+	// Replicas is per-replica health, indexed by replica number.
+	Replicas []ReplicaHealth
+	// Retries counts request re-enqueues after replica crashes.
+	Retries uint64
+	// LostTokens is the total tokens of progress discarded by crashes.
+	LostTokens uint64
+	// FailedRequests counts requests permanently failed with a reason.
+	FailedRequests int
+	// Parked counts requests currently waiting for any healthy replica.
+	Parked int
 }
 
 // Server is the real-time serving loop. Create with New, stop with Close.

@@ -64,6 +64,21 @@ const (
 	// Preemption marks a request whose prefill progress was discarded so
 	// its KV memory could be reclaimed.
 	Preemption
+	// ReplicaDown marks a replica crash (fault injection or detected
+	// failure); Req carries the replica index.
+	ReplicaDown
+	// ReplicaUp marks a replica (re)joining service; Req carries the
+	// replica index.
+	ReplicaUp
+	// ReplicaSlow marks a replica entering or leaving degraded (slow)
+	// mode; Req carries the replica index and Reason the factor.
+	ReplicaSlow
+	// RequestRetry marks a request re-enqueued after losing its replica:
+	// KV progress is discarded but arrival time and deadline survive.
+	RequestRetry
+	// RequestFailed marks a request permanently failed (retry budget
+	// exhausted or no healthy replica); Reason says why.
+	RequestFailed
 )
 
 // String implements fmt.Stringer.
@@ -77,6 +92,16 @@ func (k EventKind) String() string {
 		return "boost"
 	case Preemption:
 		return "preemption"
+	case ReplicaDown:
+		return "replica-down"
+	case ReplicaUp:
+		return "replica-up"
+	case ReplicaSlow:
+		return "replica-slow"
+	case RequestRetry:
+		return "retry"
+	case RequestFailed:
+		return "failed"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

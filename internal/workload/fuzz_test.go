@@ -7,6 +7,59 @@ import (
 	"qoserve/internal/qos"
 )
 
+// FuzzGenerate throws arbitrary distributions, tier splits, and arrival
+// burstiness at the trace synthesizer: invalid specifications must be
+// rejected with an error (never a panic or a hang), and accepted ones must
+// produce exactly the requested number of well-formed, ordered requests.
+func FuzzGenerate(f *testing.F) {
+	f.Add(1930.0, 6251.0, 8.0, 43.0, 10, int64(1), 0.5, 0.1, 1.0)
+	f.Add(1730.0, 5696.0, 415.0, 834.0, 3, int64(2), 0.3, 0.0, 2.5)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0, int64(0), 0.0, 0.0, 0.0)
+	f.Add(1.0, 1e308, 1.0, 1.0, 1, int64(-1), 1.0, 1.5, -1.0)
+
+	f.Fuzz(func(t *testing.T, p50p, p90p, p50d, p90d float64, n int, seed int64, frac, lowPrio, cv float64) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 5000 // bound per-exec work, not validity
+		ds := Dataset{Name: "fuzz",
+			Prompt: TokenDist{P50: p50p, P90: p90p},
+			Decode: TokenDist{P50: p50d, P90: p90d},
+		}
+		classes := qos.Table3()
+		tiers := []Tier{
+			{Class: classes[0], Fraction: frac, LowPriority: lowPrio},
+			{Class: classes[1], Fraction: 1 - frac},
+		}
+		reqs, err := Generate(Spec{
+			Dataset:  ds,
+			Tiers:    tiers,
+			Arrivals: Gamma{QPS: 5, CV: cv},
+			Requests: n,
+			Seed:     seed,
+		})
+		if err != nil {
+			return
+		}
+		if len(reqs) != n {
+			t.Fatalf("generated %d requests, want %d", len(reqs), n)
+		}
+		var prev int64 = -1
+		for _, r := range reqs {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("generated invalid request: %v", err)
+			}
+			if r.PromptTokens > DefaultMaxTokens || r.DecodeTokens > DefaultMaxTokens {
+				t.Fatalf("request %d escapes the token clamp: %d/%d", r.ID, r.PromptTokens, r.DecodeTokens)
+			}
+			if int64(r.Arrival) < prev {
+				t.Fatalf("request %d arrival %v precedes predecessor", r.ID, r.Arrival)
+			}
+			prev = int64(r.Arrival)
+		}
+	})
+}
+
 // FuzzReadTrace ensures arbitrary bytes never panic the trace parser, and
 // that traces surviving a parse re-serialize losslessly.
 func FuzzReadTrace(f *testing.F) {

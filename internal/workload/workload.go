@@ -46,9 +46,11 @@ func (d TokenDist) params() (mu, sigma float64) {
 	return mu, sigma
 }
 
-// Validate reports a configuration error, if any.
+// Validate reports a configuration error, if any. Non-finite percentiles
+// are rejected explicitly: NaN slips through ordered comparisons (every
+// comparison is false), so the conditions are phrased to fail it.
 func (d TokenDist) Validate() error {
-	if d.P50 < 1 || d.P90 < d.P50 {
+	if math.IsInf(d.P50, 0) || math.IsInf(d.P90, 0) || !(d.P50 >= 1 && d.P90 >= d.P50) {
 		return fmt.Errorf("token dist: need 1 <= p50 <= p90, got p50=%v p90=%v", d.P50, d.P90)
 	}
 	return nil
@@ -235,7 +237,7 @@ type Poisson struct {
 
 // Next draws an exponential inter-arrival gap.
 func (p Poisson) Next(rng *rand.Rand, prev sim.Time) sim.Time {
-	if p.QPS <= 0 {
+	if !(p.QPS > 0) { // also catches NaN, which would yield NaN arrival times
 		panic("workload: Poisson QPS must be positive")
 	}
 	gap := rng.ExpFloat64() / p.QPS
@@ -255,13 +257,16 @@ type Gamma struct {
 // Next draws a gamma inter-arrival gap with mean 1/QPS and the configured
 // coefficient of variation.
 func (g Gamma) Next(rng *rand.Rand, prev sim.Time) sim.Time {
-	if g.QPS <= 0 {
+	if !(g.QPS > 0) { // also catches NaN
 		panic("workload: Gamma QPS must be positive")
 	}
 	cv := g.CV
-	if cv <= 0 {
+	if !(cv > 0) { // non-positive or NaN: fall back to Poisson shape
 		cv = 1
 	}
+	// Clamp to a sane band: beyond it the shape/scale split overflows —
+	// k underflows to 0 (or theta to 0) and the gap becomes 0 * Inf = NaN.
+	cv = math.Min(math.Max(cv, 1e-3), 1e3)
 	// shape k = 1/CV^2, scale theta = mean/k.
 	k := 1 / (cv * cv)
 	theta := (1 / g.QPS) / k
@@ -320,7 +325,7 @@ func (d Diurnal) RateAt(t sim.Time) float64 {
 // rate.
 func (d Diurnal) Next(rng *rand.Rand, prev sim.Time) sim.Time {
 	maxRate := math.Max(d.LowQPS, d.HighQPS)
-	if maxRate <= 0 {
+	if !(maxRate > 0) { // also catches NaN, which would hang the thinning loop
 		panic("workload: Diurnal rates must be positive")
 	}
 	t := prev
@@ -354,7 +359,8 @@ func (s Spec) Validate() error {
 		if err := t.Class.Validate(); err != nil {
 			return err
 		}
-		if t.Fraction < 0 || t.LowPriority < 0 || t.LowPriority > 1 {
+		// Phrased to also reject NaN, which passes every ordered check.
+		if !(t.Fraction >= 0) || !(t.LowPriority >= 0 && t.LowPriority <= 1) {
 			return fmt.Errorf("workload: tier %s has invalid fractions", t.Class.Name)
 		}
 		if t.Dataset != nil {

@@ -176,6 +176,55 @@ func (t QoServeTuning) options() core.Options {
 	return opts
 }
 
+// FaultPlan injects replica failures into a shared-cluster run. Leave the
+// zero value for a fault-free run. Faults are deterministic: the same plan
+// over the same workload produces the same schedule and the same metrics.
+// Requests on a crashed replica lose their KV progress and are re-enqueued
+// to a healthy replica with bounded retries and exponential backoff; they
+// keep their original arrival time and deadline. Fault injection requires
+// a shared cluster (it is incompatible with Silos).
+type FaultPlan struct {
+	// Schedule is an explicit injection list,
+	// e.g. "crash@30s:1,restart@1m30s:1,slow@10s:2x3.5" —
+	// kind@time:replica, with slow taking an xFACTOR suffix. When set,
+	// the random-schedule fields are ignored.
+	Schedule string
+	// MTBF enables a seeded random schedule: each replica alternates
+	// exponentially distributed healthy intervals (mean MTBF) and
+	// downtimes (mean MTTR). MTTR zero leaves crashed replicas down.
+	MTBF time.Duration
+	MTTR time.Duration
+	// Seed makes the random schedule reproducible (default 1).
+	Seed int64
+	// MaxRetries bounds re-enqueues per request before it is permanently
+	// failed (default 3).
+	MaxRetries int
+	// RetryBackoff is the delay before the first re-enqueue, doubling per
+	// retry (default 50ms).
+	RetryBackoff time.Duration
+	// ParkTimeout bounds how long a request may wait for any healthy
+	// replica before being failed (default 5 minutes).
+	ParkTimeout time.Duration
+}
+
+// enabled reports whether the plan injects anything.
+func (p FaultPlan) enabled() bool { return p.Schedule != "" || p.MTBF > 0 }
+
+// FaultReport aggregates failure and recovery over a run.
+type FaultReport struct {
+	// Crashes and Restarts count replica lifecycle transitions.
+	Crashes  uint64
+	Restarts uint64
+	// Retries counts request re-enqueues after crashes.
+	Retries uint64
+	// LostTokens is the total tokens of progress discarded by crashes.
+	LostTokens uint64
+	// FailedRequests counts requests permanently failed with a reason
+	// (retry budget exhausted, or no healthy replica within the park
+	// timeout). Failed requests count as SLO violations.
+	FailedRequests int
+}
+
 // Options configures a serving run.
 type Options struct {
 	// Hardware selects the execution cost model (default Llama3_8B_A100).
@@ -201,6 +250,9 @@ type Options struct {
 	// Horizon truncates the run; zero runs until every request has
 	// either finished or provably missed its deadline.
 	Horizon time.Duration
+	// Faults injects replica failures (shared cluster only); the zero
+	// value disables injection.
+	Faults FaultPlan
 }
 
 func (o Options) classes() ([]Class, map[string]qos.Class, error) {

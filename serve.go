@@ -7,6 +7,7 @@ import (
 
 	"qoserve/internal/cluster"
 	"qoserve/internal/core"
+	"qoserve/internal/fault"
 	"qoserve/internal/metrics"
 	"qoserve/internal/model"
 	"qoserve/internal/predictor"
@@ -33,6 +34,13 @@ type Outcome struct {
 	TTLT time.Duration
 	// MaxTBT is the worst inter-token gap observed.
 	MaxTBT time.Duration
+	// Retries counts how many times the request was re-enqueued after a
+	// replica crash (each retry discarded its KV progress).
+	Retries int
+	// Failed reports that the cluster permanently gave up on the request;
+	// FailReason says why. Failed requests count as violated.
+	Failed     bool
+	FailReason string
 }
 
 // Report aggregates a serving run.
@@ -51,6 +59,9 @@ type Report struct {
 	RelegationRate float64
 	// Goodput is requests served within SLO per second per replica.
 	Goodput float64
+	// Faults aggregates failure and recovery counters; nil when the run
+	// injected no faults.
+	Faults *FaultReport
 
 	summary *metrics.Summary
 }
@@ -187,8 +198,12 @@ func Serve(o Options, reqs []Request) (*Report, error) {
 	var (
 		sum      *metrics.Summary
 		replicas int
+		faults   *FaultReport
 	)
 	if len(o.Silos) > 0 {
+		if o.Faults.enabled() {
+			return nil, fmt.Errorf("qoserve: fault injection requires a shared cluster, not silos")
+		}
 		replicas = 0
 		for _, n := range o.Silos {
 			replicas += n
@@ -214,12 +229,64 @@ func Serve(o Options, reqs []Request) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		sum, err = cluster.RunShared(mc, replicas, factory, trace, horizon)
+		if o.Faults.enabled() {
+			var schedule fault.Schedule
+			schedule, err = o.Faults.schedule(replicas, horizon)
+			if err != nil {
+				return nil, err
+			}
+			rec := cluster.Recovery{
+				MaxRetries:  o.Faults.MaxRetries,
+				Backoff:     sim.FromDuration(o.Faults.RetryBackoff),
+				ParkTimeout: sim.FromDuration(o.Faults.ParkTimeout),
+			}
+			var stats cluster.FaultStats
+			sum, stats, err = cluster.RunFaulty(mc, replicas, factory, trace, horizon, schedule, rec)
+			if err == nil {
+				faults = &FaultReport{
+					Crashes:        stats.Crashes,
+					Restarts:       stats.Restarts,
+					Retries:        stats.Retries,
+					LostTokens:     stats.LostTokens,
+					FailedRequests: stats.FailedRequests,
+				}
+			}
+		} else {
+			sum, err = cluster.RunShared(mc, replicas, factory, trace, horizon)
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
-	return buildReport(sum, mc, replicas), nil
+	rep := buildReport(sum, mc, replicas)
+	rep.Faults = faults
+	return rep, nil
+}
+
+// schedule materializes the plan's injection schedule for a cluster of the
+// given size over the given horizon.
+func (p FaultPlan) schedule(replicas int, horizon sim.Time) (fault.Schedule, error) {
+	if p.Schedule != "" {
+		s, err := fault.ParseSchedule(p.Schedule)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Validate(replicas); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return fault.Random(fault.RandomConfig{
+		Seed:     seed,
+		Replicas: replicas,
+		Horizon:  horizon,
+		MTBF:     sim.FromDuration(p.MTBF),
+		MTTR:     sim.FromDuration(p.MTTR),
+	})
 }
 
 // horizonFor judges every request definitively: last arrival plus the
@@ -272,13 +339,16 @@ func buildReport(sum *metrics.Summary, mc model.Config, replicas int) *Report {
 			prio = Low
 		}
 		out := Outcome{
-			ID:        o.ID,
-			Class:     o.Class,
-			Priority:  prio,
-			Completed: o.Completed,
-			Relegated: o.Relegated,
-			Violated:  o.Violated,
-			MaxTBT:    o.MaxTBT.Duration(),
+			ID:         o.ID,
+			Class:      o.Class,
+			Priority:   prio,
+			Completed:  o.Completed,
+			Relegated:  o.Relegated,
+			Violated:   o.Violated,
+			MaxTBT:     o.MaxTBT.Duration(),
+			Retries:    o.Retries,
+			Failed:     o.FailedReason != "",
+			FailReason: o.FailedReason,
 		}
 		if o.FirstToken {
 			out.TTFT = o.TTFT.Duration()

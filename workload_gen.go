@@ -2,6 +2,7 @@ package qoserve
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"qoserve/internal/qos"
@@ -66,6 +67,17 @@ type WorkloadSpec struct {
 	Seed int64
 }
 
+// MaxTraceRequests bounds the request count a single GenerateWorkload call
+// may synthesize. The count is QPS x duration, both caller-supplied floats;
+// without a cap an absurd combination (or an overflowing float-to-int
+// conversion) could attempt a multi-gigabyte allocation.
+const MaxTraceRequests = 2_000_000
+
+// MaxTraceDuration bounds a synthetic trace's length. Virtual time is
+// nanosecond-resolution int64; a year-long trace keeps even generous
+// exponential inter-arrival tails far from overflow.
+const MaxTraceDuration = 365 * 24 * time.Hour
+
 // GenerateWorkload synthesizes a request trace from the specification.
 func GenerateWorkload(spec WorkloadSpec) ([]Request, error) {
 	classes := spec.Classes
@@ -94,18 +106,33 @@ func GenerateWorkload(spec WorkloadSpec) ([]Request, error) {
 		tiers = workload.WithLowPriority(tiers, spec.LowPriorityFraction)
 	}
 
-	if spec.QPS <= 0 {
-		return nil, fmt.Errorf("qoserve: QPS must be positive")
+	// Rate checks are phrased to also reject NaN (every ordered comparison
+	// on NaN is false) and infinities, which would otherwise slip through
+	// and poison arrival times or the request-count computation.
+	if !(spec.QPS > 0) || math.IsInf(spec.QPS, 0) {
+		return nil, fmt.Errorf("qoserve: QPS must be positive and finite, got %v", spec.QPS)
 	}
 	if spec.Duration <= 0 {
 		return nil, fmt.Errorf("qoserve: duration must be positive")
+	}
+	if spec.Duration > MaxTraceDuration {
+		return nil, fmt.Errorf("qoserve: duration %v above the %v cap", spec.Duration, MaxTraceDuration)
+	}
+	if cv := spec.BurstinessCV; cv != 0 && (!(cv > 0) || math.IsInf(cv, 0)) {
+		return nil, fmt.Errorf("qoserve: burstiness CV must be positive and finite, got %v", cv)
+	}
+	if f := spec.LowPriorityFraction; !(f >= 0 && f <= 1) {
+		return nil, fmt.Errorf("qoserve: low-priority fraction must be in [0,1], got %v", f)
 	}
 	var arrivals workload.ArrivalProcess = workload.Poisson{QPS: spec.QPS}
 	if cv := spec.BurstinessCV; cv > 0 && cv != 1 {
 		arrivals = workload.Gamma{QPS: spec.QPS, CV: cv}
 	}
 	avgQPS := spec.QPS
-	if spec.BurstQPS > 0 {
+	if spec.BurstQPS != 0 {
+		if !(spec.BurstQPS > 0) || math.IsInf(spec.BurstQPS, 0) {
+			return nil, fmt.Errorf("qoserve: burst QPS must be positive and finite, got %v", spec.BurstQPS)
+		}
 		if spec.BurstPeriod <= 0 {
 			return nil, fmt.Errorf("qoserve: burst period must be positive")
 		}
@@ -116,7 +143,12 @@ func GenerateWorkload(spec WorkloadSpec) ([]Request, error) {
 		}
 		avgQPS = (spec.QPS + spec.BurstQPS) / 2
 	}
-	n := int(avgQPS * spec.Duration.Seconds())
+	nf := avgQPS * spec.Duration.Seconds()
+	if nf > MaxTraceRequests {
+		return nil, fmt.Errorf("qoserve: %v QPS over %v yields %.0f requests, above the %d cap",
+			avgQPS, spec.Duration, nf, MaxTraceRequests)
+	}
+	n := int(nf)
 	if n < 1 {
 		return nil, fmt.Errorf("qoserve: duration %v at %v QPS yields no requests", spec.Duration, spec.QPS)
 	}
