@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race chaos fuzz verify bench experiments experiments-full examples quick clean
+.PHONY: all build vet test test-short race chaos fuzz verify bench bench-short bench-all experiments experiments-full examples quick clean
 
 all: build vet test
 
@@ -37,16 +37,37 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseSchedule -fuzztime $(FUZZTIME) ./internal/fault
 
 # The pre-merge gate CI runs: static checks, the full suite (seed corpora
-# and chaos scenarios included) under the race detector, then a short
-# fuzzing pass.
+# and chaos scenarios included) under the race detector, a short fuzzing
+# pass, then the short benchmark pass. The allocation guards
+# (TestPlanBatchSteadyStateAllocFree, TestForestPredictAllocFree) run as
+# ordinary tests, so an alloc regression on the plan path fails the gate.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz
+	$(MAKE) bench-short
 
-# One pass over every table/figure benchmark.
+# Benchmark baseline: one pass over every table/figure benchmark plus the
+# scheduler/predictor hot-path micro-benchmarks, folded into BENCH_PR3.json
+# (committed trajectory file; CI archives it as an artifact). BENCHTIME=1x
+# keeps it cheap enough for CI; raise it locally for tighter ns/op numbers.
+BENCHTIME ?= 1x
+BENCHOUT  ?= BENCH_PR3.json
 bench:
-	$(GO) test -bench . -benchmem -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . | tee /tmp/bench_experiments.txt
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/core ./internal/predictor | tee /tmp/bench_micro.txt
+	$(GO) run ./cmd/benchjson -o $(BENCHOUT) \
+		-meta benchtime=$(BENCHTIME) \
+		/tmp/bench_experiments.txt /tmp/bench_micro.txt
+	@echo "wrote $(BENCHOUT)"
+
+# Short benchmark pass for `verify`/CI: hot-path micro-benchmarks only (the
+# experiment-level benchmarks at the repo root replay whole traces and take
+# minutes even at -benchtime 1x). Writes a throwaway snapshot for the CI
+# artifact; the committed BENCH_PR3.json is only refreshed via `make bench`.
+bench-short:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/core ./internal/predictor | tee /tmp/bench_micro.txt
+	$(GO) run ./cmd/benchjson -o /tmp/BENCH_short.json -meta mode=short /tmp/bench_micro.txt
 
 # Micro-benchmarks across all packages.
 bench-all:

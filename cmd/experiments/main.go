@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"qoserve/internal/experiments"
@@ -29,7 +31,38 @@ func main() {
 	plot := flag.Bool("plot", false, "render sweep tables as terminal line charts")
 	csvDir := flag.String("csv", "", "also write sweep tables as CSV files into this directory")
 	htmlPath := flag.String("html", "", "also render every sweep as SVG charts into this HTML file")
+	workers := flag.Int("workers", 0, "sweep-point worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, exp := range experiments.All() {
@@ -53,6 +86,7 @@ func main() {
 	env := experiments.NewEnv(*scale, os.Stdout)
 	env.Seed = *seed
 	env.Plot = *plot
+	env.Workers = *workers
 	var report *htmlreport.Builder
 	if *htmlPath != "" {
 		report = &htmlreport.Builder{}

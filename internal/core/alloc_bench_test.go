@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"qoserve/internal/model"
+	"qoserve/internal/predictor"
+	"qoserve/internal/profile"
+	"qoserve/internal/sim"
+)
+
+// trainedForest returns a forest trained on the real profiling sweep, shared
+// across the allocation tests (training is deterministic, read-only at
+// predict time).
+var trainedForest = sync.OnceValue(func() *predictor.Forest {
+	mc := model.Llama3_8B_A100_TP1()
+	samples, err := profile.Collect(mc, profile.Config{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	f, err := predictor.Train(samples, predictor.ForestConfig{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	return f
+})
+
+// steadyStateScheduler builds a QoServe scheduler in its steady state: a
+// handful of long decodes plus one long in-flight prefill, all far from
+// finishing, so plan/complete cycles repeat without requests entering or
+// leaving — the regime the alloc-free plan path is designed for.
+func steadyStateScheduler(tb testing.TB) (*Scheduler, func()) {
+	tb.Helper()
+	s := New(trainedForest(), DefaultOptions())
+	now := sim.Time(0)
+	for i := uint64(1); i <= 8; i++ {
+		r := req(i, 0, 64, 1<<20, q3())
+		r.EstDecodeTokens = 1 << 20
+		s.Add(r, now)
+	}
+	big := req(100, 0, 1<<20, 1<<20, q3())
+	big.EstDecodeTokens = 1 << 20
+	s.Add(big, now)
+
+	cycle := func() {
+		b := s.PlanBatch(now)
+		now += 50 * sim.Millisecond
+		for _, p := range b.Prefill {
+			p.Req.RecordPrefill(p.Tokens, now)
+		}
+		for _, d := range b.Decodes {
+			d.RecordDecodeToken(now)
+		}
+		s.OnBatchComplete(b, now)
+	}
+	// Drain the short prompts into decode phase and warm every scratch
+	// buffer, map bucket, and slice capacity.
+	for i := 0; i < 50; i++ {
+		cycle()
+	}
+	main, _, decodes := s.QueueLen()
+	if decodes != 8 || main+s.relQ.Len() != 1 {
+		tb.Fatalf("steady state not reached: main=%d rel=%d decodes=%d", main, s.relQ.Len(), decodes)
+	}
+	return s, cycle
+}
+
+// TestPlanBatchSteadyStateAllocFree pins the full plan/complete cycle —
+// PlanBatch (budget inversion, batch assembly, trim) plus OnBatchComplete
+// bookkeeping — at zero steady-state allocations. A regression here fails CI.
+func TestPlanBatchSteadyStateAllocFree(t *testing.T) {
+	_, cycle := steadyStateScheduler(t)
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Fatalf("plan/complete cycle allocates %.2f objects/run, want 0", avg)
+	}
+}
+
+// BenchmarkPlanBatchCycle measures the steady-state plan/complete cycle;
+// run with -benchmem to confirm 0 allocs/op.
+func BenchmarkPlanBatchCycle(b *testing.B) {
+	_, cycle := steadyStateScheduler(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}

@@ -11,12 +11,14 @@ import (
 	"qoserve/internal/sim"
 )
 
-// decodeCtxs lists the context length of each in-flight decode.
+// decodeCtxs lists the context length of each in-flight decode, reusing the
+// plan-scoped scratch buffer (valid until the next PlanBatch).
 func (s *Scheduler) decodeCtxs() []int {
-	ctx := make([]int, len(s.decodes))
-	for i, r := range s.decodes {
-		ctx[i] = r.ContextLen()
+	ctx := s.ctxScratch[:0]
+	for _, r := range s.decodes {
+		ctx = append(ctx, r.ContextLen())
 	}
+	s.ctxScratch = ctx
 	return ctx
 }
 
@@ -71,7 +73,14 @@ func (s *Scheduler) prefillBudget(now sim.Time, frontCtx int) (int, sim.Time) {
 			budget = boost
 		}
 	}
-	c := predictor.ChunkBudget(s.planPred, s.decodeCtxs(), frontCtx, budget, s.opts.MaxChunk)
+	var c int
+	if fp, ok := s.planPred.(predictor.FeaturePredictor); ok {
+		// Feature fast path: the decode-side vector was cached at the top of
+		// PlanBatch, so the whole budget inversion runs allocation-free.
+		c = predictor.ChunkBudgetFeats(fp, s.decodeFeats, frontCtx, budget, s.opts.MaxChunk)
+	} else {
+		c = predictor.ChunkBudget(s.planPred, s.decodeCtxs(), frontCtx, budget, s.opts.MaxChunk)
+	}
 	if c < s.opts.MinChunk {
 		c = s.opts.MinChunk
 	}
@@ -105,7 +114,7 @@ func (s *Scheduler) ttftRushBudget(now sim.Time) sim.Time {
 // allocation guarantees forward progress.
 func (s *Scheduler) trimToBudget(b *sched.Batch, budget sim.Time) {
 	for len(b.Prefill) > 0 {
-		if s.planPred.PredictSafe(b.Shape()) <= budget {
+		if s.planCost(b) <= budget {
 			return
 		}
 		last := len(b.Prefill) - 1
@@ -115,7 +124,7 @@ func (s *Scheduler) trimToBudget(b *sched.Batch, budget sim.Time) {
 		for hi-lo > 1 {
 			mid := (lo + hi) / 2
 			alloc.Tokens = mid
-			if s.planPred.PredictSafe(b.Shape()) <= budget {
+			if s.planCost(b) <= budget {
 				lo = mid
 			} else {
 				hi = mid

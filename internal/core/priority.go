@@ -35,20 +35,52 @@ func (s *Scheduler) priorityKey(r *request.Request) float64 {
 
 // atRiskPartial finds the highest-priority partially-prefilled main-queue
 // request that would miss its first-token deadline if it sat out one more
-// iteration.
+// iteration. Candidates come from the partials side set (maintained at
+// every main-queue insert/remove) rather than a full queue walk; the
+// minimum (key, ID) member is by construction the first match a priority-
+// order scan would return, so selection order is unchanged.
 func (s *Scheduler) atRiskPartial(now sim.Time) *request.Request {
-	items := s.mainQ.Items()
-	for _, r := range items {
+	var best *request.Request
+	var bestKey float64
+	for _, r := range s.partials {
 		if r.PrefilledTokens == 0 {
 			continue
 		}
 		finishIfDeferred := now + sim.FromSeconds(s.iterTime) + s.bestPrefillTime(r.RemainingPrefill())
 		if finishIfDeferred > r.FirstTokenDeadline() &&
 			now+s.bestPrefillTime(r.RemainingPrefill()) <= r.FirstTokenDeadline() {
-			return r
+			key, ok := s.mainQ.Key(r)
+			if !ok {
+				continue
+			}
+			if best == nil || key < bestKey || (key == bestKey && r.ID < best.ID) {
+				best, bestKey = r, key
+			}
 		}
 	}
-	return nil
+	return best
+}
+
+// partialAdd records r as a partially-prefilled main-queue member.
+func (s *Scheduler) partialAdd(r *request.Request) {
+	if r.PrefilledTokens > 0 {
+		s.partials = append(s.partials, r)
+	}
+}
+
+// partialRemove forgets r when it leaves the main queue (no-op when r was
+// never partially prefilled). Order within the set is irrelevant —
+// atRiskPartial selects by (key, ID) — so removal swaps with the tail.
+func (s *Scheduler) partialRemove(r *request.Request) {
+	for i, p := range s.partials {
+		if p == r {
+			last := len(s.partials) - 1
+			s.partials[i] = s.partials[last]
+			s.partials[last] = nil
+			s.partials = s.partials[:last]
+			return
+		}
+	}
 }
 
 // updateAlphaRegime switches between low and high alpha and re-keys the

@@ -24,6 +24,7 @@ import (
 	"qoserve/internal/estimate"
 	"qoserve/internal/model"
 	"qoserve/internal/predictor"
+	"qoserve/internal/profile"
 	"qoserve/internal/request"
 	"qoserve/internal/sched"
 	"qoserve/internal/sim"
@@ -146,11 +147,37 @@ type Scheduler struct {
 	// a deep queue of relaxed-deadline work is not overload).
 	deadlinePressure bool
 
+	// Plan-scoped scratch state. The Scheduler contract guarantees at
+	// most one outstanding batch, so these are safely reused across
+	// PlanBatch calls instead of being allocated per iteration.
+	//
+	// decodeFeats caches the decode side of the predictor feature vector,
+	// which is fixed across every predictor probe of one plan (budget
+	// inversion, best-rate refresh, batch trim) — it is recomputed once
+	// per PlanBatch from the decode set.
+	decodeFeats [profile.FeatureCount]float64
+	// prefill backs the planned batch's Prefill slice.
+	prefill []sched.PrefillAlloc
+	// ctxScratch backs decodeCtxs for predictors without a feature path.
+	ctxScratch []int
+	// shape is the batch-shape scratch for shape-based predictors.
+	shape model.BatchShape
+	// doomedScratch backs the doomed set gathered by scanQueue.
+	doomedScratch []*request.Request
+	// partials tracks the (few) partially-prefilled main-queue requests so
+	// the selective-preemption check avoids a full queue walk per plan.
+	// Invariant: exactly the main-queue members with PrefilledTokens > 0.
+	partials []*request.Request
+
 	// Stats observable by experiments.
 	relegations      int
 	chunkLog         []ChunkRecord
 	logChunks        bool
+	chunkLogged      bool // a record for the outstanding plan was retained
 	relegationPasses int
+	// Running chunk statistics covering every iteration, including those
+	// past the chunkLog retention cap.
+	chunkIters, chunkSum, chunkAtMax int
 
 	// Live iteration tracing (sched.Traceable); disabled by default.
 	sched.TraceState
@@ -211,11 +238,28 @@ func New(pred predictor.SafePredictor, opts Options) *Scheduler {
 // Name identifies the scheduler in experiment output.
 func (s *Scheduler) Name() string { return "QoServe" }
 
-// EnableChunkLog records per-iteration chunk decisions for Figure 9.
+// maxChunkLog bounds the chunk-decision log: recording stops after this
+// many iterations so a paper-duration (-scale 1) run cannot grow memory
+// without bound, while the running aggregates (ChunkStats) keep covering
+// every iteration. 1<<16 records (~2.6 MB) is more than an order of
+// magnitude beyond what Figure 9's mid-run window needs.
+const maxChunkLog = 1 << 16
+
+// EnableChunkLog records per-iteration chunk decisions for Figure 9. Only
+// the first maxChunkLog iterations are retained; ChunkStats aggregates are
+// unaffected by the cap.
 func (s *Scheduler) EnableChunkLog() { s.logChunks = true }
 
-// ChunkLog returns the recorded chunk decisions.
+// ChunkLog returns the recorded chunk decisions (at most maxChunkLog).
 func (s *Scheduler) ChunkLog() []ChunkRecord { return s.chunkLog }
+
+// ChunkStats reports aggregate dynamic-chunking behaviour across every
+// iteration since EnableChunkLog: iterations that scheduled prefill work,
+// their total prefill tokens, and how many hit the MaxChunk cap. Unlike
+// ChunkLog it is exact even past the retention cap.
+func (s *Scheduler) ChunkStats() (iters, tokenSum, atMax int) {
+	return s.chunkIters, s.chunkSum, s.chunkAtMax
+}
 
 // Relegations is the count of relegation events so far.
 func (s *Scheduler) Relegations() int { return s.relegations }
@@ -232,6 +276,7 @@ func (s *Scheduler) Add(r *request.Request, now sim.Time) {
 	}
 	s.pending++
 	s.mainQ.Insert(r, s.priorityKey(r))
+	s.partialAdd(r) // resubmitted orphans may arrive mid-prefill
 	s.TraceAdmission(r.ID, r.Class.Name, now)
 }
 
@@ -247,13 +292,14 @@ func (s *Scheduler) QueueLen() (main, relegated, decode int) {
 func (s *Scheduler) PlanBatch(now sim.Time) sched.Batch {
 	s.lastPlanAt = now
 	s.planOutstand = true
+	s.refreshDecodeFeats()
 	s.updateBestRate()
 	s.updateAlphaRegime(now)
 	if s.opts.EagerRelegation {
 		s.relegationPass(now)
 	}
 
-	b := sched.Batch{Decodes: s.decodes}
+	b := sched.Batch{Decodes: s.decodes, Prefill: s.prefill[:0]}
 	frontCtx := 0
 	if f := s.mainQ.Front(); f != nil {
 		frontCtx = f.PrefilledTokens
@@ -263,28 +309,83 @@ func (s *Scheduler) PlanBatch(now sim.Time) sched.Batch {
 		budgetTokens = 0 // decode-only batch
 	}
 
-	remaining := budgetTokens
-	remaining = s.fillFrom(&s.mainQ, &b, remaining, now, true)
+	spare := s.fillFrom(&s.mainQ, &b, budgetTokens, now, true)
 	// Spare budget serves relegated requests opportunistically.
-	remaining = s.fillFrom(&s.relQ, &b, remaining, now, false)
-	_ = remaining
+	s.fillFrom(&s.relQ, &b, spare, now, false)
 
 	if s.opts.DynamicChunking && budgetTime > 0 {
 		s.trimToBudget(&b, budgetTime)
 	}
+	s.prefill = b.Prefill[:0]
 
 	if s.logChunks {
-		s.chunkLog = append(s.chunkLog, ChunkRecord{
-			At:      now,
-			Chunk:   b.PrefillTokens(),
-			Decodes: len(b.Decodes),
-			Budget:  budgetTime,
-		})
+		s.recordChunk(&b, now, budgetTime)
 	}
 	if s.Tracing() {
 		s.TracePlan(s.Name(), b, now, s.planPred.PredictSafe(b.Shape()), s.mainQ.Len(), s.relQ.Len())
 	}
 	return b
+}
+
+// refreshDecodeFeats recomputes the decode-side feature cache. Decode
+// membership only changes in OnBatchComplete, so one refresh per plan keeps
+// the cache valid for every probe of the plan.
+func (s *Scheduler) refreshDecodeFeats() {
+	var x [profile.FeatureCount]float64
+	x[profile.FeatNumDecodes] = float64(len(s.decodes))
+	for _, r := range s.decodes {
+		c := float64(r.ContextLen())
+		x[profile.FeatSumDecodeCtx] += c
+		if c > x[profile.FeatMaxDecodeCtx] {
+			x[profile.FeatMaxDecodeCtx] = c
+		}
+	}
+	s.decodeFeats = x
+}
+
+// batchFeats extends the cached decode features with the batch's prefill
+// side, matching profile.Features(b.Shape()) without materializing a shape.
+func (s *Scheduler) batchFeats(b *sched.Batch) [profile.FeatureCount]float64 {
+	x := s.decodeFeats
+	for _, p := range b.Prefill {
+		x[profile.FeatChunkTokens] += float64(p.Tokens)
+		if c := float64(p.Req.PrefilledTokens); c > x[profile.FeatPrefillCtx] {
+			x[profile.FeatPrefillCtx] = c
+		}
+	}
+	return x
+}
+
+// planCost prices the assembled batch with the plan predictor, using the
+// allocation-free feature path when available.
+func (s *Scheduler) planCost(b *sched.Batch) sim.Time {
+	if fp, ok := s.planPred.(predictor.FeaturePredictor); ok {
+		return fp.PredictSafeFeats(s.batchFeats(b))
+	}
+	b.ShapeInto(&s.shape)
+	return s.planPred.PredictSafe(s.shape)
+}
+
+// recordChunk logs one iteration's chunk decision (bounded) and updates the
+// exact running aggregates.
+func (s *Scheduler) recordChunk(b *sched.Batch, now sim.Time, budgetTime sim.Time) {
+	chunk := b.PrefillTokens()
+	if chunk > 0 {
+		s.chunkIters++
+		s.chunkSum += chunk
+		if chunk >= s.opts.MaxChunk {
+			s.chunkAtMax++
+		}
+	}
+	s.chunkLogged = len(s.chunkLog) < maxChunkLog
+	if s.chunkLogged {
+		s.chunkLog = append(s.chunkLog, ChunkRecord{
+			At:      now,
+			Chunk:   chunk,
+			Decodes: len(b.Decodes),
+			Budget:  budgetTime,
+		})
+	}
 }
 
 // fillFrom packs prefill chunks from q into b, in priority order, applying
@@ -352,8 +453,9 @@ func (s *Scheduler) OnBatchComplete(b sched.Batch, now sim.Time) {
 			}
 		}
 		s.planOutstand = false
-		if s.logChunks && len(s.chunkLog) > 0 {
+		if s.chunkLogged {
 			s.chunkLog[len(s.chunkLog)-1].ExecTime = now - s.lastPlanAt
+			s.chunkLogged = false
 		}
 	}
 
@@ -363,9 +465,15 @@ func (s *Scheduler) OnBatchComplete(b sched.Batch, now sim.Time) {
 			q = &s.relQ
 		}
 		q.Remove(p.Req)
+		if q == &s.mainQ {
+			s.partialRemove(p.Req)
+		}
 		switch p.Req.Phase() {
 		case request.Queued, request.Prefill:
 			q.Insert(p.Req, s.priorityKey(p.Req))
+			if q == &s.mainQ {
+				s.partialAdd(p.Req)
+			}
 		case request.Decode:
 			s.decodes = append(s.decodes, p.Req)
 		case request.Done:

@@ -5,6 +5,8 @@ package core
 
 import (
 	"qoserve/internal/model"
+	"qoserve/internal/predictor"
+	"qoserve/internal/profile"
 	"qoserve/internal/qos"
 	"qoserve/internal/request"
 	"qoserve/internal/sim"
@@ -12,13 +14,20 @@ import (
 )
 
 // updateBestRate refreshes the dedicated-service prefill rate under the
-// current decode load.
+// current decode load. Relies on decodeFeats being refreshed by PlanBatch.
 func (s *Scheduler) updateBestRate() {
-	shape := model.BatchShape{
-		Prefill:   []model.ChunkShape{{Tokens: s.opts.MaxChunk}},
-		DecodeCtx: s.decodeCtxs(),
+	var t float64
+	if fp, ok := s.pred.(predictor.FeaturePredictor); ok {
+		x := s.decodeFeats
+		x[profile.FeatChunkTokens] = float64(s.opts.MaxChunk)
+		t = fp.PredictSafeFeats(x).Seconds()
+	} else {
+		shape := model.BatchShape{
+			Prefill:   []model.ChunkShape{{Tokens: s.opts.MaxChunk}},
+			DecodeCtx: s.decodeCtxs(),
+		}
+		t = s.pred.PredictSafe(shape).Seconds()
 	}
-	t := s.pred.PredictSafe(shape).Seconds()
 	if t > 0 {
 		s.bestRate = float64(s.opts.MaxChunk) / t
 	}
@@ -73,6 +82,7 @@ func (s *Scheduler) relegate(r *request.Request, now sim.Time, reason string) {
 		return
 	}
 	s.mainQ.Remove(r)
+	s.partialRemove(r)
 	r.Relegated = true
 	s.relegations++
 	s.relQ.Insert(r, s.priorityKey(r))
@@ -92,22 +102,23 @@ func (s *Scheduler) relegationPass(now sim.Time) {
 	s.relegationPasses++
 
 	// Greedily relegate the largest low-priority request ahead of a
-	// violating high-priority one until the projection clears.
+	// violating high-priority one until the projection clears. Each round
+	// is one fused walk (scanQueue); the final, victim-free round also
+	// yields the doomed set and violator count the separate walks of the
+	// three-pass formulation would have produced, since the queue is
+	// untouched between a victim-free walk and those passes.
+	var doomed []*request.Request
+	violators := 0
 	for iter := 0; iter < s.mainQ.Len()+1; iter++ {
-		victim := s.findProtectionVictim(now)
+		victim, d, v := s.scanQueue(now)
 		if victim == nil {
+			doomed, violators = d, v
 			break
 		}
 		s.relegate(victim, now, "protects high-priority backlog")
 	}
 
 	// Relegate requests that cannot make their deadline even alone.
-	var doomed []*request.Request
-	for _, r := range s.mainQ.Items() {
-		if s.willViolateAlone(r, now) {
-			doomed = append(doomed, r)
-		}
-	}
 	for _, r := range doomed {
 		s.relegate(r, now, "doomed even at dedicated rate")
 	}
@@ -119,8 +130,13 @@ func (s *Scheduler) relegationPass(now sim.Time) {
 	// self-fulfilling starvation if triggered spuriously). High alpha
 	// engages only when several requests, and a meaningful share of the
 	// queue, are projected to miss; it releases when the projection is
-	// clean.
-	violators := s.countProjectedViolators(now)
+	// clean. Relegating doomed requests changes the cumulative drain
+	// projection, so the count is only reusable from a walk of the final
+	// queue state.
+	if len(doomed) > 0 {
+		violators = s.countProjectedViolators(now)
+		clear(doomed)
+	}
 	switch {
 	case violators >= 2 && violators*20 >= s.mainQ.Len():
 		s.deadlinePressure = true
@@ -148,30 +164,67 @@ func (s *Scheduler) countProjectedViolators(now sim.Time) int {
 	return n
 }
 
-// findProtectionVictim simulates queue drain in priority order. If a
-// high-priority request is projected to violate because of backlog, it
-// returns the largest low-priority request queued ahead of it; nil when the
-// projection is clean or no protection is possible.
-func (s *Scheduler) findProtectionVictim(now sim.Time) *request.Request {
+// scanQueue simulates queue drain in priority order — one fused walk doing
+// the work of the former findProtectionVictim / willViolateAlone /
+// countProjectedViolators passes. If a high-priority request is projected to
+// violate because of backlog, it returns the largest low-priority request
+// queued ahead of it immediately (doomed and violators are then meaningless
+// and zero, exactly as the dedicated victim walk would have early-exited).
+// When the projection produces no victim, the queue is untouched, so the
+// doomed set and violator count gathered along the way equal what separate
+// walks would compute. doomed aliases a scheduler-owned scratch buffer valid
+// until the next scanQueue call.
+func (s *Scheduler) scanQueue(now sim.Time) (victim *request.Request, doomed []*request.Request, violators int) {
 	t := now
 	var biggestLow *request.Request
+	biggestLowRem := 0
+	doomed = s.doomedScratch[:0]
 	for _, r := range s.mainQ.Items() {
-		first, completion := s.projectedFinish(r, t)
-		violates := false
-		if r.Class.Kind == qos.Interactive {
-			violates = first > r.FirstTokenDeadline()
+		// Each request's fields are loaded once and shared between the
+		// cumulative projection and the dedicated-rate (willViolateAlone)
+		// check — the arithmetic is the same expressions the standalone
+		// helpers evaluate, so results are bit-identical.
+		rem := r.RemainingPrefill()
+		first := t + s.prefillTime(rem)
+		decodeIters := r.EstDecodeTokens - 1
+		if decodeIters < 0 {
+			decodeIters = 0
+		}
+		decodeTime := sim.FromSeconds(float64(decodeIters) * s.iterTime)
+		interactive := r.Class.Kind == qos.Interactive
+		var deadline sim.Time
+		if interactive {
+			deadline = r.FirstTokenDeadline()
 		} else {
-			violates = completion > r.Arrival+r.Class.SLO.TTLT
+			deadline = r.Arrival + r.Class.SLO.TTLT
+		}
+		violates := false
+		if interactive {
+			violates = first > deadline
+		} else {
+			violates = first+decodeTime > deadline
 		}
 		if violates && r.Priority == qos.High && biggestLow != nil {
-			return biggestLow
+			return biggestLow, nil, 0
 		}
 		if r.Priority == qos.Low {
-			if biggestLow == nil || r.RemainingPrefill() > biggestLow.RemainingPrefill() {
-				biggestLow = r
+			if biggestLow == nil || rem > biggestLowRem {
+				biggestLow, biggestLowRem = r, rem
 			}
+		}
+		if violates {
+			violators++
+		}
+		aloneFirst := now + s.bestPrefillTime(rem)
+		if interactive {
+			if aloneFirst > deadline {
+				doomed = append(doomed, r)
+			}
+		} else if aloneFirst+decodeTime > deadline {
+			doomed = append(doomed, r)
 		}
 		t = first // prefill service is serialized; decode piggybacks
 	}
-	return nil
+	s.doomedScratch = doomed
+	return nil, doomed, violators
 }

@@ -190,18 +190,42 @@ func RunPipeline(cfg PipelineConfig, trace []*request.Request, horizon sim.Time)
 
 	// A fine-grained periodic sweep translates clone completions into
 	// transfer events; the 1 ms period bounds detection skew, negligible
-	// at the latencies involved.
+	// at the latencies involved. The sweep tracks only in-flight clones: a
+	// clone enters the pending set once its arrival passes (it cannot be
+	// Done before it is submitted) and leaves on handoff, so each tick
+	// costs O(in-flight) rather than O(trace). Admission relies on the
+	// trace being arrival-ordered — admitted indices stay ascending, which
+	// preserves the full-scan's index-order processing exactly; an
+	// unsorted trace falls back to admitting everything up front.
 	const sweepPeriod = sim.Millisecond
-	handed := make([]bool, len(trace))
+	pending := make([]int32, 0, len(trace))
+	admit := 0 // first trace index not yet in the pending set
+	arrivalSorted := true
+	for i := 1; i < len(clones); i++ {
+		if clones[i].Arrival < clones[i-1].Arrival {
+			arrivalSorted = false
+			break
+		}
+	}
+	if !arrivalSorted {
+		for i := range clones {
+			pending = append(pending, int32(i))
+		}
+		admit = len(clones)
+	}
 	var sweep func(e *sim.Engine, now sim.Time)
-	remaining := len(trace)
 	sweep = func(e *sim.Engine, now sim.Time) {
-		for i := range trace {
-			if handed[i] || clones[i].Phase() != request.Done {
+		for admit < len(clones) && clones[admit].Arrival <= now {
+			pending = append(pending, int32(admit))
+			admit++
+		}
+		kept := pending[:0]
+		for _, idx := range pending {
+			i := int(idx)
+			if clones[i].Phase() != request.Done {
+				kept = append(kept, idx)
 				continue
 			}
-			handed[i] = true
-			remaining--
 			orig, clone := trace[i], clones[i]
 			// KV transfer: full prompt context across the interconnect.
 			bytes := cfg.Model.Model.KVBytesPerToken() * float64(orig.PromptTokens)
@@ -226,7 +250,8 @@ func RunPipeline(cfg PipelineConfig, trace []*request.Request, horizon sim.Time)
 				node.enqueue(orig)
 			}))
 		}
-		if remaining > 0 {
+		pending = kept
+		if len(pending) > 0 || admit < len(clones) {
 			e.At(now+sweepPeriod, sim.EventFunc(sweep))
 		}
 	}

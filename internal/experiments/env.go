@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"qoserve/internal/cluster"
 	"qoserve/internal/core"
@@ -45,9 +46,17 @@ type Env struct {
 	// HTML, when non-nil, collects every sweep table as an SVG chart for
 	// a single report document (cmd/experiments -html).
 	HTML *htmlreport.Builder
+	// Workers bounds the sweep-point worker pool (see pool.go); 0 means
+	// GOMAXPROCS, 1 forces serial execution.
+	Workers int
 
 	current string // experiment currently running (for CSV naming)
 
+	// mu guards the lazily-populated caches below, which sweep workers may
+	// touch concurrently. The expensive computations run outside the lock;
+	// a racing duplicate recomputes the same seeded, deterministic value,
+	// so last-writer-wins is harmless.
+	mu       sync.Mutex
 	preds    map[string]predictor.SafePredictor
 	capCache map[string]float64
 }
@@ -65,7 +74,10 @@ func NewEnv(scale float64, out io.Writer) *Env {
 // configuration, training it on first use (Section 3.6.1: one profile per
 // model/hardware/parallelism configuration).
 func (e *Env) Predictor(mc model.Config) predictor.SafePredictor {
-	if p, ok := e.preds[mc.Name()]; ok {
+	e.mu.Lock()
+	p, ok := e.preds[mc.Name()]
+	e.mu.Unlock()
+	if ok {
 		return p
 	}
 	samples, err := profile.Collect(mc, profile.Config{Seed: e.Seed})
@@ -76,7 +88,14 @@ func (e *Env) Predictor(mc model.Config) predictor.SafePredictor {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: training predictor for %s: %v", mc.Name(), err))
 	}
+	e.mu.Lock()
+	if prev, ok := e.preds[mc.Name()]; ok {
+		f0 := prev // another worker trained it first; share theirs
+		e.mu.Unlock()
+		return f0
+	}
 	e.preds[mc.Name()] = f
+	e.mu.Unlock()
 	return f
 }
 

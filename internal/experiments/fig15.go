@@ -60,23 +60,34 @@ func runFig15a(e *Env) error {
 		return e.Trace(syntheticDataset, tiers, traceQPS, seed)
 	}
 
-	trace, err := mkTrace(e.Seed + 8)
-	if err != nil {
-		return err
-	}
-	qsv := core.New(e.Predictor(mc), dcOnlyOptions())
-	qsv.EnableChunkLog()
-	if _, _, err := replica.Run(mc, qsv, trace, Horizon(trace)); err != nil {
-		return err
-	}
-	qsvLog := qsv.ChunkLog()
-
-	trace2, err := mkTrace(e.Seed + 8)
-	if err != nil {
-		return err
-	}
-	medhaChunks, err := medhaChunkTrace(e, mc, trace2)
-	if err != nil {
+	// The two chunk-trace runs and the two goodput searches below are all
+	// independent; overlap the trace runs here.
+	pred := e.Predictor(mc)
+	var qsvLog []core.ChunkRecord
+	var medhaChunks []int
+	if err := e.parallelDo(
+		func() error {
+			trace, err := mkTrace(e.Seed + 8)
+			if err != nil {
+				return err
+			}
+			qsv := core.New(pred, dcOnlyOptions())
+			qsv.EnableChunkLog()
+			if _, _, err := replica.Run(mc, qsv, trace, Horizon(trace)); err != nil {
+				return err
+			}
+			qsvLog = qsv.ChunkLog()
+			return nil
+		},
+		func() error {
+			trace2, err := mkTrace(e.Seed + 8)
+			if err != nil {
+				return err
+			}
+			medhaChunks, err = medhaChunkTrace(e, mc, trace2)
+			return err
+		},
+	); err != nil {
 		return err
 	}
 
@@ -100,12 +111,18 @@ func runFig15a(e *Env) error {
 	gen := e.TraceGen(syntheticDataset, tiers, e.Seed+9)
 	opts := e.searchOpts()
 	opts.Tolerance = 0.02
-	medhaQPS, medhaSum, err := cluster.MaxGoodput(mc, e.Medha(mc, 50*sim.Millisecond), gen, opts)
-	if err != nil {
-		return err
-	}
-	dcQPS, dcSum, err := cluster.MaxGoodput(mc, e.QoServeOpts(mc, dcOnlyOptions()), gen, opts)
-	if err != nil {
+	var medhaQPS, dcQPS float64
+	var medhaSum, dcSum *metrics.Summary
+	if err := e.parallelDo(
+		func() (err error) {
+			medhaQPS, medhaSum, err = cluster.MaxGoodput(mc, e.Medha(mc, 50*sim.Millisecond), gen, opts)
+			return err
+		},
+		func() (err error) {
+			dcQPS, dcSum, err = cluster.MaxGoodput(mc, e.QoServeOpts(mc, dcOnlyOptions()), gen, opts)
+			return err
+		},
+	); err != nil {
 		return err
 	}
 	e.printf("Goodput: Medha %.2f QPS, QoServe-DC %.2f QPS (%.0f%% improvement; paper: 23%%)\n",
@@ -187,38 +204,53 @@ func runFig15b(e *Env) error {
 	const totalQPS = 50
 
 	// Per-class PolyServe goodput: a dedicated deployment with a fixed
-	// chunk sized for the class's TBT via the predictor.
+	// chunk sized for the class's TBT via the predictor. The per-class
+	// searches are independent; collect, then print in class order.
 	polyGoodput := make(map[string]float64, len(classes))
 	polyChunk := make(map[string]int, len(classes))
+	pred := e.Predictor(mc)
 	for _, cl := range classes {
-		chunk := predictor.ChunkBudget(e.Predictor(mc), nil, 0, cl.SLO.TBT, 4096)
+		chunk := predictor.ChunkBudget(pred, nil, 0, cl.SLO.TBT, 4096)
 		if chunk < 32 {
 			chunk = 32
 		}
 		polyChunk[cl.Name] = chunk
+	}
+	goodputs, err := parallelMap(e, len(classes), func(i int) (float64, error) {
+		cl := classes[i]
 		tiers := workload.EqualTiers([]qos.Class{cl})
 		gen := e.TraceGen(workload.AzureConv, tiers, e.Seed+10)
-		qps, _, err := cluster.MaxGoodput(mc, e.Sarathi(sched.EDF, chunk), gen, e.searchOpts())
-		if err != nil {
-			return err
-		}
-		polyGoodput[cl.Name] = qps
+		qps, _, err := cluster.MaxGoodput(mc, e.Sarathi(sched.EDF, polyChunk[cl.Name]), gen, e.searchOpts())
+		return qps, err
+	})
+	if err != nil {
+		return err
+	}
+	for i, cl := range classes {
+		polyGoodput[cl.Name] = goodputs[i]
 		e.printf("PolyServe %s deployment: chunk %d, per-replica goodput %.2f QPS\n",
-			cl.Name, chunk, qps)
+			cl.Name, polyChunk[cl.Name], goodputs[i])
 	}
 
 	e.printf("\n%-14s%12s%12s%16s%16s\n",
 		"Q1:Q2 mix", "PolyServe", "QoServe", "Poly viol(%)", "QoServe viol(%)")
-	for _, q1Frac := range []float64{0.9, 0.7, 0.5, 0.3, 0.1} {
+	mixes := []float64{0.9, 0.7, 0.5, 0.3, 0.1}
+	qsvFactory := e.QoServe(mc)
+	type mixResult struct {
+		polyGPUs, qsvGPUs int
+		polyViol, qsvViol float64
+	}
+	mixResults, err := parallelMap(e, len(mixes), func(i int) (mixResult, error) {
+		q1Frac := mixes[i]
 		tiers, err := workload.WeightedTiers(classes, []float64{q1Frac, 1 - q1Frac})
 		if err != nil {
-			return err
+			return mixResult{}, err
 		}
 		// QoServe colocated capacity on this exact mix.
 		gen := e.TraceGen(workload.AzureConv, tiers, e.Seed+10)
-		qsvQPS, _, err := cluster.MaxGoodput(mc, e.QoServe(mc), gen, e.searchOpts())
+		qsvQPS, _, err := cluster.MaxGoodput(mc, qsvFactory, gen, e.searchOpts())
 		if err != nil {
-			return err
+			return mixResult{}, err
 		}
 		qsvGPUs := int(math.Ceil(totalQPS / qsvQPS))
 
@@ -226,11 +258,11 @@ func runFig15b(e *Env) error {
 		// actually running the partitioned deployment at the target load.
 		trace, err := e.Trace(workload.AzureConv, tiers, totalQPS, e.Seed+10)
 		if err != nil {
-			return err
+			return mixResult{}, err
 		}
 		sizes, err := cluster.SizePartition(trace, totalQPS, polyGoodput)
 		if err != nil {
-			return err
+			return mixResult{}, err
 		}
 		polyGPUs := 0
 		for _, n := range sizes {
@@ -242,20 +274,29 @@ func runFig15b(e *Env) error {
 			Policy:   sched.EDF,
 		}, trace, Horizon(trace))
 		if err != nil {
-			return err
+			return mixResult{}, err
 		}
 		qsvTrace, err := e.Trace(workload.AzureConv, tiers, totalQPS, e.Seed+10)
 		if err != nil {
-			return err
+			return mixResult{}, err
 		}
-		qsvSum, err := cluster.RunShared(mc, qsvGPUs, e.QoServe(mc), qsvTrace, Horizon(qsvTrace))
+		qsvSum, err := cluster.RunShared(mc, qsvGPUs, qsvFactory, qsvTrace, Horizon(qsvTrace))
 		if err != nil {
-			return err
+			return mixResult{}, err
 		}
+		return mixResult{
+			polyGPUs: polyGPUs, qsvGPUs: qsvGPUs,
+			polyViol: 100 * polySum.ViolationRate(metrics.All),
+			qsvViol:  100 * qsvSum.ViolationRate(metrics.All),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, q1Frac := range mixes {
+		r := mixResults[i]
 		e.printf("%3.0f%%:%-3.0f%%%12d%12d%16.2f%16.2f\n",
-			100*q1Frac, 100*(1-q1Frac), polyGPUs, qsvGPUs,
-			100*polySum.ViolationRate(metrics.All),
-			100*qsvSum.ViolationRate(metrics.All))
+			100*q1Frac, 100*(1-q1Frac), r.polyGPUs, r.qsvGPUs, r.polyViol, r.qsvViol)
 	}
 	e.printf("\n(GPU counts for Llama3-8B TP1: replicas == GPUs. Violation columns validate\nthat both sized deployments actually hold the 1%% target at 50 QPS.)\n")
 	return nil

@@ -16,28 +16,44 @@ func init() {
 // configurations and Table 2 datasets. The paper reports QoServe at
 // 1.5-2.4x Sarathi-FCFS and 20-40% above Sarathi-EDF.
 func runFig7(e *Env) error {
-	for _, mc := range model.Presets() {
+	// Every (model, dataset, scheduler) capacity search is independent;
+	// fan the full grid out and print rows in the original order.
+	models := model.Presets()
+	datasets := workload.Datasets()
+	type job struct {
+		mc      model.Config
+		ds      workload.Dataset
+		factory cluster.SchedulerFactory
+	}
+	var jobs []job
+	for _, mc := range models {
+		// Build the QoServe factory (which trains the predictor) before
+		// fanning out, so workers share one trained forest per model.
+		qsv := e.QoServe(mc)
+		for _, ds := range datasets {
+			jobs = append(jobs,
+				job{mc, ds, e.Sarathi(sched.FCFS, 256)},
+				job{mc, ds, e.Sarathi(sched.EDF, 256)},
+				job{mc, ds, qsv})
+		}
+	}
+	caps, err := parallelMap(e, len(jobs), func(i int) (float64, error) {
+		j := jobs[i]
+		gen := e.TraceGen(j.ds, standardTiers(), e.Seed+2)
+		qps, _, err := cluster.MaxGoodput(j.mc, j.factory, gen, e.searchOpts())
+		return qps, err
+	})
+	if err != nil {
+		return err
+	}
+	i := 0
+	for _, mc := range models {
 		e.printf("\n%s\n", mc.Name())
 		e.printf("%-12s%14s%14s%14s%12s%12s\n",
 			"Dataset", "Sarathi-FCFS", "Sarathi-EDF", "QoServe", "vs FCFS", "vs EDF")
-		for _, ds := range workload.Datasets() {
-			gen := e.TraceGen(ds, standardTiers(), e.Seed+2)
-			capacity := func(f cluster.SchedulerFactory) (float64, error) {
-				qps, _, err := cluster.MaxGoodput(mc, f, gen, e.searchOpts())
-				return qps, err
-			}
-			fcfs, err := capacity(e.Sarathi(sched.FCFS, 256))
-			if err != nil {
-				return err
-			}
-			edf, err := capacity(e.Sarathi(sched.EDF, 256))
-			if err != nil {
-				return err
-			}
-			qsv, err := capacity(e.QoServe(mc))
-			if err != nil {
-				return err
-			}
+		for _, ds := range datasets {
+			fcfs, edf, qsv := caps[i], caps[i+1], caps[i+2]
+			i += 3
 			e.printf("%-12s%14.2f%14.2f%14.2f%11.2fx%11.2fx\n",
 				ds.Name, fcfs, edf, qsv, ratio(qsv, fcfs), ratio(qsv, edf))
 		}

@@ -50,17 +50,9 @@ func runFig9(e *Env) error {
 			i, rec.Chunk, rec.Decodes, budget, rec.ExecTime.Seconds()*1000)
 	}
 
-	var sum, n, atMax int
-	for _, rec := range log {
-		if rec.Chunk == 0 {
-			continue
-		}
-		sum += rec.Chunk
-		n++
-		if rec.Chunk >= 2500 {
-			atMax++
-		}
-	}
+	// Aggregate from the scheduler's running counters, which cover every
+	// iteration even past the chunk-log retention cap.
+	n, sum, atMax := qsv.ChunkStats()
 	if n > 0 {
 		e.printf("\nIterations with prefill: %d; mean chunk %d; %.1f%% at the 2500 cap\n",
 			n, sum/n, 100*float64(atMax)/float64(n))

@@ -1,0 +1,90 @@
+// Parallel sweep execution. Experiment grids (load sweeps, capacity
+// searches, ablation ladders) are embarrassingly parallel: every point runs
+// its own sim.Engine on its own seeded trace and shares only immutable state
+// (trained predictors, model configs). parallelMap fans the points out over
+// a bounded worker pool while keeping output deterministic — workers only
+// compute and return values; results are collected by index and the caller
+// prints them in the original serial order. Env.printf therefore stays
+// single-writer, and a run with Workers=1 is byte-identical to any other
+// worker count.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workers resolves the pool size: Env.Workers when positive, else
+// GOMAXPROCS. A value of 1 degenerates to fully serial execution in the
+// calling goroutine (no goroutines spawned), which is also the -race
+// reference the determinism tests compare against.
+func (e *Env) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelMap runs fn(0..n-1) across the environment's worker pool and
+// returns the results ordered by index. The error returned is the
+// lowest-index failure, so error reporting does not depend on goroutine
+// interleaving. fn must not write to Env.Out — return the data and let the
+// caller print it.
+// parallelDo runs heterogeneous tasks concurrently; each task deposits its
+// result into variables it alone captures. Error selection follows
+// parallelMap (lowest index wins).
+func (e *Env) parallelDo(tasks ...func() error) error {
+	_, err := parallelMap(e, len(tasks), func(i int) (struct{}, error) {
+		return struct{}{}, tasks[i]()
+	})
+	return err
+}
+
+func parallelMap[T any](e *Env, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	w := e.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	next := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelMapOrdersResults(t *testing.T) {
+	e := NewEnv(0.02, io.Discard)
+	for _, workers := range []int{1, 3, 16} {
+		e.Workers = workers
+		got, err := parallelMap(e, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestParallelMapReturnsLowestIndexError(t *testing.T) {
+	e := NewEnv(0.02, io.Discard)
+	e.Workers = 8
+	boom := func(i int) (int, error) {
+		if i == 3 || i == 7 {
+			return 0, fmt.Errorf("point %d failed", i)
+		}
+		return i, nil
+	}
+	_, err := parallelMap(e, 10, boom)
+	if err == nil || err.Error() != "point 3 failed" {
+		t.Fatalf("err = %v, want the lowest-index failure", err)
+	}
+}
+
+func TestParallelMapSerialStopsAtFirstError(t *testing.T) {
+	e := NewEnv(0.02, io.Discard)
+	e.Workers = 1
+	var calls atomic.Int32
+	_, err := parallelMap(e, 10, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 2 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("serial path ran %d points after a failure, want 3", n)
+	}
+}
+
+func TestParallelMapEmpty(t *testing.T) {
+	e := NewEnv(0.02, io.Discard)
+	out, err := parallelMap(e, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: out=%v err=%v", out, err)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	e := NewEnv(0.02, io.Discard)
+	if e.workers() < 1 {
+		t.Fatalf("workers() = %d", e.workers())
+	}
+	e.Workers = 5
+	if e.workers() != 5 {
+		t.Fatalf("workers() = %d, want 5", e.workers())
+	}
+}
+
+// TestParallelSweepsDeterministic is the worker-pool determinism contract:
+// a parallel run must produce byte-identical experiment output to a serial
+// (Workers=1) run of the same environment. It exercises the parallelized
+// sweep shapes — a load sweep (fig5), a (mix x scheduler) grid with a cached
+// reference capacity (table6), and heterogeneous fan-out (fig15a) — and is
+// meant to run under -race, where it also proves the pool is data-race-free.
+func TestParallelSweepsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel determinism sweep is slow")
+	}
+	for _, name := range []string{"fig5", "table6"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			runAt := func(workers int) string {
+				var buf bytes.Buffer
+				env := NewEnv(0.015, &buf)
+				env.Workers = workers
+				if err := RunByName(name, env); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return buf.String()
+			}
+			serial := runAt(1)
+			parallel := runAt(4)
+			if serial != parallel {
+				t.Fatalf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+			}
+		})
+	}
+}

@@ -24,23 +24,33 @@ type sweepResult struct {
 }
 
 // loadSweep runs every scheduler at every load on a fresh copy of the same
-// seeded workload and returns all summaries.
+// seeded workload and returns all summaries in (load, scheduler) order. The
+// grid points fan out over the worker pool; each worker regenerates its
+// trace from the seed (identical to cloning the shared one) so points share
+// no mutable state.
 func (e *Env) loadSweep(mc model.Config, ds workload.Dataset, tiers []workload.Tier, loads []float64, scheds []namedFactory, seed int64) ([]sweepResult, error) {
-	var out []sweepResult
+	type point struct {
+		qps float64
+		s   namedFactory
+	}
+	grid := make([]point, 0, len(loads)*len(scheds))
 	for _, qps := range loads {
-		trace, err := e.Trace(ds, tiers, qps, seed)
-		if err != nil {
-			return nil, err
-		}
 		for _, s := range scheds {
-			sum, err := RunJudged(mc, 1, s.factory, workload.Clone(trace))
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, sweepResult{label: s.label, qps: qps, sum: sum})
+			grid = append(grid, point{qps, s})
 		}
 	}
-	return out, nil
+	return parallelMap(e, len(grid), func(i int) (sweepResult, error) {
+		p := grid[i]
+		trace, err := e.Trace(ds, tiers, p.qps, seed)
+		if err != nil {
+			return sweepResult{}, err
+		}
+		sum, err := RunJudged(mc, 1, p.s.factory, trace)
+		if err != nil {
+			return sweepResult{}, err
+		}
+		return sweepResult{label: p.s.label, qps: p.qps, sum: sum}, nil
+	})
 }
 
 // printSweepTable prints one metric across the sweep: rows are loads,
@@ -108,17 +118,22 @@ func standardTiers() []workload.Tier {
 // end of a short run), but the *relative* operating points — below, at, and
 // beyond saturation — are what the paper's figures turn on.
 func (e *Env) refCapacity(key string, mc model.Config, factory cluster.SchedulerFactory, ds workload.Dataset, tiers []workload.Tier, seed int64) (float64, error) {
+	e.mu.Lock()
 	if e.capCache == nil {
 		e.capCache = map[string]float64{}
 	}
-	if v, ok := e.capCache[key]; ok {
+	v, ok := e.capCache[key]
+	e.mu.Unlock()
+	if ok {
 		return v, nil
 	}
 	qps, _, err := cluster.MaxGoodput(mc, factory, e.TraceGen(ds, tiers, seed), e.searchOpts())
 	if err != nil {
 		return 0, err
 	}
+	e.mu.Lock()
 	e.capCache[key] = qps
+	e.mu.Unlock()
 	return qps, nil
 }
 

@@ -31,12 +31,19 @@ func runTable4(e *Env) error {
 		return e.Trace(workload.AzureCode, standardTiers(), table4QPS, e.Seed+11)
 	}
 
-	// (1) Minimal silo allocation: each tier served by its own Sarathi
-	// cluster (chunk 256 for the strict tier, 2K for the relaxed ones).
+	// (1)+(2) The three per-tier silo searches and the shared QoServe
+	// search are independent; run all four concurrently.
 	siloChunk := map[string]int{"Q1": 256, "Q2": sched.RelaxedChunk, "Q3": sched.RelaxedChunk}
-	siloAlloc := map[string]int{}
-	for _, tier := range []string{"Q1", "Q2", "Q3"} {
-		tier := tier
+	tierNames := []string{"Q1", "Q2", "Q3"}
+	qsvFactory := e.QoServe(mc)
+	sizes, err := parallelMap(e, len(tierNames)+1, func(i int) (int, error) {
+		opts := e.searchOpts()
+		if i == len(tierNames) {
+			// Minimal shared QoServe cluster.
+			n, _, err := cluster.MinReplicas(mc, qsvFactory, mkTrace, 32, opts)
+			return n, err
+		}
+		tier := tierNames[i]
 		gen := func() ([]*request.Request, error) {
 			full, err := mkTrace()
 			if err != nil {
@@ -50,20 +57,20 @@ func runTable4(e *Env) error {
 			}
 			return only, nil
 		}
-		opts := e.searchOpts()
 		n, _, err := cluster.MinReplicas(mc, e.Sarathi(sched.FCFS, siloChunk[tier]), gen, 32, opts)
 		if err != nil {
-			return fmt.Errorf("silo search for %s: %w", tier, err)
+			return 0, fmt.Errorf("silo search for %s: %w", tier, err)
 		}
-		siloAlloc[tier] = n
-	}
-
-	// (2) Minimal shared QoServe cluster.
-	opts := e.searchOpts()
-	qsvN, _, err := cluster.MinReplicas(mc, e.QoServe(mc), mkTrace, 32, opts)
+		return n, nil
+	})
 	if err != nil {
 		return err
 	}
+	siloAlloc := map[string]int{}
+	for i, tier := range tierNames {
+		siloAlloc[tier] = sizes[i]
+	}
+	qsvN := sizes[len(tierNames)]
 
 	// (3) The silo plan squeezed to QoServe's GPU budget.
 	reduced := reduceAllocation(siloAlloc, qsvN)
@@ -72,10 +79,10 @@ func runTable4(e *Env) error {
 	e.printf("%-28s%8s%12s%12s%12s%14s\n",
 		"Scheme", "GPUs", "Q1 p99(s)", "Q2 p99(s)", "Q3 p99(s)", "Violations%")
 
-	printSilo := func(label string, alloc map[string]int) error {
+	runSilo := func(alloc map[string]int) (int, *metrics.Summary, error) {
 		trace, err := mkTrace()
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		plan := cluster.SiloPlan{
 			Replicas: alloc,
@@ -84,41 +91,48 @@ func runTable4(e *Env) error {
 			},
 		}
 		sum, err := cluster.RunSiloed(mc, plan, trace, Horizon(trace))
+		return plan.TotalReplicas(), sum, err
+	}
+	runShared := func(n int) (int, *metrics.Summary, error) {
+		trace, err := mkTrace()
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		printTable4Row(e, label, plan.TotalReplicas(), sum)
-		return nil
+		sum, err := cluster.RunShared(mc, n, qsvFactory, trace, Horizon(trace))
+		return n, sum, err
 	}
 
-	if err := printSilo(fmt.Sprintf("Silo-(%d,%d,%d)", siloAlloc["Q1"], siloAlloc["Q2"], siloAlloc["Q3"]), siloAlloc); err != nil {
-		return err
+	// The four judged deployments are independent runs of the same trace.
+	// The qsvN+1 row shows tail behaviour one replica above minimal (the
+	// paper's QoServe-(10) ran with headroom: zero violations).
+	type row struct {
+		label string
+		run   func() (int, *metrics.Summary, error)
 	}
-	if err := printSilo(fmt.Sprintf("Silo-(%d,%d,%d) reduced", reduced["Q1"], reduced["Q2"], reduced["Q3"]), reduced); err != nil {
-		return err
+	rows := []row{
+		{fmt.Sprintf("Silo-(%d,%d,%d)", siloAlloc["Q1"], siloAlloc["Q2"], siloAlloc["Q3"]),
+			func() (int, *metrics.Summary, error) { return runSilo(siloAlloc) }},
+		{fmt.Sprintf("Silo-(%d,%d,%d) reduced", reduced["Q1"], reduced["Q2"], reduced["Q3"]),
+			func() (int, *metrics.Summary, error) { return runSilo(reduced) }},
+		{fmt.Sprintf("QoServe-(%d) shared", qsvN),
+			func() (int, *metrics.Summary, error) { return runShared(qsvN) }},
+		{fmt.Sprintf("QoServe-(%d) shared", qsvN+1),
+			func() (int, *metrics.Summary, error) { return runShared(qsvN + 1) }},
 	}
-
-	trace, err := mkTrace()
+	type rowResult struct {
+		gpus int
+		sum  *metrics.Summary
+	}
+	results, err := parallelMap(e, len(rows), func(i int) (rowResult, error) {
+		gpus, sum, err := rows[i].run()
+		return rowResult{gpus, sum}, err
+	})
 	if err != nil {
 		return err
 	}
-	sum, err := cluster.RunShared(mc, qsvN, e.QoServe(mc), trace, Horizon(trace))
-	if err != nil {
-		return err
+	for i, r := range rows {
+		printTable4Row(e, r.label, results[i].gpus, results[i].sum)
 	}
-	printTable4Row(e, fmt.Sprintf("QoServe-(%d) shared", qsvN), qsvN, sum)
-
-	// One replica above minimal, for tail behaviour away from the cliff
-	// (the paper's QoServe-(10) ran with headroom: zero violations).
-	trace, err = mkTrace()
-	if err != nil {
-		return err
-	}
-	sum, err = cluster.RunShared(mc, qsvN+1, e.QoServe(mc), trace, Horizon(trace))
-	if err != nil {
-		return err
-	}
-	printTable4Row(e, fmt.Sprintf("QoServe-(%d) shared", qsvN+1), qsvN+1, sum)
 
 	if siloTotal > 0 {
 		e.printf("\nGPU saving vs minimal silo: %.0f%% (paper: 23%%)\n",

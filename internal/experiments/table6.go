@@ -40,23 +40,41 @@ func runTable6(e *Env) error {
 		{"Sarathi-EDF", e.Sarathi(sched.EDF, 256)},
 		{"QoServe", e.QoServe(mc)},
 	}
-	for _, mix := range mixes {
-		tiers, err := workload.WeightedTiers(qos.Table3(), mix.split)
-		if err != nil {
-			return err
+	// All (mix, scheduler) cells are independent; fan out the 6 runs and
+	// print the two composition tables in order afterwards.
+	type cell struct {
+		mixIdx int
+		s      namedFactory
+	}
+	var cells []cell
+	for mi := range mixes {
+		for _, s := range scheds {
+			cells = append(cells, cell{mi, s})
 		}
+	}
+	sums, err := parallelMap(e, len(cells), func(i int) (*metrics.Summary, error) {
+		c := cells[i]
+		tiers, err := workload.WeightedTiers(qos.Table3(), mixes[c.mixIdx].split)
+		if err != nil {
+			return nil, err
+		}
+		trace, err := e.Trace(workload.AzureCode, tiers, load, e.Seed+13)
+		if err != nil {
+			return nil, err
+		}
+		return RunJudged(mc, 1, c.s.factory, trace)
+	})
+	if err != nil {
+		return err
+	}
+	i := 0
+	for _, mix := range mixes {
 		e.printf("\nComposition: %s\n", mix.name)
 		e.printf("%-14s%14s%14s%14s%16s%14s\n",
 			"Scheme", "Q1 p50(s)", "Q2 p50(s)", "Q3 p50(s)", "Violations%", "Relegated%")
 		for _, s := range scheds {
-			trace, err := e.Trace(workload.AzureCode, tiers, load, e.Seed+13)
-			if err != nil {
-				return err
-			}
-			sum, err := RunJudged(mc, 1, s.factory, trace)
-			if err != nil {
-				return err
-			}
+			sum := sums[i]
+			i++
 			e.printf("%-14s%14.2f%14.2f%14.2f%16.2f%14.2f\n", s.label,
 				sum.LatencyQuantile(metrics.ByClass("Q1"), 0.5),
 				sum.LatencyQuantile(metrics.ByClass("Q2"), 0.5),

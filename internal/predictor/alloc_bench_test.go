@@ -1,0 +1,50 @@
+package predictor
+
+import (
+	"testing"
+
+	"qoserve/internal/model"
+	"qoserve/internal/profile"
+)
+
+// predictShape is a representative mixed batch for the allocation guards.
+func predictShape() model.BatchShape {
+	return model.BatchShape{
+		Prefill:   []model.ChunkShape{{Tokens: 1024, CtxStart: 2048}},
+		DecodeCtx: []int{128, 512, 1024, 4096, 256, 768, 2048, 96},
+	}
+}
+
+// TestForestPredictAllocFree pins ensemble prediction — both the shape entry
+// point and the raw feature path the scheduler probes — at zero allocations.
+// A regression here fails CI.
+func TestForestPredictAllocFree(t *testing.T) {
+	f, _ := trainedForest(t)
+	b := predictShape()
+	x := profile.Features(b)
+	if avg := testing.AllocsPerRun(200, func() { f.Predict(b) }); avg != 0 {
+		t.Errorf("Predict allocates %.2f objects/run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { f.PredictSafeFeats(x) }); avg != 0 {
+		t.Errorf("PredictSafeFeats allocates %.2f objects/run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		ChunkBudgetFeats(f, DecodeFeats(b.DecodeCtx), 2048, f.PredictSafe(b), 2500)
+	}); avg != 0 {
+		t.Errorf("ChunkBudgetFeats allocates %.2f objects/run, want 0", avg)
+	}
+}
+
+// BenchmarkChunkBudgetFeats measures the full allocation-free budget
+// inversion (the ~12-probe binary search run once per planned batch).
+func BenchmarkChunkBudgetFeats(b *testing.B) {
+	f, _ := trainedForest(b)
+	shape := predictShape()
+	decode := DecodeFeats(shape.DecodeCtx)
+	budget := f.PredictSafe(shape)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ChunkBudgetFeats(f, decode, 2048, budget, 2500)
+	}
+}

@@ -51,6 +51,34 @@ func (c ForestConfig) withDefaults() ForestConfig {
 type Forest struct {
 	trees  []*Tree
 	margin float64
+	// flat concatenates every tree's nodes into one contiguous array with
+	// child indices rebased (roots[i] is tree i's root), so ensemble
+	// prediction walks a single cache-friendly slice instead of chasing a
+	// pointer per tree. Built by finalize after training or loading.
+	flat  []treeNode
+	roots []int32
+}
+
+// finalize builds the flattened node array. It must be called whenever the
+// tree set changes; predictions read only the flattened form.
+func (f *Forest) finalize() {
+	total := 0
+	for _, t := range f.trees {
+		total += len(t.nodes)
+	}
+	f.flat = make([]treeNode, 0, total)
+	f.roots = make([]int32, 0, len(f.trees))
+	for _, t := range f.trees {
+		base := int32(len(f.flat))
+		f.roots = append(f.roots, base)
+		for _, n := range t.nodes {
+			if n.feature >= 0 {
+				n.left += base
+				n.right += base
+			}
+			f.flat = append(f.flat, n)
+		}
+	}
 }
 
 // Train fits a random forest on profiled samples.
@@ -85,24 +113,49 @@ func Train(samples []profile.Sample, cfg ForestConfig) (*Forest, error) {
 		}
 		f.trees = append(f.trees, FitTree(samples, idx, treeCfg, pick))
 	}
+	f.finalize()
 	return f, nil
 }
 
 // Predict returns the mean prediction across trees, without the safety
 // margin (raw latency estimate).
 func (f *Forest) Predict(b model.BatchShape) sim.Time {
-	x := profile.Features(b)
-	s := 0.0
-	for _, t := range f.trees {
-		s += t.Predict(x)
-	}
-	return sim.FromSeconds(s / float64(len(f.trees)))
+	return f.PredictFeats(profile.Features(b))
 }
 
 // PredictSafe returns the margin-inflated prediction used for budget
 // checks: latency the scheduler should assume the batch takes.
 func (f *Forest) PredictSafe(b model.BatchShape) sim.Time {
 	return sim.Time(float64(f.Predict(b)) * (1 + f.margin))
+}
+
+// PredictFeats evaluates a raw feature vector against the flattened
+// ensemble. This is the allocation-free core of Predict: the scheduler's
+// budget searches probe it a dozen times per planned batch.
+func (f *Forest) PredictFeats(x [profile.FeatureCount]float64) sim.Time {
+	s := 0.0
+	for _, root := range f.roots {
+		i := root
+		for {
+			n := &f.flat[i]
+			if n.feature < 0 {
+				s += n.value
+				break
+			}
+			if x[n.feature] <= n.threshold {
+				i = n.left
+			} else {
+				i = n.right
+			}
+		}
+	}
+	return sim.FromSeconds(s / float64(len(f.roots)))
+}
+
+// PredictSafeFeats is PredictFeats with the safety margin applied,
+// matching PredictSafe exactly.
+func (f *Forest) PredictSafeFeats(x [profile.FeatureCount]float64) sim.Time {
+	return sim.Time(float64(f.PredictFeats(x)) * (1 + f.margin))
 }
 
 // Trees returns the ensemble size.
@@ -135,15 +188,46 @@ type SafePredictor interface {
 	PredictSafe(b model.BatchShape) sim.Time
 }
 
+// FeaturePredictor is implemented by predictors that can price a raw
+// feature vector directly, without a model.BatchShape being materialized.
+// The planner's budget searches use it to probe candidate chunk sizes
+// allocation-free: the decode side of the feature vector is fixed across
+// every probe of one plan, so only the chunk fields change. Predictors
+// that need the full per-request shape (the analytic Oracle) simply do not
+// implement it, and callers fall back to the shape-based path.
+type FeaturePredictor interface {
+	PredictFeats(x [profile.FeatureCount]float64) sim.Time
+	PredictSafeFeats(x [profile.FeatureCount]float64) sim.Time
+}
+
 // NoMargin adapts a predictor so its safe estimate equals its raw estimate.
 // Schedulers use it in regimes where conservatism only wastes throughput —
 // e.g. when the iteration budget is already floored at a TBT target and the
 // affected tokens are late regardless.
-func NoMargin(p LatencyPredictor) SafePredictor { return noMargin{p} }
+func NoMargin(p LatencyPredictor) SafePredictor {
+	if fp, ok := p.(FeaturePredictor); ok {
+		return noMarginFeats{noMargin{p}, fp}
+	}
+	return noMargin{p}
+}
 
 type noMargin struct{ LatencyPredictor }
 
 func (n noMargin) PredictSafe(b model.BatchShape) sim.Time { return n.Predict(b) }
+
+// noMarginFeats preserves the wrapped predictor's feature fast path.
+type noMarginFeats struct {
+	noMargin
+	fp FeaturePredictor
+}
+
+func (n noMarginFeats) PredictFeats(x [profile.FeatureCount]float64) sim.Time {
+	return n.fp.PredictFeats(x)
+}
+
+func (n noMarginFeats) PredictSafeFeats(x [profile.FeatureCount]float64) sim.Time {
+	return n.fp.PredictFeats(x)
+}
 
 // ChunkBudget implements GET_PREFILL_BUDGET from Algorithm 1: the largest
 // prefill chunk (up to maxChunk) that keeps the predicted iteration latency
@@ -157,6 +241,9 @@ func (n noMargin) PredictSafe(b model.BatchShape) sim.Time { return n.Predict(b)
 func ChunkBudget(p SafePredictor, decodeCtx []int, prefillCtx int, budget sim.Time, maxChunk int) int {
 	if maxChunk <= 0 || budget <= 0 {
 		return 0
+	}
+	if fp, ok := p.(FeaturePredictor); ok {
+		return chunkBudgetFeats(fp, DecodeFeats(decodeCtx), prefillCtx, budget, maxChunk)
 	}
 	shapeFor := func(chunk int) model.BatchShape {
 		b := model.BatchShape{DecodeCtx: decodeCtx}
@@ -175,6 +262,64 @@ func ChunkBudget(p SafePredictor, decodeCtx []int, prefillCtx int, budget sim.Ti
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
 		if p.PredictSafe(shapeFor(mid)) <= budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// DecodeFeats builds the decode-side feature vector shared by every probe
+// of one budget search: the chunk fields are zero, matching a decode-only
+// batch shape.
+func DecodeFeats(decodeCtx []int) [profile.FeatureCount]float64 {
+	var x [profile.FeatureCount]float64
+	x[profile.FeatNumDecodes] = float64(len(decodeCtx))
+	for _, c := range decodeCtx {
+		x[profile.FeatSumDecodeCtx] += float64(c)
+		if fc := float64(c); fc > x[profile.FeatMaxDecodeCtx] {
+			x[profile.FeatMaxDecodeCtx] = fc
+		}
+	}
+	return x
+}
+
+// ChunkBudgetFeats is ChunkBudget for callers that already hold the
+// decode-side feature vector (see DecodeFeats); the search itself never
+// allocates.
+func ChunkBudgetFeats(p FeaturePredictor, decodeFeats [profile.FeatureCount]float64, prefillCtx int, budget sim.Time, maxChunk int) int {
+	if maxChunk <= 0 || budget <= 0 {
+		return 0
+	}
+	return chunkBudgetFeats(p, decodeFeats, prefillCtx, budget, maxChunk)
+}
+
+// chunkBudgetFeats runs the binary search over the feature vector. The
+// probed vectors are identical to what Features would extract from the
+// equivalent one-chunk batch shape, so the result matches the shape-based
+// path bit for bit.
+func chunkBudgetFeats(p FeaturePredictor, x [profile.FeatureCount]float64, prefillCtx int, budget sim.Time, maxChunk int) int {
+	probe := func(chunk int) sim.Time {
+		if chunk > 0 {
+			x[profile.FeatChunkTokens] = float64(chunk)
+			x[profile.FeatPrefillCtx] = float64(prefillCtx)
+		} else {
+			x[profile.FeatChunkTokens] = 0
+			x[profile.FeatPrefillCtx] = 0
+		}
+		return p.PredictSafeFeats(x)
+	}
+	if probe(maxChunk) <= budget {
+		return maxChunk
+	}
+	lo, hi := 0, maxChunk // invariant: lo fits, hi doesn't
+	if probe(0) > budget {
+		return 0
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if probe(mid) <= budget {
 			lo = mid
 		} else {
 			hi = mid

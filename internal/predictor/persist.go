@@ -89,5 +89,6 @@ func Load(r io.Reader) (*Forest, error) {
 		}
 		f.trees = append(f.trees, t)
 	}
+	f.finalize()
 	return f, nil
 }

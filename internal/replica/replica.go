@@ -38,9 +38,21 @@ type Replica struct {
 	// cancelled on Fail so a dead replica never finishes work.
 	pending sim.Handle
 
-	// active holds accepted, unfinished requests in submission order, so
-	// a crash can orphan them deterministically.
-	active []*request.Request
+	// active holds accepted requests in submission order, so a crash can
+	// orphan them deterministically. Finished requests are removed lazily:
+	// activeDone counts Done entries still present, and the slice is
+	// compacted only once they outweigh the live ones, so completion-heavy
+	// phases pay amortized O(1) per finish instead of an O(active) rescan
+	// every iteration. Readers (Fail) must skip Done entries.
+	active     []*request.Request
+	activeDone int
+
+	// Iteration-scoped scratch: at most one iteration is in flight per
+	// replica, so the completion/retry events and the shape buffer are
+	// reused instead of allocated per iteration.
+	done  iterDone
+	retry kvRetry
+	shape model.BatchShape
 
 	// Stats.
 	iterations uint64
@@ -164,6 +176,18 @@ func (r *Replica) Fail() []*request.Request {
 	}
 	orphans := r.active
 	r.active = nil
+	if r.activeDone > 0 {
+		// Drop lazily-retained finished entries; live orphans keep their
+		// submission order.
+		kept := orphans[:0]
+		for _, req := range orphans {
+			if req.Phase() != request.Done {
+				kept = append(kept, req)
+			}
+		}
+		orphans = kept
+		r.activeDone = 0
+	}
 	for _, req := range orphans {
 		r.kv.Release(req.ID)
 	}
@@ -205,26 +229,44 @@ func (r *Replica) startIteration(now sim.Time) {
 			// KV admission deferred everything; retry shortly rather
 			// than stalling until the next arrival.
 			r.busy = true
-			r.pending = r.engine.After(10*sim.Millisecond, sim.EventFunc(func(_ *sim.Engine, t sim.Time) {
-				r.startIteration(t)
-			}))
+			r.retry.r = r
+			r.pending = r.engine.After(10*sim.Millisecond, &r.retry)
 			return
 		}
 		r.busy = false
 		return
 	}
 	r.busy = true
-	execTime := r.cfg.BatchTime(batch.Shape())
+	batch.ShapeInto(&r.shape)
+	execTime := r.cfg.BatchTime(r.shape)
 	if execTime <= 0 {
 		panic(fmt.Sprintf("replica: non-positive batch time %v for %v", execTime, batch))
 	}
 	if r.slow > 1 {
 		execTime = sim.Time(float64(execTime) * r.slow)
 	}
-	r.pending = r.engine.At(now+execTime, sim.EventFunc(func(_ *sim.Engine, end sim.Time) {
-		r.completeIteration(batch, now, end)
-	}))
+	r.done = iterDone{r: r, batch: batch, started: now}
+	r.pending = r.engine.At(now+execTime, &r.done)
 }
+
+// iterDone is the reusable iteration-completion event; exactly one is in
+// flight per replica, cancelled on Fail before any reuse.
+type iterDone struct {
+	r       *Replica
+	batch   sched.Batch
+	started sim.Time
+}
+
+// Fire completes the iteration at its scheduled end time.
+func (e *iterDone) Fire(_ *sim.Engine, end sim.Time) {
+	e.r.completeIteration(e.batch, e.started, end)
+}
+
+// kvRetry is the reusable KV-admission retry event.
+type kvRetry struct{ r *Replica }
+
+// Fire re-attempts planning after a full KV deferral.
+func (e *kvRetry) Fire(_ *sim.Engine, t sim.Time) { e.r.startIteration(t) }
 
 // admit enforces KV capacity. A request's full final context (prompt plus
 // every decode token) is reserved when its first chunk is admitted, so
@@ -282,20 +324,29 @@ func (r *Replica) completeIteration(b sched.Batch, started, now sim.Time) {
 	for _, p := range b.Prefill {
 		if p.Req.Phase() == request.Done {
 			r.kv.Release(p.Req.ID)
+			r.activeDone++
 		}
 	}
 	for _, d := range b.Decodes {
 		if d.Phase() == request.Done {
 			r.kv.Release(d.ID)
+			r.activeDone++
 		}
 	}
-	kept := r.active[:0]
-	for _, req := range r.active {
-		if req.Phase() != request.Done {
-			kept = append(kept, req)
+	// Compact lazily: a full rescan per finish is O(active) on every
+	// iteration of a deep backlog, so defer it until Done entries
+	// outweigh live ones (amortized O(1) per finished request).
+	if r.activeDone*2 >= len(r.active) && r.activeDone > 0 {
+		kept := r.active[:0]
+		for _, req := range r.active {
+			if req.Phase() != request.Done {
+				kept = append(kept, req)
+			}
 		}
+		clear(r.active[len(kept):])
+		r.active = kept
+		r.activeDone = 0
 	}
-	r.active = kept
 	r.sch.OnBatchComplete(b, now)
 	r.startIteration(now)
 }

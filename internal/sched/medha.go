@@ -18,6 +18,9 @@ type Medha struct {
 	tbt      sim.Time
 	maxChunk int
 	inner    Sarathi // reuse FCFS queue/decode bookkeeping with a huge budget
+	// Per-plan scratch buffers (one outstanding batch per scheduler).
+	ctx     []int
+	prefill []PrefillAlloc
 	TraceState
 }
 
@@ -47,11 +50,11 @@ func (m *Medha) PlanBatch(now sim.Time) Batch {
 		m.TracePlan(m.Name(), b, now, 0, 0, 0)
 		return b
 	}
-	ctx := make([]int, len(b.Decodes))
-	for i, r := range b.Decodes {
-		ctx[i] = r.ContextLen()
+	m.ctx = m.ctx[:0]
+	for _, r := range b.Decodes {
+		m.ctx = append(m.ctx, r.ContextLen())
 	}
-	chunk := predictor.ChunkBudget(m.pred, ctx, front.PrefilledTokens, m.tbt, m.maxChunk)
+	chunk := predictor.ChunkBudget(m.pred, m.ctx, front.PrefilledTokens, m.tbt, m.maxChunk)
 	if rem := front.RemainingPrefill(); chunk > rem {
 		chunk = rem
 	}
@@ -60,7 +63,8 @@ func (m *Medha) PlanBatch(now sim.Time) Batch {
 		// minimal step to guarantee progress, as Medha's floor chunk does.
 		chunk = min(32, front.RemainingPrefill())
 	}
-	b.Prefill = append(b.Prefill, PrefillAlloc{Req: front, Tokens: chunk})
+	b.Prefill = append(m.prefill[:0], PrefillAlloc{Req: front, Tokens: chunk})
+	m.prefill = b.Prefill[:0]
 	if m.Tracing() {
 		m.TracePlan(m.Name(), b, now, m.pred.PredictSafe(b.Shape()), m.inner.queue.Len(), 0)
 	}

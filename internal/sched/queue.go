@@ -10,54 +10,120 @@ import (
 // by request ID for determinism. Keys are captured at insertion time;
 // re-prioritizing a request means removing and re-inserting it. The
 // sorted-slice representation keeps the whole queue traversable in priority
-// order, which QoServe's relegation pass needs.
+// order, which QoServe's relegation pass needs. A side table records each
+// member's insertion key so Remove can binary-search the exact position
+// instead of scanning: OnBatchComplete removes every prefill allocation
+// each iteration, and under overload the queue is thousands deep.
+//
+// Storage is a slice with a movable front offset (head): removals and
+// insertions shift whichever side of the split is shorter, so the dominant
+// pattern — serving and relegating from the high-priority front of a deep
+// queue — costs O(1) moves instead of an O(n) memmove per operation.
 type Queue struct {
+	head  int
 	keys  []float64
 	items []*request.Request
+	// pos maps a member to its insertion key. Together with the (key, ID)
+	// total order this pins the member's exact slice index via binary
+	// search, making Remove an O(log n) locate plus a shorter-side shift
+	// instead of an O(n) pointer scan.
+	pos map[*request.Request]float64
 }
 
 // Len is the queue size.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return len(q.items) - q.head }
 
 // Insert adds r with the given priority key (lower = served earlier).
 func (q *Queue) Insert(r *request.Request, key float64) {
-	i := sort.Search(len(q.items), func(i int) bool {
-		if q.keys[i] != key {
-			return q.keys[i] > key
+	i := q.head + sort.Search(q.Len(), func(j int) bool {
+		j += q.head
+		if q.keys[j] != key {
+			return q.keys[j] > key
 		}
-		return q.items[i].ID > r.ID
+		return q.items[j].ID > r.ID
 	})
-	q.keys = append(q.keys, 0)
-	q.items = append(q.items, nil)
-	copy(q.keys[i+1:], q.keys[i:])
-	copy(q.items[i+1:], q.items[i:])
+	if q.head > 0 && i-q.head <= len(q.items)-i {
+		// Shift the (shorter) prefix one slot left into the spare front
+		// capacity left behind by earlier front removals.
+		copy(q.keys[q.head-1:], q.keys[q.head:i])
+		copy(q.items[q.head-1:], q.items[q.head:i])
+		q.head--
+		i--
+	} else {
+		q.keys = append(q.keys, 0)
+		q.items = append(q.items, nil)
+		copy(q.keys[i+1:], q.keys[i:])
+		copy(q.items[i+1:], q.items[i:])
+	}
 	q.keys[i] = key
 	q.items[i] = r
+	if q.pos == nil {
+		q.pos = make(map[*request.Request]float64)
+	}
+	q.pos[r] = key
 }
 
 // At returns the i-th request in priority order.
-func (q *Queue) At(i int) *request.Request { return q.items[i] }
+func (q *Queue) At(i int) *request.Request { return q.items[q.head+i] }
 
 // KeyAt returns the i-th priority key.
-func (q *Queue) KeyAt(i int) float64 { return q.keys[i] }
+func (q *Queue) KeyAt(i int) float64 { return q.keys[q.head+i] }
 
 // Front returns the highest-priority request, or nil when empty.
 func (q *Queue) Front() *request.Request {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return nil
 	}
-	return q.items[0]
+	return q.items[q.head]
 }
 
-// RemoveAt deletes the i-th entry.
+// RemoveAt deletes the i-th entry (in priority order).
 func (q *Queue) RemoveAt(i int) {
-	q.keys = append(q.keys[:i], q.keys[i+1:]...)
-	q.items = append(q.items[:i], q.items[i+1:]...)
+	j := q.head + i
+	delete(q.pos, q.items[j])
+	if i <= len(q.items)-j-1 {
+		// Closer to the front: shift the prefix right and advance head.
+		copy(q.keys[q.head+1:], q.keys[q.head:j])
+		copy(q.items[q.head+1:], q.items[q.head:j])
+		q.items[q.head] = nil // release the reference
+		q.head++
+	} else {
+		q.keys = append(q.keys[:j], q.keys[j+1:]...)
+		q.items = append(q.items[:j], q.items[j+1:]...)
+	}
+	// Reclaim the dead prefix once it outweighs the live entries, so the
+	// backing arrays stay proportional to the queue, not its history.
+	if q.head > 64 && q.head > len(q.items)-q.head {
+		n := copy(q.items, q.items[q.head:])
+		copy(q.keys, q.keys[q.head:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.keys = q.keys[:n]
+		q.head = 0
+	}
 }
 
 // Remove deletes the given request, reporting whether it was present.
 func (q *Queue) Remove(r *request.Request) bool {
-	for i, it := range q.items {
+	key, ok := q.pos[r]
+	if !ok {
+		return false
+	}
+	i := sort.Search(q.Len(), func(j int) bool {
+		j += q.head
+		if q.keys[j] != key {
+			return q.keys[j] >= key
+		}
+		return q.items[j].ID >= r.ID
+	})
+	if i < q.Len() && q.items[q.head+i] == r {
+		q.RemoveAt(i)
+		return true
+	}
+	// Unreachable while the (key, ID) order invariant holds (e.g. a NaN
+	// key would break sort.Search); fall back to the scan so membership
+	// stays correct regardless.
+	for i, it := range q.items[q.head:] {
 		if it == r {
 			q.RemoveAt(i)
 			return true
@@ -68,14 +134,20 @@ func (q *Queue) Remove(r *request.Request) bool {
 
 // PopFront removes and returns the highest-priority request, or nil.
 func (q *Queue) PopFront() *request.Request {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return nil
 	}
-	r := q.items[0]
+	r := q.items[q.head]
 	q.RemoveAt(0)
 	return r
 }
 
+// Key returns r's insertion key and whether r is a member.
+func (q *Queue) Key(r *request.Request) (float64, bool) {
+	key, ok := q.pos[r]
+	return key, ok
+}
+
 // Items exposes the underlying priority-ordered slice; callers must not
 // mutate it.
-func (q *Queue) Items() []*request.Request { return q.items }
+func (q *Queue) Items() []*request.Request { return q.items[q.head:] }

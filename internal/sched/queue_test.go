@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"qoserve/internal/request"
+)
+
+// TestQueueModelEquivalence drives the offset-backed queue through a long
+// random mix of inserts, indexed removals, membership removals, and front
+// pops — including bursts that trigger the dead-prefix compaction — and
+// checks every observation (At, KeyAt, Front, Items, Key, Len) against a
+// naive sorted-slice reference model.
+func TestQueueModelEquivalence(t *testing.T) {
+	type entry struct {
+		key float64
+		r   *request.Request
+	}
+	var model []entry
+	insertModel := func(r *request.Request, key float64) {
+		i := sort.Search(len(model), func(i int) bool {
+			if model[i].key != key {
+				return model[i].key > key
+			}
+			return model[i].r.ID > r.ID
+		})
+		model = append(model, entry{})
+		copy(model[i+1:], model[i:])
+		model[i] = entry{key, r}
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	var q Queue
+	nextID := uint64(1)
+	check := func(op string) {
+		t.Helper()
+		if q.Len() != len(model) {
+			t.Fatalf("%s: Len = %d, want %d", op, q.Len(), len(model))
+		}
+		items := q.Items()
+		for i, e := range model {
+			if q.At(i) != e.r || items[i] != e.r {
+				t.Fatalf("%s: At(%d) = %v, want ID %d", op, i, q.At(i), e.r.ID)
+			}
+			if q.KeyAt(i) != e.key {
+				t.Fatalf("%s: KeyAt(%d) = %v, want %v", op, i, q.KeyAt(i), e.key)
+			}
+			if k, ok := q.Key(e.r); !ok || k != e.key {
+				t.Fatalf("%s: Key(ID %d) = %v,%v, want %v", op, e.r.ID, k, ok, e.key)
+			}
+		}
+		if len(model) == 0 {
+			if q.Front() != nil {
+				t.Fatalf("%s: Front on empty = %v", op, q.Front())
+			}
+		} else if q.Front() != model[0].r {
+			t.Fatalf("%s: Front = %v, want ID %d", op, q.Front(), model[0].r.ID)
+		}
+	}
+
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4 || len(model) == 0: // insert, biased keys to force ties
+			r := req(nextID, 0, 10, 1, batchClass())
+			nextID++
+			key := float64(rng.Intn(8))
+			q.Insert(r, key)
+			insertModel(r, key)
+			check("Insert")
+		case op < 6: // pop front (the hot scheduler path)
+			want := model[0].r
+			model = model[1:]
+			if got := q.PopFront(); got != want {
+				t.Fatalf("PopFront = %v, want ID %d", got, want.ID)
+			}
+			check("PopFront")
+		case op < 8: // remove at a random position
+			i := rng.Intn(len(model))
+			q.RemoveAt(i)
+			model = append(model[:i], model[i+1:]...)
+			check("RemoveAt")
+		default: // remove by membership
+			i := rng.Intn(len(model))
+			r := model[i].r
+			if !q.Remove(r) {
+				t.Fatalf("Remove(ID %d) = false", r.ID)
+			}
+			model = append(model[:i], model[i+1:]...)
+			if q.Remove(r) {
+				t.Fatalf("Remove(ID %d) twice = true", r.ID)
+			}
+			check("Remove")
+		}
+	}
+}
+
+// TestQueueFrontPopCompaction drains a deep queue from the front — the
+// pattern the offset representation optimizes — and verifies the dead
+// prefix is reclaimed rather than growing with history.
+func TestQueueFrontPopCompaction(t *testing.T) {
+	var q Queue
+	const n = 1 << 12
+	for i := 0; i < n; i++ {
+		q.Insert(req(uint64(i+1), 0, 10, 1, batchClass()), float64(i))
+	}
+	for i := 0; i < n; i++ {
+		r := q.PopFront()
+		if r == nil || r.ID != uint64(i+1) {
+			t.Fatalf("pop %d: got %v", i, r)
+		}
+		if q.head > len(q.items)-q.head+64 {
+			t.Fatalf("pop %d: dead prefix %d never reclaimed (live %d)",
+				i, q.head, len(q.items)-q.head)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after full drain", q.Len())
+	}
+}

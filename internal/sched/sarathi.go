@@ -55,10 +55,15 @@ const RelaxedChunk = 2048
 type Sarathi struct {
 	policy  Policy
 	chunk   int
+	name    string // cached: Name is called on every traced plan
 	queue   Queue
 	decodes []*request.Request
 	est     *estimate.Tracker
 	pending int
+	// prefill is the reusable allocation scratch handed out as each
+	// batch's Prefill slice; valid because at most one planned batch is
+	// outstanding per scheduler (see the Scheduler contract).
+	prefill []PrefillAlloc
 	TraceState
 }
 
@@ -68,11 +73,11 @@ func NewSarathi(policy Policy, chunk int) *Sarathi {
 	if chunk == 0 {
 		chunk = DefaultChunk
 	}
-	return &Sarathi{policy: policy, chunk: chunk, est: estimate.NewTracker()}
+	return &Sarathi{policy: policy, chunk: chunk, name: "Sarathi-" + policy.String(), est: estimate.NewTracker()}
 }
 
 // Name identifies the scheduler in experiment output.
-func (s *Sarathi) Name() string { return "Sarathi-" + s.policy.String() }
+func (s *Sarathi) Name() string { return s.name }
 
 // Chunk returns the fixed token budget.
 func (s *Sarathi) Chunk() int { return s.chunk }
@@ -106,7 +111,7 @@ func (s *Sarathi) Add(r *request.Request, now sim.Time) {
 // PlanBatch packs all decodes plus prefill chunks up to the fixed token
 // budget, in policy order.
 func (s *Sarathi) PlanBatch(now sim.Time) Batch {
-	b := Batch{Decodes: s.decodes}
+	b := Batch{Decodes: s.decodes, Prefill: s.prefill[:0]}
 	budget := s.chunk - len(s.decodes)
 	for i := 0; i < s.queue.Len() && budget > 0; i++ {
 		r := s.queue.At(i)
@@ -117,7 +122,10 @@ func (s *Sarathi) PlanBatch(now sim.Time) Batch {
 		b.Prefill = append(b.Prefill, PrefillAlloc{Req: r, Tokens: take})
 		budget -= take
 	}
-	s.TracePlan(s.Name(), b, now, 0, s.queue.Len(), 0)
+	s.prefill = b.Prefill[:0]
+	if s.Tracing() {
+		s.TracePlan(s.Name(), b, now, 0, s.queue.Len(), 0)
+	}
 	return b
 }
 

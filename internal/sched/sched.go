@@ -52,20 +52,23 @@ func (b Batch) PrefillTokens() int {
 
 // Shape converts the batch to the cost model's input.
 func (b Batch) Shape() model.BatchShape {
-	s := model.BatchShape{}
-	if len(b.Prefill) > 0 {
-		s.Prefill = make([]model.ChunkShape, len(b.Prefill))
-		for i, p := range b.Prefill {
-			s.Prefill[i] = model.ChunkShape{Tokens: p.Tokens, CtxStart: p.Req.PrefilledTokens}
-		}
-	}
-	if len(b.Decodes) > 0 {
-		s.DecodeCtx = make([]int, len(b.Decodes))
-		for i, r := range b.Decodes {
-			s.DecodeCtx[i] = r.ContextLen()
-		}
-	}
+	var s model.BatchShape
+	b.ShapeInto(&s)
 	return s
+}
+
+// ShapeInto fills s with the batch's shape, reusing s's backing arrays so a
+// caller that prices every iteration (the replica loop, the planner's trim
+// pass) does not allocate per batch.
+func (b Batch) ShapeInto(s *model.BatchShape) {
+	s.Prefill = s.Prefill[:0]
+	for _, p := range b.Prefill {
+		s.Prefill = append(s.Prefill, model.ChunkShape{Tokens: p.Tokens, CtxStart: p.Req.PrefilledTokens})
+	}
+	s.DecodeCtx = s.DecodeCtx[:0]
+	for _, r := range b.Decodes {
+		s.DecodeCtx = append(s.DecodeCtx, r.ContextLen())
+	}
 }
 
 // String summarizes the batch.

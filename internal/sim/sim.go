@@ -66,7 +66,9 @@ type EventFunc func(engine *Engine, now Time)
 // Fire calls f.
 func (f EventFunc) Fire(engine *Engine, now Time) { f(engine, now) }
 
-// scheduled is an entry in the event heap.
+// scheduled is an entry in the event heap. Entries are recycled through the
+// engine's freelist after they fire; gen distinguishes the current
+// occupancy from stale Handles pointing at an earlier use of the same slot.
 type scheduled struct {
 	at    Time
 	prio  int    // ties broken by ascending priority
@@ -74,6 +76,7 @@ type scheduled struct {
 	ev    Event
 	index int
 	dead  bool
+	gen   uint64
 }
 
 // eventHeap implements container/heap ordered by (at, prio, seq).
@@ -115,9 +118,12 @@ func (h *eventHeap) Pop() any {
 }
 
 // Handle identifies a scheduled event so that it can be cancelled before it
-// fires. The zero Handle is invalid.
+// fires. The zero Handle is invalid. A Handle captures the generation of
+// the heap entry it refers to, so a handle kept past its event's firing can
+// never cancel an unrelated event that later reuses the same entry.
 type Handle struct {
-	s *scheduled
+	s   *scheduled
+	gen uint64
 }
 
 // Valid reports whether the handle refers to a scheduled (possibly already
@@ -133,6 +139,10 @@ type Engine struct {
 	fired   uint64
 	horizon Time
 	stopped bool
+	// free recycles fired heap entries: steady-state simulation schedules
+	// one completion event per iteration, and without recycling every one
+	// of them is a fresh allocation.
+	free []*scheduled
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -172,10 +182,17 @@ func (e *Engine) AtPriority(at Time, prio int, ev Event) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
-	s := &scheduled{at: at, prio: prio, seq: e.seq, ev: ev}
+	var s *scheduled
+	if n := len(e.free); n > 0 {
+		s = e.free[n-1]
+		e.free = e.free[:n-1]
+		*s = scheduled{at: at, prio: prio, seq: e.seq, ev: ev, gen: s.gen}
+	} else {
+		s = &scheduled{at: at, prio: prio, seq: e.seq, ev: ev}
+	}
 	e.seq++
 	heap.Push(&e.heap, s)
-	return Handle{s: s}
+	return Handle{s: s, gen: s.gen}
 }
 
 // After schedules ev to fire d after the current time.
@@ -187,11 +204,20 @@ func (e *Engine) After(d Time, ev Event) Handle {
 // still pending. Cancelling an already-fired or already-cancelled event is a
 // harmless no-op returning false.
 func (e *Engine) Cancel(h Handle) bool {
-	if h.s == nil || h.s.dead || h.s.index < 0 {
+	if h.s == nil || h.gen != h.s.gen || h.s.dead || h.s.index < 0 {
 		return false
 	}
 	h.s.dead = true
 	return true
+}
+
+// recycle returns a popped, no-longer-referenced heap entry to the
+// freelist, bumping its generation so stale Handles cannot touch its next
+// occupancy.
+func (e *Engine) recycle(s *scheduled) {
+	s.ev = nil
+	s.gen++
+	e.free = append(e.free, s)
 }
 
 // Stop halts the run loop after the currently firing event returns.
@@ -212,6 +238,7 @@ func (e *Engine) RunUntil(horizon Time) Time {
 		s := e.heap[0]
 		if s.dead {
 			heap.Pop(&e.heap)
+			e.recycle(s)
 			continue
 		}
 		if s.at > horizon {
@@ -221,7 +248,9 @@ func (e *Engine) RunUntil(horizon Time) Time {
 		heap.Pop(&e.heap)
 		e.now = s.at
 		e.fired++
-		s.ev.Fire(e, e.now)
+		ev := s.ev
+		e.recycle(s)
+		ev.Fire(e, e.now)
 	}
 	if !e.stopped && horizon != Forever {
 		e.now = horizon
@@ -234,11 +263,14 @@ func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
 		s := heap.Pop(&e.heap).(*scheduled)
 		if s.dead {
+			e.recycle(s)
 			continue
 		}
 		e.now = s.at
 		e.fired++
-		s.ev.Fire(e, e.now)
+		ev := s.ev
+		e.recycle(s)
+		ev.Fire(e, e.now)
 		return true
 	}
 	return false
