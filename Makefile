@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race chaos fuzz verify bench bench-short bench-all experiments experiments-full examples quick clean
+.PHONY: all build vet test test-short race chaos fuzz lint verify bench bench-short bench-all experiments experiments-full examples quick clean
 
 all: build vet test
 
@@ -36,6 +36,26 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadTrace -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run '^$$' -fuzz FuzzParseSchedule -fuzztime $(FUZZTIME) ./internal/fault
 
+# Static analysis gate: the repo's own contract analyzers (determinism,
+# hot-path allocation, trace hooks, guarded fields) plus staticcheck and
+# govulncheck when they are installed. The external tools are optional
+# locally — CI installs pinned versions and runs them unconditionally —
+# but qoservevet itself always runs and must exit clean.
+STATICCHECK ?= staticcheck
+GOVULNCHECK ?= govulncheck
+lint:
+	$(GO) run ./cmd/qoservevet ./...
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./...; \
+	else \
+		echo "lint: $(STATICCHECK) not installed, skipping (CI runs it)"; \
+	fi
+	@if command -v $(GOVULNCHECK) >/dev/null 2>&1; then \
+		$(GOVULNCHECK) ./...; \
+	else \
+		echo "lint: $(GOVULNCHECK) not installed, skipping (CI runs it)"; \
+	fi
+
 # The pre-merge gate CI runs: static checks, the full suite (seed corpora
 # and chaos scenarios included) under the race detector, a short fuzzing
 # pass, then the short benchmark pass. The allocation guards
@@ -43,6 +63,7 @@ fuzz:
 # ordinary tests, so an alloc regression on the plan path fails the gate.
 verify:
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) test -race ./...
 	$(MAKE) fuzz
 	$(MAKE) bench-short

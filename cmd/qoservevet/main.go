@@ -1,0 +1,74 @@
+// Command qoservevet runs the repo's custom static-analysis suite
+// (internal/analysis): detdrift, hotpathalloc, tracehook, and guardedfield.
+// It is the project-specific half of `make lint`, alongside the stock
+// staticcheck/govulncheck passes.
+//
+// Usage:
+//
+//	qoservevet [-list] [packages]
+//
+// Packages default to ./... relative to the working directory. Exit status
+// is 1 when any finding survives (suppressions via //lint:ignore with a
+// justification are honoured), 2 on operational errors.
+//
+// The driver loads and type-checks packages from source via the go tool
+// (no prebuilt export data), so it needs no toolchain support beyond `go
+// list`. It intentionally does not speak the `go vet -vettool` unitchecker
+// protocol, which would require golang.org/x/tools; the analyzer layer is
+// shaped like go/analysis so that wiring is mechanical if that dependency
+// ever lands.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qoserve/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qoservevet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range findings {
+		fmt.Println(d)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "qoservevet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qoservevet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,310 @@
+// Package analysis is the repo's compile-time contract checker: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// shape (Analyzer / Pass / Diagnostic) plus the four project-specific
+// analyzers cmd/qoservevet drives:
+//
+//   - detdrift: no wall-clock reads, global PRNG use, order-sensitive map
+//     iteration, or multi-way selects in determinism-critical packages.
+//   - hotpathalloc: functions annotated //qoserve:hotpath must avoid
+//     allocation-inducing constructs (fmt, make/new, string concat,
+//     escaping closures, interface boxing, non-self append growth) and may
+//     only call other hotpath-annotated functions.
+//   - tracehook: every sched.Scheduler implementation must invoke the
+//     sched.TraceState hooks (TracePlan / TraceComplete / TraceAdmission)
+//     so observability never silently regresses when a policy lands.
+//   - guardedfield: struct fields documented "guarded by <mu>" must only
+//     be touched by functions that lock that mutex (or are documented
+//     //qoserve:locked <mu>, meaning the caller holds it).
+//
+// The x/tools framework is deliberately not imported: the build environment
+// pins the module graph to the standard library, so the loader
+// (go list -deps -json + go/parser + go/types with a recursive source
+// importer) and the fixture harness (// want comments, see the
+// analysistest subpackage) are reimplemented here on stdlib only. The
+// analyzer API mirrors go/analysis closely enough that porting to the real
+// multichecker/vettool protocol is mechanical if x/tools becomes available.
+//
+// False-positive suppression follows staticcheck's convention: a comment
+//
+//	//lint:ignore detdrift <justification>
+//
+// on the flagged line or the line above suppresses that analyzer there; a
+// //lint:file-ignore form suppresses for the whole file. A justification is
+// mandatory — a bare directive is inert and reported as malformed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check, mirroring go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// mirroring go/analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Hotpath is the module-wide annotation fact base: the
+	// types.Func.FullName of every function whose doc comment carries the
+	// //qoserve:hotpath directive, across every analyzed package. It lets
+	// hotpathalloc validate cross-package calls without whole-program
+	// escape analysis.
+	Hotpath map[string]bool
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective is one parsed //lint:ignore or //lint:file-ignore.
+type ignoreDirective struct {
+	analyzers []string // names, or ["*"] for all
+	fileWide  bool
+	hasReason bool
+	line      int
+}
+
+func (d ignoreDirective) matches(name string) bool {
+	for _, a := range d.analyzers {
+		if a == "*" || a == name {
+			return true
+		}
+	}
+	return false
+}
+
+var lintDirectiveRe = regexp.MustCompile(`^//lint:(ignore|file-ignore)\s+(\S+)(?:\s+(.*))?$`)
+
+// parseIgnores extracts suppression directives from a file. Malformed
+// directives (no justification) are returned separately so the runner can
+// surface them as findings instead of silently honouring them.
+func parseIgnores(fset *token.FileSet, f *ast.File) (byLine map[int][]ignoreDirective, fileWide []ignoreDirective, malformed []token.Pos) {
+	byLine = map[int][]ignoreDirective{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := lintDirectiveRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			d := ignoreDirective{
+				analyzers: strings.Split(m[2], ","),
+				fileWide:  m[1] == "file-ignore",
+				hasReason: strings.TrimSpace(m[3]) != "",
+				line:      fset.Position(c.Pos()).Line,
+			}
+			if !d.hasReason {
+				malformed = append(malformed, c.Pos())
+				continue
+			}
+			if d.fileWide {
+				fileWide = append(fileWide, d)
+			} else {
+				byLine[d.line] = append(byLine[d.line], d)
+			}
+		}
+	}
+	return byLine, fileWide, malformed
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. Suppressed findings are dropped; bare
+// //lint:ignore directives without a justification are themselves reported.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	hot := HotpathFuncs(pkgs)
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		type fileIgnores struct {
+			byLine   map[int][]ignoreDirective
+			fileWide []ignoreDirective
+		}
+		ignores := map[string]fileIgnores{}
+		for _, f := range pkg.Files {
+			byLine, fileWide, malformed := parseIgnores(pkg.Fset, f)
+			name := pkg.Fset.Position(f.Pos()).Filename
+			ignores[name] = fileIgnores{byLine, fileWide}
+			for _, pos := range malformed {
+				out = append(out, Diagnostic{
+					Pos:      pkg.Fset.Position(pos),
+					Analyzer: "directive",
+					Message:  "//lint:ignore directive is missing a justification",
+				})
+			}
+		}
+		suppressed := func(d Diagnostic) bool {
+			ig := ignores[d.Pos.Filename]
+			for _, dir := range ig.fileWide {
+				if dir.matches(d.Analyzer) {
+					return true
+				}
+			}
+			for _, dir := range ig.byLine[d.Pos.Line] {
+				if dir.matches(d.Analyzer) {
+					return true
+				}
+			}
+			for _, dir := range ig.byLine[d.Pos.Line-1] {
+				if dir.matches(d.Analyzer) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Hotpath:  hot,
+			}
+			pass.report = func(d Diagnostic) {
+				if !suppressed(d) {
+					out = append(out, d)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// All returns the full qoservevet suite.
+func All() []*Analyzer {
+	return []*Analyzer{Detdrift, Hotpathalloc, Tracehook, Guardedfield}
+}
+
+// HotpathDirective is the annotation marking a function as part of the
+// scheduler's alloc-free hot path.
+const HotpathDirective = "//qoserve:hotpath"
+
+// LockedDirectivePrefix marks a function whose caller is documented to hold
+// the named mutex, e.g. //qoserve:locked mu.
+const LockedDirectivePrefix = "//qoserve:locked"
+
+// hasDirective reports whether a comment group contains the exact directive
+// comment (directives are single-line, no leading space after //).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveArg returns the argument of a single-argument directive
+// ("//qoserve:locked mu" -> "mu"), or "" if absent.
+func directiveArg(doc *ast.CommentGroup, prefix string) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, prefix+" "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// HotpathFuncs scans every package for //qoserve:hotpath-annotated
+// functions and returns their types.Func.FullName set. Full names are
+// stable across independent type-check runs of the same source, which is
+// what lets a pass over package core validate calls into package sched.
+func HotpathFuncs(pkgs []*Package) map[string]bool {
+	out := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasDirective(fd.Doc, HotpathDirective) {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					out[obj.FullName()] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// calleeOf resolves the static callee of a call expression: a *types.Func
+// for ordinary function and method calls, nil for calls of function values,
+// builtins, and type conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface (so the
+// call is dynamically dispatched and its body is unknowable statically).
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}

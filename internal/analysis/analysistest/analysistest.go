@@ -1,0 +1,162 @@
+// Package analysistest verifies the qoservevet analyzers against fixture
+// packages whose expected findings are declared inline, mirroring the
+// golang.org/x/tools/go/analysis/analysistest convention:
+//
+//	time.Now() // want `wall-clock read time\.Now`
+//
+// A want comment holds one or more quoted or backquoted regular
+// expressions; each must match a distinct finding reported on that line (the
+// pattern is matched against "analyzer: message"), and every finding must be
+// claimed by a want. Fixture directories live under testdata so the go tool
+// never builds them; they are type-checked by analysis.CheckDir under a
+// caller-chosen import path, which is what lets one fixture be verified both
+// inside and outside detdrift's determinism-critical package list.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"qoserve/internal/analysis"
+)
+
+// ModuleRoot locates the enclosing go.mod starting from the test's working
+// directory (the package directory under go test).
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("analysistest: no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// wantArgsRe captures the expectation list after the marker; wantPatternRe
+// splits it into individual quoted or backquoted patterns.
+var (
+	wantArgsRe    = regexp.MustCompile("// want (.+)$")
+	wantPatternRe = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+)
+
+// Run type-checks fixtureDir as importPath, applies the analyzers, and
+// diffs the findings against the fixture's want comments.
+func Run(t *testing.T, fixtureDir, importPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	diags, wants := analyze(t, fixtureDir, importPath, analyzers)
+	for _, d := range diags {
+		matched := false
+		for i := range wants {
+			w := &wants[i]
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Analyzer + ": " + d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected a finding matching %s, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// Findings returns the raw findings for fixtureDir checked as importPath,
+// ignoring want comments. Tests use it to assert path-sensitive analyzers go
+// quiet outside their target packages.
+func Findings(t *testing.T, fixtureDir, importPath string, analyzers ...*analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	diags, _ := analyze(t, fixtureDir, importPath, analyzers)
+	return diags
+}
+
+func analyze(t *testing.T, fixtureDir, importPath string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, []want) {
+	t.Helper()
+	pkg, err := analysis.CheckDir(ModuleRoot(t), fixtureDir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("analyzing fixture %s: %v", fixtureDir, err)
+	}
+	return diags, parseWants(t, pkg)
+}
+
+// parseWants extracts every want expectation from the fixture's comments.
+func parseWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantArgsRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns := wantPatternRe.FindAllString(m[1], -1)
+				if len(patterns) == 0 {
+					t.Fatalf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, p := range patterns {
+					out = append(out, want{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   compileWant(t, pos, p),
+						raw:  p,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func compileWant(t *testing.T, pos token.Position, pattern string) *regexp.Regexp {
+	t.Helper()
+	var text string
+	if strings.HasPrefix(pattern, "`") {
+		text = strings.Trim(pattern, "`")
+	} else {
+		var err error
+		text, err = strconv.Unquote(pattern)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, pattern, err)
+		}
+	}
+	re, err := regexp.Compile(text)
+	if err != nil {
+		t.Fatalf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, pattern, err)
+	}
+	return re
+}

@@ -1,0 +1,71 @@
+package analysis_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"qoserve/internal/analysis"
+	"qoserve/internal/analysis/analysistest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+// TestDetdriftFixture checks the determinism fixture under a critical import
+// path: every seeded violation must fire, every blessed idiom stay silent.
+func TestDetdriftFixture(t *testing.T) {
+	analysistest.Run(t, fixture("detdrift"), "qoserve/internal/sim/detfixture", analysis.Detdrift)
+}
+
+// TestDetdriftOutsideCriticalPackages re-checks the same fixture under a
+// neutral import path: wall clocks and global PRNGs are legitimate outside
+// the determinism boundary, so the analyzer must go completely quiet.
+func TestDetdriftOutsideCriticalPackages(t *testing.T) {
+	diags := analysistest.Findings(t, fixture("detdrift"), "qoserve/internal/reporting", analysis.Detdrift)
+	for _, d := range diags {
+		t.Errorf("finding outside the determinism boundary: %s", d)
+	}
+}
+
+// TestHotpathallocFixture seeds one of every forbidden construct inside
+// //qoserve:hotpath functions, next to the blessed scratch-buffer forms.
+func TestHotpathallocFixture(t *testing.T) {
+	analysistest.Run(t, fixture("hotpathalloc"), "qoserve/fixture/hotpath", analysis.Hotpathalloc)
+}
+
+// TestTracehookFixture checks hook enforcement against the real
+// sched.Scheduler interface, including the delegating-wrapper exemption.
+func TestTracehookFixture(t *testing.T) {
+	analysistest.Run(t, fixture("tracehook"), "qoserve/fixture/tracehook", analysis.Tracehook)
+}
+
+// TestGuardedfieldFixture checks mutex-comment enforcement: locked access,
+// unlocked access, the //qoserve:locked convention, and a bad guard comment.
+func TestGuardedfieldFixture(t *testing.T) {
+	analysistest.Run(t, fixture("guardedfield"), "qoserve/fixture/guardedfield", analysis.Guardedfield)
+}
+
+// TestBareDirectiveReported verifies a //lint:ignore with no justification
+// is surfaced as a finding rather than silently honoured.
+func TestBareDirectiveReported(t *testing.T) {
+	diags := analysistest.Findings(t, fixture("directive"), "qoserve/fixture/directive", analysis.Detdrift)
+	if len(diags) != 1 || diags[0].Analyzer != "directive" {
+		t.Fatalf("want exactly one malformed-directive finding, got %v", diags)
+	}
+}
+
+// TestQoservevetRepoClean runs the real driver over the whole repository:
+// head must pass the suite clean, exactly as the make lint gate requires.
+func TestQoservevetRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a go run subprocess over the whole module")
+	}
+	root := analysistest.ModuleRoot(t)
+	cmd := exec.Command("go", "run", "./cmd/qoservevet", "./...")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("qoservevet is not clean at head: %v\n%s", err, out)
+	}
+}

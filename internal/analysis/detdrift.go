@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// determinismCritical lists the packages whose behaviour must be a pure
+// function of (inputs, seeds): the simulation clock, the schedulers, the
+// experiment harness, the cluster/fault layers, and workload synthesis.
+// PR 2's bit-identical chaos replays and PR 3's byte-identical parallel
+// sweeps both rest on these packages never consulting ambient state.
+var determinismCritical = []string{
+	"qoserve/internal/sim",
+	"qoserve/internal/sched",
+	"qoserve/internal/core",
+	"qoserve/internal/experiments",
+	"qoserve/internal/cluster",
+	"qoserve/internal/fault",
+	"qoserve/internal/workload",
+}
+
+// isDeterminismCritical reports whether a package path is inside the
+// determinism boundary (including hypothetical subpackages).
+func isDeterminismCritical(path string) bool {
+	for _, p := range determinismCritical {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Detdrift flags constructs that make determinism-critical packages depend
+// on ambient state: wall-clock reads, the global math/rand PRNG,
+// order-sensitive iteration over maps, and multi-way selects (whose ready
+// case is chosen uniformly at random by the runtime).
+var Detdrift = &Analyzer{
+	Name: "detdrift",
+	Doc: "forbid wall clocks, global PRNGs, order-sensitive map iteration, " +
+		"and racy selects in determinism-critical packages",
+	Run: runDetdrift,
+}
+
+// wallClockFuncs are the time package functions that read the real clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededRandConstructors are the math/rand entry points that build an
+// explicitly seeded generator; everything else at package level draws from
+// the shared global source.
+var seededRandConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDetdrift(pass *Pass) error {
+	if !isDeterminismCritical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDetCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, file, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeOf(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	pkgLevel := sig != nil && sig.Recv() == nil
+	switch fn.Pkg().Path() {
+	case "time":
+		if pkgLevel && wallClockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"wall-clock read time.%s in determinism-critical package %s; derive time from sim.Time",
+				fn.Name(), pass.Pkg.Path())
+		}
+	case "math/rand", "math/rand/v2":
+		if pkgLevel && !seededRandConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"global PRNG call rand.%s draws from a shared unseeded source; use rand.New(rand.NewSource(seed))",
+				fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `for ... := range m` over a map when the iteration
+// order can leak into observable output. The body is order-sensitive when
+// it returns, prints/writes, sends on a channel, or appends to a slice —
+// unless every such slice is passed to a sort call later in the enclosing
+// function (the collect-then-sort idiom). Pure aggregation (sums, map
+// writes, min/max) is order-independent and never flagged.
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+
+	var sensitive []string // reasons
+	appended := map[types.Object]token.Pos{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested closure's returns are not the loop's
+		case *ast.ReturnStmt:
+			sensitive = append(sensitive, "returns inside the loop")
+		case *ast.SendStmt:
+			sensitive = append(sensitive, "sends on a channel")
+		case *ast.CallExpr:
+			if isOutputCall(pass, n) {
+				sensitive = append(sensitive, "writes output inside the loop")
+			}
+			if obj := appendTarget(pass, n); obj != nil {
+				appended[obj] = n.Pos()
+			}
+		}
+		return true
+	})
+
+	// Collect-then-sort: an append target sorted after the loop (in the
+	// same function) makes the iteration order unobservable.
+	if len(appended) > 0 {
+		fn := enclosingFunc(file, rng.Pos())
+		for obj, pos := range appended {
+			if fn != nil && sortedAfter(pass, fn, obj, rng.End()) {
+				continue
+			}
+			pass.Reportf(pos,
+				"slice %s is appended to in map-iteration order and never sorted; map order is randomized per run",
+				obj.Name())
+		}
+	}
+	for _, reason := range sensitive {
+		pass.Reportf(rng.Pos(), "map iteration order reaches output (%s); iterate a sorted key slice instead", reason)
+	}
+}
+
+// isOutputCall reports whether the call plausibly emits observable bytes:
+// fmt printing, or a Write/WriteString/Print*-named method.
+func isOutputCall(pass *Pass, call *ast.CallExpr) bool {
+	if fn := calleeOf(pass.Info, call); fn != nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Print") {
+			return true
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+			return true
+		}
+		name := fn.Name()
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if name == "Write" || name == "WriteString" || strings.HasPrefix(name, "Print") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// appendTarget returns the object a self-append grows (`x = append(x, ...)`
+// patterns are resolved by the enclosing AssignStmt during Inspect; here we
+// only need the first argument's base object).
+func appendTarget(pass *Pass, call *ast.CallExpr) types.Object {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if _, ok := pass.Info.Uses[id].(*types.Builtin); !ok {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	base := ast.Unparen(call.Args[0])
+	for {
+		if s, ok := base.(*ast.SliceExpr); ok {
+			base = ast.Unparen(s.X)
+			continue
+		}
+		break
+	}
+	if id, ok := base.(*ast.Ident); ok {
+		return pass.Info.Uses[id]
+	}
+	return nil
+}
+
+// sortedAfter reports whether obj is handed to a sort/slices sorting call
+// positioned after pos within fn.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		callee := calleeOf(pass.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			used := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					used = true
+				}
+				return !used
+			})
+			if used {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkSelect flags selects with two or more communication cases: when
+// several are ready the runtime picks uniformly at random, so results that
+// depend on the chosen case are nondeterministic.
+func checkSelect(pass *Pass, sel *ast.SelectStmt) {
+	comms := 0
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			comms++
+		}
+	}
+	if comms >= 2 {
+		pass.Reportf(sel.Pos(),
+			"select with %d communication cases resolves ready channels pseudo-randomly; restructure for a deterministic result path", comms)
+	}
+}
+
+// enclosingFunc returns the function declaration containing pos.
+func enclosingFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && fd.Pos() <= pos && pos < fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Guardedfield enforces the repo's mutex-documentation convention: a struct
+// field whose doc or line comment says "guarded by <mu>" (where <mu> is a
+// sibling sync.Mutex/RWMutex field) may only be read or written inside
+// functions that lock that mutex, or functions annotated
+//
+//	//qoserve:locked <mu>
+//
+// declaring that their caller holds it (the *Locked-helper convention in
+// internal/server). The check is function-granular — it does not prove the
+// access happens between Lock and Unlock — which is exactly the granularity
+// the PR 3 Env-cache race occupied: a cache touched from sweep workers by a
+// method that never locked at all.
+var Guardedfield = &Analyzer{
+	Name: "guardedfield",
+	Doc:  `require fields documented "guarded by mu" to be accessed under that mutex`,
+	Run:  runGuardedfield,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedField links a protected field to its mutex field.
+type guardedField struct {
+	field types.Object // the guarded *types.Var
+	mu    types.Object // the sync.Mutex / sync.RWMutex *types.Var
+	muuN  string       // mutex field name, for //qoserve:locked matching
+}
+
+func runGuardedfield(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	byField := map[types.Object]*guardedField{}
+	for i := range guards {
+		byField[guards[i].field] = &guards[i]
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			heldNames := lockedDirectiveNames(fd)
+			locked := lockedMutexes(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := pass.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				g, ok := byField[s.Obj()]
+				if !ok {
+					return true
+				}
+				if locked[g.mu] || heldNames[g.muuN] {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(),
+					"%s is documented as guarded by %s, but %s neither locks it nor is annotated %s %s",
+					s.Obj().Name(), g.muuN, funcLabel(fd), LockedDirectivePrefix, g.muuN)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectGuards finds "guarded by <mu>" field comments and resolves both
+// sides to type objects.
+func collectGuards(pass *Pass) []guardedField {
+	var out []guardedField
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// First resolve candidate mutex fields by name.
+			mutexes := map[string]types.Object{}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					if obj := pass.Info.Defs[name]; obj != nil && isMutexType(obj.Type()) {
+						mutexes[name.Name] = obj
+					}
+				}
+			}
+			for _, f := range st.Fields.List {
+				muName := guardComment(f)
+				if muName == "" {
+					continue
+				}
+				mu, ok := mutexes[muName]
+				if !ok {
+					for _, name := range f.Names {
+						pass.Reportf(name.Pos(),
+							`field %s is documented "guarded by %s" but the struct has no mutex field of that name`,
+							name.Name, muName)
+					}
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						out = append(out, guardedField{field: obj, mu: mu, muuN: muName})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardComment extracts the mutex name from a field's doc or trailing
+// comment.
+func guardComment(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedMutexes returns the mutex field objects on which the body calls
+// Lock or RLock.
+func lockedMutexes(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := pass.Info.Selections[inner]; ok && s.Kind() == types.FieldVal {
+			out[s.Obj()] = true
+		}
+		return true
+	})
+	return out
+}
+
+// lockedDirectiveNames returns the mutex names the function declares its
+// caller to hold via //qoserve:locked.
+func lockedDirectiveNames(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	if arg := directiveArg(fd.Doc, LockedDirectivePrefix); arg != "" {
+		for _, name := range strings.Fields(arg) {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func funcLabel(fd *ast.FuncDecl) string {
+	if fd.Recv != nil {
+		return "method " + fd.Name.Name
+	}
+	return "function " + fd.Name.Name
+}

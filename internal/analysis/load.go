@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates patterns with the go tool, then parses and type-checks
+// every matched package from source. Dependencies — standard library
+// included — are type-checked from source too, through one shared
+// recursive importer, so no prebuilt export data is required. Test files
+// are not loaded: the enforced contracts apply to shipped code, and tests
+// legitimately use wall clocks and ad-hoc randomness.
+//
+// The go tool runs with CGO_ENABLED=0 so every dependency resolves to its
+// pure-Go variant (net, os/user); cgo-augmented packages cannot be
+// type-checked from their Go files alone.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Dir,GoFiles,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	ld := &loader{
+		fset:  token.NewFileSet(),
+		metas: map[string]*listedPkg{},
+		pkgs:  map[string]*types.Package{},
+		done:  map[string]*Package{},
+	}
+	var targets []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pp := p
+		ld.metas[p.ImportPath] = &pp
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p.ImportPath)
+		}
+	}
+	sort.Strings(targets)
+
+	var res []*Package
+	for _, path := range targets {
+		if _, err := ld.load(path); err != nil {
+			return nil, err
+		}
+		res = append(res, ld.done[path])
+	}
+	return res, nil
+}
+
+// loader type-checks packages from source on demand, caching results so the
+// module's shared dependencies are checked once.
+type loader struct {
+	fset  *token.FileSet
+	metas map[string]*listedPkg
+	pkgs  map[string]*types.Package
+	done  map[string]*Package // targets only: syntax + type info retained
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) { return l.load(path) }
+
+func (l *loader) load(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	meta, ok := l.metas[path]
+	if !ok {
+		// The standard library vendors golang.org/x dependencies: source
+		// files import the bare path while go list reports vendor/<path>.
+		if vendored, vok := l.metas["vendor/"+path]; vok {
+			meta = vendored
+		} else {
+			return nil, fmt.Errorf("analysis: package %s not in the go list dependency graph", path)
+		}
+	}
+	l.pkgs[path] = nil // cycle marker
+
+	files := make([]*ast.File, 0, len(meta.GoFiles))
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+
+	var info *types.Info
+	target := !meta.DepOnly && !meta.Standard
+	if target {
+		info = newInfo()
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(error) {}, // collect the first hard error below
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	l.pkgs[path] = pkg
+	if target {
+		l.done[path] = &Package{
+			Path:  path,
+			Dir:   meta.Dir,
+			Fset:  l.fset,
+			Files: files,
+			Types: pkg,
+			Info:  info,
+		}
+	}
+	return pkg, nil
+}
+
+// newInfo allocates a fully-populated types.Info for analyzer passes.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// CheckDir parses and type-checks a single directory of Go files as the
+// package importPath, resolving imports through the module rooted at
+// moduleDir. It is the fixture loader behind the analysistest harness:
+// fixture packages live under testdata (invisible to the go tool) yet may
+// import real module packages, and the chosen importPath controls
+// path-sensitive analyzers such as detdrift's determinism-critical list.
+func CheckDir(moduleDir, fixtureDir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", fixtureDir)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(fixtureDir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports[imp.Path.Value[1:len(imp.Path.Value)-1]] = true
+		}
+	}
+
+	// Resolve the fixture's imports (and their deps) through the module.
+	patterns := make([]string, 0, len(imports))
+	for imp := range imports {
+		patterns = append(patterns, imp)
+	}
+	sort.Strings(patterns)
+	ld := &loader{
+		fset:  fset,
+		metas: map[string]*listedPkg{},
+		pkgs:  map[string]*types.Package{},
+		done:  map[string]*Package{},
+	}
+	if len(patterns) > 0 {
+		args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Dir,GoFiles,Standard,DepOnly,Error"}, patterns...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = moduleDir
+		cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listedPkg
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			pp := p
+			pp.DepOnly = true // never retain info for fixture deps
+			ld.metas[p.ImportPath] = &pp
+		}
+	}
+
+	info := newInfo()
+	conf := types.Config{Importer: ld, Error: func(error) {}}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking fixture %s: %w", fixtureDir, err)
+	}
+	return &Package{Path: importPath, Dir: fixtureDir, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}

@@ -1,0 +1,104 @@
+// Package fixture exercises the detdrift analyzer: every construct flagged
+// inside the determinism boundary, next to its blessed counterpart. The test
+// checks this package twice — once under a determinism-critical import path
+// (expecting the want findings) and once under a neutral path (expecting
+// silence).
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Wall reads the real clock.
+func Wall() time.Time {
+	return time.Now() // want `wall-clock read time\.Now`
+}
+
+// Elapsed reads the real clock through Since.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock read time\.Since`
+}
+
+// GlobalRand draws from the shared unseeded source.
+func GlobalRand() int {
+	return rand.Intn(10) // want `global PRNG call rand\.Intn`
+}
+
+// SeededRand is the blessed form: an explicitly seeded generator.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// FirstKey leaks map order through a return value.
+func FirstKey(m map[string]int) string {
+	for k := range m { // want `map iteration order reaches output \(returns inside the loop\)`
+		return k
+	}
+	return ""
+}
+
+// PrintAll leaks map order through printed output.
+func PrintAll(m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches output \(writes output inside the loop\)`
+		fmt.Println(k, v)
+	}
+}
+
+// Keys collects keys in map order and never sorts them.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `slice out is appended to in map-iteration order and never sorted`
+	}
+	return out
+}
+
+// SortedKeys is the blessed collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum aggregates order-independently; never flagged.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Race resolves two ready channels pseudo-randomly.
+func Race(a, b chan int) int {
+	select { // want `select with 2 communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// SingleRecv has one communication case: deterministic.
+func SingleRecv(c chan int, fallback int) int {
+	select {
+	case v := <-c:
+		return v
+	default:
+		return fallback
+	}
+}
+
+// Suppressed documents a deliberate wall-clock read; the justified
+// directive keeps it out of the findings.
+func Suppressed() time.Time {
+	//lint:ignore detdrift fixture exercises the suppression path.
+	return time.Now()
+}

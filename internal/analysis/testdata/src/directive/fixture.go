@@ -1,0 +1,9 @@
+// Package fixture holds a bare //lint:ignore directive: the runner must
+// report it as malformed instead of silently honouring it.
+package fixture
+
+// Malformed carries a directive with no justification.
+func Malformed() int {
+	//lint:ignore detdrift
+	return 0
+}

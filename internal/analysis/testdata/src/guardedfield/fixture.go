@@ -1,0 +1,62 @@
+// Package fixture exercises the guardedfield analyzer: locked and unlocked
+// accesses to a "guarded by mu" field, the //qoserve:locked caller-holds
+// convention, and a guard comment naming a missing mutex.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// bad names a mutex the struct does not have.
+	bad int // guarded by lock // want `field bad is documented "guarded by lock" but the struct has no mutex field`
+}
+
+// Inc locks before touching n.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Peek reads n without the lock.
+func (c *counter) Peek() int {
+	return c.n // want `n is documented as guarded by mu, but method Peek neither locks it nor is annotated`
+}
+
+// incLocked relies on the caller holding mu.
+//
+//qoserve:locked mu
+func (c *counter) incLocked() { c.n++ }
+
+// IncTwice demonstrates the locked-helper pairing.
+func (c *counter) IncTwice() {
+	c.mu.Lock()
+	c.incLocked()
+	c.incLocked()
+	c.mu.Unlock()
+}
+
+// Suppressed reads racily on purpose, with a justification.
+func (c *counter) Suppressed() int {
+	//lint:ignore guardedfield fixture exercises the suppression path.
+	return c.n
+}
+
+// gauge checks the RWMutex read-lock path.
+type gauge struct {
+	mu  sync.RWMutex
+	val float64 // guarded by mu
+}
+
+// Load read-locks before reading.
+func (g *gauge) Load() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val
+}
+
+// Store writes without any lock.
+func (g *gauge) Store(v float64) {
+	g.val = v // want `val is documented as guarded by mu, but method Store neither locks it`
+}

@@ -1,0 +1,78 @@
+// Package fixture exercises the hotpathalloc analyzer: each construct that
+// defeats the alloc-free contract inside a //qoserve:hotpath function, plus
+// the blessed forms the scheduler's real hot path uses.
+package fixture
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+type item struct{ key float64 }
+
+type state struct {
+	scratch []int
+	keys    []float64
+	name    string
+	hook    func()
+	sink    any
+}
+
+// helper is annotated, so hot-path callers may use it.
+//
+//qoserve:hotpath
+func helper(x int) int { return x + 1 }
+
+// notHot is deliberately unannotated.
+func notHot(x int) int { return x * 2 }
+
+// Flagged collects one of every forbidden construct.
+//
+//qoserve:hotpath
+func Flagged(s *state, bs []byte) {
+	_ = fmt.Sprintf("x") // want `fmt\.Sprintf allocates on the hot path`
+	m := make([]int, 4)  // want `make allocates on the hot path`
+	_ = m
+	p := new(item) // want `new allocates on the hot path`
+	_ = p
+	var other []int
+	other = append(s.scratch, 1) // want `append result is not reassigned to its own first argument`
+	_ = other
+	s.name = s.name + "!" // want `string concatenation allocates on the hot path`
+	s.name += "!"         // want `string \+= allocates on the hot path`
+	_ = &item{}           // want `&composite literal heap-allocates on the hot path`
+	_ = []int{1, 2}       // want `slice/map composite literal allocates on the hot path`
+	s.hook = func() {}    // want `escaping function literal allocates its closure on the hot path`
+	v := len(bs)
+	s.sink = v     // want `boxes the value and allocates`
+	_ = notHot(1)  // want `call to qoserve/fixture/hotpath\.notHot, which is not annotated //qoserve:hotpath`
+	_ = string(bs) // want `conversion to string allocates on the hot path`
+}
+
+// Clean uses only the blessed forms.
+//
+//qoserve:hotpath
+func Clean(s *state, xs []int) int {
+	s.scratch = s.scratch[:0]
+	for _, x := range xs {
+		s.scratch = append(s.scratch, x) // self-append into a scratch buffer
+	}
+	s.keys = append(s.keys[:0], 1.5) // prefix self-append
+	i := sort.Search(len(s.keys), func(j int) bool { return s.keys[j] >= 1 })
+	cmp := func(a, b int) bool { return a < b } // local, non-escaping literal
+	if cmp(i, 2) {
+		i++
+	}
+	total := helper(i)                        // annotated callee
+	total += int(math.Sqrt(float64(len(xs)))) // allowlisted stdlib
+	return total
+}
+
+// Suppressed documents a deliberate allocation with a justification.
+//
+//qoserve:hotpath
+func Suppressed() []int {
+	//lint:ignore hotpathalloc fixture exercises the suppression path.
+	return make([]int, 8)
+}

@@ -1,0 +1,114 @@
+// Package fixture exercises the tracehook analyzer against the real
+// qoserve/internal/sched interface: a compliant policy, a hook-less policy,
+// a policy that cannot accept a tracer, and a delegating wrapper.
+package fixture
+
+import (
+	"qoserve/internal/request"
+	"qoserve/internal/sched"
+	"qoserve/internal/sim"
+)
+
+// Good embeds TraceState and drives every hook.
+type Good struct {
+	sched.TraceState
+	pending int
+}
+
+// Name identifies the policy.
+func (g *Good) Name() string { return "good" }
+
+// Add admits a request.
+func (g *Good) Add(r *request.Request, now sim.Time) {
+	g.pending++
+	g.TraceAdmission(r.ID, r.Class.Name, now)
+}
+
+// PlanBatch builds an (empty) batch.
+func (g *Good) PlanBatch(now sim.Time) sched.Batch {
+	var b sched.Batch
+	g.TracePlan(g.Name(), b, now, 0, 0, 0)
+	return b
+}
+
+// OnBatchComplete commits the trace record.
+func (g *Good) OnBatchComplete(b sched.Batch, now sim.Time) { g.TraceComplete(now) }
+
+// Pending counts unfinished requests.
+func (g *Good) Pending() int { return g.pending }
+
+// Bad embeds TraceState but never invokes the hooks: attached tracers see
+// nothing.
+type Bad struct {
+	sched.TraceState
+}
+
+// Name identifies the policy.
+func (b *Bad) Name() string { return "bad" }
+
+// Add skips TraceAdmission.
+func (b *Bad) Add(r *request.Request, now sim.Time) {} // want `Bad\.Add neither calls TraceAdmission nor delegates`
+
+// PlanBatch skips TracePlan.
+func (b *Bad) PlanBatch(now sim.Time) sched.Batch { // want `Bad\.PlanBatch neither calls TracePlan nor delegates`
+	return sched.Batch{}
+}
+
+// OnBatchComplete skips TraceComplete.
+func (b *Bad) OnBatchComplete(bt sched.Batch, now sim.Time) {} // want `Bad\.OnBatchComplete neither calls TraceComplete nor delegates`
+
+// Pending counts unfinished requests.
+func (b *Bad) Pending() int { return 0 }
+
+// hookBag mimics the hook names without being a TraceState, isolating the
+// embedding requirement from the per-method ones.
+type hookBag struct{}
+
+func (hookBag) TracePlan()      {}
+func (hookBag) TraceComplete()  {}
+func (hookBag) TraceAdmission() {}
+
+// NoState drives hook-named methods but embeds no TraceState and wraps no
+// scheduler, so a server can never attach a tracer to it.
+type NoState struct { // want `NoState implements sched\.Scheduler but neither embeds sched\.TraceState nor wraps a scheduler`
+	hooks hookBag
+}
+
+// Name identifies the policy.
+func (n *NoState) Name() string { return "nostate" }
+
+// Add mimics an admission hook.
+func (n *NoState) Add(r *request.Request, now sim.Time) { n.hooks.TraceAdmission() }
+
+// PlanBatch mimics a plan hook.
+func (n *NoState) PlanBatch(now sim.Time) sched.Batch {
+	n.hooks.TracePlan()
+	return sched.Batch{}
+}
+
+// OnBatchComplete mimics a completion hook.
+func (n *NoState) OnBatchComplete(b sched.Batch, now sim.Time) { n.hooks.TraceComplete() }
+
+// Pending counts unfinished requests.
+func (n *NoState) Pending() int { return 0 }
+
+// Wrapper forwards every call to an inner scheduler whose hooks fire on its
+// behalf — the RateLimited / chunkRecorder shape; exempt by delegation.
+type Wrapper struct {
+	inner sched.Scheduler
+}
+
+// Name identifies the wrapped policy.
+func (w *Wrapper) Name() string { return w.inner.Name() }
+
+// Add forwards the admission.
+func (w *Wrapper) Add(r *request.Request, now sim.Time) { w.inner.Add(r, now) }
+
+// PlanBatch forwards planning.
+func (w *Wrapper) PlanBatch(now sim.Time) sched.Batch { return w.inner.PlanBatch(now) }
+
+// OnBatchComplete forwards completion.
+func (w *Wrapper) OnBatchComplete(b sched.Batch, now sim.Time) { w.inner.OnBatchComplete(b, now) }
+
+// Pending forwards the count.
+func (w *Wrapper) Pending() int { return w.inner.Pending() }

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Tracehook enforces the live-observability contract from PR 1: every
+// sched.Scheduler implementation must drive the sched.TraceState hooks so
+// an attached tracer sees each policy's decisions. Concretely, for each
+// named type in the package whose pointer implements sched.Scheduler:
+//
+//   - PlanBatch must call TracePlan (the per-iteration record),
+//   - OnBatchComplete must call TraceComplete (commits the record),
+//   - Add must call TraceAdmission (arrival events),
+//
+// and the type must embed sched.TraceState (which provides the Traceable
+// implementation servers use to attach a tracer). A new policy that skips
+// any hook compiles fine and silently produces empty /debug/trace output;
+// this check turns that into a build failure.
+var Tracehook = &Analyzer{
+	Name: "tracehook",
+	Doc:  "require sched.Scheduler implementations to invoke the TraceState hooks",
+	Run:  runTracehook,
+}
+
+const schedPkgPath = "qoserve/internal/sched"
+
+// tracehookRequired maps scheduler interface methods to the TraceState hook
+// each must invoke.
+var tracehookRequired = map[string]string{
+	"PlanBatch":       "TracePlan",
+	"OnBatchComplete": "TraceComplete",
+	"Add":             "TraceAdmission",
+}
+
+func runTracehook(pass *Pass) error {
+	schedPkg := findImport(pass.Pkg, schedPkgPath)
+	if schedPkg == nil {
+		return nil // cannot implement sched.Scheduler without importing sched
+	}
+	schedObj := schedPkg.Scope().Lookup("Scheduler")
+	stateObj := schedPkg.Scope().Lookup("TraceState")
+	if schedObj == nil || stateObj == nil {
+		return nil
+	}
+	iface, ok := schedObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok || !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		// Delegating wrappers (RateLimited, the experiment recorders) hold
+		// an inner scheduler whose hooks fire on their behalf: a wrapper
+		// satisfies each requirement by forwarding the same-named method,
+		// and satisfies the embedding requirement by holding anything that
+		// itself implements the Scheduler interface.
+		if !embedsType(st, stateObj.Type()) && !hasSchedulerField(st, iface) {
+			pass.Reportf(tn.Pos(),
+				"%s implements sched.Scheduler but neither embeds sched.TraceState nor wraps a scheduler; tracing cannot be attached", name)
+		}
+		for _, fd := range methodDecls(pass, named) {
+			hook, required := tracehookRequired[fd.Name.Name]
+			if !required || fd.Body == nil {
+				continue
+			}
+			if !callsMethodNamed(fd.Body, hook) && !callsMethodNamed(fd.Body, fd.Name.Name) {
+				pass.Reportf(fd.Name.Pos(),
+					"%s.%s neither calls %s nor delegates to a wrapped scheduler; attached tracers will miss this policy's %s records",
+					name, fd.Name.Name, hook, fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// findImport locates a directly- or transitively-imported package by path
+// (pass.Pkg itself included, so the check also runs inside package sched).
+func findImport(pkg *types.Package, path string) *types.Package {
+	if pkg.Path() == path {
+		return pkg
+	}
+	seen := map[*types.Package]bool{}
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if imp.Path() == path {
+				return imp
+			}
+			if found := walk(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}
+
+// hasSchedulerField reports whether any field's type (or pointer target)
+// implements the scheduler interface — the delegating-wrapper shape.
+func hasSchedulerField(st *types.Struct, iface *types.Interface) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		t := st.Field(i).Type()
+		if types.Implements(t, iface) {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Pointer); !ok {
+			if types.Implements(types.NewPointer(t), iface) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// embedsType reports whether the struct embeds t (directly).
+func embedsType(st *types.Struct, t types.Type) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Embedded() && types.Identical(f.Type(), t) {
+			return true
+		}
+	}
+	return false
+}
+
+// methodDecls collects the FuncDecls in this package whose receiver is
+// named (or a pointer to it).
+func methodDecls(pass *Pass, named *types.Named) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			rt := pass.Info.TypeOf(fd.Recv.List[0].Type)
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			if types.Identical(rt, named) {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// callsMethodNamed reports whether the body contains a call x.<name>(...).
+func callsMethodNamed(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -19,6 +19,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"qoserve/internal/fault"
 	"qoserve/internal/metrics"
@@ -314,10 +315,18 @@ func (p SiloPlan) TotalReplicas() int {
 // QoS class, requests routed by class, round-robin within each silo.
 func RunSiloed(cfg model.Config, plan SiloPlan, trace []*request.Request, horizon sim.Time) (*metrics.Summary, error) {
 	engine := sim.NewEngine()
+	// Build silos in sorted class order: map iteration order would vary the
+	// construction sequence run to run, and every structure hanging off the
+	// shared engine must be reproducible for bit-identical replays.
+	classes := make([]string, 0, len(plan.Replicas))
+	for class := range plan.Replicas {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
 	silos := make(map[string]*Cluster, len(plan.Replicas))
-	for class, n := range plan.Replicas {
+	for _, class := range classes {
 		class := class
-		c, err := New(engine, cfg, n, func() sched.Scheduler { return plan.Factory(class) })
+		c, err := New(engine, cfg, plan.Replicas[class], func() sched.Scheduler { return plan.Factory(class) })
 		if err != nil {
 			return nil, err
 		}

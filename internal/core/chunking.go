@@ -13,6 +13,8 @@ import (
 
 // decodeCtxs lists the context length of each in-flight decode, reusing the
 // plan-scoped scratch buffer (valid until the next PlanBatch).
+//
+//qoserve:hotpath
 func (s *Scheduler) decodeCtxs() []int {
 	ctx := s.ctxScratch[:0]
 	for _, r := range s.decodes {
@@ -30,6 +32,8 @@ func (s *Scheduler) decodeCtxs() []int {
 // decodes, which have no TBT, floor at LatePacing). The batch budget is the
 // minimum over decodes; with no decodes the budget is unbounded and the
 // chunk cap applies.
+//
+//qoserve:hotpath
 func (s *Scheduler) iterationBudget(now sim.Time) (budget sim.Time, floorBound bool) {
 	budget = sim.Forever
 	for _, r := range s.decodes {
@@ -57,6 +61,8 @@ func (s *Scheduler) iterationBudget(now sim.Time) (budget sim.Time, floorBound b
 // when the budget is genuine deadline slack, the raw one when the budget is
 // merely a TBT pacing floor (the affected tokens are late either way, and
 // conservatism there only starves prefill).
+//
+//qoserve:hotpath
 func (s *Scheduler) prefillBudget(now sim.Time, frontCtx int) (int, sim.Time) {
 	s.planPred = s.pred
 	if !s.opts.DynamicChunking {
@@ -90,6 +96,8 @@ func (s *Scheduler) prefillBudget(now sim.Time, frontCtx int) (int, sim.Time) {
 // ttftRushBudget returns the boosted iteration budget when the front
 // main-queue interactive request would miss its TTFT at the achieved
 // prefill rate, and zero otherwise.
+//
+//qoserve:hotpath
 func (s *Scheduler) ttftRushBudget(now sim.Time) sim.Time {
 	if s.opts.TTFTRush <= 0 {
 		return 0
@@ -112,6 +120,8 @@ func (s *Scheduler) ttftRushBudget(now sim.Time) sim.Time {
 // costlier, and without this check a slack-stretched iteration could land
 // decode tokens past their deadlines. A one-token floor on the first
 // allocation guarantees forward progress.
+//
+//qoserve:hotpath
 func (s *Scheduler) trimToBudget(b *sched.Batch, budget sim.Time) {
 	for len(b.Prefill) > 0 {
 		if s.planCost(b) <= budget {

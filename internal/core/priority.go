@@ -11,6 +11,8 @@ import (
 )
 
 // alpha returns the effective interpolation factor.
+//
+//qoserve:hotpath
 func (s *Scheduler) alpha() sim.Time {
 	if !s.opts.HybridPriority {
 		return 0
@@ -22,6 +24,8 @@ func (s *Scheduler) alpha() sim.Time {
 }
 
 // priorityKey implements Eqs. 4-5 in seconds: arrival + SLO + alpha*work.
+//
+//qoserve:hotpath
 func (s *Scheduler) priorityKey(r *request.Request) float64 {
 	a := s.alpha().Seconds()
 	switch r.Class.Kind {
@@ -39,6 +43,8 @@ func (s *Scheduler) priorityKey(r *request.Request) float64 {
 // every main-queue insert/remove) rather than a full queue walk; the
 // minimum (key, ID) member is by construction the first match a priority-
 // order scan would return, so selection order is unchanged.
+//
+//qoserve:hotpath
 func (s *Scheduler) atRiskPartial(now sim.Time) *request.Request {
 	var best *request.Request
 	var bestKey float64
@@ -62,6 +68,8 @@ func (s *Scheduler) atRiskPartial(now sim.Time) *request.Request {
 }
 
 // partialAdd records r as a partially-prefilled main-queue member.
+//
+//qoserve:hotpath
 func (s *Scheduler) partialAdd(r *request.Request) {
 	if r.PrefilledTokens > 0 {
 		s.partials = append(s.partials, r)
@@ -71,6 +79,8 @@ func (s *Scheduler) partialAdd(r *request.Request) {
 // partialRemove forgets r when it leaves the main queue (no-op when r was
 // never partially prefilled). Order within the set is irrelevant —
 // atRiskPartial selects by (key, ID) — so removal swaps with the tail.
+//
+//qoserve:hotpath
 func (s *Scheduler) partialRemove(r *request.Request) {
 	for i, p := range s.partials {
 		if p == r {
@@ -87,6 +97,8 @@ func (s *Scheduler) partialRemove(r *request.Request) {
 // queues when the regime changes. With eager relegation active, the signal
 // is deadline pressure from the queue projection; otherwise it falls back
 // to raw backlog exceeding AlphaSwitchBacklog.
+//
+//qoserve:hotpath
 func (s *Scheduler) updateAlphaRegime(now sim.Time) {
 	if !s.opts.AdaptiveAlpha || !s.opts.HybridPriority {
 		return
@@ -106,7 +118,9 @@ func (s *Scheduler) updateAlphaRegime(now sim.Time) {
 		return
 	}
 	s.highAlpha = high
+	//lint:ignore hotpathalloc alpha-regime flips are rare (hysteresis-gated) and re-keying necessarily rebuilds the queue; steady-state plans never reach this line.
 	s.rekey(&s.mainQ)
+	//lint:ignore hotpathalloc see above: regime flips are rare and rebuild by design.
 	s.rekey(&s.relQ)
 }
 

@@ -289,6 +289,8 @@ func (s *Scheduler) QueueLen() (main, relegated, decode int) {
 }
 
 // PlanBatch builds the next iteration (Algorithm 1's CREATE_BATCH).
+//
+//qoserve:hotpath
 func (s *Scheduler) PlanBatch(now sim.Time) sched.Batch {
 	s.lastPlanAt = now
 	s.planOutstand = true
@@ -322,6 +324,7 @@ func (s *Scheduler) PlanBatch(now sim.Time) sched.Batch {
 		s.recordChunk(&b, now, budgetTime)
 	}
 	if s.Tracing() {
+		//lint:ignore hotpathalloc record assembly (Name, Shape, extra predictor probe) runs only when a tracer is attached; the untraced hot path pays a single branch (TestPlanBatchSteadyStateAllocFree covers it).
 		s.TracePlan(s.Name(), b, now, s.planPred.PredictSafe(b.Shape()), s.mainQ.Len(), s.relQ.Len())
 	}
 	return b
@@ -330,6 +333,8 @@ func (s *Scheduler) PlanBatch(now sim.Time) sched.Batch {
 // refreshDecodeFeats recomputes the decode-side feature cache. Decode
 // membership only changes in OnBatchComplete, so one refresh per plan keeps
 // the cache valid for every probe of the plan.
+//
+//qoserve:hotpath
 func (s *Scheduler) refreshDecodeFeats() {
 	var x [profile.FeatureCount]float64
 	x[profile.FeatNumDecodes] = float64(len(s.decodes))
@@ -345,6 +350,8 @@ func (s *Scheduler) refreshDecodeFeats() {
 
 // batchFeats extends the cached decode features with the batch's prefill
 // side, matching profile.Features(b.Shape()) without materializing a shape.
+//
+//qoserve:hotpath
 func (s *Scheduler) batchFeats(b *sched.Batch) [profile.FeatureCount]float64 {
 	x := s.decodeFeats
 	for _, p := range b.Prefill {
@@ -358,6 +365,8 @@ func (s *Scheduler) batchFeats(b *sched.Batch) [profile.FeatureCount]float64 {
 
 // planCost prices the assembled batch with the plan predictor, using the
 // allocation-free feature path when available.
+//
+//qoserve:hotpath
 func (s *Scheduler) planCost(b *sched.Batch) sim.Time {
 	if fp, ok := s.planPred.(predictor.FeaturePredictor); ok {
 		return fp.PredictSafeFeats(s.batchFeats(b))
@@ -368,6 +377,8 @@ func (s *Scheduler) planCost(b *sched.Batch) sim.Time {
 
 // recordChunk logs one iteration's chunk decision (bounded) and updates the
 // exact running aggregates.
+//
+//qoserve:hotpath
 func (s *Scheduler) recordChunk(b *sched.Batch, now sim.Time, budgetTime sim.Time) {
 	chunk := b.PrefillTokens()
 	if chunk > 0 {
@@ -391,6 +402,8 @@ func (s *Scheduler) recordChunk(b *sched.Batch, now sim.Time, budgetTime sim.Tim
 // fillFrom packs prefill chunks from q into b, in priority order, applying
 // the per-pop violation check (Algorithm 1 lines 12-15) when checkViolation
 // is set. It returns the unused budget.
+//
+//qoserve:hotpath
 func (s *Scheduler) fillFrom(q *sched.Queue, b *sched.Batch, budget int, now sim.Time, checkViolation bool) int {
 	if budget <= 0 {
 		return budget

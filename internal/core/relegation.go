@@ -15,6 +15,8 @@ import (
 
 // updateBestRate refreshes the dedicated-service prefill rate under the
 // current decode load. Relies on decodeFeats being refreshed by PlanBatch.
+//
+//qoserve:hotpath
 func (s *Scheduler) updateBestRate() {
 	var t float64
 	if fp, ok := s.pred.(predictor.FeaturePredictor); ok {
@@ -23,6 +25,7 @@ func (s *Scheduler) updateBestRate() {
 		t = fp.PredictSafeFeats(x).Seconds()
 	} else {
 		shape := model.BatchShape{
+			//lint:ignore hotpathalloc shape fallback for predictors without a feature path (the Oracle ablation); the production Forest always takes the allocation-free branch above.
 			Prefill:   []model.ChunkShape{{Tokens: s.opts.MaxChunk}},
 			DecodeCtx: s.decodeCtxs(),
 		}
@@ -35,18 +38,24 @@ func (s *Scheduler) updateBestRate() {
 
 // prefillTime estimates the time to process n prompt tokens at the
 // sustained queue-wide rate.
+//
+//qoserve:hotpath
 func (s *Scheduler) prefillTime(n int) sim.Time {
 	return sim.FromSeconds(float64(n) / s.prefillRate)
 }
 
 // bestPrefillTime estimates the time to process n prompt tokens with the
 // replica dedicated to the request.
+//
+//qoserve:hotpath
 func (s *Scheduler) bestPrefillTime(n int) sim.Time {
 	return sim.FromSeconds(float64(n) / s.bestRate)
 }
 
 // projectedFinish estimates when r would deliver its first token (and, for
 // non-interactive requests, complete) if its prefill started at t.
+//
+//qoserve:hotpath
 func (s *Scheduler) projectedFinish(r *request.Request, t sim.Time) (firstToken, completion sim.Time) {
 	firstToken = t + s.prefillTime(r.RemainingPrefill())
 	decodeIters := r.EstDecodeTokens - 1
@@ -62,6 +71,8 @@ func (s *Scheduler) projectedFinish(r *request.Request, t sim.Time) (firstToken,
 // cannot meet its deadline. Using the best-case rate keeps long-but-savable
 // requests out of the relegated queue — backlog-induced risk is handled
 // separately by the protection pass.
+//
+//qoserve:hotpath
 func (s *Scheduler) willViolateAlone(r *request.Request, now sim.Time) bool {
 	first := now + s.bestPrefillTime(r.RemainingPrefill())
 	if r.Class.Kind == qos.Interactive {
@@ -77,6 +88,8 @@ func (s *Scheduler) willViolateAlone(r *request.Request, now sim.Time) bool {
 
 // relegate moves r from the main queue to the relegated queue, logging the
 // decision (with the policy's reason) to an attached tracer.
+//
+//qoserve:hotpath
 func (s *Scheduler) relegate(r *request.Request, now sim.Time, reason string) {
 	if r.Relegated {
 		return
@@ -94,6 +107,8 @@ func (s *Scheduler) relegate(r *request.Request, now sim.Time, reason string) {
 // miss deadlines given the traffic ahead of them. Low-priority requests are
 // relegated first to protect important traffic; high-priority requests are
 // relegated only when doomed even in isolation (Section 3.4).
+//
+//qoserve:hotpath
 func (s *Scheduler) relegationPass(now sim.Time) {
 	if now-s.lastRelegationPass < s.opts.RelegationInterval {
 		return
@@ -147,6 +162,8 @@ func (s *Scheduler) relegationPass(now sim.Time) {
 
 // countProjectedViolators walks the main queue in priority order at the
 // sustained rate and counts requests projected to miss their deadline.
+//
+//qoserve:hotpath
 func (s *Scheduler) countProjectedViolators(now sim.Time) int {
 	t := now
 	n := 0
@@ -174,6 +191,8 @@ func (s *Scheduler) countProjectedViolators(now sim.Time) int {
 // doomed set and violator count gathered along the way equal what separate
 // walks would compute. doomed aliases a scheduler-owned scratch buffer valid
 // until the next scanQueue call.
+//
+//qoserve:hotpath
 func (s *Scheduler) scanQueue(now sim.Time) (victim *request.Request, doomed []*request.Request, violators int) {
 	t := now
 	var biggestLow *request.Request

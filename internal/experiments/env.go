@@ -57,8 +57,8 @@ type Env struct {
 	// a racing duplicate recomputes the same seeded, deterministic value,
 	// so last-writer-wins is harmless.
 	mu       sync.Mutex
-	preds    map[string]predictor.SafePredictor
-	capCache map[string]float64
+	preds    map[string]predictor.SafePredictor // guarded by mu
+	capCache map[string]float64                 // guarded by mu
 }
 
 // NewEnv builds an environment. scale <= 0 defaults to 0.05 (about 12

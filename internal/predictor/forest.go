@@ -119,12 +119,16 @@ func Train(samples []profile.Sample, cfg ForestConfig) (*Forest, error) {
 
 // Predict returns the mean prediction across trees, without the safety
 // margin (raw latency estimate).
+//
+//qoserve:hotpath
 func (f *Forest) Predict(b model.BatchShape) sim.Time {
 	return f.PredictFeats(profile.Features(b))
 }
 
 // PredictSafe returns the margin-inflated prediction used for budget
 // checks: latency the scheduler should assume the batch takes.
+//
+//qoserve:hotpath
 func (f *Forest) PredictSafe(b model.BatchShape) sim.Time {
 	return sim.Time(float64(f.Predict(b)) * (1 + f.margin))
 }
@@ -132,6 +136,8 @@ func (f *Forest) PredictSafe(b model.BatchShape) sim.Time {
 // PredictFeats evaluates a raw feature vector against the flattened
 // ensemble. This is the allocation-free core of Predict: the scheduler's
 // budget searches probe it a dozen times per planned batch.
+//
+//qoserve:hotpath
 func (f *Forest) PredictFeats(x [profile.FeatureCount]float64) sim.Time {
 	s := 0.0
 	for _, root := range f.roots {
@@ -154,6 +160,8 @@ func (f *Forest) PredictFeats(x [profile.FeatureCount]float64) sim.Time {
 
 // PredictSafeFeats is PredictFeats with the safety margin applied,
 // matching PredictSafe exactly.
+//
+//qoserve:hotpath
 func (f *Forest) PredictSafeFeats(x [profile.FeatureCount]float64) sim.Time {
 	return sim.Time(float64(f.PredictFeats(x)) * (1 + f.margin))
 }
@@ -238,6 +246,8 @@ func (n noMarginFeats) PredictSafeFeats(x [profile.FeatureCount]float64) sim.Tim
 // [0, maxChunk] suffices; with tree predictors the surface is piecewise
 // constant, and the search still converges to a safe (conservative) value
 // because PredictSafe is non-decreasing along the probed path.
+//
+//qoserve:hotpath
 func ChunkBudget(p SafePredictor, decodeCtx []int, prefillCtx int, budget sim.Time, maxChunk int) int {
 	if maxChunk <= 0 || budget <= 0 {
 		return 0
@@ -273,6 +283,8 @@ func ChunkBudget(p SafePredictor, decodeCtx []int, prefillCtx int, budget sim.Ti
 // DecodeFeats builds the decode-side feature vector shared by every probe
 // of one budget search: the chunk fields are zero, matching a decode-only
 // batch shape.
+//
+//qoserve:hotpath
 func DecodeFeats(decodeCtx []int) [profile.FeatureCount]float64 {
 	var x [profile.FeatureCount]float64
 	x[profile.FeatNumDecodes] = float64(len(decodeCtx))
@@ -288,6 +300,8 @@ func DecodeFeats(decodeCtx []int) [profile.FeatureCount]float64 {
 // ChunkBudgetFeats is ChunkBudget for callers that already hold the
 // decode-side feature vector (see DecodeFeats); the search itself never
 // allocates.
+//
+//qoserve:hotpath
 func ChunkBudgetFeats(p FeaturePredictor, decodeFeats [profile.FeatureCount]float64, prefillCtx int, budget sim.Time, maxChunk int) int {
 	if maxChunk <= 0 || budget <= 0 {
 		return 0
@@ -299,6 +313,8 @@ func ChunkBudgetFeats(p FeaturePredictor, decodeFeats [profile.FeatureCount]floa
 // probed vectors are identical to what Features would extract from the
 // equivalent one-chunk batch shape, so the result matches the shape-based
 // path bit for bit.
+//
+//qoserve:hotpath
 func chunkBudgetFeats(p FeaturePredictor, x [profile.FeatureCount]float64, prefillCtx int, budget sim.Time, maxChunk int) int {
 	probe := func(chunk int) sim.Time {
 		if chunk > 0 {

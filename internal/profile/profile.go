@@ -42,6 +42,8 @@ type Sample struct {
 // Features extracts the predictor feature vector from a batch shape.
 // Multi-request prefill batches are summarized by total chunk tokens and
 // the maximum context offset, which bounds attention cost.
+//
+//qoserve:hotpath
 func Features(b model.BatchShape) [FeatureCount]float64 {
 	var f [FeatureCount]float64
 	for _, p := range b.Prefill {

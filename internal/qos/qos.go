@@ -94,6 +94,8 @@ func (c Class) Validate() error {
 // token (interactive) or for full completion (non-interactive). For
 // non-interactive requests the first-token deadline equals the total
 // deadline, since only completion is promised.
+//
+//qoserve:hotpath
 func (c Class) FirstTokenDeadline(arrival sim.Time) sim.Time {
 	if c.Kind == Interactive {
 		return arrival + c.SLO.TTFT
@@ -104,6 +106,8 @@ func (c Class) FirstTokenDeadline(arrival sim.Time) sim.Time {
 // TokenDeadline implements Eq. 2: the deadline of the n-th output token
 // (1-based). For non-interactive classes, every token shares the TTLT
 // deadline (Eq. 3) because only completion matters.
+//
+//qoserve:hotpath
 func (c Class) TokenDeadline(arrival sim.Time, n int) sim.Time {
 	if n < 1 {
 		n = 1
@@ -117,6 +121,8 @@ func (c Class) TokenDeadline(arrival sim.Time, n int) sim.Time {
 // CompletionDeadline is the latest acceptable finish time: Eq. 3 for
 // non-interactive classes; for interactive classes the deadline of the last
 // token given the expected decode length.
+//
+//qoserve:hotpath
 func (c Class) CompletionDeadline(arrival sim.Time, decodeTokens int) sim.Time {
 	if c.Kind == Interactive {
 		return c.TokenDeadline(arrival, decodeTokens)

@@ -106,6 +106,8 @@ func (r *Request) Validate() error {
 }
 
 // Phase returns the current lifecycle phase.
+//
+//qoserve:hotpath
 func (r *Request) Phase() Phase {
 	switch {
 	case r.DecodedTokens >= r.DecodeTokens:
@@ -120,6 +122,8 @@ func (r *Request) Phase() Phase {
 }
 
 // RemainingPrefill is the number of prompt tokens not yet processed.
+//
+//qoserve:hotpath
 func (r *Request) RemainingPrefill() int {
 	if rem := r.PromptTokens - r.PrefilledTokens; rem > 0 {
 		return rem
@@ -129,11 +133,15 @@ func (r *Request) RemainingPrefill() int {
 
 // ContextLen is the KV-cache context this request currently occupies:
 // processed prompt tokens plus generated tokens.
+//
+//qoserve:hotpath
 func (r *Request) ContextLen() int {
 	return r.PrefilledTokens + r.DecodedTokens
 }
 
 // TotalTokens is the final context length at completion.
+//
+//qoserve:hotpath
 func (r *Request) TotalTokens() int { return r.PromptTokens + r.DecodeTokens }
 
 // RecordPrefill accounts for tokens prompt tokens processed in an iteration
@@ -235,6 +243,8 @@ func (r *Request) TTLT() (sim.Time, bool) {
 }
 
 // FirstTokenDeadline is Eq. 1 (interactive) / Eq. 3 (non-interactive).
+//
+//qoserve:hotpath
 func (r *Request) FirstTokenDeadline() sim.Time {
 	return r.Class.FirstTokenDeadline(r.Arrival)
 }
@@ -242,6 +252,8 @@ func (r *Request) FirstTokenDeadline() sim.Time {
 // NextTokenDeadline is the deadline (Eq. 2 / Eq. 3) of the *next* output
 // token this request is due to produce. For a request still in prefill this
 // is the first-token deadline.
+//
+//qoserve:hotpath
 func (r *Request) NextTokenDeadline() sim.Time {
 	return r.Class.TokenDeadline(r.Arrival, r.DecodedTokens+1)
 }
@@ -249,6 +261,8 @@ func (r *Request) NextTokenDeadline() sim.Time {
 // CompletionDeadline is the latest acceptable finish time, using the
 // scheduler-visible decode length (estimate if present, else what has been
 // generated so far plus one).
+//
+//qoserve:hotpath
 func (r *Request) CompletionDeadline() sim.Time {
 	n := r.EstDecodeTokens
 	if n < r.DecodedTokens+1 {

@@ -31,9 +31,13 @@ type Queue struct {
 }
 
 // Len is the queue size.
+//
+//qoserve:hotpath
 func (q *Queue) Len() int { return len(q.items) - q.head }
 
 // Insert adds r with the given priority key (lower = served earlier).
+//
+//qoserve:hotpath
 func (q *Queue) Insert(r *request.Request, key float64) {
 	i := q.head + sort.Search(q.Len(), func(j int) bool {
 		j += q.head
@@ -58,18 +62,25 @@ func (q *Queue) Insert(r *request.Request, key float64) {
 	q.keys[i] = key
 	q.items[i] = r
 	if q.pos == nil {
+		//lint:ignore hotpathalloc one-time lazy initialization of the membership table on a queue's first insert; every later insert reuses it.
 		q.pos = make(map[*request.Request]float64)
 	}
 	q.pos[r] = key
 }
 
 // At returns the i-th request in priority order.
+//
+//qoserve:hotpath
 func (q *Queue) At(i int) *request.Request { return q.items[q.head+i] }
 
 // KeyAt returns the i-th priority key.
+//
+//qoserve:hotpath
 func (q *Queue) KeyAt(i int) float64 { return q.keys[q.head+i] }
 
 // Front returns the highest-priority request, or nil when empty.
+//
+//qoserve:hotpath
 func (q *Queue) Front() *request.Request {
 	if q.Len() == 0 {
 		return nil
@@ -78,6 +89,8 @@ func (q *Queue) Front() *request.Request {
 }
 
 // RemoveAt deletes the i-th entry (in priority order).
+//
+//qoserve:hotpath
 func (q *Queue) RemoveAt(i int) {
 	j := q.head + i
 	delete(q.pos, q.items[j])
@@ -104,6 +117,8 @@ func (q *Queue) RemoveAt(i int) {
 }
 
 // Remove deletes the given request, reporting whether it was present.
+//
+//qoserve:hotpath
 func (q *Queue) Remove(r *request.Request) bool {
 	key, ok := q.pos[r]
 	if !ok {
@@ -133,6 +148,8 @@ func (q *Queue) Remove(r *request.Request) bool {
 }
 
 // PopFront removes and returns the highest-priority request, or nil.
+//
+//qoserve:hotpath
 func (q *Queue) PopFront() *request.Request {
 	if q.Len() == 0 {
 		return nil
@@ -143,6 +160,8 @@ func (q *Queue) PopFront() *request.Request {
 }
 
 // Key returns r's insertion key and whether r is a member.
+//
+//qoserve:hotpath
 func (q *Queue) Key(r *request.Request) (float64, bool) {
 	key, ok := q.pos[r]
 	return key, ok
@@ -150,4 +169,6 @@ func (q *Queue) Key(r *request.Request) (float64, bool) {
 
 // Items exposes the underlying priority-ordered slice; callers must not
 // mutate it.
+//
+//qoserve:hotpath
 func (q *Queue) Items() []*request.Request { return q.items[q.head:] }

@@ -30,9 +30,13 @@ type Batch struct {
 }
 
 // Empty reports whether the batch contains no work.
+//
+//qoserve:hotpath
 func (b Batch) Empty() bool { return len(b.Prefill) == 0 && len(b.Decodes) == 0 }
 
 // NewTokens is the number of tokens this batch processes.
+//
+//qoserve:hotpath
 func (b Batch) NewTokens() int {
 	n := len(b.Decodes)
 	for _, p := range b.Prefill {
@@ -42,6 +46,8 @@ func (b Batch) NewTokens() int {
 }
 
 // PrefillTokens is the prompt-token portion of the batch.
+//
+//qoserve:hotpath
 func (b Batch) PrefillTokens() int {
 	n := 0
 	for _, p := range b.Prefill {
@@ -60,6 +66,8 @@ func (b Batch) Shape() model.BatchShape {
 // ShapeInto fills s with the batch's shape, reusing s's backing arrays so a
 // caller that prices every iteration (the replica loop, the planner's trim
 // pass) does not allocate per batch.
+//
+//qoserve:hotpath
 func (b Batch) ShapeInto(s *model.BatchShape) {
 	s.Prefill = s.Prefill[:0]
 	for _, p := range b.Prefill {

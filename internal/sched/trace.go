@@ -61,9 +61,13 @@ func (x *TraceState) SetTracer(t trace.Tracer) {
 // Tracing reports whether records should be built; callers that do extra
 // work to assemble a record (e.g. an additional predictor call) must check
 // it first.
+//
+//qoserve:hotpath
 func (x *TraceState) Tracing() bool { return x.tracer != nil }
 
 // TraceEvent logs a point occurrence (relegation, boost, preemption).
+//
+//qoserve:hotpath
 func (x *TraceState) TraceEvent(e trace.Event) {
 	if x.tracer == nil {
 		return
@@ -72,6 +76,8 @@ func (x *TraceState) TraceEvent(e trace.Event) {
 }
 
 // TraceAdmission logs an arrival.
+//
+//qoserve:hotpath
 func (x *TraceState) TraceAdmission(id uint64, class string, now sim.Time) {
 	if x.tracer == nil {
 		return
@@ -81,13 +87,16 @@ func (x *TraceState) TraceAdmission(id uint64, class string, now sim.Time) {
 
 // TracePlan snapshots one planned batch; the record is committed by
 // TraceComplete.
+//
+//qoserve:hotpath
 func (x *TraceState) TracePlan(policy string, b Batch, now, predicted sim.Time, main, relegated int) {
 	if x.tracer == nil {
 		return
 	}
 	x.it = trace.Iteration{
-		Policy:         policy,
-		PlannedAt:      now,
+		Policy:    policy,
+		PlannedAt: now,
+		//lint:ignore hotpathalloc TraceBatch allocates by contract, and this line is only reached with a tracer attached; the disabled path returned above (TestTraceDisabledZeroAlloc).
 		Batch:          TraceBatch(b),
 		Predicted:      predicted,
 		QueueMain:      main,
@@ -100,6 +109,8 @@ func (x *TraceState) TracePlan(policy string, b Batch, now, predicted sim.Time, 
 // TraceComplete stamps the completion time and commits the pending record.
 // Schedulers call it from OnBatchComplete; a completion with no planned
 // record (tracer attached mid-flight) is dropped.
+//
+//qoserve:hotpath
 func (x *TraceState) TraceComplete(now sim.Time) {
 	if x.tracer == nil || !x.planned {
 		return

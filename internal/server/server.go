@@ -148,17 +148,17 @@ type Server struct {
 
 	mu      sync.Mutex
 	wake    *sync.Cond
-	closed  bool
-	nextID  uint64
-	start   time.Time
-	streams map[uint64]chan Event
-	served  []*request.Request
+	closed  bool                  // guarded by mu
+	nextID  uint64                // guarded by mu
+	start   time.Time             // immutable after New
+	streams map[uint64]chan Event // guarded by mu
+	served  []*request.Request    // guarded by mu
 
-	iterations    uint64
-	tokens        uint64
-	prefillTokens uint64
-	decodeTokens  uint64
-	iterHist      histogram
+	iterations    uint64    // guarded by mu
+	tokens        uint64    // guarded by mu
+	prefillTokens uint64    // guarded by mu
+	decodeTokens  uint64    // guarded by mu
+	iterHist      histogram // guarded by mu
 
 	// tracer is non-nil when Config.TraceDepth enabled tracing.
 	tracer *trace.Ring
@@ -325,6 +325,8 @@ func (s *Server) loop() {
 }
 
 // emitLocked streams the request's newest token; callers hold s.mu.
+//
+//qoserve:locked mu
 func (s *Server) emitLocked(r *request.Request, at sim.Time) {
 	events, ok := s.streams[r.ID]
 	if !ok {

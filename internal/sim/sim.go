@@ -34,6 +34,8 @@ const (
 const Forever Time = Time(math.MaxInt64)
 
 // Seconds reports t as a floating-point number of simulated seconds.
+//
+//qoserve:hotpath
 func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
 
 // Duration converts t to a time.Duration for formatting and arithmetic
@@ -49,6 +51,8 @@ func (t Time) String() string {
 }
 
 // FromSeconds converts a floating-point second count to a virtual timestamp.
+//
+//qoserve:hotpath
 func FromSeconds(s float64) Time { return Time(s * float64(time.Second)) }
 
 // FromDuration converts a time.Duration to a virtual timestamp.

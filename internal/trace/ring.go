@@ -9,11 +9,11 @@ import "sync"
 // iteration.
 type Ring struct {
 	mu      sync.Mutex
-	buf     []Iteration
-	cap     int
-	total   uint64 // iterations ever committed; also the latest Seq
-	events  uint64 // events ever recorded
-	pending []Event
+	buf     []Iteration // guarded by mu
+	cap     int         // immutable after NewRing
+	total   uint64      // guarded by mu; iterations ever committed; also the latest Seq
+	events  uint64      // guarded by mu; events ever recorded
+	pending []Event     // guarded by mu
 }
 
 // DefaultRingDepth is the ring capacity used when a caller asks for
