@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race chaos fuzz lint verify bench bench-short bench-all experiments experiments-full examples quick clean
+.PHONY: all build vet test test-short race chaos fuzz lint verify bench bench-short bench-all bench-pr5 loadgen-smoke experiments experiments-full examples quick clean
 
 all: build vet test
 
@@ -19,7 +19,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/server ./internal/sim
+	$(GO) test -race ./internal/server ./internal/loadgen ./internal/cluster ./internal/sim
 
 # Fault-injection scenarios under the race detector: scripted and seeded
 # random fault schedules, replayed twice each to assert determinism.
@@ -93,6 +93,31 @@ bench-short:
 # Micro-benchmarks across all packages.
 bench-all:
 	$(GO) test -bench . -benchmem ./...
+
+# Gateway benchmark baseline: contended end-to-end throughput (32 parallel
+# closed-loop submitters per GOMAXPROCS against 1/4/8 serving replicas —
+# replicas=1 is the old single-lock architecture's ceiling) plus the
+# per-token fan-out micro-benchmark, folded into the committed
+# BENCH_PR5.json with the single-lock vs sharded req/s recorded as meta.
+BENCH5OUT ?= BENCH_PR5.json
+bench-pr5:
+	$(GO) test -run '^$$' -bench GatewayContended -benchtime 2s ./internal/server/ | tee /tmp/bench_gateway.txt
+	$(GO) test -run '^$$' -bench TokenFanout -benchmem ./internal/server/ | tee /tmp/bench_fanout.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH5OUT) \
+		-meta note="req/s under 32 parallel closed-loop submitters; replicas=1 is the single-lock baseline" \
+		-meta single_lock_req_s="$$(awk '/Replicas1 /{print $$(NF-1)}' /tmp/bench_gateway.txt)" \
+		-meta sharded_4x_req_s="$$(awk '/Replicas4 /{print $$(NF-1)}' /tmp/bench_gateway.txt)" \
+		-meta sharded_8x_req_s="$$(awk '/Replicas8 /{print $$(NF-1)}' /tmp/bench_gateway.txt)" \
+		/tmp/bench_gateway.txt /tmp/bench_fanout.txt
+	@echo "wrote $(BENCH5OUT)"
+
+# Deterministic loadgen smoke: a few hundred milliseconds of closed-loop
+# load against a 2-replica gateway with a fixed seed. The tool exits
+# non-zero unless every request completes with zero dropped stream events,
+# so this is the CI no-silent-drop gate.
+loadgen-smoke:
+	$(GO) run ./cmd/qoserve-loadgen -policy sarathi-fcfs -replicas 2 \
+		-n 80 -workers 8 -timescale 500 -seed 7 -json
 
 # Default-scale reproduction of every paper artifact (plus extensions).
 experiments:

@@ -33,6 +33,8 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. "req/s").
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Baseline is the emitted document.
@@ -145,6 +147,11 @@ func parse(r io.Reader) ([]Result, error) {
 			case "allocs/op":
 				a := int64(v)
 				res.AllocsPerOp = &a
+			default:
+				if res.Extra == nil {
+					res.Extra = map[string]float64{}
+				}
+				res.Extra[fields[i+1]] = v
 			}
 		}
 		if ok {

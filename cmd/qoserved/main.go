@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"time"
 
+	"qoserve/internal/cluster"
 	"qoserve/internal/core"
 	"qoserve/internal/model"
 	"qoserve/internal/predictor"
@@ -45,6 +46,9 @@ func main() {
 		chunk      = flag.Int("chunk", 256, "fixed chunk for Sarathi policies")
 		traceDepth = flag.Int("trace", 1024, "iterations retained for /debug/trace (0 disables tracing)")
 		window     = flag.Duration("metrics-window", time.Minute, "virtual-time window for rolling per-class /metrics gauges")
+		replicas   = flag.Int("replicas", 1, "independent scheduler replicas (serving loops)")
+		balancer   = flag.String("balancer", "round-robin", "replica routing: round-robin | least-loaded")
+		streamBuf  = flag.Int("stream-buffer", 256, "per-stream event buffer (events); slow consumers drop overflow")
 	)
 	flag.Parse()
 
@@ -73,31 +77,50 @@ func main() {
 		return forest
 	}
 
-	var scheduler sched.Scheduler
+	// Each replica needs its own scheduler (policy state must not be
+	// shared), but the trained forest is read-only at predict time, so the
+	// expensive profiling + training happens once and all replicas share
+	// the predictor.
+	var factory func() sched.Scheduler
 	switch *policyName {
 	case "qoserve":
-		scheduler = core.New(trainPredictor(), core.DefaultOptions())
+		forest := trainPredictor()
+		factory = func() sched.Scheduler { return core.New(forest, core.DefaultOptions()) }
 	case "sarathi-fcfs":
-		scheduler = sched.NewSarathi(sched.FCFS, *chunk)
+		factory = func() sched.Scheduler { return sched.NewSarathi(sched.FCFS, *chunk) }
 	case "sarathi-edf":
-		scheduler = sched.NewSarathi(sched.EDF, *chunk)
+		factory = func() sched.Scheduler { return sched.NewSarathi(sched.EDF, *chunk) }
 	case "sarathi-srpf":
-		scheduler = sched.NewSarathi(sched.SRPF, *chunk)
+		factory = func() sched.Scheduler { return sched.NewSarathi(sched.SRPF, *chunk) }
 	case "vllm":
-		scheduler = sched.NewVLLM(0)
+		factory = func() sched.Scheduler { return sched.NewVLLM(0) }
 	case "medha":
-		scheduler = sched.NewMedha(trainPredictor(), 50*sim.Millisecond, 0)
+		forest := trainPredictor()
+		factory = func() sched.Scheduler { return sched.NewMedha(forest, 50*sim.Millisecond, 0) }
 	default:
 		log.Fatalf("unknown policy %q", *policyName)
 	}
 
+	var lb cluster.GatewayBalancer
+	switch *balancer {
+	case "round-robin":
+		lb = &cluster.AtomicRoundRobin{}
+	case "least-loaded":
+		lb = cluster.LeastLoaded{}
+	default:
+		log.Fatalf("unknown balancer %q", *balancer)
+	}
+
 	srv, err := server.New(server.Config{
-		Model:         mc,
-		Scheduler:     scheduler,
-		Classes:       qos.Table3(),
-		Timescale:     *timescale,
-		TraceDepth:    *traceDepth,
-		MetricsWindow: *window,
+		Model:            mc,
+		SchedulerFactory: factory,
+		Replicas:         *replicas,
+		Balancer:         lb,
+		StreamBuffer:     *streamBuf,
+		Classes:          qos.Table3(),
+		Timescale:        *timescale,
+		TraceDepth:       *traceDepth,
+		MetricsWindow:    *window,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -109,7 +132,7 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("serving %s with %s at %gx time on %s", mc.Name(), scheduler.Name(), *timescale, *addr)
+	log.Printf("serving %s with %s x%d replicas at %gx time on %s", mc.Name(), *policyName, *replicas, *timescale, *addr)
 	if err := httpSrv.ListenAndServe(); err != nil {
 		log.Fatal(err)
 	}

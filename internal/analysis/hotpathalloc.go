@@ -46,7 +46,14 @@ var hotpathStdlibAllowed = map[string]bool{
 	"math.Mod": true, "math.NaN": true, "math.Pow": true, "math.Sqrt": true,
 	"math.Exp": true, "math.Log": true, "math.Log2": true, "math.Trunc": true,
 	"math.Round": true, "math.MaxInt": true,
+	"math.Float64bits": true, "math.Float64frombits": true,
 	"(time.Duration).Seconds": true,
+	// sync/atomic ops: lock-free counters are the approved way to account
+	// work on the live serving hot path.
+	"(*sync/atomic.Uint64).Add": true, "(*sync/atomic.Uint64).Load": true,
+	"(*sync/atomic.Uint64).Store": true,
+	"(*sync/atomic.Int64).Add":   true, "(*sync/atomic.Int64).Load": true,
+	"(*sync/atomic.Bool).Load": true,
 }
 
 func runHotpathalloc(pass *Pass) error {

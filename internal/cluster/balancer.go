@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"sync/atomic"
+
 	"qoserve/internal/replica"
 	"qoserve/internal/request"
 )
@@ -11,6 +13,17 @@ import (
 type Balancer interface {
 	// Pick returns the index of the replica that should serve r.
 	Pick(replicas []*replica.Replica, r *request.Request) int
+}
+
+// GatewayBalancer is the index-based routing core shared by the simulated
+// Cluster and the live serving gateway (internal/server): it picks one of n
+// live targets without materializing a target slice. load reports the
+// current number of unfinished requests routed to target i; balancers that
+// do not consult load ignore it. Implementations document whether they are
+// safe for concurrent pickers.
+type GatewayBalancer interface {
+	// PickIndex returns a target in [0, n). n is always >= 1.
+	PickIndex(n int, load func(int) int) int
 }
 
 // RoundRobin cycles through replicas in order, the paper's default.
@@ -31,20 +44,48 @@ func (b *RoundRobin) Pick(replicas []*replica.Replica, _ *request.Request) int {
 	return i
 }
 
+// AtomicRoundRobin is a lock-free round-robin cursor, safe for concurrent
+// pickers. The live gateway uses it so parallel submitters never serialize
+// on routing; the modulo tolerates a shrinking target count the same way
+// RoundRobin's clamp does.
+type AtomicRoundRobin struct {
+	cursor atomic.Uint64
+}
+
+// PickIndex returns successive indices modulo n.
+func (b *AtomicRoundRobin) PickIndex(n int, _ func(int) int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int((b.cursor.Add(1) - 1) % uint64(n))
+}
+
+// LeastLoaded picks the target with the fewest unfinished requests, a
+// join-shortest-queue flavour that reacts to skew round-robin cannot see
+// (e.g. one replica stuck with several huge prompts). Lowest index wins
+// ties, keeping simulated runs deterministic. Stateless, so safe for
+// concurrent pickers as long as the load probe is.
+type LeastLoaded struct{}
+
+// PickIndex scans all n loads and returns the minimum.
+func (LeastLoaded) PickIndex(n int, load func(int) int) int {
+	best, bestLoad := 0, int(^uint(0)>>1)
+	for i := 0; i < n; i++ {
+		if l := load(i); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
 // LeastPending routes to the replica whose scheduler currently holds the
-// fewest unfinished requests, a join-shortest-queue flavour that reacts to
-// skew round-robin cannot see (e.g. one replica stuck with several huge
-// prompts).
+// fewest unfinished requests; the simulation-side adapter over LeastLoaded.
 type LeastPending struct{}
 
 // Pick returns the index of the least-loaded replica (lowest index wins
 // ties, keeping the simulation deterministic).
 func (LeastPending) Pick(replicas []*replica.Replica, _ *request.Request) int {
-	best, bestLoad := 0, int(^uint(0)>>1)
-	for i, rep := range replicas {
-		if load := rep.Scheduler().Pending(); load < bestLoad {
-			best, bestLoad = i, load
-		}
-	}
-	return best
+	return LeastLoaded{}.PickIndex(len(replicas), func(i int) int {
+		return replicas[i].Scheduler().Pending()
+	})
 }

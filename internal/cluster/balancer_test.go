@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAtomicRoundRobinCyclesEvenly(t *testing.T) {
+	var b AtomicRoundRobin
+	counts := make([]int, 4)
+	for i := 0; i < 400; i++ {
+		idx := b.PickIndex(4, nil)
+		if idx < 0 || idx >= 4 {
+			t.Fatalf("pick %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	for i, c := range counts {
+		if c != 100 {
+			t.Errorf("target %d picked %d times, want 100", i, c)
+		}
+	}
+	if b.PickIndex(1, nil) != 0 {
+		t.Error("single target must always be index 0")
+	}
+}
+
+func TestAtomicRoundRobinConcurrentPickersStayInRange(t *testing.T) {
+	var b AtomicRoundRobin
+	const (
+		pickers = 8
+		picks   = 1000
+		n       = 4
+	)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := make([]int, n)
+	for p := 0; p < pickers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int, n)
+			for i := 0; i < picks; i++ {
+				idx := b.PickIndex(n, nil)
+				if idx < 0 || idx >= n {
+					t.Errorf("pick %d out of range", idx)
+					return
+				}
+				local[idx]++
+			}
+			mu.Lock()
+			for i, c := range local {
+				counts[i] += c
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	// The atomic cursor hands out each index exactly total/n times.
+	for i, c := range counts {
+		if c != pickers*picks/n {
+			t.Errorf("target %d picked %d times, want %d", i, c, pickers*picks/n)
+		}
+	}
+}
+
+func TestLeastLoadedPicksMinimumLowestIndexWins(t *testing.T) {
+	loads := []int{5, 2, 2, 9}
+	idx := LeastLoaded{}.PickIndex(len(loads), func(i int) int { return loads[i] })
+	if idx != 1 {
+		t.Fatalf("picked %d, want 1 (lowest index among ties)", idx)
+	}
+}

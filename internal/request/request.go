@@ -148,12 +148,15 @@ func (r *Request) TotalTokens() int { return r.PromptTokens + r.DecodeTokens }
 // that completed at time now. If this finishes the prompt, the first output
 // token is emitted by the same iteration (standard chunked-prefill
 // behaviour), so TTFT is stamped here.
+//
+//qoserve:hotpath
 func (r *Request) RecordPrefill(tokens int, now sim.Time) {
 	if tokens <= 0 {
 		return
 	}
 	r.PrefilledTokens += tokens
 	if r.PrefilledTokens > r.PromptTokens {
+		//lint:ignore hotpathalloc panic formatting only runs on a broken scheduler contract, never in steady state
 		panic(fmt.Sprintf("request %d: prefilled %d > prompt %d", r.ID, r.PrefilledTokens, r.PromptTokens))
 	}
 	if r.PrefilledTokens == r.PromptTokens {
@@ -163,13 +166,17 @@ func (r *Request) RecordPrefill(tokens int, now sim.Time) {
 
 // RecordDecodeToken accounts for one output token emitted at time now by a
 // decode iteration.
+//
+//qoserve:hotpath
 func (r *Request) RecordDecodeToken(now sim.Time) {
 	if r.Phase() != Decode {
+		//lint:ignore hotpathalloc panic formatting only runs on a broken scheduler contract, never in steady state
 		panic(fmt.Sprintf("request %d: decode token in phase %v", r.ID, r.Phase()))
 	}
 	r.emitToken(now)
 }
 
+//qoserve:hotpath
 func (r *Request) emitToken(now sim.Time) {
 	n := r.DecodedTokens + 1 // 1-based index of the token being emitted
 	if n == 1 {

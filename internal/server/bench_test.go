@@ -1,0 +1,132 @@
+package server
+
+import (
+	"testing"
+
+	"qoserve/internal/model"
+	"qoserve/internal/qos"
+	"qoserve/internal/request"
+	"qoserve/internal/sched"
+	"qoserve/internal/sim"
+)
+
+// fanoutFixture builds a stopped single-replica server with a registered
+// decode-phase batch, so completeLocked+flush — the steady-state per-token
+// serve path — can be driven directly without the serving loop racing.
+func fanoutFixture(tb testing.TB, streamBuf int) (*gatewayReplica, sched.Batch) {
+	tb.Helper()
+	srv, err := New(Config{
+		Model:     model.Llama3_8B_A100_TP1(),
+		Scheduler: &untraceable{},
+		Classes:   qos.Table3(),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv.Close() // stop the loop; the replica state stays usable
+	rp := srv.reps[0]
+	cls := qos.Table3()[0]
+	var batch sched.Batch
+	for i := uint64(1); i <= 8; i++ {
+		r := &request.Request{
+			ID:           i,
+			App:          "bench",
+			Class:        cls,
+			PromptTokens: 64,
+			// Effectively infinite decode so the requests never reach Done
+			// and the fixture stays in pure steady state.
+			DecodeTokens:    1 << 30,
+			PrefilledTokens: 64,
+			DecodedTokens:   1,
+			FirstTokenAt:    sim.Millisecond,
+			LastTokenAt:     sim.Millisecond,
+		}
+		rp.streams[r.ID] = make(chan Event, streamBuf)
+		batch.Decodes = append(batch.Decodes, r)
+	}
+	return rp, batch
+}
+
+// TestServeSteadyStateAllocFree guards the live serving path the same way
+// TestPlanBatchSteadyStateAllocFree guards the simulator: per-iteration
+// accounting, histogram update, event staging, and stream fan-out
+// (including the overflow-drop path once the 4-event buffers fill) must
+// allocate nothing.
+func TestServeSteadyStateAllocFree(t *testing.T) {
+	rp, batch := fanoutFixture(t, 4)
+	exec := 5 * sim.Millisecond
+	end := sim.Second
+	step := func() {
+		end += exec
+		rp.mu.Lock()
+		rp.completeLocked(batch, exec, end)
+		rp.mu.Unlock()
+		rp.flush()
+	}
+	step() // warm the outbox and histogram before measuring
+	if allocs := testing.AllocsPerRun(200, step); allocs != 0 {
+		t.Fatalf("steady-state serve path allocates %.1f times per iteration, want 0", allocs)
+	}
+	if rp.srv.droppedEvents.Load() == 0 {
+		t.Fatal("fixture never exercised the overflow-drop path")
+	}
+}
+
+// BenchmarkTokenFanout measures one iteration of the per-token serve path:
+// accounting + event staging under the scheduler lock, then fan-out to 8
+// streams.
+func BenchmarkTokenFanout(b *testing.B) {
+	rp, batch := fanoutFixture(b, 4)
+	exec := 5 * sim.Millisecond
+	end := sim.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		end += exec
+		rp.mu.Lock()
+		rp.completeLocked(batch, exec, end)
+		rp.mu.Unlock()
+		rp.flush()
+	}
+}
+
+// benchGatewayContended is the headline gateway benchmark: many parallel
+// submitters drive closed-loop prefill-heavy requests end to end (submit,
+// stream, drain) against N serving replicas. The cost model makes each
+// iteration sleep its (timescale-compressed) execution time, exactly like
+// replicas of a model server, so req/s measures how much concurrent
+// "GPU time" the gateway can keep in flight — the replicas=1 result is the
+// old single-lock architecture's ceiling.
+func benchGatewayContended(b *testing.B, replicas int) {
+	srv, err := New(Config{
+		Model:            model.Llama3_8B_A100_TP1(),
+		SchedulerFactory: func() sched.Scheduler { return sched.NewSarathi(sched.FCFS, 512) },
+		Replicas:         replicas,
+		Classes:          qos.Table3(),
+		Timescale:        200,
+		StreamBuffer:     8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	b.SetParallelism(32) // 32 concurrent submitters per GOMAXPROCS
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			stream, err := srv.Submit(Submission{Class: "Q2", PromptTokens: 512, DecodeTokens: 2})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			for range stream.Events {
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+func BenchmarkGatewayContendedReplicas1(b *testing.B) { benchGatewayContended(b, 1) }
+func BenchmarkGatewayContendedReplicas4(b *testing.B) { benchGatewayContended(b, 4) }
+func BenchmarkGatewayContendedReplicas8(b *testing.B) { benchGatewayContended(b, 8) }

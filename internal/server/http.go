@@ -45,6 +45,8 @@ type StatsResponse struct {
 	Iterations    uint64  `json:"iterations"`
 	Tokens        uint64  `json:"tokens"`
 	ViolationRate float64 `json:"violation_rate"`
+	DroppedEvents uint64  `json:"dropped_events"`
+	Replicas      int     `json:"replicas"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx API response.
@@ -111,6 +113,8 @@ type QueuesResponse struct {
 	QueuesReported bool   `json:"queues_reported"`
 	TraceEnabled   bool   `json:"trace_enabled"`
 	Iterations     uint64 `json:"iterations"`
+	// Replicas is the number of serving loops the depths are summed over.
+	Replicas int `json:"replicas"`
 }
 
 // Handler exposes the server over HTTP:
@@ -147,20 +151,18 @@ func (s *Server) Handler() http.Handler {
 // violation gauges are computed over the trailing Config.MetricsWindow of
 // virtual time; everything else is lifetime.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	vnow := s.vnowLocked()
-	sum := metrics.NewSummary(s.served, vnow, 1)
+	vnow := s.vnow()
+	sum := s.summary(vnow)
+	s.servedMu.Lock()
 	served := len(s.served)
-	pending := s.cfg.Scheduler.Pending()
-	iterations, tokens := s.iterations, s.tokens
-	prefillTokens, decodeTokens := s.prefillTokens, s.decodeTokens
-	queues := s.queuesLocked()
-	cum, hsum, htotal := s.iterHist.snapshot()
-	relegations, hasReleg := 0, false
-	if rc, ok := s.cfg.Scheduler.(interface{ Relegations() int }); ok {
-		relegations, hasReleg = rc.Relegations(), true
-	}
-	s.mu.Unlock()
+	s.servedMu.Unlock()
+	pending := int(s.inFlight.Load())
+	iterations, tokens := s.iterations.Load(), s.tokens.Load()
+	prefillTokens, decodeTokens := s.prefillTokens.Load(), s.decodeTokens.Load()
+	dropped := s.droppedEvents.Load()
+	queues := s.Queues()
+	cum, hsum, htotal := s.histSnapshot()
+	relegations, hasReleg := s.relegations()
 
 	recent := sum.Recent(sim.FromDuration(s.cfg.MetricsWindow))
 
@@ -183,6 +185,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.value("qoserve_violation_ratio", "", sum.ViolationRate(metrics.All))
 	p.header("qoserve_virtual_seconds", "Virtual clock position.", "counter")
 	p.value("qoserve_virtual_seconds", "", vnow.Seconds())
+	p.header("qoserve_stream_dropped_events_total", "Token events discarded on full stream buffers.", "counter")
+	p.intValue("qoserve_stream_dropped_events_total", "", dropped)
+	p.header("qoserve_gateway_replicas", "Serving loops in this gateway.", "gauge")
+	p.intValue("qoserve_gateway_replicas", "", uint64(len(s.reps)))
 
 	if hasReleg {
 		p.header("qoserve_relegations_total", "Requests eagerly relegated.", "counter")
@@ -332,21 +338,23 @@ func tracedIteration(it trace.Iteration) TracedIteration {
 	return out
 }
 
-// handleDebugQueues serves a live queue snapshot.
+// handleDebugQueues serves a live queue snapshot, summed over replicas.
 func (s *Server) handleDebugQueues(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+	s.servedMu.Lock()
+	served := len(s.served)
+	s.servedMu.Unlock()
 	resp := QueuesResponse{
-		Policy:       s.cfg.Scheduler.Name(),
-		VirtualNowMS: msT(s.vnowLocked()),
-		Pending:      s.cfg.Scheduler.Pending(),
-		Served:       len(s.served),
-		Iterations:   s.iterations,
+		Policy:       s.policyName(),
+		VirtualNowMS: msT(s.vnow()),
+		Pending:      int(s.inFlight.Load()),
+		Served:       served,
+		Iterations:   s.iterations.Load(),
 		TraceEnabled: s.tracer != nil,
+		Replicas:     len(s.reps),
 	}
-	q := s.queuesLocked()
+	q := s.Queues()
 	resp.QueueMain, resp.QueueRelegated, resp.QueueDecode = q.Main, q.Relegated, q.Decode
 	resp.QueuesReported = q.Reported
-	s.mu.Unlock()
 	writeJSON(w, resp)
 }
 
@@ -428,6 +436,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Iterations:    st.Iterations,
 		Tokens:        st.Tokens,
 		ViolationRate: st.ViolationRate,
+		DroppedEvents: st.DroppedEvents,
+		Replicas:      st.Replicas,
 	})
 }
 

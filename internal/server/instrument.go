@@ -4,53 +4,63 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 )
 
 // Counter/gauge/histogram instrumentation for the serving loop, rendered in
 // Prometheus text exposition format (version 0.0.4) by GET /metrics. The
 // implementation is deliberately dependency-free: a fixed-bucket histogram
-// and a tiny writer, updated under the server mutex the loop already holds.
+// sharded per serving replica (each loop updates only its own shard, with
+// atomic counts so /metrics merges without taking any scheduler lock) and a
+// tiny writer.
 
 // iterBuckets are the upper bounds (virtual seconds) of the iteration-
 // latency histogram. Iteration times in this system run from a few
 // milliseconds (decode-only batches) to a couple of seconds (relaxed-tier
 // slack stretched by dynamic chunking), so the buckets span that range
 // log-ish.
-var iterBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+var iterBuckets = [...]float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
 
-// histogram is a fixed-bucket cumulative histogram. Not safe for concurrent
-// use; the server guards it with its mutex.
-type histogram struct {
-	counts []uint64 // one per bucket plus +Inf
-	sum    float64
-	total  uint64
+// histShard is one replica's fixed-bucket histogram. Counts are atomics so
+// the merged /metrics read never blocks a serving loop; the sum is a
+// float64 stored as bits, written only by the owning loop (single writer)
+// and read atomically by mergers.
+type histShard struct {
+	counts  [len(iterBuckets) + 1]atomic.Uint64 // one per bucket plus +Inf
+	sumBits atomic.Uint64
 }
 
-func (h *histogram) observe(v float64) {
-	if h.counts == nil {
-		h.counts = make([]uint64, len(iterBuckets)+1)
+// observe records one iteration latency. Only the owning serving loop calls
+// this, so the read-modify-write on sumBits is race-free.
+//
+//qoserve:hotpath
+func (h *histShard) observe(v float64) {
+	i := 0
+	for i < len(iterBuckets) && v > iterBuckets[i] {
+		i++
 	}
-	h.sum += v
-	h.total++
-	for i, ub := range iterBuckets {
-		if v <= ub {
-			h.counts[i]++
-			return
+	h.counts[i].Add(1)
+	h.sumBits.Store(math.Float64bits(math.Float64frombits(h.sumBits.Load()) + v))
+}
+
+// histSnapshot merges every replica's histogram shard into cumulative
+// bucket counts (Prometheus histograms are cumulative), the sum, and the
+// total count.
+func (s *Server) histSnapshot() (cum []uint64, sum float64, total uint64) {
+	var merged [len(iterBuckets) + 1]uint64
+	for _, rp := range s.reps {
+		for i := range rp.hist.counts {
+			merged[i] += rp.hist.counts[i].Load()
 		}
+		sum += math.Float64frombits(rp.hist.sumBits.Load())
 	}
-	h.counts[len(iterBuckets)]++
-}
-
-// snapshot returns cumulative bucket counts (Prometheus histograms are
-// cumulative), the sum, and the total count.
-func (h *histogram) snapshot() (cum []uint64, sum float64, total uint64) {
-	cum = make([]uint64, len(iterBuckets)+1)
+	cum = make([]uint64, len(merged))
 	var acc uint64
-	for i, c := range h.counts {
+	for i, c := range merged {
 		acc += c
 		cum[i] = acc
 	}
-	return cum, h.sum, h.total
+	return cum, sum, acc
 }
 
 // promWriter renders Prometheus text format. Write errors are ignored: the

@@ -1,7 +1,7 @@
-// Package server runs a QoServe scheduler in real time: a wall-clock
-// serving loop that executes the same iteration cycle as the simulator —
-// plan batch, "execute" for the cost-model duration, account tokens — and
-// streams token events to concurrent clients.
+// Package server runs QoServe schedulers in real time: wall-clock serving
+// loops that execute the same iteration cycle as the simulator — plan batch,
+// "execute" for the cost-model duration, account tokens — and stream token
+// events to concurrent clients.
 //
 // This is the serving-system face of the reproduction: the paper's artifact
 // is a scheduler inside a serving engine, and this package provides that
@@ -10,7 +10,23 @@
 // as a QoS-policy load-testing harness: clients declare their request
 // shapes (prompt/decode token counts) and observe exactly the TTFT/TBT/TTLT
 // behaviour the scheduler produces under contention. cmd/qoserved exposes it
-// over HTTP.
+// over HTTP; cmd/qoserve-loadgen drives it at scale.
+//
+// # Gateway architecture
+//
+// The server is a sharded gateway, not a single loop behind one mutex.
+// Config.Replicas independent serving loops each own a scheduler, an
+// admission inbox, a stream table, and a histogram shard. Submitters are
+// routed by a lock-free balancer (cluster.AtomicRoundRobin by default),
+// append to the chosen replica's inbox under a small admission lock, and
+// return immediately; the loop swaps the whole inbox out once per
+// iteration. Per-iteration token accounting runs under the replica's
+// scheduler lock, but no channel operation ever happens under any lock:
+// events are staged into a loop-owned outbox and flushed afterwards with
+// non-blocking sends. Slow consumers lose intermediate token events
+// (counted in qoserve_stream_dropped_events_total) but never the final
+// one, so the batch loop can never be stalled by a client. Lifetime
+// counters are atomics; the steady-state per-token path allocates nothing.
 package server
 
 import (
@@ -18,8 +34,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"qoserve/internal/cluster"
 	"qoserve/internal/metrics"
 	"qoserve/internal/model"
 	"qoserve/internal/qos"
@@ -57,29 +75,36 @@ type Event struct {
 	Done bool
 }
 
-// Stream delivers a request's token events. The channel is buffered for the
-// request's full output, so the serving loop never blocks on a slow
-// consumer; it is closed after the Done event.
+// Stream delivers a request's token events. The channel buffer is bounded
+// (Config.StreamBuffer): a consumer that falls a full buffer behind loses
+// intermediate token events — the Token index then skips — but always
+// receives the final Done event, after which the channel is closed.
 type Stream struct {
 	ID     uint64
 	Events <-chan Event
 	req    *request.Request
-	srv    *Server
+	rep    *gatewayReplica
 }
 
 // Result summarizes a finished request. Valid once the stream has closed.
 type Result struct {
-	TTFT     time.Duration
-	TTLT     time.Duration
+	TTFT time.Duration
+	TTLT time.Duration
+	// MaxTBT is the largest inter-token gap observed (virtual time).
+	MaxTBT   time.Duration
 	Violated bool
 	Releg    bool
 }
 
 // Result reports the request's outcome as of now.
 func (s *Stream) Result() Result {
-	s.srv.mu.Lock()
-	defer s.srv.mu.Unlock()
-	res := Result{Violated: s.req.ViolatedSLO(s.srv.vnowLocked()), Releg: s.req.Relegated}
+	s.rep.mu.Lock()
+	defer s.rep.mu.Unlock()
+	res := Result{
+		MaxTBT:   s.req.MaxTBT.Duration(),
+		Violated: s.req.ViolatedSLO(s.rep.srv.vnow()),
+		Releg:    s.req.Relegated,
+	}
 	if ttft, ok := s.req.TTFT(); ok {
 		res.TTFT = ttft.Duration()
 	}
@@ -92,8 +117,27 @@ func (s *Stream) Result() Result {
 // Config configures a real-time server.
 type Config struct {
 	Model model.Config
-	// Scheduler serves the requests; it must not be shared.
+	// Scheduler serves the requests on a single-replica server; it must
+	// not be shared. Mutually exclusive with SchedulerFactory.
 	Scheduler sched.Scheduler
+	// SchedulerFactory builds one independent scheduler per replica; it is
+	// required when Replicas > 1 (each serving loop must own its policy
+	// state) and may also be used for a single replica.
+	SchedulerFactory func() sched.Scheduler
+	// Replicas is the number of independent serving loops (default 1).
+	// Throughput scales with replicas: each loop "executes" its batches
+	// concurrently, exactly like replicas of a model server sharing a
+	// frontend.
+	Replicas int
+	// Balancer routes submissions across replicas. Nil uses a lock-free
+	// round robin (cluster.AtomicRoundRobin); cluster.LeastLoaded routes
+	// to the replica with the fewest unfinished requests. The balancer
+	// must be safe for concurrent pickers.
+	Balancer cluster.GatewayBalancer
+	// StreamBuffer bounds each stream's event buffer (default 256 events,
+	// additionally capped at the request's DecodeTokens+1). See Stream for
+	// the overflow contract.
+	StreamBuffer int
 	// Classes that submissions may reference.
 	Classes []qos.Class
 	// Timescale accelerates virtual time relative to wall time (e.g.
@@ -104,8 +148,9 @@ type Config struct {
 	MaxDecodeTokens int
 	// TraceDepth enables live iteration tracing with a ring buffer
 	// retaining that many iterations, served by GET /debug/trace. Zero
-	// (the default) disables tracing entirely: the scheduler keeps its
-	// no-op tracer and the hot path pays only a branch per iteration.
+	// (the default) disables tracing entirely: the schedulers keep their
+	// no-op tracers and the hot path pays only a branch per iteration.
+	// With multiple replicas all loops share one ring.
 	TraceDepth int
 	// MetricsWindow is the trailing window (virtual time) over which the
 	// per-class TTFT/TTLT/TBT and violation-rate gauges on GET /metrics
@@ -115,7 +160,7 @@ type Config struct {
 	// counters for GET /metrics (replica up/down gauges, retry and
 	// lost-work counters). Wire it to a cluster's fault state — e.g.
 	// bridge Cluster.Health() and Cluster.FaultStats() — or leave nil for
-	// single-replica servers, which then omit the fault series.
+	// servers without fault injection, which then omit the fault series.
 	FaultStatus func() FaultStatus
 }
 
@@ -141,37 +186,113 @@ type FaultStatus struct {
 	Parked int
 }
 
-// Server is the real-time serving loop. Create with New, stop with Close.
+// Server is the sharded real-time serving gateway. Create with New, stop
+// with Close. All methods are safe for concurrent use.
 type Server struct {
 	cfg     Config
 	classes map[string]qos.Class
+	start   time.Time // immutable after New
 
-	mu      sync.Mutex
-	wake    *sync.Cond
-	closed  bool                  // guarded by mu
-	nextID  uint64                // guarded by mu
-	start   time.Time             // immutable after New
-	streams map[uint64]chan Event // guarded by mu
-	served  []*request.Request    // guarded by mu
+	balancer cluster.GatewayBalancer
+	loadOf   func(int) int // balancer load probe over reps
 
-	iterations    uint64    // guarded by mu
-	tokens        uint64    // guarded by mu
-	prefillTokens uint64    // guarded by mu
-	decodeTokens  uint64    // guarded by mu
-	iterHist      histogram // guarded by mu
+	nextID   atomic.Uint64
+	closed   atomic.Bool
+	inFlight atomic.Int64 // accepted but unfinished requests
 
-	// tracer is non-nil when Config.TraceDepth enabled tracing.
+	iterations    atomic.Uint64
+	tokens        atomic.Uint64
+	prefillTokens atomic.Uint64
+	decodeTokens  atomic.Uint64
+	droppedEvents atomic.Uint64
+
+	servedMu sync.Mutex
+	served   []*request.Request // guarded by servedMu
+
+	reps []*gatewayReplica
+	wg   sync.WaitGroup
+
+	// tracer is non-nil when Config.TraceDepth enabled tracing; it is
+	// shared by every replica's scheduler (trace.Ring is thread-safe).
 	tracer *trace.Ring
-
-	done chan struct{}
 }
 
-// New validates the configuration and starts the serving loop.
+// gatewayReplica is one serving loop: its own scheduler, admission inbox,
+// stream table, and histogram shard. The two mutexes split the old global
+// server lock — submitters only ever touch inboxMu, metrics readers only
+// mu — so admission, planning, and observability no longer contend on one
+// word.
+type gatewayReplica struct {
+	srv *Server
+	idx int
+
+	// mu is the scheduler lock: it guards planning, token accounting, and
+	// queue introspection. It is never held across a sleep or a channel
+	// operation.
+	mu        sync.Mutex
+	scheduler sched.Scheduler // guarded by mu
+
+	// inboxMu is the admission lock: submitters append, the serving loop
+	// swaps the whole inbox out once per iteration.
+	inboxMu sync.Mutex
+	wake    *sync.Cond  // tied to inboxMu; signaled on admission and Close
+	inbox   []admission // guarded by inboxMu
+
+	// load counts unfinished requests routed here; the balancer probes it
+	// without locks.
+	load atomic.Int64
+
+	// Loop-owned state, touched only by the serving goroutine.
+	drained []admission           // inbox swap buffer
+	streams map[uint64]chan Event // live stream channels by request ID
+	outbox  []delivery            // events staged under mu, flushed after
+	active  int                   // requests admitted here and unfinished
+	shape   model.BatchShape      // batch-shape scratch for the cost model
+	hist    histShard             // iteration-latency histogram shard
+}
+
+// admission is one submitted request en route to its serving loop.
+type admission struct {
+	req    *request.Request
+	events chan Event
+}
+
+// delivery is one staged stream write, assembled under the scheduler lock
+// and sent after it is released.
+type delivery struct {
+	events chan Event
+	ev     Event
+	id     uint64 // stream to retire when ev.Done
+}
+
+// New validates the configuration and starts the serving loops.
 func New(cfg Config) (*Server, error) {
 	if err := cfg.Model.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Scheduler == nil {
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas < 0 {
+		return nil, fmt.Errorf("server: negative replica count")
+	}
+	if cfg.Scheduler != nil && cfg.SchedulerFactory != nil {
+		return nil, fmt.Errorf("server: both Scheduler and SchedulerFactory set")
+	}
+	scheds := make([]sched.Scheduler, cfg.Replicas)
+	switch {
+	case cfg.SchedulerFactory != nil:
+		for i := range scheds {
+			if scheds[i] = cfg.SchedulerFactory(); scheds[i] == nil {
+				return nil, fmt.Errorf("server: SchedulerFactory returned nil")
+			}
+		}
+	case cfg.Scheduler != nil:
+		if cfg.Replicas > 1 {
+			return nil, fmt.Errorf("server: %d replicas require SchedulerFactory (schedulers must not be shared)", cfg.Replicas)
+		}
+		scheds[0] = cfg.Scheduler
+	default:
 		return nil, fmt.Errorf("server: nil scheduler")
 	}
 	if cfg.Timescale == 0 {
@@ -183,6 +304,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxDecodeTokens == 0 {
 		cfg.MaxDecodeTokens = 4096
 	}
+	if cfg.StreamBuffer == 0 {
+		cfg.StreamBuffer = 256
+	}
+	if cfg.StreamBuffer < 0 {
+		return nil, fmt.Errorf("server: negative stream buffer")
+	}
 	if cfg.TraceDepth < 0 {
 		return nil, fmt.Errorf("server: negative trace depth")
 	}
@@ -193,19 +320,23 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: no QoS classes configured")
 	}
 	s := &Server{
-		cfg:     cfg,
-		classes: make(map[string]qos.Class, len(cfg.Classes)),
-		streams: make(map[uint64]chan Event),
-		start:   time.Now(),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		classes:  make(map[string]qos.Class, len(cfg.Classes)),
+		start:    time.Now(),
+		balancer: cfg.Balancer,
+	}
+	if s.balancer == nil {
+		s.balancer = &cluster.AtomicRoundRobin{}
 	}
 	if cfg.TraceDepth > 0 {
-		tr, ok := cfg.Scheduler.(sched.Traceable)
-		if !ok {
-			return nil, fmt.Errorf("server: scheduler %s does not support tracing", cfg.Scheduler.Name())
-		}
 		s.tracer = trace.NewRing(cfg.TraceDepth)
-		tr.SetTracer(s.tracer)
+		for _, sc := range scheds {
+			tr, ok := sc.(sched.Traceable)
+			if !ok {
+				return nil, fmt.Errorf("server: scheduler %s does not support tracing", sc.Name())
+			}
+			tr.SetTracer(s.tracer)
+		}
 	}
 	for _, c := range cfg.Classes {
 		if err := c.Validate(); err != nil {
@@ -213,15 +344,32 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.classes[c.Name] = c
 	}
-	s.wake = sync.NewCond(&s.mu)
-	go s.loop()
+	s.loadOf = func(i int) int { return int(s.reps[i].load.Load()) }
+	for i, sc := range scheds {
+		rp := &gatewayReplica{
+			srv:       s,
+			idx:       i,
+			scheduler: sc,
+			streams:   make(map[uint64]chan Event, 64),
+		}
+		rp.wake = sync.NewCond(&rp.inboxMu)
+		s.reps = append(s.reps, rp)
+	}
+	s.wg.Add(len(s.reps))
+	for _, rp := range s.reps {
+		go rp.run()
+	}
 	return s, nil
 }
 
-// vnowLocked is the current virtual time; callers hold s.mu.
-func (s *Server) vnowLocked() sim.Time {
+// vnow is the current virtual time. The wall-clock origin and timescale are
+// immutable after New, so no lock is needed.
+func (s *Server) vnow() sim.Time {
 	return sim.Time(float64(time.Since(s.start)) * s.cfg.Timescale)
 }
+
+// Replicas is the number of serving loops.
+func (s *Server) Replicas() int { return len(s.reps) }
 
 // Submission describes one request.
 type Submission struct {
@@ -234,7 +382,8 @@ type Submission struct {
 
 // Submit enqueues a request and returns its token stream. Validation
 // failures are *SubmissionError; submitting to a closed server returns
-// ErrClosed.
+// ErrClosed. Submit takes only the routed replica's admission lock — it
+// never contends with planning, token accounting, or other replicas.
 func (s *Server) Submit(sub Submission) (*Stream, error) {
 	cls, ok := s.classes[sub.Class]
 	if !ok {
@@ -251,45 +400,67 @@ func (s *Server) Submit(sub Submission) (*Stream, error) {
 	if app == "" {
 		app = sub.Class
 	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	s.nextID++
+
 	req := &request.Request{
-		ID:           s.nextID,
+		ID:           s.nextID.Add(1),
 		App:          app,
 		Class:        cls,
 		Priority:     sub.Priority,
-		Arrival:      s.vnowLocked(),
+		Arrival:      s.vnow(),
 		PromptTokens: sub.PromptTokens,
 		DecodeTokens: sub.DecodeTokens,
 	}
-	events := make(chan Event, sub.DecodeTokens+1)
-	s.streams[req.ID] = events
+	buf := sub.DecodeTokens + 1
+	if buf > s.cfg.StreamBuffer {
+		buf = s.cfg.StreamBuffer
+	}
+	events := make(chan Event, buf)
+
+	rp := s.reps[s.pick()]
+	rp.load.Add(1)
+	s.inFlight.Add(1)
+	rp.inboxMu.Lock()
+	if s.closed.Load() {
+		rp.inboxMu.Unlock()
+		rp.load.Add(-1)
+		s.inFlight.Add(-1)
+		return nil, ErrClosed
+	}
+	rp.inbox = append(rp.inbox, admission{req: req, events: events})
+	rp.wake.Signal()
+	rp.inboxMu.Unlock()
+
+	s.servedMu.Lock()
 	s.served = append(s.served, req)
-	s.cfg.Scheduler.Add(req, req.Arrival)
-	s.wake.Signal()
-	return &Stream{ID: req.ID, Events: events, req: req, srv: s}, nil
+	s.servedMu.Unlock()
+	return &Stream{ID: req.ID, Events: events, req: req, rep: rp}, nil
 }
 
-// loop is the serving iteration cycle.
-func (s *Server) loop() {
-	defer close(s.done)
+// pick routes a submission to a replica index.
+func (s *Server) pick() int {
+	if len(s.reps) == 1 {
+		return 0
+	}
+	if i := s.balancer.PickIndex(len(s.reps), s.loadOf); i >= 0 && i < len(s.reps) {
+		return i
+	}
+	return 0
+}
+
+// run is one replica's serving iteration cycle.
+func (rp *gatewayReplica) run() {
+	defer rp.srv.wg.Done()
 	for {
-		s.mu.Lock()
-		for !s.closed && s.cfg.Scheduler.Pending() == 0 {
-			s.wake.Wait()
-		}
-		if s.closed {
-			s.mu.Unlock()
+		if !rp.admit() {
 			return
 		}
-		now := s.vnowLocked()
-		batch := s.cfg.Scheduler.PlanBatch(now)
-		s.mu.Unlock()
+		now := rp.srv.vnow()
+		rp.mu.Lock()
+		batch := rp.scheduler.PlanBatch(now)
+		rp.mu.Unlock()
 
 		if batch.Empty() {
 			// Pending work but nothing runnable this instant (can happen
@@ -298,45 +469,142 @@ func (s *Server) loop() {
 			continue
 		}
 
-		exec := s.cfg.Model.BatchTime(batch.Shape())
-		time.Sleep(time.Duration(float64(exec.Duration()) / s.cfg.Timescale))
+		batch.ShapeInto(&rp.shape)
+		exec := rp.srv.cfg.Model.BatchTime(rp.shape)
+		time.Sleep(time.Duration(float64(exec.Duration()) / rp.srv.cfg.Timescale))
 
-		s.mu.Lock()
-		end := s.vnowLocked()
-		s.iterations++
-		s.tokens += uint64(batch.NewTokens())
-		s.prefillTokens += uint64(batch.PrefillTokens())
-		s.decodeTokens += uint64(len(batch.Decodes))
-		s.iterHist.observe(exec.Seconds())
-		for _, p := range batch.Prefill {
-			before := p.Req.DecodedTokens
-			p.Req.RecordPrefill(p.Tokens, end)
-			if p.Req.DecodedTokens > before {
-				s.emitLocked(p.Req, end)
-			}
-		}
-		for _, d := range batch.Decodes {
-			d.RecordDecodeToken(end)
-			s.emitLocked(d, end)
-		}
-		s.cfg.Scheduler.OnBatchComplete(batch, end)
-		s.mu.Unlock()
+		rp.mu.Lock()
+		end := rp.srv.vnow()
+		rp.completeLocked(batch, exec, end)
+		rp.mu.Unlock()
+		rp.flush()
 	}
 }
 
-// emitLocked streams the request's newest token; callers hold s.mu.
+// admit blocks until this replica has work (or the server closes), then
+// drains the inbox into the scheduler in one swap. It returns false when
+// the server has closed.
+func (rp *gatewayReplica) admit() bool {
+	rp.inboxMu.Lock()
+	for !rp.srv.closed.Load() && len(rp.inbox) == 0 && rp.active == 0 {
+		rp.wake.Wait()
+	}
+	if rp.srv.closed.Load() {
+		rp.inboxMu.Unlock()
+		return false
+	}
+	rp.inbox, rp.drained = rp.drained[:0], rp.inbox
+	rp.inboxMu.Unlock()
+
+	if len(rp.drained) == 0 {
+		return true
+	}
+	now := rp.srv.vnow()
+	rp.mu.Lock()
+	for _, ad := range rp.drained {
+		rp.streams[ad.req.ID] = ad.events
+		rp.scheduler.Add(ad.req, now)
+	}
+	rp.mu.Unlock()
+	rp.active += len(rp.drained)
+	for i := range rp.drained {
+		rp.drained[i] = admission{} // release references, keep capacity
+	}
+	return true
+}
+
+// completeLocked performs the post-execution phase of one iteration: token
+// accounting, lifetime counters, the histogram shard, and event assembly
+// into the loop-owned outbox. No channel operation happens here — flush
+// delivers the outbox after mu is released — and the steady state
+// allocates nothing (TestServeSteadyStateAllocFree).
 //
+//qoserve:hotpath
 //qoserve:locked mu
-func (s *Server) emitLocked(r *request.Request, at sim.Time) {
-	events, ok := s.streams[r.ID]
-	if !ok {
+func (rp *gatewayReplica) completeLocked(b sched.Batch, exec, end sim.Time) {
+	srv := rp.srv
+	srv.iterations.Add(1)
+	srv.tokens.Add(uint64(b.NewTokens()))
+	srv.prefillTokens.Add(uint64(b.PrefillTokens()))
+	srv.decodeTokens.Add(uint64(len(b.Decodes)))
+	rp.hist.observe(exec.Seconds())
+	for _, p := range b.Prefill {
+		before := p.Req.DecodedTokens
+		p.Req.RecordPrefill(p.Tokens, end)
+		if p.Req.DecodedTokens > before {
+			rp.stageEvent(p.Req, end)
+		}
+	}
+	for _, d := range b.Decodes {
+		d.RecordDecodeToken(end)
+		rp.stageEvent(d, end)
+	}
+	rp.scheduler.OnBatchComplete(b, end)
+}
+
+// stageEvent queues the request's newest token for delivery by flush.
+//
+//qoserve:hotpath
+//qoserve:locked mu
+func (rp *gatewayReplica) stageEvent(r *request.Request, at sim.Time) {
+	events := rp.streams[r.ID]
+	if events == nil {
 		return
 	}
 	done := r.Phase() == request.Done
-	events <- Event{Token: r.DecodedTokens, At: at.Duration(), Done: done}
-	if done {
-		close(events)
-		delete(s.streams, r.ID)
+	rp.outbox = append(rp.outbox, delivery{
+		events: events,
+		ev:     Event{Token: r.DecodedTokens, At: at.Duration(), Done: done},
+		id:     r.ID,
+	})
+}
+
+// flush delivers the staged outbox without holding any lock. Full buffers
+// drop intermediate token events (counted in droppedEvents) but never the
+// final one: a finished stream always observes Done, then close.
+//
+//qoserve:hotpath
+func (rp *gatewayReplica) flush() {
+	for i := range rp.outbox {
+		d := &rp.outbox[i]
+		if !d.ev.Done {
+			select {
+			case d.events <- d.ev:
+			default:
+				rp.srv.droppedEvents.Add(1)
+			}
+			continue
+		}
+		rp.sendFinal(d.events, d.ev)
+		close(d.events)
+		delete(rp.streams, d.id)
+		rp.active--
+		rp.load.Add(-1)
+		rp.srv.inFlight.Add(-1)
+	}
+	for i := range rp.outbox {
+		rp.outbox[i] = delivery{} // release channel references
+	}
+	rp.outbox = rp.outbox[:0]
+}
+
+// sendFinal delivers ev even on a full buffer by evicting the oldest
+// undelivered events. The serving loop is the only sender and consumers
+// only receive, so eviction makes room and the loop terminates.
+//
+//qoserve:hotpath
+func (rp *gatewayReplica) sendFinal(events chan Event, ev Event) {
+	for {
+		select {
+		case events <- ev:
+			return
+		default:
+		}
+		select {
+		case <-events:
+			rp.srv.droppedEvents.Add(1)
+		default:
+		}
 	}
 }
 
@@ -348,53 +616,115 @@ type Stats struct {
 	Iterations    uint64
 	Tokens        uint64
 	ViolationRate float64
+	// DroppedEvents counts token events discarded on full stream buffers.
+	DroppedEvents uint64
+	// Replicas is the number of serving loops.
+	Replicas int
 }
 
 // Stats snapshots current counters and the violation rate over all
 // requests seen so far.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sum := metrics.NewSummary(s.served, s.vnowLocked(), 1)
+	vnow := s.vnow()
+	sum := s.summary(vnow)
+	s.servedMu.Lock()
+	served := len(s.served)
+	s.servedMu.Unlock()
 	return Stats{
-		VirtualNow:    s.vnowLocked().Duration(),
-		Pending:       s.cfg.Scheduler.Pending(),
-		Served:        len(s.served),
-		Iterations:    s.iterations,
-		Tokens:        s.tokens,
+		VirtualNow:    vnow.Duration(),
+		Pending:       int(s.inFlight.Load()),
+		Served:        served,
+		Iterations:    s.iterations.Load(),
+		Tokens:        s.tokens.Load(),
 		ViolationRate: sum.ViolationRate(metrics.All),
+		DroppedEvents: s.droppedEvents.Load(),
+		Replicas:      len(s.reps),
 	}
 }
+
+// summary builds a metrics summary over every accepted request. It takes
+// every replica's scheduler lock (in index order) plus the served list so
+// request state cannot mutate mid-scan; only /metrics and /v1/stats call
+// it, and they tolerate the brief stall.
+func (s *Server) summary(vnow sim.Time) *metrics.Summary {
+	for _, rp := range s.reps {
+		rp.mu.Lock()
+	}
+	s.servedMu.Lock()
+	sum := metrics.NewSummary(s.served, vnow, len(s.reps))
+	s.servedMu.Unlock()
+	for i := len(s.reps) - 1; i >= 0; i-- {
+		s.reps[i].mu.Unlock()
+	}
+	return sum
+}
+
+// DroppedEvents is the number of token events discarded on full stream
+// buffers since start.
+func (s *Server) DroppedEvents() uint64 { return s.droppedEvents.Load() }
 
 // Trace returns the live iteration trace ring, or nil when tracing is
 // disabled (Config.TraceDepth == 0).
 func (s *Server) Trace() *trace.Ring { return s.tracer }
 
-// QueueDepths is a live snapshot of the scheduler's queues.
+// QueueDepths is a live snapshot of scheduler queues, summed over replicas.
 type QueueDepths struct {
 	Main      int
 	Relegated int
 	Decode    int
-	// Reported is false when the scheduler does not implement
+	// Reported is false when the schedulers do not implement
 	// sched.QueueReporter; the depth fields are then zero.
 	Reported bool
 }
 
-// Queues snapshots the scheduler's queue depths.
+// Queues snapshots the schedulers' queue depths, summed across replicas.
 func (s *Server) Queues() QueueDepths {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.queuesLocked()
+	d := QueueDepths{Reported: true}
+	for _, rp := range s.reps {
+		rq, ok := rp.queues()
+		if !ok {
+			return QueueDepths{}
+		}
+		d.Main += rq.Main
+		d.Relegated += rq.Relegated
+		d.Decode += rq.Decode
+	}
+	return d
 }
 
-func (s *Server) queuesLocked() QueueDepths {
-	qr, ok := s.cfg.Scheduler.(sched.QueueReporter)
+// queues reads one replica's queue depths under its scheduler lock.
+func (rp *gatewayReplica) queues() (QueueDepths, bool) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	qr, ok := rp.scheduler.(sched.QueueReporter)
 	if !ok {
-		return QueueDepths{}
+		return QueueDepths{}, false
 	}
 	d := QueueDepths{Reported: true}
 	d.Main, d.Relegated, d.Decode = qr.QueueLen()
-	return d
+	return d, true
+}
+
+// policyName is the scheduling policy name (identical on every replica).
+func (s *Server) policyName() string {
+	rp := s.reps[0]
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.scheduler.Name()
+}
+
+// relegations sums eager-relegation counts over replicas; reported is
+// false when no scheduler exposes them.
+func (s *Server) relegations() (total int, reported bool) {
+	for _, rp := range s.reps {
+		rp.mu.Lock()
+		if rc, ok := rp.scheduler.(interface{ Relegations() int }); ok {
+			total += rc.Relegations()
+			reported = true
+		}
+		rp.mu.Unlock()
+	}
+	return total, reported
 }
 
 // Drain blocks until every accepted request has finished or the context is
@@ -403,10 +733,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	tick := time.NewTicker(time.Millisecond)
 	defer tick.Stop()
 	for {
-		s.mu.Lock()
-		pending := s.cfg.Scheduler.Pending()
-		s.mu.Unlock()
-		if pending == 0 {
+		if s.inFlight.Load() == 0 {
 			return nil
 		}
 		select {
@@ -417,15 +744,14 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Close stops the serving loop. In-flight streams stop receiving events.
+// Close stops the serving loops. In-flight streams stop receiving events.
 func (s *Server) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
+	if !s.closed.Swap(true) {
+		for _, rp := range s.reps {
+			rp.inboxMu.Lock()
+			rp.wake.Broadcast()
+			rp.inboxMu.Unlock()
+		}
 	}
-	s.closed = true
-	s.wake.Broadcast()
-	s.mu.Unlock()
-	<-s.done
+	s.wg.Wait()
 }

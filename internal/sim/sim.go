@@ -40,6 +40,8 @@ func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
 
 // Duration converts t to a time.Duration for formatting and arithmetic
 // against SLO targets, which are expressed as durations.
+//
+//qoserve:hotpath
 func (t Time) Duration() time.Duration { return time.Duration(t) }
 
 // String formats the virtual timestamp using duration notation.
