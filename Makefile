@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzGenerate$$ -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run '^$$' -fuzz FuzzReadTrace -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run '^$$' -fuzz FuzzParseSchedule -fuzztime $(FUZZTIME) ./internal/fault
+	$(GO) test -run '^$$' -fuzz FuzzParseChain -fuzztime $(FUZZTIME) ./internal/kvcache
 
 # Static analysis gate: the repo's own contract analyzers (determinism,
 # hot-path allocation, trace hooks, guarded fields) plus staticcheck and
@@ -110,6 +111,23 @@ bench-pr5:
 		-meta sharded_8x_req_s="$$(awk '/Replicas8 /{print $$(NF-1)}' /tmp/bench_gateway.txt)" \
 		/tmp/bench_gateway.txt /tmp/bench_fanout.txt
 	@echo "wrote $(BENCH5OUT)"
+
+# Prefix-cache benchmark baseline: session-heavy (multi-turn, shared-prefix)
+# closed-loop load end to end through a 4-replica gateway under each routing
+# policy. PrefixAffinity should beat AtomicRoundRobin on both req/s and TTFT
+# because follow-up turns land where their prefix is cached and skip the
+# re-prefill; the headline numbers are folded into BENCH_PR6.json as meta.
+BENCH6OUT ?= BENCH_PR6.json
+bench-pr6:
+	$(GO) test -run '^$$' -bench SessionBalancer -benchtime 3x ./internal/loadgen/ | tee /tmp/bench_prefix.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH6OUT) \
+		-meta note="400 requests, 8-turn sessions, prompt p50 1024 / decode p50 12, 4 replicas" \
+		-meta round_robin_req_s="$$(awk '/RoundRobin/{for(i=2;i<=NF;i++)if($$i=="req/s")print $$(i-1)}' /tmp/bench_prefix.txt)" \
+		-meta prefix_req_s="$$(awk '/BalancerPrefix/{for(i=2;i<=NF;i++)if($$i=="req/s")print $$(i-1)}' /tmp/bench_prefix.txt)" \
+		-meta round_robin_ttft_p50_ms="$$(awk '/RoundRobin/{for(i=2;i<=NF;i++)if($$i=="ttft_p50_ms")print $$(i-1)}' /tmp/bench_prefix.txt)" \
+		-meta prefix_ttft_p50_ms="$$(awk '/BalancerPrefix/{for(i=2;i<=NF;i++)if($$i=="ttft_p50_ms")print $$(i-1)}' /tmp/bench_prefix.txt)" \
+		/tmp/bench_prefix.txt
+	@echo "wrote $(BENCH6OUT)"
 
 # Deterministic loadgen smoke: a few hundred milliseconds of closed-loop
 # load against a 2-replica gateway with a fixed seed. The tool exits

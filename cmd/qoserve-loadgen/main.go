@@ -28,6 +28,7 @@ import (
 
 	"qoserve/internal/cluster"
 	"qoserve/internal/core"
+	"qoserve/internal/kvcache"
 	"qoserve/internal/loadgen"
 	"qoserve/internal/model"
 	"qoserve/internal/predictor"
@@ -48,7 +49,7 @@ func main() {
 		policyName = flag.String("policy", "sarathi-fcfs", "qoserve | sarathi-fcfs | sarathi-edf | sarathi-srpf | vllm | medha")
 		chunk      = flag.Int("chunk", 512, "fixed chunk for Sarathi policies")
 		replicas   = flag.Int("replicas", 1, "independent scheduler replicas (serving loops)")
-		balancer   = flag.String("balancer", "round-robin", "replica routing: round-robin | least-loaded")
+		balancer   = flag.String("balancer", "round-robin", "replica routing: round-robin | least-loaded | prefix")
 		streamBuf  = flag.Int("stream-buffer", 256, "per-stream event buffer (events)")
 		timescale  = flag.Float64("timescale", 200, "virtual-time acceleration factor")
 		seed       = flag.Int64("seed", 1, "workload seed; same seed replays the identical request list")
@@ -61,6 +62,11 @@ func main() {
 		promptP90  = flag.Float64("prompt-p90", 1024, "prompt token 90th percentile")
 		decodeP50  = flag.Float64("decode-p50", 16, "decode token median")
 		decodeP90  = flag.Float64("decode-p90", 64, "decode token 90th percentile")
+		turns      = flag.Int("session-turns", 0, "turns per conversation; > 0 enables session mode (shared-prefix multi-turn load)")
+		followP50  = flag.Float64("follow-p50", 64, "session-mode follow-up user tokens median")
+		followP90  = flag.Float64("follow-p90", 128, "session-mode follow-up user tokens 90th percentile")
+		prefixMin  = flag.Int("prefix-min-match", cluster.DefaultMinMatchTokens, "smallest cached-prefix match (tokens) the prefix balancer chases")
+		kvDRAM     = flag.Int("kv-dram-tokens", 0, "DRAM spill tier per replica (tokens); 0 evicts demoted prefix blocks outright")
 		jsonOut    = flag.Bool("json", false, "emit the report as JSON on stdout")
 		allowDrops = flag.Bool("allow-drops", false, "do not fail on dropped stream events")
 	)
@@ -117,6 +123,8 @@ func main() {
 		lb = &cluster.AtomicRoundRobin{}
 	case "least-loaded":
 		lb = cluster.LeastLoaded{}
+	case "prefix":
+		lb = &cluster.PrefixAffinity{MinMatchTokens: *prefixMin}
 	default:
 		log.Fatalf("unknown balancer %q", *balancer)
 	}
@@ -133,6 +141,7 @@ func main() {
 		SchedulerFactory: factory,
 		Replicas:         *replicas,
 		Balancer:         lb,
+		KV:               kvcache.Config{DRAMTokens: *kvDRAM},
 		StreamBuffer:     *streamBuf,
 		Classes:          qos.Table3(),
 		Timescale:        *timescale,
@@ -143,12 +152,14 @@ func main() {
 	defer srv.Close()
 
 	spec := loadgen.Spec{
-		Seed:     *seed,
-		Mode:     loadgen.Mode(*mode),
-		Requests: *n,
-		Workers:  *workers,
-		Rate:     *rate,
-		Classes:  classes,
+		Seed:         *seed,
+		Mode:         loadgen.Mode(*mode),
+		Requests:     *n,
+		Workers:      *workers,
+		Rate:         *rate,
+		Classes:      classes,
+		SessionTurns: *turns,
+		FollowUp:     workload.TokenDist{P50: *followP50, P90: *followP90, Max: 4096},
 	}
 	log.Printf("driving %s/%s: %d replicas, %s loop, %d requests, seed %d, %gx time",
 		mc.Name(), *policyName, *replicas, *mode, *n, *seed, *timescale)
@@ -157,15 +168,19 @@ func main() {
 		log.Fatal(err)
 	}
 	dropped := srv.DroppedEvents()
+	kvStats := srv.KVStats()
 
 	if *jsonOut {
 		out := struct {
 			loadgen.Report
-			DroppedEvents uint64 `json:"dropped_events"`
-			Replicas      int    `json:"replicas"`
-			Policy        string `json:"policy"`
-			Seed          int64  `json:"seed"`
-		}{rep, dropped, *replicas, *policyName, *seed}
+			DroppedEvents   uint64 `json:"dropped_events"`
+			Replicas        int    `json:"replicas"`
+			Policy          string `json:"policy"`
+			Balancer        string `json:"balancer"`
+			Seed            int64  `json:"seed"`
+			PrefixHitTokens uint64 `json:"prefix_hit_tokens"`
+			ReloadTokens    uint64 `json:"prefix_reload_tokens"`
+		}{rep, dropped, *replicas, *policyName, *balancer, *seed, kvStats.PrefixHitTokens, kvStats.ReloadTokens}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -177,6 +192,9 @@ func main() {
 		fmt.Printf("TTFT       p50 %.1fms  p99 %.1fms (virtual)\n", rep.TTFTP50MS, rep.TTFTP99MS)
 		fmt.Printf("max TBT    p50 %.1fms  p99 %.1fms (virtual)\n", rep.TBTP50MS, rep.TBTP99MS)
 		fmt.Printf("violated   %d  relegated %d  dropped events %d\n", rep.Violated, rep.Relegated, dropped)
+		if *turns > 0 {
+			fmt.Printf("prefix     %d tokens hit, %d reloaded from DRAM\n", kvStats.PrefixHitTokens, kvStats.ReloadTokens)
+		}
 		for _, pc := range rep.PerClass {
 			fmt.Printf("  %-4s completed %-5d violated %d\n", pc.Name, pc.Completed, pc.Violated)
 		}

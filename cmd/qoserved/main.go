@@ -25,6 +25,7 @@ import (
 
 	"qoserve/internal/cluster"
 	"qoserve/internal/core"
+	"qoserve/internal/kvcache"
 	"qoserve/internal/model"
 	"qoserve/internal/predictor"
 	"qoserve/internal/profile"
@@ -47,8 +48,10 @@ func main() {
 		traceDepth = flag.Int("trace", 1024, "iterations retained for /debug/trace (0 disables tracing)")
 		window     = flag.Duration("metrics-window", time.Minute, "virtual-time window for rolling per-class /metrics gauges")
 		replicas   = flag.Int("replicas", 1, "independent scheduler replicas (serving loops)")
-		balancer   = flag.String("balancer", "round-robin", "replica routing: round-robin | least-loaded")
+		balancer   = flag.String("balancer", "round-robin", "replica routing: round-robin | least-loaded | prefix")
 		streamBuf  = flag.Int("stream-buffer", 256, "per-stream event buffer (events); slow consumers drop overflow")
+		prefixMin  = flag.Int("prefix-min-match", cluster.DefaultMinMatchTokens, "smallest cached-prefix match (tokens) the prefix balancer chases")
+		kvDRAM     = flag.Int("kv-dram-tokens", 0, "DRAM spill tier per replica (tokens); 0 evicts demoted prefix blocks outright")
 	)
 	flag.Parse()
 
@@ -107,6 +110,8 @@ func main() {
 		lb = &cluster.AtomicRoundRobin{}
 	case "least-loaded":
 		lb = cluster.LeastLoaded{}
+	case "prefix":
+		lb = &cluster.PrefixAffinity{MinMatchTokens: *prefixMin}
 	default:
 		log.Fatalf("unknown balancer %q", *balancer)
 	}
@@ -116,6 +121,7 @@ func main() {
 		SchedulerFactory: factory,
 		Replicas:         *replicas,
 		Balancer:         lb,
+		KV:               kvcache.Config{DRAMTokens: *kvDRAM},
 		StreamBuffer:     *streamBuf,
 		Classes:          qos.Table3(),
 		Timescale:        *timescale,

@@ -89,3 +89,87 @@ func (LeastPending) Pick(replicas []*replica.Replica, _ *request.Request) int {
 		return replicas[i].Scheduler().Pending()
 	})
 }
+
+// PrefixRouter is the prefix-aware extension of GatewayBalancer: match
+// reports how many prompt tokens of the arriving request's prefix chain are
+// cached on target i. Gateways probe each replica's KV manager for the
+// match score; requests without a chain fall back to plain PickIndex.
+type PrefixRouter interface {
+	GatewayBalancer
+	// PickPrefix returns a target in [0, n) for a request whose longest
+	// cached prefix on target i is match(i) tokens.
+	PickPrefix(n int, load func(int) int, match func(int) int) int
+}
+
+// PrefixAffinity routes each request to the replica holding the longest
+// cached prefix of its prompt — llm-d's "precise prefix-cache aware
+// routing" — so multi-turn sessions keep landing where their context is
+// already resident. When no replica's match reaches MinMatchTokens the
+// expected prefill saving cannot outweigh load skew, so the request falls
+// back to the Fallback balancer (LeastLoaded if nil). Highest match wins;
+// load breaks match ties, then lowest index, keeping simulated runs
+// deterministic. Stateless apart from the fallback, so safe for concurrent
+// pickers as long as the probes and the fallback are.
+type PrefixAffinity struct {
+	// MinMatchTokens is the smallest cached-prefix match worth chasing;
+	// zero means DefaultMinMatchTokens.
+	MinMatchTokens int
+	// Fallback routes requests below the threshold (and chainless ones).
+	// Nil means LeastLoaded.
+	Fallback GatewayBalancer
+}
+
+// DefaultMinMatchTokens is the default affinity threshold: four blocks of
+// cached prefix, roughly the point where skipped prefill outweighs the
+// risk of piling sessions onto one replica.
+const DefaultMinMatchTokens = 4 * 16
+
+// PickIndex routes a chainless request via the fallback balancer.
+func (b *PrefixAffinity) PickIndex(n int, load func(int) int) int {
+	if b.Fallback != nil {
+		return b.Fallback.PickIndex(n, load)
+	}
+	return LeastLoaded{}.PickIndex(n, load)
+}
+
+// PickPrefix returns the target with the longest cached prefix, or the
+// fallback pick when every match is below the threshold.
+func (b *PrefixAffinity) PickPrefix(n int, load func(int) int, match func(int) int) int {
+	min := b.MinMatchTokens
+	if min <= 0 {
+		min = DefaultMinMatchTokens
+	}
+	best, bestMatch, bestLoad := -1, 0, 0
+	for i := 0; i < n; i++ {
+		m := match(i)
+		if m < min || m < bestMatch {
+			continue
+		}
+		l := load(i)
+		if best == -1 || m > bestMatch || l < bestLoad {
+			best, bestMatch, bestLoad = i, m, l
+		}
+	}
+	if best == -1 {
+		return b.PickIndex(n, load)
+	}
+	return best
+}
+
+// PrefixAware is the simulation-side adapter over PrefixAffinity: it probes
+// each replica's KV manager directly.
+type PrefixAware struct {
+	Affinity PrefixAffinity
+}
+
+// Pick returns the replica with the longest cached prefix for r, falling
+// back below the threshold.
+func (b *PrefixAware) Pick(replicas []*replica.Replica, r *request.Request) int {
+	load := func(i int) int { return replicas[i].Scheduler().Pending() }
+	if len(r.PrefixHashes) == 0 {
+		return b.Affinity.PickIndex(len(replicas), load)
+	}
+	return b.Affinity.PickPrefix(len(replicas), load, func(i int) int {
+		return replicas[i].KV().MatchTokens(r.PrefixHashes)
+	})
+}

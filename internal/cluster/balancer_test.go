@@ -71,3 +71,47 @@ func TestLeastLoadedPicksMinimumLowestIndexWins(t *testing.T) {
 		t.Fatalf("picked %d, want 1 (lowest index among ties)", idx)
 	}
 }
+
+func TestPrefixAffinityPicksLongestMatch(t *testing.T) {
+	b := &PrefixAffinity{MinMatchTokens: 32}
+	loads := []int{9, 1, 1, 1}
+	at := func(v []int) func(int) int { return func(i int) int { return v[i] } }
+
+	// Highest match wins even on the most loaded replica.
+	if idx := b.PickPrefix(4, at(loads), at([]int{128, 64, 0, 0})); idx != 0 {
+		t.Errorf("picked %d, want 0 (longest match)", idx)
+	}
+	// Match ties break by load, then lowest index.
+	if idx := b.PickPrefix(4, at(loads), at([]int{64, 64, 64, 0})); idx != 1 {
+		t.Errorf("picked %d, want 1 (least loaded among match ties)", idx)
+	}
+	// All matches below threshold: fall back to least loaded.
+	if idx := b.PickPrefix(4, at(loads), at([]int{16, 31, 0, 0})); idx != 1 {
+		t.Errorf("picked %d, want 1 (fallback least loaded)", idx)
+	}
+	// Chainless requests go straight to the fallback.
+	if idx := b.PickIndex(4, at(loads)); idx != 1 {
+		t.Errorf("PickIndex = %d, want 1", idx)
+	}
+}
+
+func TestPrefixAffinityCustomFallback(t *testing.T) {
+	b := &PrefixAffinity{Fallback: &AtomicRoundRobin{}}
+	zero := func(int) int { return 0 }
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		seen[b.PickPrefix(4, zero, zero)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("round-robin fallback hit %d of 4 targets", len(seen))
+	}
+	// The default threshold applies when MinMatchTokens is zero: a match
+	// one block short of it falls back (stays in range), an at-threshold
+	// match is chased (lowest index wins the tie).
+	if idx := b.PickPrefix(2, zero, func(i int) int { return DefaultMinMatchTokens - 16 }); idx < 0 || idx > 1 {
+		t.Errorf("fallback pick %d out of range", idx)
+	}
+	if idx := b.PickPrefix(2, zero, func(i int) int { return DefaultMinMatchTokens }); idx != 0 {
+		t.Errorf("at-threshold match not chased (picked %d)", idx)
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"qoserve/internal/kvcache"
+)
+
+func init() {
+	register("prefix", "Extension — prefix-cache tier sizing sweep (hit rate vs HBM/DRAM split)", runPrefix)
+}
+
+// runPrefix sweeps the prefix cache's tier split over a fixed session-style
+// reference stream: a population of conversations whose turns re-send a
+// growing shared prefix, exactly the chain pattern the loadgen session mode
+// and the gateway's PrefixAffinity balancer produce. One Manager is reused
+// across all grid points — Reset returns it to a fresh state between runs,
+// so per-point hit counters and the peak-utilization high-water mark do not
+// bleed across the grid.
+//
+// The sweep answers the OPERATIONS.md tuning question directly: how much
+// DRAM spill is worth configuring for a given HBM budget. Hits rise with
+// either tier until the working set fits; past that, extra DRAM only adds
+// reload traffic.
+func runPrefix(e *Env) error {
+	const (
+		sessions  = 64
+		turns     = 6
+		blockTok  = kvcache.DefaultBlockTokens
+		firstBlks = 48 // ~768-token opening context
+		growBlks  = 8  // ~128 tokens of growth per turn
+	)
+
+	// Materialize the reference stream once: (session, chain) per turn,
+	// interleaved round-robin across sessions the way concurrent
+	// conversations interleave at a replica. A seeded shuffle of session
+	// order per round keeps the interleaving honest without changing the
+	// stream between grid points.
+	type turn struct {
+		id    uint64
+		chain []uint64
+	}
+	var stream []turn
+	rng := rand.New(rand.NewSource(e.Seed + 31))
+	order := make([]int, sessions)
+	for i := range order {
+		order[i] = i
+	}
+	var nextID uint64
+	for t := 0; t < turns; t++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, s := range order {
+			nextID++
+			blocks := firstBlks + t*growBlks
+			stream = append(stream, turn{
+				id:    nextID,
+				chain: kvcache.SyntheticChain(uint64(s+1), 0, blocks),
+			})
+		}
+	}
+	totalBlocks := 0
+	for _, tn := range stream {
+		totalBlocks += len(tn.chain)
+	}
+
+	hbmSizes := []int{32768, 65536, 131072} // tokens
+	dramSizes := []int{0, 65536, 262144}
+
+	e.printf("%d sessions x %d turns, %d chain blocks total (%d tokens)\n\n",
+		sessions, turns, totalBlocks, totalBlocks*blockTok)
+	e.printf("%-12s%-12s%10s%12s%12s%12s%10s\n",
+		"HBM(tok)", "DRAM(tok)", "Hit(%)", "Reload(tok)", "Demotions", "Evicted", "Peak")
+
+	for _, hbm := range hbmSizes {
+		for _, dram := range dramSizes {
+			m, err := kvcache.NewTiered(kvcache.Config{CapacityTokens: hbm, DRAMTokens: dram})
+			if err != nil {
+				return err
+			}
+			// Two repetitions through one manager: the second must start
+			// cold, with a clean peak-utilization high-water mark, which is
+			// exactly what Reset guarantees. The printed numbers are the
+			// final (post-Reset) repetition's.
+			for rep := 0; rep < 2; rep++ {
+				m.Reset()
+				for _, tn := range stream {
+					id := tn.id + uint64(rep)<<32
+					m.AcquirePrefix(id, tn.chain)
+					m.Release(id)
+				}
+			}
+			possible := uint64(totalBlocks * blockTok)
+			hbmEv, dramEv := m.TierEvictions()
+			e.printf("%-12d%-12d%10.1f%12d%12d%12d%10.2f\n",
+				hbm, dram,
+				100*float64(m.PrefixHitTokens())/float64(possible),
+				m.PrefixReloadTokens(), m.Demotions(), hbmEv+dramEv,
+				m.PeakUtilization())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+// Prefix hash chains: the wire and trace representation of a request's
+// shared prompt prefix.
+//
+// A chain has one 64-bit hash per full prompt block, and hash i commits to
+// the entire prefix up to and including block i (cumulative, like a hash
+// list): equal hash at position i implies the whole prefixes are equal, so
+// the manager can dedup globally by hash with no per-node children. A
+// 64-bit collision would alias two different prefixes onto one cache entry;
+// at the scale simulated here (thousands of distinct blocks) the collision
+// probability is negligible and, as in vLLM's hash-based prefix cache, is
+// accepted rather than verified.
+
+package kvcache
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxChainBlocks caps a parsed chain: DefaultMaxTokens-scale contexts are
+// ~1k blocks, so 4096 leaves headroom while bounding hostile input.
+const MaxChainBlocks = 4096
+
+// mix64 is the splitmix64 finalizer, a cheap full-avalanche 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ExtendChain derives the hash of the next chain position from the running
+// chain hash and the new block's content identity. Callers synthesizing
+// workloads use any stable per-block identifier as block; real token IDs
+// would be hashed the same way.
+func ExtendChain(parent, block uint64) uint64 {
+	return mix64(parent ^ mix64(block))
+}
+
+// SyntheticChain builds a chain for a synthetic prompt: key identifies the
+// shared content (e.g. a session ID), startToken is the token offset of the
+// context window's first token (so sliding-window truncation changes every
+// hash — a shifted window genuinely is different content), and blocks is
+// the number of full prompt blocks. Workload generators use this to give
+// turns of one session a common prefix while keeping distinct sessions
+// disjoint.
+func SyntheticChain(key uint64, startToken, blocks int) []uint64 {
+	if blocks <= 0 {
+		return nil
+	}
+	chain := make([]uint64, blocks)
+	h := mix64(key) ^ mix64(uint64(startToken))
+	for i := range chain {
+		h = ExtendChain(h, mix64(key)+uint64(i))
+		chain[i] = h
+	}
+	return chain
+}
+
+// ChainBlocks is the number of full blocks a chain may cover for a prompt
+// of promptTokens: partial trailing blocks are never shared (their content
+// depends on tokens not yet fixed), and at least one token must remain for
+// prefill so a fully-cached prompt still produces a first token the normal
+// way (matching vLLM, which caps hits at prompt length minus one).
+func ChainBlocks(promptTokens, blockTokens int) int {
+	if blockTokens <= 0 {
+		blockTokens = DefaultBlockTokens
+	}
+	if promptTokens <= 1 {
+		return 0
+	}
+	return (promptTokens - 1) / blockTokens
+}
+
+// FormatChain renders a chain as lower-case hex hashes joined by "-", the
+// wire format of the gateway's prefix_chain field. An empty chain renders
+// as "".
+func FormatChain(chain []uint64) string {
+	if len(chain) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(len(chain) * 17)
+	for i, h := range chain {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		b.WriteString(strconv.FormatUint(h, 16))
+	}
+	return b.String()
+}
+
+// ParseChain parses the wire format produced by FormatChain: "-"-joined
+// hex hashes, up to 16 digits each, at most MaxChainBlocks long. The empty
+// string parses to a nil chain (no prefix).
+func ParseChain(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, "-")
+	if len(parts) > MaxChainBlocks {
+		return nil, fmt.Errorf("kvcache: chain of %d blocks exceeds %d", len(parts), MaxChainBlocks)
+	}
+	chain := make([]uint64, len(parts))
+	for i, p := range parts {
+		if p == "" || len(p) > 16 {
+			return nil, fmt.Errorf("kvcache: chain hash %q at position %d", p, i)
+		}
+		h, err := strconv.ParseUint(p, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("kvcache: chain hash %q at position %d", p, i)
+		}
+		chain[i] = h
+	}
+	return chain, nil
+}

@@ -1,0 +1,46 @@
+package kvcache_test
+
+import (
+	"fmt"
+
+	"qoserve/internal/kvcache"
+)
+
+// Two turns of one conversation share a prompt prefix: the first turn pays
+// full prefill and leaves its blocks cached, the second turn's AcquirePrefix
+// matches them and skips that much prefill.
+func Example() {
+	m, err := kvcache.NewTiered(kvcache.Config{
+		CapacityTokens: 4096,
+		DRAMTokens:     8192,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Turn 1: a 400-token prompt covers 24 full 16-token blocks (the
+	// trailing partial block and the last token are never shared).
+	prompt := 400
+	chain := kvcache.SyntheticChain(42, 0, kvcache.ChainBlocks(prompt, m.BlockTokens()))
+	res := m.AcquirePrefix(1, chain)
+	fmt.Printf("turn 1: hit %d tokens, cached %d\n", res.HitTokens, res.CachedTokens)
+	m.Grow(1, prompt) // private blocks for the uncovered remainder
+	m.Release(1)      // blocks stay cached for the next turn
+
+	// Turn 2: the grown conversation re-sends the same prefix. Everything
+	// turn 1 cached is a hit; only the new tokens prefill.
+	prompt += 200
+	chain = kvcache.SyntheticChain(42, 0, kvcache.ChainBlocks(prompt, m.BlockTokens()))
+	res = m.AcquirePrefix(2, chain)
+	fmt.Printf("turn 2: hit %d tokens, cached %d\n", res.HitTokens, res.CachedTokens)
+
+	// A different conversation shares nothing.
+	other := kvcache.SyntheticChain(7, 0, 4)
+	hit, reload := m.Match(other)
+	fmt.Printf("stranger: hit %d tokens, reload %d\n", hit, reload)
+
+	// Output:
+	// turn 1: hit 0 tokens, cached 384
+	// turn 2: hit 384 tokens, cached 592
+	// stranger: hit 0 tokens, reload 0
+}

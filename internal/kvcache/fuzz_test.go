@@ -1,0 +1,44 @@
+package kvcache
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseChain exercises the gateway's prefix_chain wire parser with
+// hostile input. Accepted chains must be bounded, and formatting an accepted
+// chain must parse back to the identical hashes (the format is canonical
+// even though the parser tolerates leading zeros).
+func FuzzParseChain(f *testing.F) {
+	f.Add("")
+	f.Add("0")
+	f.Add("a-b-c")
+	f.Add("ffffffffffffffff")
+	f.Add(FormatChain(SyntheticChain(7, 0, 8)))
+	f.Add("deadbeef-00ff-1")
+	f.Add("-")
+	f.Add("g")
+	f.Add("0123456789abcdef0")
+	f.Fuzz(func(t *testing.T, s string) {
+		chain, err := ParseChain(s)
+		if err != nil {
+			return
+		}
+		if len(chain) > MaxChainBlocks {
+			t.Fatalf("accepted chain of %d blocks", len(chain))
+		}
+		if s == "" {
+			if chain != nil {
+				t.Fatal("empty input parsed to non-nil chain")
+			}
+			return
+		}
+		round, err := ParseChain(FormatChain(chain))
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		if !reflect.DeepEqual(round, chain) {
+			t.Fatalf("round trip changed chain: %x != %x", round, chain)
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+
+	"qoserve/internal/cluster"
+	"qoserve/internal/model"
+	"qoserve/internal/qos"
+	"qoserve/internal/sched"
+	"qoserve/internal/server"
+	"qoserve/internal/workload"
+)
+
+// sessionSpec is the session-heavy workload behind BENCH_PR6: multi-turn
+// conversations whose prompts are long relative to their outputs, so
+// prefill dominates and a routed-away turn pays the full re-prefill that
+// prefix-affinity routing avoids.
+func sessionSpec() Spec {
+	return Spec{
+		Seed:         11,
+		Mode:         Closed,
+		Requests:     400,
+		Workers:      16,
+		SessionTurns: 8,
+		FollowUp:     workload.TokenDist{P50: 64, P90: 128, Max: 512},
+		Classes: []Class{
+			{Name: "Q1", Weight: 0.5, Priority: qos.High,
+				Prompt: workload.TokenDist{P50: 1024, P90: 2048, Max: 4096},
+				Decode: workload.TokenDist{P50: 12, P90: 32, Max: 64}},
+			{Name: "Q2", Weight: 0.3, Priority: qos.High,
+				Prompt: workload.TokenDist{P50: 1024, P90: 2048, Max: 4096},
+				Decode: workload.TokenDist{P50: 12, P90: 32, Max: 64}},
+			{Name: "Q3", Weight: 0.2, Priority: qos.Low,
+				Prompt: workload.TokenDist{P50: 1024, P90: 2048, Max: 4096},
+				Decode: workload.TokenDist{P50: 12, P90: 32, Max: 64}},
+		},
+	}
+}
+
+// benchSessionBalancer drives the session-heavy workload end to end against
+// a 4-replica gateway under the given balancer and reports throughput,
+// TTFT quantiles, and prefix-cache hit volume. One full workload per
+// iteration; a fresh gateway (and balancer) each time so no cache state
+// leaks between iterations.
+func benchSessionBalancer(b *testing.B, newLB func() cluster.GatewayBalancer) {
+	spec := sessionSpec()
+	var reqs, ttft50, ttft99, hits float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv, err := server.New(server.Config{
+			Model:            model.Llama3_8B_A100_TP1(),
+			SchedulerFactory: func() sched.Scheduler { return sched.NewSarathi(sched.FCFS, 512) },
+			Replicas:         4,
+			Balancer:         newLB(),
+			Classes:          qos.Table3(),
+			Timescale:        1000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := Run(context.Background(), srv, spec)
+		kv := srv.KVStats()
+		srv.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != spec.Requests {
+			b.Fatalf("completed %d of %d", rep.Completed, spec.Requests)
+		}
+		reqs += rep.ReqPerSec
+		ttft50 += rep.TTFTP50MS
+		ttft99 += rep.TTFTP99MS
+		hits += float64(kv.PrefixHitTokens)
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	b.ReportMetric(reqs/n, "req/s")
+	b.ReportMetric(ttft50/n, "ttft_p50_ms")
+	b.ReportMetric(ttft99/n, "ttft_p99_ms")
+	b.ReportMetric(hits/n, "hit_tok")
+}
+
+func BenchmarkSessionBalancerRoundRobin(b *testing.B) {
+	benchSessionBalancer(b, func() cluster.GatewayBalancer { return &cluster.AtomicRoundRobin{} })
+}
+
+func BenchmarkSessionBalancerLeastLoaded(b *testing.B) {
+	benchSessionBalancer(b, func() cluster.GatewayBalancer { return cluster.LeastLoaded{} })
+}
+
+func BenchmarkSessionBalancerPrefix(b *testing.B) {
+	benchSessionBalancer(b, func() cluster.GatewayBalancer { return &cluster.PrefixAffinity{} })
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"qoserve/internal/kvcache"
 	"qoserve/internal/qos"
 	"qoserve/internal/server"
 	"qoserve/internal/workload"
@@ -66,9 +67,27 @@ type Spec struct {
 	// Workers is the closed-loop concurrency (default 8).
 	Workers int
 	// Rate is the open-loop arrival rate in requests per wall second.
+	// In session mode it paces session starts, not individual turns.
 	Rate float64
-	// Classes is the traffic mix; at least one is required.
+	// Classes is the traffic mix; at least one is required. Session mode
+	// picks one class per session.
 	Classes []Class
+
+	// SessionTurns > 0 enables session mode: the Requests are grouped
+	// into multi-turn conversations of that many turns. Each turn's
+	// prompt is the accumulated context (previous prompt + previous
+	// output + FollowUp new user tokens, front-anchored and clipped at
+	// workload.DefaultMaxTokens), and every turn carries the session's
+	// prefix hash chain, so a replica that served the previous turn
+	// answers the next one mostly from its prefix cache. Turns of one
+	// session always run sequentially — turn t+1 submits only after turn
+	// t completed — while distinct sessions follow the arrival
+	// discipline: closed mode keeps Workers sessions in flight, open
+	// mode starts sessions on the Poisson process.
+	SessionTurns int
+	// FollowUp is the new-user-tokens distribution added per follow-up
+	// turn; required in session mode.
+	FollowUp workload.TokenDist
 }
 
 // Target is the submission surface the generator drives; *server.Server
@@ -116,6 +135,8 @@ type genReq struct {
 	decode   int
 	gap      time.Duration // open-loop inter-arrival gap before this request
 	priority qos.Priority
+	chain    []uint64 // session-mode prefix hash chain; nil otherwise
+	session  int      // session index (session mode; 0 otherwise)
 }
 
 // outcome is one completed request's result.
@@ -153,9 +174,16 @@ func generate(spec Spec) ([]genReq, error) {
 	if spec.Mode == Open && spec.Rate <= 0 {
 		return nil, fmt.Errorf("loadgen: open-loop mode needs a positive rate, got %v", spec.Rate)
 	}
+	if spec.SessionTurns < 0 {
+		return nil, fmt.Errorf("loadgen: negative session turns %d", spec.SessionTurns)
+	}
+	if spec.SessionTurns > 0 {
+		if err := spec.FollowUp.Validate(); err != nil {
+			return nil, fmt.Errorf("loadgen: session follow-up: %w", err)
+		}
+	}
 	rng := rand.New(rand.NewSource(spec.Seed))
-	reqs := make([]genReq, spec.Requests)
-	for i := range reqs {
+	pickClass := func() int {
 		pick := rng.Float64() * totalW
 		ci := 0
 		for ; ci < len(spec.Classes)-1; ci++ {
@@ -164,6 +192,47 @@ func generate(spec Spec) ([]genReq, error) {
 				break
 			}
 		}
+		return ci
+	}
+	reqs := make([]genReq, spec.Requests)
+	if spec.SessionTurns > 0 {
+		// Session mode: consecutive reqs entries form one conversation.
+		// The chain key is drawn per session, so all its turns share a
+		// prefix and distinct sessions are disjoint; the per-turn chain
+		// covers the shareable blocks of that turn's accumulated prompt.
+		for i, sess := 0, 0; i < len(reqs); sess++ {
+			ci := pickClass()
+			c := spec.Classes[ci]
+			key := rng.Uint64()
+			prompt := c.Prompt.Sample(rng)
+			var gap time.Duration
+			if spec.Mode == Open {
+				gap = time.Duration(rng.ExpFloat64() / spec.Rate * float64(time.Second))
+			}
+			for t := 0; t < spec.SessionTurns && i < len(reqs); t++ {
+				if prompt > workload.DefaultMaxTokens {
+					prompt = workload.DefaultMaxTokens
+				}
+				decode := c.Decode.Sample(rng)
+				reqs[i] = genReq{
+					class:    ci,
+					prompt:   prompt,
+					decode:   decode,
+					priority: c.Priority,
+					chain:    kvcache.SyntheticChain(key, 0, kvcache.ChainBlocks(prompt, kvcache.DefaultBlockTokens)),
+					session:  sess,
+				}
+				if t == 0 {
+					reqs[i].gap = gap
+				}
+				prompt += decode + spec.FollowUp.Sample(rng)
+				i++
+			}
+		}
+		return reqs, nil
+	}
+	for i := range reqs {
+		ci := pickClass()
 		c := spec.Classes[ci]
 		reqs[i] = genReq{
 			class:    ci,
@@ -178,6 +247,33 @@ func generate(spec Spec) ([]genReq, error) {
 	return reqs, nil
 }
 
+// groupSessions partitions the request indices into units the arrival
+// discipline schedules: one group per session in session mode (turns stay
+// in order inside their group), one singleton per request otherwise.
+func groupSessions(spec Spec, reqs []genReq) [][]int {
+	if spec.SessionTurns <= 0 {
+		groups := make([][]int, len(reqs))
+		for i := range reqs {
+			groups[i] = []int{i}
+		}
+		return groups
+	}
+	var groups [][]int
+	for i := 0; i < len(reqs); {
+		j := i + 1
+		for j < len(reqs) && reqs[j].session == reqs[i].session {
+			j++
+		}
+		idx := make([]int, 0, j-i)
+		for k := i; k < j; k++ {
+			idx = append(idx, k)
+		}
+		groups = append(groups, idx)
+		i = j
+	}
+	return groups
+}
+
 // Run drives the target with the spec's load and blocks until every
 // request has finished (or the context is cancelled, which abandons
 // requests not yet submitted but still drains in-flight streams).
@@ -190,6 +286,7 @@ func Run(ctx context.Context, target Target, spec Spec) (Report, error) {
 		spec.Mode = Closed
 	}
 	outcomes := make([]outcome, len(reqs))
+	groups := groupSessions(spec, reqs)
 	start := time.Now()
 	switch spec.Mode {
 	case Closed:
@@ -202,11 +299,13 @@ func Run(ctx context.Context, target Target, spec Spec) (Report, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				for i := w; i < len(reqs); i += workers {
-					if ctx.Err() != nil {
-						return
+				for g := w; g < len(groups); g += workers {
+					for _, i := range groups[g] {
+						if ctx.Err() != nil {
+							return
+						}
+						outcomes[i] = execute(target, spec, reqs[i])
 					}
-					outcomes[i] = execute(target, spec, reqs[i])
 				}
 			}(w)
 		}
@@ -215,8 +314,8 @@ func Run(ctx context.Context, target Target, spec Spec) (Report, error) {
 		var wg sync.WaitGroup
 		next := start
 	pace:
-		for i := range reqs {
-			next = next.Add(reqs[i].gap)
+		for _, g := range groups {
+			next = next.Add(reqs[g[0]].gap)
 			if d := time.Until(next); d > 0 {
 				select {
 				case <-ctx.Done():
@@ -228,10 +327,15 @@ func Run(ctx context.Context, target Target, spec Spec) (Report, error) {
 				break
 			}
 			wg.Add(1)
-			go func(i int) {
+			go func(g []int) {
 				defer wg.Done()
-				outcomes[i] = execute(target, spec, reqs[i])
-			}(i)
+				for _, i := range g {
+					if ctx.Err() != nil {
+						return
+					}
+					outcomes[i] = execute(target, spec, reqs[i])
+				}
+			}(g)
 		}
 		wg.Wait()
 	default:
@@ -249,6 +353,7 @@ func execute(target Target, spec Spec, g genReq) outcome {
 		Priority:     g.priority,
 		PromptTokens: g.prompt,
 		DecodeTokens: g.decode,
+		PrefixHashes: g.chain,
 	})
 	if err != nil {
 		return outcome{class: g.class}

@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"qoserve/internal/cluster"
+	"qoserve/internal/model"
+	"qoserve/internal/qos"
+	"qoserve/internal/sched"
+	"qoserve/internal/server"
+	"qoserve/internal/workload"
+)
+
+func sessionTestSpec(mode Mode) Spec {
+	spec := testSpec(mode)
+	spec.SessionTurns = 4
+	spec.FollowUp = workload.TokenDist{P50: 32, P90: 64, Max: 256}
+	return spec
+}
+
+func TestGenerateSessionsDeterministic(t *testing.T) {
+	spec := sessionTestSpec(Open)
+	a, err := generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two session generations from the same spec differ")
+	}
+
+	groups := groupSessions(spec, a)
+	for _, g := range groups {
+		if len(g) > spec.SessionTurns {
+			t.Fatalf("session of %d turns exceeds %d", len(g), spec.SessionTurns)
+		}
+		first := a[g[0]]
+		for k, i := range g {
+			r := a[i]
+			if r.class != first.class {
+				t.Fatal("session spans classes")
+			}
+			if k > 0 {
+				prev := a[g[k-1]]
+				if r.gap != 0 {
+					t.Fatal("follow-up turn carries an arrival gap")
+				}
+				if r.prompt <= prev.prompt && prev.prompt < workload.DefaultMaxTokens {
+					t.Fatalf("context did not grow: turn %d prompt %d after %d", k, r.prompt, prev.prompt)
+				}
+				// The previous turn's chain must be a prefix of this one's:
+				// that is what makes the follow-up a cache hit.
+				if len(prev.chain) > len(r.chain) || !reflect.DeepEqual(prev.chain, r.chain[:len(prev.chain)]) {
+					t.Fatalf("turn %d chain does not extend turn %d's", k, k-1)
+				}
+			}
+		}
+	}
+	// Distinct sessions must not share chains.
+	heads := map[uint64]bool{}
+	for _, g := range groups {
+		if c := a[g[0]].chain; len(c) > 0 {
+			if heads[c[0]] {
+				t.Fatal("two sessions share a chain head")
+			}
+			heads[c[0]] = true
+		}
+	}
+}
+
+func TestGenerateSessionRejectsBadSpecs(t *testing.T) {
+	neg := testSpec(Closed)
+	neg.SessionTurns = -1
+	if _, err := generate(neg); err == nil {
+		t.Error("negative session turns accepted")
+	}
+	noFollow := testSpec(Closed)
+	noFollow.SessionTurns = 3
+	noFollow.FollowUp = workload.TokenDist{P50: 64, P90: 32, Max: 256} // p90 < p50
+	if _, err := generate(noFollow); err == nil {
+		t.Error("invalid follow-up distribution accepted")
+	}
+}
+
+// Session-mode replay must stay deterministic with prefix routing in the
+// loop, and the shared prefixes must actually hit the cache.
+func TestSessionReplayIsDeterministic(t *testing.T) {
+	spec := sessionTestSpec(Closed)
+	run := func() (Report, server.KVStats) {
+		srv, err := server.New(server.Config{
+			Model:            model.Llama3_8B_A100_TP1(),
+			SchedulerFactory: func() sched.Scheduler { return sched.NewSarathi(sched.FCFS, 512) },
+			Replicas:         2,
+			Balancer:         &cluster.PrefixAffinity{},
+			Classes:          qos.Table3(),
+			Timescale:        200,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		rep, err := Run(context.Background(), srv, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, srv.KVStats()
+	}
+	a, akv := run()
+	b, _ := run()
+	if a.Completed != spec.Requests || a.Errors != 0 {
+		t.Fatalf("run A: completed %d of %d, %d errors", a.Completed, spec.Requests, a.Errors)
+	}
+	if a.Completed != b.Completed || a.Violated != b.Violated || a.Relegated != b.Relegated {
+		t.Fatalf("replay diverged: A completed=%d violated=%d relegated=%d, B completed=%d violated=%d relegated=%d",
+			a.Completed, a.Violated, a.Relegated, b.Completed, b.Violated, b.Relegated)
+	}
+	if !reflect.DeepEqual(a.PerClass, b.PerClass) {
+		t.Fatalf("per-class tallies diverged: %+v vs %+v", a.PerClass, b.PerClass)
+	}
+	if a.Tokens != b.Tokens {
+		t.Fatalf("token tallies diverged: %d vs %d", a.Tokens, b.Tokens)
+	}
+	if akv.PrefixHitTokens == 0 {
+		t.Fatal("session workload produced no prefix hits")
+	}
+}

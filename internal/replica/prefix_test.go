@@ -1,0 +1,106 @@
+package replica
+
+import (
+	"testing"
+
+	"qoserve/internal/kvcache"
+	"qoserve/internal/metrics"
+	"qoserve/internal/qos"
+	"qoserve/internal/request"
+	"qoserve/internal/sched"
+	"qoserve/internal/sim"
+
+	"qoserve/internal/model"
+)
+
+// Sequential turns of one conversation served by one replica: every turn
+// after the first must be served from the prefix cache, skipping that much
+// prefill.
+func TestPrefixHitsSkipPrefill(t *testing.T) {
+	mc := model.Llama3_8B_A100_TP1()
+	chain := kvcache.SyntheticChain(9, 0, kvcache.ChainBlocks(800, 16))
+	var reqs []*request.Request
+	for i := 0; i < 3; i++ {
+		reqs = append(reqs, &request.Request{
+			ID: uint64(i + 1), App: "Q1", Class: qos.Table3()[0],
+			// Seconds apart, so turn i completes (and unpins) before i+1.
+			Arrival:      sim.Time(i) * 10 * sim.Second,
+			PromptTokens: 800, DecodeTokens: 10,
+			PrefixHashes: chain,
+		})
+	}
+	sum, rep, err := Run(mc, sched.NewSarathi(sched.FCFS, 256), reqs, sim.Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.CompletionRate(metrics.All); got != 1 {
+		t.Fatalf("completion rate = %v", got)
+	}
+	perTurn := uint64(len(chain) * 16)
+	if got := rep.PrefixHitTokens(); got != 2*perTurn {
+		t.Fatalf("prefix hit tokens = %d, want %d (turns 2 and 3 fully cached)", got, 2*perTurn)
+	}
+	// The first hit request started with PrefilledTokens == hit, so its
+	// recorded prefill work shrank accordingly.
+	if reqs[1].PrefixHitTokens != int(perTurn) {
+		t.Fatalf("request hit = %d, want %d", reqs[1].PrefixHitTokens, perTurn)
+	}
+	if rep.KV().Holders() != 0 {
+		t.Errorf("%d KV holders leaked", rep.KV().Holders())
+	}
+}
+
+// A replica with a DRAM spill tier charges reload time when a demoted
+// prefix comes back, and ConfigureKV refuses reconfiguration mid-flight.
+func TestConfigureKVAndReload(t *testing.T) {
+	mc := model.Llama3_8B_A100_TP1()
+	engine := sim.NewEngine()
+	rep, err := New(engine, mc, sched.NewSarathi(sched.FCFS, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny HBM with a DRAM tier big enough to keep demoted blocks.
+	if err := rep.ConfigureKV(kvcache.Config{CapacityTokens: 1504, DRAMTokens: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	chain := kvcache.SyntheticChain(4, 0, kvcache.ChainBlocks(640, 16))
+	mk := func(id uint64, at sim.Time, chain []uint64) *request.Request {
+		return &request.Request{
+			ID: id, App: "Q1", Class: qos.Table3()[0],
+			Arrival: at, PromptTokens: 640, DecodeTokens: 8,
+			PrefixHashes: chain,
+		}
+	}
+	reqs := []*request.Request{
+		mk(1, 0, chain),
+		// A fat private request squeezes the cache, demoting turn 1's blocks.
+		mk(2, 20*sim.Second, nil),
+		// Turn 2 re-sends the prefix: hits must be reloaded from DRAM.
+		mk(3, 40*sim.Second, chain),
+	}
+	reqs[1].PromptTokens = 1200
+	for _, r := range reqs {
+		r := r
+		engine.AtPriority(r.Arrival, -1, sim.EventFunc(func(_ *sim.Engine, _ sim.Time) {
+			rep.Submit(r)
+		}))
+	}
+	engine.Run()
+	for _, r := range reqs {
+		if r.Phase() != request.Done {
+			t.Fatalf("request %d stuck in %v", r.ID, r.Phase())
+		}
+	}
+	if rep.KV().Demotions() == 0 {
+		t.Fatal("no demotions despite cache pressure")
+	}
+	if rep.PrefixHitTokens() == 0 {
+		t.Fatal("reloaded prefix counted no hits")
+	}
+	if rep.ReloadTime() == 0 {
+		t.Fatal("DRAM reload charged no time")
+	}
+	if err := rep.ConfigureKV(kvcache.Config{CapacityTokens: 4096}); err == nil {
+		t.Error("ConfigureKV accepted reconfiguration after serving")
+	}
+}

@@ -28,11 +28,16 @@ type Replica struct {
 	cfg    model.Config
 	sch    sched.Scheduler
 	kv     *kvcache.Manager
+	kvCfg  *kvcache.Config // non-nil once ConfigureKV tiered the cache
 	engine *sim.Engine
 
 	busy bool
 	down bool
 	slow float64 // execution-time multiplier; 0 or 1 means nominal
+
+	// pendingReload is DRAM->HBM transfer time owed by prefix promotions
+	// since the last iteration; charged onto the next batch's exec time.
+	pendingReload sim.Time
 
 	// pending is the in-flight iteration-completion (or KV-retry) event,
 	// cancelled on Fail so a dead replica never finishes work.
@@ -62,6 +67,8 @@ type Replica struct {
 	rejected   uint64
 	crashes    uint64
 	restarts   uint64
+	prefixHit  uint64   // prompt tokens credited from the prefix cache
+	reloadTime sim.Time // total DRAM->HBM transfer time charged
 	served     []*request.Request
 }
 
@@ -81,6 +88,25 @@ func New(engine *sim.Engine, cfg model.Config, sch sched.Scheduler) (*Replica, e
 // Scheduler returns the replica's scheduler.
 func (r *Replica) Scheduler() sched.Scheduler { return r.sch }
 
+// ConfigureKV replaces the replica's KV manager with a tiered prefix cache
+// built from cfg. Zero CapacityTokens keeps the hardware-derived size. The
+// configuration is sticky: Restart rebuilds the cache with the same tiers.
+// It must be called before any request is submitted.
+func (r *Replica) ConfigureKV(cfg kvcache.Config) error {
+	if len(r.served) > 0 {
+		return fmt.Errorf("replica: ConfigureKV after requests were submitted")
+	}
+	if cfg.CapacityTokens == 0 {
+		cfg.CapacityTokens = r.cfg.KVCapacityTokens()
+	}
+	kv, err := kvcache.NewTiered(cfg)
+	if err != nil {
+		return err
+	}
+	r.kv, r.kvCfg = kv, &cfg
+	return nil
+}
+
 // Submit hands a request to the replica at the current virtual time.
 // A request whose final context cannot fit the KV cache at all is
 // unserveable on this replica: it is rejected immediately (counted, and
@@ -97,6 +123,20 @@ func (r *Replica) Submit(req *request.Request) {
 		return
 	}
 	r.active = append(r.active, req)
+	if len(req.PrefixHashes) > 0 && req.PrefilledTokens == req.PrefixHitTokens {
+		// Pin the shared prefix before the scheduler sees the request:
+		// matched blocks skip prefill (the chunk planners just observe
+		// less remaining work), and DRAM-resident matches owe transfer
+		// time, charged onto the next iteration this replica runs.
+		res := r.kv.AcquirePrefix(req.ID, req.PrefixHashes)
+		req.ApplyPrefixHit(res.HitTokens)
+		r.prefixHit += uint64(res.HitTokens)
+		if res.ReloadTokens > 0 {
+			reload := sim.FromSeconds(r.kv.ReloadSeconds(res.ReloadTokens))
+			r.pendingReload += reload
+			r.reloadTime += reload
+		}
+	}
 	r.sch.Add(req, now)
 	if !r.busy {
 		r.startIteration(now)
@@ -126,6 +166,15 @@ func (r *Replica) Utilization() float64 {
 
 // KVDeferrals counts prefill admissions deferred by KV pressure.
 func (r *Replica) KVDeferrals() uint64 { return r.kvDeferred }
+
+// PrefixHitTokens is the total prompt tokens this replica served from its
+// prefix cache instead of prefilling. Unlike the manager's counter it
+// survives Restart (which rebuilds the cache).
+func (r *Replica) PrefixHitTokens() uint64 { return r.prefixHit }
+
+// ReloadTime is the total DRAM->HBM transfer time charged for warm-prefix
+// promotions.
+func (r *Replica) ReloadTime() sim.Time { return r.reloadTime }
 
 // KV exposes the cache manager for inspection.
 func (r *Replica) KV() *kvcache.Manager { return r.kv }
@@ -205,12 +254,17 @@ func (r *Replica) Restart(sch sched.Scheduler) error {
 	if sch == nil {
 		return fmt.Errorf("replica: restart with nil scheduler")
 	}
-	kv, err := kvcache.NewManager(r.cfg.KVCapacityTokens(), kvcache.DefaultBlockTokens)
+	kvCfg := kvcache.Config{CapacityTokens: r.cfg.KVCapacityTokens()}
+	if r.kvCfg != nil {
+		kvCfg = *r.kvCfg
+	}
+	kv, err := kvcache.NewTiered(kvCfg)
 	if err != nil {
 		return err
 	}
 	r.sch, r.kv = sch, kv
 	r.down = false
+	r.pendingReload = 0
 	r.restarts++
 	return nil
 }
@@ -244,6 +298,13 @@ func (r *Replica) startIteration(now sim.Time) {
 	}
 	if r.slow > 1 {
 		execTime = sim.Time(float64(execTime) * r.slow)
+	}
+	if r.pendingReload > 0 {
+		// Warm prefixes promoted from DRAM since the last iteration pay
+		// their transfer here, serializing with compute — the conservative
+		// (non-overlapped) model.
+		execTime += r.pendingReload
+		r.pendingReload = 0
 	}
 	r.done = iterDone{r: r, batch: batch, started: now}
 	r.pending = r.engine.At(now+execTime, &r.done)
@@ -291,7 +352,10 @@ func (r *Replica) admit(b sched.Batch) sched.Batch {
 	kept := b.Prefill[:0]
 	blocked := false
 	for _, p := range b.Prefill {
-		isNew := p.Req.PrefilledTokens == 0
+		// A request is "new" until its first real prefill chunk runs; a
+		// prefix-cache credit alone (PrefilledTokens == PrefixHitTokens)
+		// does not let it jump the blocked-ordering queue.
+		isNew := p.Req.PrefilledTokens == p.Req.PrefixHitTokens
 		if blocked && isNew {
 			r.kvDeferred++
 			continue

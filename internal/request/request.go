@@ -58,12 +58,25 @@ type Request struct {
 	// (per-app mean + 2 sigma in QoServe). Zero means no estimate.
 	EstDecodeTokens int
 
+	// PrefixHashes is the request's prefix hash chain (one cumulative
+	// hash per full prompt block, see kvcache.ExtendChain), or nil when
+	// the prompt shares no prefix. Like the other workload inputs it is
+	// immutable; the serving layer matches it against each replica's
+	// prefix cache.
+	PrefixHashes []uint64
+
 	// Relegated marks a request moved to the relegated queue by QoServe's
 	// eager relegation; it is served opportunistically.
 	Relegated bool
 
 	// Execution state.
 	PrefilledTokens int
+	// PrefixHitTokens is the prompt tokens credited from the serving
+	// replica's prefix cache at admission: PrefilledTokens starts at this
+	// value (see ApplyPrefixHit), so chunk planners simply see less
+	// remaining prefill. Always < PromptTokens — the final prompt token is
+	// never cached, so every request runs at least one prefill iteration.
+	PrefixHitTokens int
 	DecodedTokens   int      // output tokens emitted (first token counts)
 	FirstTokenAt    sim.Time // valid when DecodedTokens >= 1
 	FinishedAt      sim.Time // valid when Phase() == Done
@@ -198,15 +211,38 @@ func (r *Request) emitToken(now sim.Time) {
 	}
 }
 
-// ResetPrefill discards all prefill progress, returning the request to the
-// Queued phase. Replicas use this for recompute-style preemption when the
-// KV cache must be reclaimed. It panics once decoding has started, because
-// decodes are never preempted (Section 3.4, selective preemption).
+// ApplyPrefixHit credits hit prompt tokens as already prefilled, from a
+// prefix-cache match at admission. The credit is capped at PromptTokens-1
+// so the request still performs at least one prefill token (producing the
+// first output token the normal way) and enters the scheduler in a
+// pre-decode phase, as the scheduler contract requires. It must be called
+// before any real prefill progress and is idempotent per admission; a
+// replica re-admitting after retry calls it again with its own match.
+func (r *Request) ApplyPrefixHit(hit int) {
+	if r.PrefilledTokens != r.PrefixHitTokens {
+		panic(fmt.Sprintf("request %d: prefix hit applied after prefill started", r.ID))
+	}
+	if max := r.PromptTokens - 1; hit > max {
+		hit = max
+	}
+	if hit < 0 {
+		hit = 0
+	}
+	r.PrefixHitTokens = hit
+	r.PrefilledTokens = hit
+}
+
+// ResetPrefill discards all prefill progress (the prefix-cache credit
+// included), returning the request to the Queued phase. Replicas use this
+// for recompute-style preemption when the KV cache must be reclaimed. It
+// panics once decoding has started, because decodes are never preempted
+// (Section 3.4, selective preemption).
 func (r *Request) ResetPrefill() {
 	if r.DecodedTokens > 0 {
 		panic(fmt.Sprintf("request %d: ResetPrefill after decoding started", r.ID))
 	}
 	r.PrefilledTokens = 0
+	r.PrefixHitTokens = 0
 }
 
 // ResetForRetry discards all execution progress — prefill, decode, token
@@ -218,6 +254,7 @@ func (r *Request) ResetPrefill() {
 func (r *Request) ResetForRetry() int {
 	lost := r.ContextLen()
 	r.PrefilledTokens = 0
+	r.PrefixHitTokens = 0
 	r.DecodedTokens = 0
 	r.FirstTokenAt = 0
 	r.FinishedAt = 0

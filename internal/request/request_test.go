@@ -117,6 +117,39 @@ func TestResetPrefill(t *testing.T) {
 	r.ResetPrefill()
 }
 
+func TestApplyPrefixHit(t *testing.T) {
+	r := newReq(100, 4, batch())
+	r.ApplyPrefixHit(64)
+	if r.PrefilledTokens != 64 || r.PrefixHitTokens != 64 {
+		t.Fatalf("after hit: prefilled %d hit %d", r.PrefilledTokens, r.PrefixHitTokens)
+	}
+	// At least one token always prefills, even on a full-prompt hit.
+	full := newReq(100, 4, batch())
+	full.ApplyPrefixHit(500)
+	if full.PrefilledTokens != 99 {
+		t.Fatalf("over-full hit prefilled %d, want 99", full.PrefilledTokens)
+	}
+	neg := newReq(100, 4, batch())
+	neg.ApplyPrefixHit(-5)
+	if neg.PrefilledTokens != 0 {
+		t.Fatalf("negative hit prefilled %d", neg.PrefilledTokens)
+	}
+	// The retry path clears the credit with the rest of prefill state.
+	r.ResetForRetry()
+	if r.PrefilledTokens != 0 || r.PrefixHitTokens != 0 {
+		t.Fatalf("after retry: prefilled %d hit %d", r.PrefilledTokens, r.PrefixHitTokens)
+	}
+	// Applying a hit after prefill progressed is a caller bug.
+	r.ApplyPrefixHit(32)
+	r.RecordPrefill(50, 3*sim.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("late ApplyPrefixHit did not panic")
+		}
+	}()
+	r.ApplyPrefixHit(32)
+}
+
 func TestBatchClassCountsNoTBTViolations(t *testing.T) {
 	r := newReq(10, 3, batch())
 	r.RecordPrefill(10, 2*sim.Second)

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"qoserve/internal/kvcache"
 	"qoserve/internal/metrics"
 	"qoserve/internal/qos"
 	"qoserve/internal/sim"
@@ -23,6 +24,10 @@ type GenerateRequest struct {
 	Priority     string `json:"priority,omitempty"` // "high" (default) or "low"
 	PromptTokens int    `json:"prompt_tokens"`
 	DecodeTokens int    `json:"decode_tokens"`
+	// PrefixChain is the prompt's prefix hash chain in wire form:
+	// "-"-joined hex block hashes (kvcache.FormatChain). Empty means the
+	// prompt shares no prefix.
+	PrefixChain string `json:"prefix_chain,omitempty"`
 }
 
 // TokenEvent is one line of the streamed generate response.
@@ -189,6 +194,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.intValue("qoserve_stream_dropped_events_total", "", dropped)
 	p.header("qoserve_gateway_replicas", "Serving loops in this gateway.", "gauge")
 	p.intValue("qoserve_gateway_replicas", "", uint64(len(s.reps)))
+
+	kv := s.KVStats()
+	p.header("qoserve_kvcache_prefix_hit_tokens_total", "Prompt tokens served from cached prefixes instead of prefill.", "counter")
+	p.intValue("qoserve_kvcache_prefix_hit_tokens_total", "", kv.PrefixHitTokens)
+	p.header("qoserve_kvcache_prefix_reload_tokens_total", "Hit tokens promoted from the DRAM spill tier.", "counter")
+	p.intValue("qoserve_kvcache_prefix_reload_tokens_total", "", kv.ReloadTokens)
+	p.header("qoserve_kvcache_tier_evictions_total", "Prefix blocks dropped from each cache tier.", "counter")
+	p.intValue("qoserve_kvcache_tier_evictions_total", `{tier="hbm"}`, kv.HBMEvictions)
+	p.intValue("qoserve_kvcache_tier_evictions_total", `{tier="dram"}`, kv.DRAMEvictions)
+	p.header("qoserve_kvcache_demotions_total", "Prefix blocks demoted HBM to DRAM under pressure.", "counter")
+	p.intValue("qoserve_kvcache_demotions_total", "", kv.Demotions)
+	p.header("qoserve_kvcache_cached_blocks", "Prefix blocks currently resident by tier.", "gauge")
+	p.intValue("qoserve_kvcache_cached_blocks", `{tier="hbm"}`, uint64(kv.CachedHBMBlocks))
+	p.intValue("qoserve_kvcache_cached_blocks", `{tier="dram"}`, uint64(kv.CachedDRAMBlocks))
 
 	if hasReleg {
 		p.header("qoserve_relegations_total", "Requests eagerly relegated.", "counter")
@@ -373,12 +392,18 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "priority", "unknown priority %q (want \"high\" or \"low\")", req.Priority)
 		return
 	}
+	chain, err := kvcache.ParseChain(req.PrefixChain)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "prefix_chain", "%v", err)
+		return
+	}
 	stream, err := s.Submit(Submission{
 		App:          req.App,
 		Class:        req.Class,
 		Priority:     prio,
 		PromptTokens: req.PromptTokens,
 		DecodeTokens: req.DecodeTokens,
+		PrefixHashes: chain,
 	})
 	if err != nil {
 		var serr *SubmissionError

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"qoserve/internal/cluster"
+	"qoserve/internal/kvcache"
 	"qoserve/internal/metrics"
 	"qoserve/internal/model"
 	"qoserve/internal/qos"
@@ -131,9 +132,18 @@ type Config struct {
 	Replicas int
 	// Balancer routes submissions across replicas. Nil uses a lock-free
 	// round robin (cluster.AtomicRoundRobin); cluster.LeastLoaded routes
-	// to the replica with the fewest unfinished requests. The balancer
-	// must be safe for concurrent pickers.
+	// to the replica with the fewest unfinished requests; a
+	// cluster.PrefixRouter (e.g. *cluster.PrefixAffinity) additionally
+	// probes each replica's prefix cache and routes to the longest cached
+	// prefix. The balancer must be safe for concurrent pickers.
 	Balancer cluster.GatewayBalancer
+	// KV configures each serving loop's prefix-aware KV cache (block
+	// size, HBM/DRAM tier sizes, reload rate). Zero CapacityTokens derives
+	// the HBM size from Model. The gateway uses the cache for prefix
+	// sharing only — matched prompt tokens skip prefill and DRAM reloads
+	// delay the admitting iteration — not for admission control, which the
+	// cost model does not need without real GPU memory.
+	KV kvcache.Config
 	// StreamBuffer bounds each stream's event buffer (default 256 events,
 	// additionally capped at the request's DecodeTokens+1). See Stream for
 	// the overflow contract.
@@ -205,6 +215,8 @@ type Server struct {
 	prefillTokens atomic.Uint64
 	decodeTokens  atomic.Uint64
 	droppedEvents atomic.Uint64
+	prefixHits    atomic.Uint64 // prompt tokens served from prefix caches
+	reloadTokens  atomic.Uint64 // hit tokens promoted from the DRAM tier
 
 	servedMu sync.Mutex
 	served   []*request.Request // guarded by servedMu
@@ -241,6 +253,16 @@ type gatewayReplica struct {
 	// load counts unfinished requests routed here; the balancer probes it
 	// without locks.
 	load atomic.Int64
+
+	// kvMu guards the prefix cache. Submitters probe it for routing
+	// affinity; the serving loop pins prefixes at admission and unpins on
+	// completion. Lock order: mu may be taken before kvMu, never after.
+	kvMu sync.Mutex
+	kv   *kvcache.Manager // guarded by kvMu
+
+	// reloadDebt is DRAM->HBM transfer time owed by prefix promotions,
+	// added to the next iteration's sleep. Loop-owned.
+	reloadDebt time.Duration
 
 	// Loop-owned state, touched only by the serving goroutine.
 	drained []admission           // inbox swap buffer
@@ -345,12 +367,21 @@ func New(cfg Config) (*Server, error) {
 		s.classes[c.Name] = c
 	}
 	s.loadOf = func(i int) int { return int(s.reps[i].load.Load()) }
+	kvCfg := cfg.KV
+	if kvCfg.CapacityTokens == 0 {
+		kvCfg.CapacityTokens = cfg.Model.KVCapacityTokens()
+	}
 	for i, sc := range scheds {
+		kv, err := kvcache.NewTiered(kvCfg)
+		if err != nil {
+			return nil, err
+		}
 		rp := &gatewayReplica{
 			srv:       s,
 			idx:       i,
 			scheduler: sc,
 			streams:   make(map[uint64]chan Event, 64),
+			kv:        kv,
 		}
 		rp.wake = sync.NewCond(&rp.inboxMu)
 		s.reps = append(s.reps, rp)
@@ -378,6 +409,10 @@ type Submission struct {
 	Priority     qos.Priority
 	PromptTokens int
 	DecodeTokens int
+	// PrefixHashes is the prompt's prefix hash chain (see
+	// kvcache.ExtendChain); nil when the prompt shares no prefix. Chains
+	// longer than the prompt's shareable blocks are truncated.
+	PrefixHashes []uint64
 }
 
 // Submit enqueues a request and returns its token stream. Validation
@@ -404,6 +439,10 @@ func (s *Server) Submit(sub Submission) (*Stream, error) {
 		return nil, ErrClosed
 	}
 
+	chain := sub.PrefixHashes
+	if max := kvcache.ChainBlocks(sub.PromptTokens, s.reps[0].kvBlockTokens()); len(chain) > max {
+		chain = chain[:max]
+	}
 	req := &request.Request{
 		ID:           s.nextID.Add(1),
 		App:          app,
@@ -412,6 +451,7 @@ func (s *Server) Submit(sub Submission) (*Stream, error) {
 		Arrival:      s.vnow(),
 		PromptTokens: sub.PromptTokens,
 		DecodeTokens: sub.DecodeTokens,
+		PrefixHashes: chain,
 	}
 	buf := sub.DecodeTokens + 1
 	if buf > s.cfg.StreamBuffer {
@@ -419,7 +459,7 @@ func (s *Server) Submit(sub Submission) (*Stream, error) {
 	}
 	events := make(chan Event, buf)
 
-	rp := s.reps[s.pick()]
+	rp := s.reps[s.pick(req)]
 	rp.load.Add(1)
 	s.inFlight.Add(1)
 	rp.inboxMu.Lock()
@@ -439,15 +479,39 @@ func (s *Server) Submit(sub Submission) (*Stream, error) {
 	return &Stream{ID: req.ID, Events: events, req: req, rep: rp}, nil
 }
 
-// pick routes a submission to a replica index.
-func (s *Server) pick() int {
+// pick routes a submission to a replica index. Requests carrying a prefix
+// chain probe each replica's prefix cache when the balancer is
+// prefix-aware.
+func (s *Server) pick(req *request.Request) int {
 	if len(s.reps) == 1 {
 		return 0
 	}
-	if i := s.balancer.PickIndex(len(s.reps), s.loadOf); i >= 0 && i < len(s.reps) {
+	var i int
+	if pr, ok := s.balancer.(cluster.PrefixRouter); ok && len(req.PrefixHashes) > 0 {
+		i = pr.PickPrefix(len(s.reps), s.loadOf, func(j int) int {
+			return s.reps[j].matchTokens(req.PrefixHashes)
+		})
+	} else {
+		i = s.balancer.PickIndex(len(s.reps), s.loadOf)
+	}
+	if i >= 0 && i < len(s.reps) {
 		return i
 	}
 	return 0
+}
+
+// matchTokens probes the replica's prefix cache for routing affinity.
+func (rp *gatewayReplica) matchTokens(chain []uint64) int {
+	rp.kvMu.Lock()
+	defer rp.kvMu.Unlock()
+	return rp.kv.MatchTokens(chain)
+}
+
+// kvBlockTokens reads the cache block size (immutable after New).
+func (rp *gatewayReplica) kvBlockTokens() int {
+	rp.kvMu.Lock()
+	defer rp.kvMu.Unlock()
+	return rp.kv.BlockTokens()
 }
 
 // run is one replica's serving iteration cycle.
@@ -471,7 +535,14 @@ func (rp *gatewayReplica) run() {
 
 		batch.ShapeInto(&rp.shape)
 		exec := rp.srv.cfg.Model.BatchTime(rp.shape)
-		time.Sleep(time.Duration(float64(exec.Duration()) / rp.srv.cfg.Timescale))
+		wall := exec.Duration()
+		if rp.reloadDebt > 0 {
+			// Warm prefixes promoted from DRAM since the last iteration
+			// pay their transfer here, serializing with compute.
+			wall += rp.reloadDebt
+			rp.reloadDebt = 0
+		}
+		time.Sleep(time.Duration(float64(wall) / rp.srv.cfg.Timescale))
 
 		rp.mu.Lock()
 		end := rp.srv.vnow()
@@ -499,6 +570,26 @@ func (rp *gatewayReplica) admit() bool {
 	if len(rp.drained) == 0 {
 		return true
 	}
+	// Pin shared prefixes before the scheduler sees the requests: matched
+	// tokens are credited as already prefilled (the chunk planners just
+	// see less remaining work) and DRAM promotions accrue reload debt for
+	// the next iteration's sleep.
+	rp.kvMu.Lock()
+	for _, ad := range rp.drained {
+		if len(ad.req.PrefixHashes) == 0 {
+			continue
+		}
+		res := rp.kv.AcquirePrefix(ad.req.ID, ad.req.PrefixHashes)
+		ad.req.ApplyPrefixHit(res.HitTokens)
+		if res.HitTokens > 0 {
+			rp.srv.prefixHits.Add(uint64(res.HitTokens))
+		}
+		if res.ReloadTokens > 0 {
+			rp.srv.reloadTokens.Add(uint64(res.ReloadTokens))
+			rp.reloadDebt += time.Duration(rp.kv.ReloadSeconds(res.ReloadTokens) * float64(time.Second))
+		}
+	}
+	rp.kvMu.Unlock()
 	now := rp.srv.vnow()
 	rp.mu.Lock()
 	for _, ad := range rp.drained {
@@ -534,12 +625,31 @@ func (rp *gatewayReplica) completeLocked(b sched.Batch, exec, end sim.Time) {
 		if p.Req.DecodedTokens > before {
 			rp.stageEvent(p.Req, end)
 		}
+		if len(p.Req.PrefixHashes) > 0 && p.Req.Phase() == request.Done {
+			rp.releasePrefix(p.Req)
+		}
 	}
 	for _, d := range b.Decodes {
 		d.RecordDecodeToken(end)
 		rp.stageEvent(d, end)
+		if len(d.PrefixHashes) > 0 && d.Phase() == request.Done {
+			rp.releasePrefix(d)
+		}
 	}
 	rp.scheduler.OnBatchComplete(b, end)
+}
+
+// releasePrefix unpins a finished request's shared prefix blocks, leaving
+// them cached (LRU) for the session's next turn. Takes kvMu under mu,
+// respecting the documented lock order.
+//
+//qoserve:hotpath
+func (rp *gatewayReplica) releasePrefix(r *request.Request) {
+	//lint:ignore hotpathalloc sync.Mutex.Lock never allocates; kvMu is taken here (after mu, per the lock order) because the balancer's Submit-time probe shares it.
+	rp.kvMu.Lock()
+	rp.kv.Release(r.ID)
+	//lint:ignore hotpathalloc see above: mutex ops do not allocate.
+	rp.kvMu.Unlock()
 }
 
 // stageEvent queues the request's newest token for delivery by flush.
@@ -662,6 +772,42 @@ func (s *Server) summary(vnow sim.Time) *metrics.Summary {
 // DroppedEvents is the number of token events discarded on full stream
 // buffers since start.
 func (s *Server) DroppedEvents() uint64 { return s.droppedEvents.Load() }
+
+// KVStats aggregates prefix-cache statistics across the serving loops.
+type KVStats struct {
+	// PrefixHitTokens is prompt tokens served from cached prefixes.
+	PrefixHitTokens uint64
+	// ReloadTokens is the subset of hits promoted from the DRAM tier.
+	ReloadTokens uint64
+	// Demotions counts HBM -> DRAM block moves under pressure.
+	Demotions uint64
+	// HBMEvictions / DRAMEvictions count blocks dropped from each tier.
+	HBMEvictions  uint64
+	DRAMEvictions uint64
+	// CachedHBMBlocks / CachedDRAMBlocks are currently resident blocks.
+	CachedHBMBlocks  int
+	CachedDRAMBlocks int
+}
+
+// KVStats snapshots the prefix caches, probing each replica in turn.
+func (s *Server) KVStats() KVStats {
+	st := KVStats{
+		PrefixHitTokens: s.prefixHits.Load(),
+		ReloadTokens:    s.reloadTokens.Load(),
+	}
+	for _, rp := range s.reps {
+		rp.kvMu.Lock()
+		h, d := rp.kv.CachedBlocks()
+		st.CachedHBMBlocks += h
+		st.CachedDRAMBlocks += d
+		hb, db := rp.kv.TierEvictions()
+		st.HBMEvictions += hb
+		st.DRAMEvictions += db
+		st.Demotions += rp.kv.Demotions()
+		rp.kvMu.Unlock()
+	}
+	return st
+}
 
 // Trace returns the live iteration trace ring, or nil when tracing is
 // disabled (Config.TraceDepth == 0).

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"qoserve/internal/kvcache"
 	"qoserve/internal/metrics"
 	"qoserve/internal/model"
 	"qoserve/internal/qos"
@@ -46,6 +47,13 @@ type Profile struct {
 	// MaxContext truncates the accumulated conversation (sliding window),
 	// as production chat systems do. Zero means workload.DefaultMaxTokens.
 	MaxContext int
+
+	// SharedPrefix attaches a prefix hash chain to every turn, so a
+	// replica with a prefix-aware KV cache serves follow-up turns mostly
+	// from cache. Chain hashes incorporate the sliding-window start
+	// offset: once MaxContext truncates the conversation, the shifted
+	// window hashes differently and honestly misses the cache.
+	SharedPrefix bool
 }
 
 // Validate reports a configuration error, if any.
@@ -129,8 +137,9 @@ func Run(mc model.Config, s sched.Scheduler, spec Spec, horizon sim.Time) (*Resu
 	}
 
 	// submitTurn sends one turn and arms the follow-up when it completes.
-	var submitTurn func(ctxTokens, turnsLeft int, at sim.Time)
-	submitTurn = func(ctxTokens, turnsLeft int, at sim.Time) {
+	// sessionKey seeds the turn's prefix chain when SharedPrefix is on.
+	var submitTurn func(sessionKey uint64, ctxTokens, turnsLeft int, at sim.Time)
+	submitTurn = func(sessionKey uint64, ctxTokens, turnsLeft int, at sim.Time) {
 		nextID++
 		prompt := ctxTokens
 		if prompt > maxCtx {
@@ -144,6 +153,12 @@ func Run(mc model.Config, s sched.Scheduler, spec Spec, horizon sim.Time) (*Resu
 			Arrival:      at,
 			PromptTokens: prompt,
 			DecodeTokens: spec.Profile.Decode.Sample(rng),
+		}
+		if spec.Profile.SharedPrefix {
+			// The window start (tokens truncated off the front) feeds the
+			// hashes, so a slid window does not falsely match the cache.
+			r.PrefixHashes = kvcache.SyntheticChain(sessionKey, ctxTokens-prompt,
+				kvcache.ChainBlocks(prompt, kvcache.DefaultBlockTokens))
 		}
 		all = append(all, r)
 		engine.AtPriority(at, -1, sim.EventFunc(func(_ *sim.Engine, _ sim.Time) {
@@ -165,23 +180,25 @@ func Run(mc model.Config, s sched.Scheduler, spec Spec, horizon sim.Time) (*Resu
 			if next <= now {
 				next = now + sim.Nanosecond
 			}
-			newCtx := r.PromptTokens + r.DecodeTokens + spec.Profile.FollowUp.Sample(rng)
+			newCtx := ctxTokens + r.DecodeTokens + spec.Profile.FollowUp.Sample(rng)
 			e.At(next, sim.EventFunc(func(_ *sim.Engine, t sim.Time) {
-				submitTurn(newCtx, turnsLeft-1, t)
+				submitTurn(sessionKey, newCtx, turnsLeft-1, t)
 			}))
 		}
 		engine.At(at+sim.Millisecond, sim.EventFunc(watch))
 	}
 
-	// Poisson session arrivals.
+	// Poisson session arrivals. The chain key is the session ordinal (not
+	// an extra RNG draw), so enabling SharedPrefix perturbs nothing else.
 	var t sim.Time
 	for i := 0; i < spec.Sessions; i++ {
 		t += sim.FromSeconds(rng.ExpFloat64() / spec.SessionQPS)
 		turns := geometricTurns()
 		first := spec.Profile.FirstPrompt.Sample(rng)
 		at := t
+		key := uint64(i + 1)
 		engine.At(at, sim.EventFunc(func(_ *sim.Engine, now sim.Time) {
-			submitTurn(first, turns, now)
+			submitTurn(key, first, turns, now)
 		}))
 	}
 

@@ -116,6 +116,48 @@ func TestMaxContextTruncation(t *testing.T) {
 	}
 }
 
+// SharedPrefix is opt-in: turning it on must not change the upfront
+// arrival draws (session count, conversation lengths), and on a
+// prefill-heavy profile the cached prefixes must show up as faster TTFT.
+// (Dynamic per-turn draws — follow-up sizes, think times — legitimately
+// differ because completions land at different times and reorder the
+// shared RNG, so context growth is not compared.)
+func TestSharedPrefixOptInSpeedsUpTurns(t *testing.T) {
+	mc := model.Llama3_8B_A100_TP1()
+	run := func(shared bool) *Result {
+		prof := chatProfile()
+		prof.FirstPrompt = workload.TokenDist{P50: 1500, P90: 3000}
+		prof.Decode = workload.TokenDist{P50: 10, P90: 20}
+		prof.SharedPrefix = shared
+		res, err := Run(mc, sched.NewSarathi(sched.FCFS, 256), Spec{
+			Profile:    prof,
+			SessionQPS: 1,
+			Sessions:   20,
+			Seed:       9,
+		}, sim.Forever)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off, on := run(false), run(true)
+	// Session count and conversation lengths are drawn before the engine
+	// runs, so they cannot differ.
+	if off.Turns != on.Turns {
+		t.Fatalf("turn counts diverged: %d vs %d", off.Turns, on.Turns)
+	}
+	if got := on.Summary.CompletionRate(metrics.All); got != 1 {
+		t.Fatalf("completion rate with shared prefixes = %v", got)
+	}
+	// Follow-up turns re-prefill ~1500+ tokens without sharing and almost
+	// none with it; at these prompt sizes the saving dwarfs sample noise.
+	offTTFT := off.Summary.TTFTQuantile(metrics.All, 0.5)
+	onTTFT := on.Summary.TTFTQuantile(metrics.All, 0.5)
+	if onTTFT >= offTTFT {
+		t.Errorf("shared prefixes did not speed up TTFT p50: %v >= %v", onTTFT, offTTFT)
+	}
+}
+
 func TestSpecValidation(t *testing.T) {
 	mc := model.Llama3_8B_A100_TP1()
 	if _, err := Run(mc, sched.NewSarathi(sched.EDF, 256), Spec{

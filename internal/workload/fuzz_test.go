@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"qoserve/internal/qos"
@@ -100,7 +101,7 @@ func FuzzReadTrace(f *testing.F) {
 			t.Fatalf("round trip length %d != %d", len(back), len(parsed))
 		}
 		for i := range back {
-			if *back[i] != *parsed[i] {
+			if !reflect.DeepEqual(back[i], parsed[i]) {
 				t.Fatalf("request %d differs after round trip", i)
 			}
 		}

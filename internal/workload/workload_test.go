@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -191,7 +192,7 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range a {
-		if *a[i] != *b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("request %d differs between identical specs", i)
 		}
 	}
@@ -296,7 +297,7 @@ func TestTraceRoundTrip(t *testing.T) {
 		t.Fatalf("round trip length %d != %d", len(back), len(reqs))
 	}
 	for i := range reqs {
-		if *back[i] != *reqs[i] {
+		if !reflect.DeepEqual(back[i], reqs[i]) {
 			t.Fatalf("request %d differs after round trip:\n got %+v\nwant %+v", i, back[i], reqs[i])
 		}
 	}
