@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race chaos fuzz lint verify bench bench-short bench-all bench-pr5 loadgen-smoke experiments experiments-full examples quick clean
+.PHONY: all build vet test test-short race chaos fuzz lint verify bench bench-short bench-all bench-pr5 bench-pr6 bench-pr7 loadgen-smoke experiments experiments-full examples quick clean
 
 all: build vet test
 
@@ -22,9 +22,11 @@ race:
 	$(GO) test -race ./internal/server ./internal/loadgen ./internal/cluster ./internal/sim
 
 # Fault-injection scenarios under the race detector: scripted and seeded
-# random fault schedules, replayed twice each to assert determinism.
+# random fault schedules replayed twice each to assert determinism
+# (cluster), plus live-gateway prefill-tier crashes asserting the
+# no-silent-drop contract (server).
 chaos:
-	$(GO) test -race -run Chaos ./internal/cluster/
+	$(GO) test -race -run Chaos ./internal/cluster/ ./internal/server/
 
 # Short fuzzing pass over every fuzz target. The committed seed corpora in
 # testdata/fuzz/ always run as part of `go test`; this adds a bounded
@@ -36,6 +38,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadTrace -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run '^$$' -fuzz FuzzParseSchedule -fuzztime $(FUZZTIME) ./internal/fault
 	$(GO) test -run '^$$' -fuzz FuzzParseChain -fuzztime $(FUZZTIME) ./internal/kvcache
+	$(GO) test -run '^$$' -fuzz FuzzLoadSnapshotDecode -fuzztime $(FUZZTIME) ./internal/replica
 
 # Static analysis gate: the repo's own contract analyzers (determinism,
 # hot-path allocation, trace hooks, guarded fields) plus staticcheck and
@@ -128,6 +131,26 @@ bench-pr6:
 		-meta prefix_ttft_p50_ms="$$(awk '/BalancerPrefix/{for(i=2;i<=NF;i++)if($$i=="ttft_p50_ms")print $$(i-1)}' /tmp/bench_prefix.txt)" \
 		/tmp/bench_prefix.txt
 	@echo "wrote $(BENCH6OUT)"
+
+# Predicted-latency benchmark baseline: a long-prefill-heavy workload
+# (prompt p90 4096 / max 16K, short outputs) end to end through a
+# 4-replica gateway. Occupancy balancing counts a 16K prompt and a
+# 128-token prompt as the same unit of load, so PredictedLatency — which
+# scores the forest over each replica's live queue snapshot — should beat
+# LeastLoaded on P90 TTFT in both the colocated and the disaggregated
+# (2 prefill + 2 decode) gateway; the headline P90s land in BENCH_PR7.json
+# as meta.
+BENCH7OUT ?= BENCH_PR7.json
+bench-pr7:
+	$(GO) test -run '^$$' -bench LongPrefill -benchtime 3x ./internal/loadgen/ | tee /tmp/bench_predicted.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH7OUT) \
+		-meta note="300 requests, prompt p50 512 / p90 4096 / max 16384, decode p50 8, 4 replicas (disagg: 2 prefill + 2 decode)" \
+		-meta colocated_least_loaded_ttft_p90_ms="$$(awk '/ColocatedLeastLoaded/{for(i=2;i<=NF;i++)if($$i=="ttft_p90_ms")print $$(i-1)}' /tmp/bench_predicted.txt)" \
+		-meta colocated_predicted_ttft_p90_ms="$$(awk '/ColocatedPredicted/{for(i=2;i<=NF;i++)if($$i=="ttft_p90_ms")print $$(i-1)}' /tmp/bench_predicted.txt)" \
+		-meta disagg_least_loaded_ttft_p90_ms="$$(awk '/DisaggLeastLoaded/{for(i=2;i<=NF;i++)if($$i=="ttft_p90_ms")print $$(i-1)}' /tmp/bench_predicted.txt)" \
+		-meta disagg_predicted_ttft_p90_ms="$$(awk '/DisaggPredicted/{for(i=2;i<=NF;i++)if($$i=="ttft_p90_ms")print $$(i-1)}' /tmp/bench_predicted.txt)" \
+		/tmp/bench_predicted.txt
+	@echo "wrote $(BENCH7OUT)"
 
 # Deterministic loadgen smoke: a few hundred milliseconds of closed-loop
 # load against a 2-replica gateway with a fixed seed. The tool exits

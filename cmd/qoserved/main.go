@@ -6,6 +6,13 @@
 //
 //	qoserved -addr :8080 -policy qoserve -timescale 10
 //
+// With -mode disagg the replicas split into a prefill tier and a decode
+// tier joined by a modeled KV-transfer interconnect; -balancer predicted
+// routes each request to the replica with the lowest forest-predicted
+// completion latency:
+//
+//	qoserved -mode disagg -replicas 4 -prefill-replicas 2 -balancer predicted
+//
 //	curl -s localhost:8080/v1/classes
 //	curl -s -X POST localhost:8080/v1/generate \
 //	     -d '{"class":"Q1","prompt_tokens":1500,"decode_tokens":20}'
@@ -19,6 +26,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"time"
@@ -48,7 +56,11 @@ func main() {
 		traceDepth = flag.Int("trace", 1024, "iterations retained for /debug/trace (0 disables tracing)")
 		window     = flag.Duration("metrics-window", time.Minute, "virtual-time window for rolling per-class /metrics gauges")
 		replicas   = flag.Int("replicas", 1, "independent scheduler replicas (serving loops)")
-		balancer   = flag.String("balancer", "round-robin", "replica routing: round-robin | least-loaded | prefix")
+		mode       = flag.String("mode", "colocated", "colocated | disagg (split replicas into prefill and decode tiers)")
+		prefillN   = flag.Int("prefill-replicas", 0, "disagg prefill-tier size; 0 means (replicas+1)/2")
+		decodeCap  = flag.Int("decode-batch", 0, "disagg decode-tier batch cap; 0 derives it from the strictest TBT SLO")
+		xferGbps   = flag.Float64("transfer-gbps", 0, "disagg prefill->decode KV interconnect (GB/s); 0 means 64 (NVLink-class)")
+		balancer   = flag.String("balancer", "round-robin", "replica routing: round-robin | least-loaded | prefix | predicted")
 		streamBuf  = flag.Int("stream-buffer", 256, "per-stream event buffer (events); slow consumers drop overflow")
 		prefixMin  = flag.Int("prefix-min-match", cluster.DefaultMinMatchTokens, "smallest cached-prefix match (tokens) the prefix balancer chases")
 		kvDRAM     = flag.Int("kv-dram-tokens", 0, "DRAM spill tier per replica (tokens); 0 evicts demoted prefix blocks outright")
@@ -67,17 +79,24 @@ func main() {
 		log.Fatalf("unknown hardware %q", *hardware)
 	}
 
-	trainPredictor := func() predictor.SafePredictor {
+	// Memoized: the qoserve/medha policies and the predicted balancer all
+	// want the same read-only forest, and profiling + training is the
+	// expensive part of startup.
+	var trained *predictor.Forest
+	trainPredictor := func() *predictor.Forest {
+		if trained != nil {
+			return trained
+		}
 		log.Printf("profiling %s and training the latency predictor ...", mc.Name())
 		samples, err := profile.Collect(mc, profile.Config{Seed: 1})
 		if err != nil {
 			log.Fatal(err)
 		}
-		forest, err := predictor.Train(samples, predictor.ForestConfig{Seed: 1})
+		trained, err = predictor.Train(samples, predictor.ForestConfig{Seed: 1})
 		if err != nil {
 			log.Fatal(err)
 		}
-		return forest
+		return trained
 	}
 
 	// Each replica needs its own scheduler (policy state must not be
@@ -112,11 +131,13 @@ func main() {
 		lb = cluster.LeastLoaded{}
 	case "prefix":
 		lb = &cluster.PrefixAffinity{MinMatchTokens: *prefixMin}
+	case "predicted":
+		lb = &cluster.PredictedLatency{Predictor: trainPredictor()}
 	default:
 		log.Fatalf("unknown balancer %q", *balancer)
 	}
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Model:            mc,
 		SchedulerFactory: factory,
 		Replicas:         *replicas,
@@ -127,7 +148,14 @@ func main() {
 		Timescale:        *timescale,
 		TraceDepth:       *traceDepth,
 		MetricsWindow:    *window,
-	})
+		Mode:             *mode,
+	}
+	if *mode == "disagg" {
+		cfg.PrefillReplicas = *prefillN
+		cfg.MaxDecodeBatch = *decodeCap
+		cfg.TransferBandwidth = *xferGbps * 1e9
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -138,7 +166,11 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("serving %s with %s x%d replicas at %gx time on %s", mc.Name(), *policyName, *replicas, *timescale, *addr)
+	tiers := ""
+	if *mode == "disagg" {
+		tiers = fmt.Sprintf(" (disagg: %d prefill + %d decode)", srv.PrefillReplicas(), *replicas-srv.PrefillReplicas())
+	}
+	log.Printf("serving %s with %s x%d replicas%s at %gx time on %s", mc.Name(), *policyName, *replicas, tiers, *timescale, *addr)
 	if err := httpSrv.ListenAndServe(); err != nil {
 		log.Fatal(err)
 	}

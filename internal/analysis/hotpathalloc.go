@@ -53,6 +53,7 @@ var hotpathStdlibAllowed = map[string]bool{
 	"(*sync/atomic.Uint64).Add": true, "(*sync/atomic.Uint64).Load": true,
 	"(*sync/atomic.Uint64).Store": true,
 	"(*sync/atomic.Int64).Add":   true, "(*sync/atomic.Int64).Load": true,
+	"(*sync/atomic.Int64).Store": true,
 	"(*sync/atomic.Bool).Load": true,
 }
 

@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"qoserve/internal/replica"
+)
+
+// The gateway balancer contract, enforced against every implementation:
+//
+//  1. In-range: every pick lands in [0, n) for all n >= 1, whatever the
+//     load/match/score functions report.
+//  2. No panic at n=1: a single target is always index 0.
+//  3. Determinism: two fresh instances fed an identical call sequence
+//     under identical load snapshots produce identical picks.
+//  4. Degenerate inputs: when the routing signal is useless (all matches
+//     zero, no predictor, flat loads) the balancer falls back instead of
+//     misrouting or panicking.
+//  5. Concurrent pickers stay in range (run under -race via `make race`).
+//
+// New GatewayBalancer implementations must be added to contractImpls; the
+// suite exercises every optional capability (PrefixRouter,
+// SnapshotBalancer) the implementation advertises.
+
+// contractImpl is one balancer under contract test. fresh returns a new
+// instance so stateful balancers (the round-robin cursor) start identical.
+type contractImpl struct {
+	name  string
+	fresh func() GatewayBalancer
+}
+
+func contractImpls() []contractImpl {
+	return []contractImpl{
+		{"atomic-round-robin", func() GatewayBalancer { return &AtomicRoundRobin{} }},
+		{"least-loaded", func() GatewayBalancer { return LeastLoaded{} }},
+		{"prefix-affinity", func() GatewayBalancer { return &PrefixAffinity{MinMatchTokens: 32} }},
+		{"prefix-affinity-rr-fallback", func() GatewayBalancer { return &PrefixAffinity{Fallback: &AtomicRoundRobin{}} }},
+		{"predicted-latency", func() GatewayBalancer { return &PredictedLatency{Predictor: scoreStub{}} }},
+		{"predicted-latency-no-predictor", func() GatewayBalancer { return &PredictedLatency{} }},
+	}
+}
+
+// contractSnap derives a deterministic, Validate-consistent snapshot from
+// a seed, covering idle, prefill-heavy, and decode-heavy states.
+func contractSnap(seed int) replica.LoadSnapshot {
+	switch seed % 4 {
+	case 0:
+		return replica.LoadSnapshot{}
+	case 1:
+		return replica.LoadSnapshot{
+			QueuedRequests:       1 + seed%3,
+			PendingPrefillTokens: 512 * (1 + seed%7),
+			ChunkBudgetTokens:    256 << (seed % 3),
+		}
+	case 2:
+		n := 1 + seed%5
+		max := 256 * (1 + seed%4)
+		return replica.LoadSnapshot{
+			ActiveDecodes: n,
+			SumDecodeCtx:  n * max,
+			MaxDecodeCtx:  max,
+		}
+	default:
+		return replica.LoadSnapshot{
+			QueuedRequests:       2,
+			PendingPrefillTokens: 4096,
+			ActiveDecodes:        3,
+			SumDecodeCtx:         2100,
+			MaxDecodeCtx:         900,
+			ChunkBudgetTokens:    512,
+		}
+	}
+}
+
+// pickSequence drives one balancer through `rounds` picks over every
+// capability it implements, asserting range on each, and returns the pick
+// trail for determinism comparison. The load/match/snapshot inputs are a
+// pure function of (n, round, i), so two invocations see identical state.
+func pickSequence(t *testing.T, b GatewayBalancer, n, rounds int) []int {
+	t.Helper()
+	var trail []int
+	record := func(kind string, idx int) {
+		if idx < 0 || idx >= n {
+			t.Fatalf("%s pick %d out of range [0,%d)", kind, idx, n)
+		}
+		trail = append(trail, idx)
+	}
+	for round := 0; round < rounds; round++ {
+		load := func(i int) int { return (i*7 + round*3) % 11 }
+		record("index", b.PickIndex(n, load))
+		if pr, ok := b.(PrefixRouter); ok {
+			match := func(i int) int { return ((i + round) % 4) * 48 }
+			record("prefix", pr.PickPrefix(n, load, match))
+		}
+		if sb, ok := b.(SnapshotBalancer); ok {
+			snap := func(i int) replica.LoadSnapshot { return contractSnap(i + round) }
+			record("predicted", sb.PickPredicted(n, load, snap, 256+(round%8)*512, 1+round%64))
+		}
+	}
+	return trail
+}
+
+func TestBalancerContractInRangeForAllN(t *testing.T) {
+	for _, impl := range contractImpls() {
+		t.Run(impl.name, func(t *testing.T) {
+			for n := 1; n <= 8; n++ {
+				pickSequence(t, impl.fresh(), n, 50)
+			}
+		})
+	}
+}
+
+func TestBalancerContractSingleTargetIsAlwaysZero(t *testing.T) {
+	// Adversarial probes: huge loads, zero matches, empty snapshots. With
+	// one target every pick must be 0 and nothing may panic.
+	hugeLoad := func(int) int { return 1 << 30 }
+	for _, impl := range contractImpls() {
+		t.Run(impl.name, func(t *testing.T) {
+			b := impl.fresh()
+			for round := 0; round < 10; round++ {
+				if idx := b.PickIndex(1, hugeLoad); idx != 0 {
+					t.Fatalf("PickIndex(1) = %d, want 0", idx)
+				}
+				if pr, ok := b.(PrefixRouter); ok {
+					if idx := pr.PickPrefix(1, hugeLoad, func(int) int { return 0 }); idx != 0 {
+						t.Fatalf("PickPrefix(1) = %d, want 0", idx)
+					}
+				}
+				if sb, ok := b.(SnapshotBalancer); ok {
+					snap := func(int) replica.LoadSnapshot { return replica.LoadSnapshot{} }
+					if idx := sb.PickPredicted(1, hugeLoad, snap, 1, 1); idx != 0 {
+						t.Fatalf("PickPredicted(1) = %d, want 0", idx)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBalancerContractDeterministicUnderIdenticalSnapshots(t *testing.T) {
+	for _, impl := range contractImpls() {
+		t.Run(impl.name, func(t *testing.T) {
+			for n := 1; n <= 5; n++ {
+				a := pickSequence(t, impl.fresh(), n, 40)
+				b := pickSequence(t, impl.fresh(), n, 40)
+				if fmt.Sprint(a) != fmt.Sprint(b) {
+					t.Fatalf("n=%d: identical call sequences diverged:\n  %v\n  %v", n, a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestBalancerContractDegenerateSignalsFallBack(t *testing.T) {
+	loads := []int{6, 1, 3, 2}
+	load := func(i int) int { return loads[i] }
+
+	// A prefix router whose every match is below threshold must route like
+	// its fallback, not chase a useless affinity.
+	pa := &PrefixAffinity{MinMatchTokens: 64}
+	if idx := pa.PickPrefix(4, load, func(int) int { return 63 }); idx != 1 {
+		t.Fatalf("below-threshold matches picked %d, want 1 (least loaded)", idx)
+	}
+	// Matches of zero (nothing cached anywhere) likewise.
+	if idx := pa.PickPrefix(4, load, func(int) int { return 0 }); idx != 1 {
+		t.Fatalf("zero matches picked %d, want 1 (least loaded)", idx)
+	}
+
+	// A predicted balancer with no predictor must route like its fallback.
+	pl := &PredictedLatency{}
+	snap := func(int) replica.LoadSnapshot { return replica.LoadSnapshot{} }
+	if idx := pl.PickPredicted(4, load, snap, 1024, 8); idx != 1 {
+		t.Fatalf("predictorless pick %d, want 1 (least loaded)", idx)
+	}
+	// A constant predictor (every replica scores identically) degrades to
+	// load, then index — never out of range, never stuck.
+	flat := &PredictedLatency{Predictor: scoreStub{}}
+	if idx := flat.PickPredicted(4, load, snap, 1024, 8); idx != 1 {
+		t.Fatalf("flat-score pick %d, want 1 (load tie-break)", idx)
+	}
+
+	// Flat loads: every balancer must still return something in range.
+	for _, impl := range contractImpls() {
+		b := impl.fresh()
+		if idx := b.PickIndex(4, func(int) int { return 5 }); idx < 0 || idx >= 4 {
+			t.Fatalf("%s: flat-load pick %d out of range", impl.name, idx)
+		}
+	}
+}
+
+func TestBalancerContractConcurrentPickersStayInRange(t *testing.T) {
+	const (
+		pickers = 8
+		rounds  = 300
+		n       = 4
+	)
+	for _, impl := range contractImpls() {
+		t.Run(impl.name, func(t *testing.T) {
+			b := impl.fresh()
+			var wg sync.WaitGroup
+			for p := 0; p < pickers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					load := func(i int) int { return (i + p) % 5 }
+					snap := func(i int) replica.LoadSnapshot { return contractSnap(i + p) }
+					for r := 0; r < rounds; r++ {
+						if idx := b.PickIndex(n, load); idx < 0 || idx >= n {
+							t.Errorf("PickIndex %d out of range", idx)
+							return
+						}
+						if pr, ok := b.(PrefixRouter); ok {
+							if idx := pr.PickPrefix(n, load, func(i int) int { return i * 64 }); idx < 0 || idx >= n {
+								t.Errorf("PickPrefix %d out of range", idx)
+								return
+							}
+						}
+						if sb, ok := b.(SnapshotBalancer); ok {
+							if idx := sb.PickPredicted(n, load, snap, 512, 16); idx < 0 || idx >= n {
+								t.Errorf("PickPredicted %d out of range", idx)
+								return
+							}
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -123,6 +123,7 @@ type Report struct {
 	TokensPerSec float64 `json:"tokens_per_sec"`
 	// Latency quantiles are in virtual milliseconds.
 	TTFTP50MS float64 `json:"ttft_p50_ms"`
+	TTFTP90MS float64 `json:"ttft_p90_ms"`
 	TTFTP99MS float64 `json:"ttft_p99_ms"`
 	TBTP50MS  float64 `json:"tbt_p50_ms"`
 	TBTP99MS  float64 `json:"tbt_p99_ms"`
@@ -408,6 +409,7 @@ func report(spec Spec, outcomes []outcome, wall time.Duration) Report {
 		rep.TokensPerSec = float64(rep.Tokens) / rep.WallSeconds
 	}
 	rep.TTFTP50MS = quantile(ttfts, 0.5)
+	rep.TTFTP90MS = quantile(ttfts, 0.9)
 	rep.TTFTP99MS = quantile(ttfts, 0.99)
 	rep.TBTP50MS = quantile(tbts, 0.5)
 	rep.TBTP99MS = quantile(tbts, 0.99)

@@ -1,0 +1,84 @@
+package predictor
+
+import (
+	"qoserve/internal/profile"
+	"qoserve/internal/sim"
+)
+
+// Completion estimation for predicted-latency load balancing: given one
+// replica's queue state (a replica.LoadSnapshot, passed field-wise to keep
+// this package free of a replica dependency) and a candidate request's
+// shape, estimate how long the replica would take to finish the request.
+// The balancer scores every replica with this and routes to the minimum —
+// llm-d's "predicted latency" placement, built on the same forest the
+// dynamic chunker already trains.
+
+// DefaultScoreChunk is the prefill chunk assumed for a replica that has
+// not planned a prefill batch yet (no observed chunk budget).
+const DefaultScoreChunk = 512
+
+// EstimateCompletion predicts the completion latency of a request with
+// promptTokens/decodeTokens on a replica whose queue currently holds
+// pendingPrefillTokens of unprefilled prompt backlog, activeDecodes
+// in-flight decodes summarized by sumDecodeCtx/maxDecodeCtx, and feeds
+// prefill through chunks of chunkTokens (<= 0 means DefaultScoreChunk).
+//
+// The model is deliberately coarse — the score only needs to rank
+// replicas, not forecast wall time:
+//
+//   - Prefill: the arriving prompt queues behind the existing backlog, so
+//     pending = backlog + prompt tokens must flow through the replica's
+//     chunk budget. Each chunk-sized iteration is priced by the forest
+//     with the decode side held at its snapshot value and the prefill
+//     context at the midpoint of the pending range (the representative
+//     iteration of the drain), using the margin-inflated estimate the
+//     scheduler itself plans with.
+//   - Decode: the remaining decodeTokens-1 tokens are priced as decode-
+//     only iterations with the request joined to the snapshot's decode
+//     batch at its full prompt context (raw estimate, no margin — decode
+//     pacing has no budget inversion to stay conservative for).
+//
+// Allocation-free: scoring runs on the gateway's submit path once per
+// replica per request.
+//
+//qoserve:hotpath
+func EstimateCompletion(p FeaturePredictor, pendingPrefillTokens, activeDecodes, sumDecodeCtx, maxDecodeCtx, chunkTokens, promptTokens, decodeTokens int) sim.Time {
+	if promptTokens < 1 {
+		promptTokens = 1
+	}
+	if decodeTokens < 1 {
+		decodeTokens = 1
+	}
+	if pendingPrefillTokens < 0 {
+		pendingPrefillTokens = 0
+	}
+	pending := pendingPrefillTokens + promptTokens
+	chunk := chunkTokens
+	if chunk <= 0 {
+		chunk = DefaultScoreChunk
+	}
+	if chunk > pending {
+		chunk = pending
+	}
+	iters := (pending + chunk - 1) / chunk
+
+	var x [profile.FeatureCount]float64
+	x[profile.FeatChunkTokens] = float64(chunk)
+	x[profile.FeatPrefillCtx] = float64(pending / 2)
+	x[profile.FeatNumDecodes] = float64(activeDecodes)
+	x[profile.FeatSumDecodeCtx] = float64(sumDecodeCtx)
+	x[profile.FeatMaxDecodeCtx] = float64(maxDecodeCtx)
+	est := p.PredictSafeFeats(x) * sim.Time(iters)
+
+	if decodeTokens > 1 {
+		x[profile.FeatChunkTokens] = 0
+		x[profile.FeatPrefillCtx] = 0
+		x[profile.FeatNumDecodes] = float64(activeDecodes + 1)
+		x[profile.FeatSumDecodeCtx] = float64(sumDecodeCtx + promptTokens)
+		if promptTokens > maxDecodeCtx {
+			x[profile.FeatMaxDecodeCtx] = float64(promptTokens)
+		}
+		est += p.PredictFeats(x) * sim.Time(decodeTokens-1)
+	}
+	return est
+}

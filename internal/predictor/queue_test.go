@@ -1,0 +1,97 @@
+package predictor
+
+import (
+	"testing"
+
+	"qoserve/internal/profile"
+	"qoserve/internal/sim"
+)
+
+// linearFeats is a transparent FeaturePredictor for scoring tests: latency
+// is a fixed linear function of the feature vector, so expected estimates
+// can be computed by hand.
+type linearFeats struct{}
+
+func (linearFeats) PredictFeats(x [profile.FeatureCount]float64) sim.Time {
+	us := 100 + x[profile.FeatChunkTokens] + 0.1*x[profile.FeatPrefillCtx] +
+		10*x[profile.FeatNumDecodes] + 0.01*x[profile.FeatSumDecodeCtx] + 0.05*x[profile.FeatMaxDecodeCtx]
+	return sim.Time(us) * sim.Microsecond
+}
+
+func (l linearFeats) PredictSafeFeats(x [profile.FeatureCount]float64) sim.Time {
+	return l.PredictFeats(x)
+}
+
+func TestEstimateCompletionOrdersByBacklog(t *testing.T) {
+	p := linearFeats{}
+	est := func(pendingPrefill, decodes, sumCtx, maxCtx int) sim.Time {
+		return EstimateCompletion(p, pendingPrefill, decodes, sumCtx, maxCtx, 512, 1024, 16)
+	}
+	idle := est(0, 0, 0, 0)
+	backlogged := est(16384, 0, 0, 0)
+	decoding := est(0, 8, 8192, 2048)
+	if idle <= 0 {
+		t.Fatalf("idle estimate %v, want positive", idle)
+	}
+	if backlogged <= idle {
+		t.Fatalf("prefill backlog did not raise the estimate: idle %v, backlogged %v", idle, backlogged)
+	}
+	if decoding <= idle {
+		t.Fatalf("decode load did not raise the estimate: idle %v, decoding %v", idle, decoding)
+	}
+}
+
+func TestEstimateCompletionChunkingMath(t *testing.T) {
+	p := linearFeats{}
+	// 1024 backlog + 1024 prompt through 512-token chunks = 4 prefill
+	// iterations at the midpoint context, then 3 decode iterations.
+	pending := 2048.0
+	var pf [profile.FeatureCount]float64
+	pf[profile.FeatChunkTokens] = 512
+	pf[profile.FeatPrefillCtx] = pending / 2
+	pf[profile.FeatNumDecodes] = 2
+	pf[profile.FeatSumDecodeCtx] = 600
+	pf[profile.FeatMaxDecodeCtx] = 400
+	var df [profile.FeatureCount]float64
+	df[profile.FeatNumDecodes] = 3
+	df[profile.FeatSumDecodeCtx] = 600 + 1024
+	df[profile.FeatMaxDecodeCtx] = 1024
+	want := p.PredictSafeFeats(pf)*4 + p.PredictFeats(df)*3
+
+	got := EstimateCompletion(p, 1024, 2, 600, 400, 512, 1024, 4)
+	if got != want {
+		t.Fatalf("estimate %v, want %v", got, want)
+	}
+}
+
+func TestEstimateCompletionDegenerateInputs(t *testing.T) {
+	p := linearFeats{}
+	// Zero/negative chunk falls back to the default; tiny prompts clamp to
+	// one token; a single-token decode prices no decode iterations.
+	if est := EstimateCompletion(p, 0, 0, 0, 0, 0, 0, 0); est <= 0 {
+		t.Fatalf("degenerate estimate %v, want positive", est)
+	}
+	one := EstimateCompletion(p, 0, 0, 0, 0, 0, 64, 1)
+	two := EstimateCompletion(p, 0, 0, 0, 0, 0, 64, 2)
+	if two <= one {
+		t.Fatalf("second decode token added no cost: %v vs %v", one, two)
+	}
+	// A chunk larger than the pending work is clamped: a 64-token prompt
+	// through an 8192 budget is one iteration pricing 64 chunk tokens.
+	var x [profile.FeatureCount]float64
+	x[profile.FeatChunkTokens] = 64
+	x[profile.FeatPrefillCtx] = 32
+	if got, want := EstimateCompletion(p, 0, 0, 0, 0, 8192, 64, 1), p.PredictSafeFeats(x); got != want {
+		t.Fatalf("clamped chunk estimate %v, want %v", got, want)
+	}
+}
+
+func TestEstimateCompletionAllocFree(t *testing.T) {
+	var p FeaturePredictor = linearFeats{}
+	allocs := testing.AllocsPerRun(200, func() {
+		EstimateCompletion(p, 4096, 4, 2000, 800, 256, 1024, 32)
+	})
+	if allocs != 0 {
+		t.Fatalf("EstimateCompletion allocates %v times per call, want 0", allocs)
+	}
+}

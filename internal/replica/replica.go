@@ -52,6 +52,10 @@ type Replica struct {
 	active     []*request.Request
 	activeDone int
 
+	// lastChunk is the prefill-token budget of the most recent batch that
+	// carried any prefill — the chunk granularity LoadSnapshot reports.
+	lastChunk int
+
 	// Iteration-scoped scratch: at most one iteration is in flight per
 	// replica, so the completion/retry events and the shape buffer are
 	// reused instead of allocated per iteration.
@@ -219,6 +223,7 @@ func (r *Replica) Fail() []*request.Request {
 	r.down = true
 	r.crashes++
 	r.busy = false
+	r.lastChunk = 0
 	if r.pending.Valid() {
 		r.engine.Cancel(r.pending)
 		r.pending = sim.Handle{}
@@ -377,6 +382,9 @@ func (r *Replica) completeIteration(b sched.Batch, started, now sim.Time) {
 	r.iterations++
 	r.tokens += uint64(b.NewTokens())
 	r.busyTime += now - started
+	if pt := b.PrefillTokens(); pt > 0 {
+		r.lastChunk = pt
+	}
 
 	for _, p := range b.Prefill {
 		p.Req.RecordPrefill(p.Tokens, now)

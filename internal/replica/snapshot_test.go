@@ -1,0 +1,141 @@
+package replica
+
+import (
+	"strings"
+	"testing"
+
+	"qoserve/internal/model"
+	"qoserve/internal/qos"
+	"qoserve/internal/request"
+	"qoserve/internal/sched"
+	"qoserve/internal/sim"
+)
+
+func TestLoadSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	snaps := []LoadSnapshot{
+		{},
+		{QueuedRequests: 1, PendingPrefillTokens: 1},
+		{QueuedRequests: 3, PendingPrefillTokens: 9000, ChunkBudgetTokens: 512},
+		{ActiveDecodes: 1, SumDecodeCtx: 128, MaxDecodeCtx: 128},
+		{QueuedRequests: 2, PendingPrefillTokens: 4096,
+			ActiveDecodes: 7, SumDecodeCtx: 3500, MaxDecodeCtx: 900,
+			ChunkBudgetTokens: 256},
+	}
+	for _, s := range snaps {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		wire := s.Encode()
+		got, err := DecodeLoadSnapshot(wire)
+		if err != nil {
+			t.Fatalf("decode %q: %v", wire, err)
+		}
+		if got != s {
+			t.Fatalf("round trip %q: got %+v, want %+v", wire, got, s)
+		}
+	}
+}
+
+func TestLoadSnapshotDecodeRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",                         // no version
+		"v1",                       // no body
+		"v2:0,0,0,0,0,0",           // unknown version
+		"v1:0,0,0,0,0",             // too few fields
+		"v1:0,0,0,0,0,0,0",        // too many fields
+		"v1:-1,0,0,0,0,0",         // negative
+		"v1:+1,1,0,0,0,0",         // non-canonical sign
+		"v1:01,1,0,0,0,0",         // leading zero
+		"v1: 1,1,0,0,0,0",         // whitespace
+		"v1:a,0,0,0,0,0",          // not a number
+		"v1:0,5,0,0,0,0",          // prefill tokens without queued requests
+		"v1:5,3,0,0,0,0",          // fewer pending tokens than queued requests
+		"v1:0,0,0,7,0,0",          // decode ctx without decodes
+		"v1:0,0,2,0,0,0",          // decodes with zero max ctx
+		"v1:0,0,2,5,9,0",          // sum below max
+		"v1:0,0,2,100,10,0",       // sum above decodes*max
+		"v1:0,0,0,0,0,1099511627777", // beyond maxSnapshotValue
+		"v1:0,0,0,0,0,99999999999999999999", // int64 overflow
+	}
+	for _, wire := range bad {
+		if _, err := DecodeLoadSnapshot(wire); err == nil {
+			t.Errorf("decode %q: expected error", wire)
+		}
+	}
+}
+
+func TestReplicaSnapshotTracksQueueState(t *testing.T) {
+	engine := sim.NewEngine()
+	rep, err := New(engine, model.Llama3_8B_A100_TP1(), sched.NewSarathi(sched.FCFS, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.Snapshot(); s != (LoadSnapshot{}) {
+		t.Fatalf("idle snapshot %+v, want zero", s)
+	}
+
+	long := &request.Request{ID: 1, App: "Q3", Class: qos.Table3()[2], PromptTokens: 2048, DecodeTokens: 64}
+	short := &request.Request{ID: 2, App: "Q3", Class: qos.Table3()[2], PromptTokens: 100, DecodeTokens: 8}
+	rep.Submit(long)
+	rep.Submit(short)
+
+	s := rep.Snapshot()
+	if s.QueuedRequests != 2 || s.PendingPrefillTokens != 2148 {
+		t.Fatalf("pre-run snapshot %+v, want 2 queued / 2148 pending", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run to completion: the backlog drains, decode state rises and falls,
+	// and every intermediate snapshot stays internally consistent.
+	for engine.Step() {
+		if err := rep.Snapshot().Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s = rep.Snapshot()
+	if s.QueuedRequests != 0 || s.PendingPrefillTokens != 0 || s.ActiveDecodes != 0 {
+		t.Fatalf("drained snapshot %+v, want no queued or active work", s)
+	}
+	// The last prefill-carrying batch may be a partial tail chunk, so the
+	// recorded budget is bounded by the sarathi chunk, not equal to it.
+	if s.ChunkBudgetTokens <= 0 || s.ChunkBudgetTokens > 256 {
+		t.Fatalf("chunk budget %d, want in (0,256]", s.ChunkBudgetTokens)
+	}
+}
+
+func FuzzLoadSnapshotDecode(f *testing.F) {
+	f.Add("v1:0,0,0,0,0,0")
+	f.Add("v1:2,4096,7,3500,900,256")
+	f.Add("v1:1,1,1,1,1,8192")
+	f.Add("v2:0,0,0,0,0,0")
+	f.Add("v1:-3,,+9,01,999999999999999999999,5")
+	f.Add("v1:0,0,2,100,10,0")
+	f.Fuzz(func(t *testing.T, wire string) {
+		s, err := DecodeLoadSnapshot(wire)
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must satisfy the invariants and
+		// round-trip canonically: decode(encode(decode(w))) == decode(w)
+		// and encode(decode(w)) == w (canonical spellings only).
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("decoded %q to invalid snapshot %+v: %v", wire, s, verr)
+		}
+		re := s.Encode()
+		if re != wire {
+			t.Fatalf("decode %q re-encodes as %q; accepted a non-canonical form", wire, re)
+		}
+		again, err := DecodeLoadSnapshot(re)
+		if err != nil {
+			t.Fatalf("re-decode %q: %v", re, err)
+		}
+		if again != s {
+			t.Fatalf("round trip diverged: %+v vs %+v", s, again)
+		}
+		if strings.Count(wire, ",") != 5 {
+			t.Fatalf("accepted %q with %d commas", wire, strings.Count(wire, ","))
+		}
+	})
+}

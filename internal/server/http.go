@@ -104,6 +104,32 @@ type TraceResponse struct {
 	Iterations []TracedIteration `json:"iterations"`
 }
 
+// ReplicaLoad is one replica's live queue state in the GET /debug/load
+// body.
+type ReplicaLoad struct {
+	Replica int `json:"replica"`
+	// Role is "colocated", "prefill", or "decode".
+	Role string `json:"role"`
+	Up   bool   `json:"up"`
+	// Load is the number of unfinished requests routed to this replica.
+	Load int `json:"load"`
+	// Snapshot is the wire-encoded replica.LoadSnapshot (the same string
+	// a remote gateway would ship; see replica.DecodeLoadSnapshot).
+	Snapshot             string `json:"snapshot"`
+	QueuedRequests       int    `json:"queued_requests"`
+	PendingPrefillTokens int    `json:"pending_prefill_tokens"`
+	ActiveDecodes        int    `json:"active_decodes"`
+	SumDecodeCtx         int    `json:"sum_decode_ctx"`
+	MaxDecodeCtx         int    `json:"max_decode_ctx"`
+	ChunkBudgetTokens    int    `json:"chunk_budget_tokens"`
+}
+
+// LoadResponse is the GET /debug/load body.
+type LoadResponse struct {
+	Mode     string        `json:"mode"`
+	Replicas []ReplicaLoad `json:"replicas"`
+}
+
 // QueuesResponse is the GET /debug/queues body.
 type QueuesResponse struct {
 	Policy         string  `json:"policy"`
@@ -148,7 +174,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
 	mux.HandleFunc("GET /debug/queues", s.handleDebugQueues)
+	mux.HandleFunc("GET /debug/load", s.handleDebugLoad)
 	return mux
+}
+
+// handleDebugLoad serves every replica's live load snapshot — the same
+// queue state snapshot-aware balancers score — plus its tier role and
+// liveness.
+func (s *Server) handleDebugLoad(w http.ResponseWriter, _ *http.Request) {
+	mode := "colocated"
+	if s.prefillReps > 0 {
+		mode = "disagg"
+	}
+	resp := LoadResponse{Mode: mode, Replicas: make([]ReplicaLoad, 0, len(s.reps))}
+	for i, rp := range s.reps {
+		snap := rp.loadSnapshot()
+		resp.Replicas = append(resp.Replicas, ReplicaLoad{
+			Replica:              i,
+			Role:                 s.roleOf(i),
+			Up:                   !rp.down.Load(),
+			Load:                 int(rp.load.Load()),
+			Snapshot:             snap.Encode(),
+			QueuedRequests:       snap.QueuedRequests,
+			PendingPrefillTokens: snap.PendingPrefillTokens,
+			ActiveDecodes:        snap.ActiveDecodes,
+			SumDecodeCtx:         snap.SumDecodeCtx,
+			MaxDecodeCtx:         snap.MaxDecodeCtx,
+			ChunkBudgetTokens:    snap.ChunkBudgetTokens,
+		})
+	}
+	writeJSON(w, resp)
 }
 
 // handleMetrics exposes the instrumentation in Prometheus text format so
@@ -194,6 +249,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.intValue("qoserve_stream_dropped_events_total", "", dropped)
 	p.header("qoserve_gateway_replicas", "Serving loops in this gateway.", "gauge")
 	p.intValue("qoserve_gateway_replicas", "", uint64(len(s.reps)))
+
+	if s.prefillReps > 0 {
+		up := 0
+		for i := 0; i < s.prefillReps; i++ {
+			if !s.reps[i].down.Load() {
+				up++
+			}
+		}
+		p.header("qoserve_disagg_tier_replicas", "Serving loops per disaggregation tier.", "gauge")
+		p.intValue("qoserve_disagg_tier_replicas", `{tier="prefill"}`, uint64(s.prefillReps))
+		p.intValue("qoserve_disagg_tier_replicas", `{tier="decode"}`, uint64(len(s.reps)-s.prefillReps))
+		p.header("qoserve_disagg_prefill_replicas_up", "Healthy prefill-tier replicas.", "gauge")
+		p.intValue("qoserve_disagg_prefill_replicas_up", "", uint64(up))
+		p.header("qoserve_disagg_handoffs_total", "Prefill-to-decode KV handoffs launched.", "counter")
+		p.intValue("qoserve_disagg_handoffs_total", "", s.handoffs.Load())
+		p.header("qoserve_disagg_transfer_tokens_total", "Prompt tokens whose KV pages crossed the tier interconnect.", "counter")
+		p.intValue("qoserve_disagg_transfer_tokens_total", "", s.transferTokens.Load())
+		p.header("qoserve_gateway_retries_total", "Re-prefills after prefill-tier crashes.", "counter")
+		p.intValue("qoserve_gateway_retries_total", "", s.retries.Load())
+		p.header("qoserve_gateway_lost_tokens_total", "Tokens of progress discarded by prefill-tier crashes.", "counter")
+		p.intValue("qoserve_gateway_lost_tokens_total", "", s.lostTokens.Load())
+		p.header("qoserve_gateway_failed_requests_total", "Requests permanently failed with a reason.", "counter")
+		p.intValue("qoserve_gateway_failed_requests_total", "", uint64(s.failedReqs.Load()))
+	}
 
 	kv := s.KVStats()
 	p.header("qoserve_kvcache_prefix_hit_tokens_total", "Prompt tokens served from cached prefixes instead of prefill.", "counter")
@@ -412,6 +491,8 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, serr.Field, "%s", serr.Msg)
 		case errors.Is(err, ErrClosed):
 			writeError(w, http.StatusServiceUnavailable, "", "server is shutting down")
+		case errors.Is(err, ErrNoHealthyReplica):
+			writeError(w, http.StatusServiceUnavailable, "", "no healthy prefill replica")
 		default:
 			writeError(w, http.StatusInternalServerError, "", "%v", err)
 		}

@@ -38,10 +38,12 @@ import (
 	"time"
 
 	"qoserve/internal/cluster"
+	"qoserve/internal/disagg"
 	"qoserve/internal/kvcache"
 	"qoserve/internal/metrics"
 	"qoserve/internal/model"
 	"qoserve/internal/qos"
+	"qoserve/internal/replica"
 	"qoserve/internal/request"
 	"qoserve/internal/sched"
 	"qoserve/internal/sim"
@@ -50,6 +52,10 @@ import (
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("server: closed")
+
+// ErrNoHealthyReplica is returned by Submit when every prefill-tier
+// replica is down (disaggregated mode only).
+var ErrNoHealthyReplica = errors.New("server: no healthy prefill replica")
 
 // SubmissionError reports an invalid submission. The HTTP layer maps it to
 // a 400 response whose JSON body carries both fields (see the error schema
@@ -172,6 +178,32 @@ type Config struct {
 	// bridge Cluster.Health() and Cluster.FaultStats() — or leave nil for
 	// servers without fault injection, which then omit the fault series.
 	FaultStatus func() FaultStatus
+
+	// Mode selects the gateway topology. "" or "colocated" (the default)
+	// runs every replica as a full serving loop handling both prefill and
+	// decode. "disagg" splits the replicas into a prefill tier (the first
+	// PrefillReplicas loops, running the configured scheduler with its
+	// chunked, preemptible prefill granularity) and a decode tier (the
+	// rest, running FCFS capped decode batches). Prompts prefill on the
+	// prefill tier, then their KV pages transfer over a modeled
+	// interconnect to a fixed decode-tier home that streams the output
+	// tokens. See docs/ARCHITECTURE.md for the two-tier lifecycle.
+	Mode string
+	// PrefillReplicas is the prefill-tier size in disagg mode (default
+	// (Replicas+1)/2). The remaining replicas form the decode tier; both
+	// tiers need at least one replica.
+	PrefillReplicas int
+	// MaxDecodeBatch caps decode-tier batch size in disagg mode. Zero
+	// derives the largest batch whose iteration time stays under
+	// StrictestTBT from the cost model (disagg.DeriveDecodeBatch).
+	MaxDecodeBatch int
+	// StrictestTBT is the tightest inter-token SLO the decode tier must
+	// sustain, used to derive MaxDecodeBatch (default 50ms). Disagg only.
+	StrictestTBT time.Duration
+	// TransferBandwidth is the prefill->decode KV interconnect in bytes
+	// per second of virtual time (default 64 GB/s, an NVLink-class
+	// fabric). Disagg only.
+	TransferBandwidth float64
 }
 
 // ReplicaHealth is one replica's liveness as exposed on /metrics.
@@ -204,7 +236,13 @@ type Server struct {
 	start   time.Time // immutable after New
 
 	balancer cluster.GatewayBalancer
-	loadOf   func(int) int // balancer load probe over reps
+	loadOf   func(int) int                  // balancer load probe over reps
+	snapOf   func(int) replica.LoadSnapshot // balancer queue-state probe
+
+	// prefillReps is the prefill-tier size in disagg mode; 0 means
+	// colocated. Immutable after New.
+	prefillReps    int
+	maxDecodeBatch int
 
 	nextID   atomic.Uint64
 	closed   atomic.Bool
@@ -217,6 +255,13 @@ type Server struct {
 	droppedEvents atomic.Uint64
 	prefixHits    atomic.Uint64 // prompt tokens served from prefix caches
 	reloadTokens  atomic.Uint64 // hit tokens promoted from the DRAM tier
+
+	// Disagg-mode lifetime counters.
+	handoffs       atomic.Uint64 // prefill->decode KV handoffs launched
+	transferTokens atomic.Uint64 // prompt tokens whose KV crossed tiers
+	retries        atomic.Uint64 // re-prefills after prefill-tier crashes
+	lostTokens     atomic.Uint64 // tokens of progress discarded by crashes
+	failedReqs     atomic.Int64  // requests permanently failed with a reason
 
 	servedMu sync.Mutex
 	served   []*request.Request // guarded by servedMu
@@ -254,6 +299,28 @@ type gatewayReplica struct {
 	// without locks.
 	load atomic.Int64
 
+	// Queue-state gauges forming this replica's replica.LoadSnapshot,
+	// probed lock-free by snapshot-aware balancers (cluster.
+	// PredictedLatency) and GET /debug/load. Submitters add arriving work,
+	// the serving loop retires it per iteration; the writers are not
+	// mutually synchronized, so readers clamp rather than trust invariants
+	// (see loadSnapshot).
+	snapQueued  atomic.Int64 // requests not yet past prefill
+	snapPrefill atomic.Int64 // unprefilled prompt tokens queued
+	snapDecodes atomic.Int64 // requests in decode phase
+	snapSumCtx  atomic.Int64 // summed context of decode-phase requests
+	snapMaxCtx  atomic.Int64 // largest context among them
+	snapChunk   atomic.Int64 // last planned prefill chunk (tokens)
+
+	// down marks a crashed replica (disagg prefill tier only). The loop
+	// observes it, drains its queue through retry-or-fail, and exits.
+	down atomic.Bool
+
+	// pending tracks prefill clones admitted here and not yet handed off
+	// to the decode tier, keyed by clone ID. Loop-owned (crashDrain runs
+	// on the loop goroutine); nil outside the disagg prefill tier.
+	pending map[uint64]pendingHandoff
+
 	// kvMu guards the prefix cache. Submitters probe it for routing
 	// affinity; the serving loop pins prefixes at admission and unpins on
 	// completion. Lock order: mu may be taken before kvMu, never after.
@@ -265,18 +332,34 @@ type gatewayReplica struct {
 	reloadDebt time.Duration
 
 	// Loop-owned state, touched only by the serving goroutine.
-	drained []admission           // inbox swap buffer
-	streams map[uint64]chan Event // live stream channels by request ID
-	outbox  []delivery            // events staged under mu, flushed after
-	active  int                   // requests admitted here and unfinished
-	shape   model.BatchShape      // batch-shape scratch for the cost model
-	hist    histShard             // iteration-latency histogram shard
+	drained  []admission           // inbox swap buffer
+	streams  map[uint64]chan Event // live stream channels by request ID
+	outbox   []delivery            // events staged under mu, flushed after
+	active   int                   // requests admitted here and unfinished
+	shape    model.BatchShape      // batch-shape scratch for the cost model
+	hist     histShard             // iteration-latency histogram shard
+	handoffQ []pendingHandoff      // clones finished this iteration, to launch
+	decQ     []*request.Request    // decode-tier FCFS queue
 }
 
-// admission is one submitted request en route to its serving loop.
+// admission is one submitted request en route to its serving loop. On the
+// disagg prefill tier req is a single-token prefill clone and orig/home
+// carry the real request and its decode-tier destination; elsewhere orig
+// is nil.
 type admission struct {
 	req    *request.Request
 	events chan Event
+	orig   *request.Request
+	home   int
+}
+
+// pendingHandoff is one request whose prompt is prefilling on this tier as
+// a single-token clone, awaiting KV transfer to its fixed decode home.
+type pendingHandoff struct {
+	clone  *request.Request
+	orig   *request.Request
+	events chan Event
+	home   int // decode-tier replica index, fixed at submission
 }
 
 // delivery is one staged stream write, assembled under the scheduler lock
@@ -341,6 +424,42 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Classes) == 0 {
 		return nil, fmt.Errorf("server: no QoS classes configured")
 	}
+	switch cfg.Mode {
+	case "", "colocated":
+		if cfg.PrefillReplicas != 0 {
+			return nil, fmt.Errorf("server: PrefillReplicas requires Mode \"disagg\"")
+		}
+	case "disagg":
+		if cfg.Replicas < 2 {
+			return nil, fmt.Errorf("server: disagg mode needs at least 2 replicas (one per tier), got %d", cfg.Replicas)
+		}
+		if cfg.PrefillReplicas == 0 {
+			cfg.PrefillReplicas = (cfg.Replicas + 1) / 2
+		}
+		if cfg.PrefillReplicas < 1 || cfg.PrefillReplicas >= cfg.Replicas {
+			return nil, fmt.Errorf("server: %d prefill replicas leaves no decode tier (replicas %d)", cfg.PrefillReplicas, cfg.Replicas)
+		}
+		if cfg.StrictestTBT == 0 {
+			cfg.StrictestTBT = 50 * time.Millisecond
+		}
+		if cfg.StrictestTBT < 0 {
+			return nil, fmt.Errorf("server: negative strictest TBT")
+		}
+		if cfg.TransferBandwidth == 0 {
+			cfg.TransferBandwidth = 64e9
+		}
+		if cfg.TransferBandwidth < 0 {
+			return nil, fmt.Errorf("server: negative transfer bandwidth")
+		}
+		if cfg.MaxDecodeBatch == 0 {
+			cfg.MaxDecodeBatch = disagg.DeriveDecodeBatch(cfg.Model, sim.FromDuration(cfg.StrictestTBT), 2048)
+		}
+		if cfg.MaxDecodeBatch < 1 {
+			return nil, fmt.Errorf("server: decode batch cap %d", cfg.MaxDecodeBatch)
+		}
+	default:
+		return nil, fmt.Errorf("server: unknown mode %q (want \"colocated\" or \"disagg\")", cfg.Mode)
+	}
 	s := &Server{
 		cfg:      cfg,
 		classes:  make(map[string]qos.Class, len(cfg.Classes)),
@@ -367,6 +486,11 @@ func New(cfg Config) (*Server, error) {
 		s.classes[c.Name] = c
 	}
 	s.loadOf = func(i int) int { return int(s.reps[i].load.Load()) }
+	s.snapOf = func(i int) replica.LoadSnapshot { return s.reps[i].loadSnapshot() }
+	if cfg.Mode == "disagg" {
+		s.prefillReps = cfg.PrefillReplicas
+		s.maxDecodeBatch = cfg.MaxDecodeBatch
+	}
 	kvCfg := cfg.KV
 	if kvCfg.CapacityTokens == 0 {
 		kvCfg.CapacityTokens = cfg.Model.KVCapacityTokens()
@@ -384,11 +508,18 @@ func New(cfg Config) (*Server, error) {
 			kv:        kv,
 		}
 		rp.wake = sync.NewCond(&rp.inboxMu)
+		if s.prefillReps > 0 && i < s.prefillReps {
+			rp.pending = make(map[uint64]pendingHandoff, 64)
+		}
 		s.reps = append(s.reps, rp)
 	}
 	s.wg.Add(len(s.reps))
-	for _, rp := range s.reps {
-		go rp.run()
+	for i, rp := range s.reps {
+		if s.prefillReps > 0 && i >= s.prefillReps {
+			go rp.runDecode()
+		} else {
+			go rp.run()
+		}
 	}
 	return s, nil
 }
@@ -401,6 +532,10 @@ func (s *Server) vnow() sim.Time {
 
 // Replicas is the number of serving loops.
 func (s *Server) Replicas() int { return len(s.reps) }
+
+// PrefillReplicas is the prefill-tier size after defaulting: zero in
+// colocated mode, at least one in disagg mode.
+func (s *Server) PrefillReplicas() int { return s.prefillReps }
 
 // Submission describes one request.
 type Submission struct {
@@ -459,13 +594,21 @@ func (s *Server) Submit(sub Submission) (*Stream, error) {
 	}
 	events := make(chan Event, buf)
 
+	if s.prefillReps > 0 {
+		return s.submitDisagg(req, events)
+	}
+
 	rp := s.reps[s.pick(req)]
 	rp.load.Add(1)
+	rp.snapQueued.Add(1)
+	rp.snapPrefill.Add(int64(req.PromptTokens))
 	s.inFlight.Add(1)
 	rp.inboxMu.Lock()
 	if s.closed.Load() {
 		rp.inboxMu.Unlock()
 		rp.load.Add(-1)
+		rp.snapQueued.Add(-1)
+		rp.snapPrefill.Add(-int64(req.PromptTokens))
 		s.inFlight.Add(-1)
 		return nil, ErrClosed
 	}
@@ -479,25 +622,33 @@ func (s *Server) Submit(sub Submission) (*Stream, error) {
 	return &Stream{ID: req.ID, Events: events, req: req, rep: rp}, nil
 }
 
-// pick routes a submission to a replica index. Requests carrying a prefix
-// chain probe each replica's prefix cache when the balancer is
-// prefix-aware.
+// pick routes a submission to a replica index. Snapshot-aware balancers
+// score each replica's live queue state against the request's shape;
+// prefix routers probe each replica's prefix cache; everything else sees
+// only the load counts.
 func (s *Server) pick(req *request.Request) int {
-	if len(s.reps) == 1 {
-		return 0
-	}
-	var i int
-	if pr, ok := s.balancer.(cluster.PrefixRouter); ok && len(req.PrefixHashes) > 0 {
-		i = pr.PickPrefix(len(s.reps), s.loadOf, func(j int) int {
-			return s.reps[j].matchTokens(req.PrefixHashes)
-		})
-	} else {
-		i = s.balancer.PickIndex(len(s.reps), s.loadOf)
-	}
+	i := s.pickOver(len(s.reps), req, req.DecodeTokens)
 	if i >= 0 && i < len(s.reps) {
 		return i
 	}
 	return 0
+}
+
+// pickOver runs the configured balancer over the first n replicas for a
+// request expecting decodeTokens output tokens.
+func (s *Server) pickOver(n int, req *request.Request, decodeTokens int) int {
+	if n == 1 {
+		return 0
+	}
+	if sb, ok := s.balancer.(cluster.SnapshotBalancer); ok {
+		return sb.PickPredicted(n, s.loadOf, s.snapOf, req.PromptTokens, decodeTokens)
+	}
+	if pr, ok := s.balancer.(cluster.PrefixRouter); ok && len(req.PrefixHashes) > 0 {
+		return pr.PickPrefix(n, s.loadOf, func(j int) int {
+			return s.reps[j].matchTokens(req.PrefixHashes)
+		})
+	}
+	return s.balancer.PickIndex(n, s.loadOf)
 }
 
 // matchTokens probes the replica's prefix cache for routing affinity.
@@ -518,7 +669,14 @@ func (rp *gatewayReplica) kvBlockTokens() int {
 func (rp *gatewayReplica) run() {
 	defer rp.srv.wg.Done()
 	for {
+		if rp.down.Load() {
+			rp.crashDrain()
+			return
+		}
 		if !rp.admit() {
+			if rp.down.Load() {
+				rp.crashDrain()
+			}
 			return
 		}
 		now := rp.srv.vnow()
@@ -549,18 +707,29 @@ func (rp *gatewayReplica) run() {
 		rp.completeLocked(batch, exec, end)
 		rp.mu.Unlock()
 		rp.flush()
+		if len(rp.handoffQ) > 0 {
+			rp.launchHandoffs()
+		}
+		if rp.active == 0 {
+			// Idle replica: retire the decode-batch gauges so balancers do
+			// not score work that drained (the queued gauges net to zero by
+			// their own bookkeeping).
+			rp.snapDecodes.Store(0)
+			rp.snapSumCtx.Store(0)
+			rp.snapMaxCtx.Store(0)
+		}
 	}
 }
 
-// admit blocks until this replica has work (or the server closes), then
-// drains the inbox into the scheduler in one swap. It returns false when
-// the server has closed.
+// admit blocks until this replica has work (or the server closes or this
+// replica crashes), then drains the inbox into the scheduler in one swap.
+// It returns false when the loop should stop.
 func (rp *gatewayReplica) admit() bool {
 	rp.inboxMu.Lock()
-	for !rp.srv.closed.Load() && len(rp.inbox) == 0 && rp.active == 0 {
+	for !rp.srv.closed.Load() && !rp.down.Load() && len(rp.inbox) == 0 && rp.active == 0 {
 		rp.wake.Wait()
 	}
-	if rp.srv.closed.Load() {
+	if rp.srv.closed.Load() || rp.down.Load() {
 		rp.inboxMu.Unlock()
 		return false
 	}
@@ -583,6 +752,7 @@ func (rp *gatewayReplica) admit() bool {
 		ad.req.ApplyPrefixHit(res.HitTokens)
 		if res.HitTokens > 0 {
 			rp.srv.prefixHits.Add(uint64(res.HitTokens))
+			rp.snapPrefill.Add(-int64(res.HitTokens))
 		}
 		if res.ReloadTokens > 0 {
 			rp.srv.reloadTokens.Add(uint64(res.ReloadTokens))
@@ -593,7 +763,13 @@ func (rp *gatewayReplica) admit() bool {
 	now := rp.srv.vnow()
 	rp.mu.Lock()
 	for _, ad := range rp.drained {
-		rp.streams[ad.req.ID] = ad.events
+		if ad.orig != nil {
+			// Disagg prefill clone: no stream here — its completion hands
+			// the original off to the decode tier instead.
+			rp.pending[ad.req.ID] = pendingHandoff{clone: ad.req, orig: ad.orig, events: ad.events, home: ad.home}
+		} else {
+			rp.streams[ad.req.ID] = ad.events
+		}
 		rp.scheduler.Add(ad.req, now)
 	}
 	rp.mu.Unlock()
@@ -619,14 +795,31 @@ func (rp *gatewayReplica) completeLocked(b sched.Batch, exec, end sim.Time) {
 	srv.prefillTokens.Add(uint64(b.PrefillTokens()))
 	srv.decodeTokens.Add(uint64(len(b.Decodes)))
 	rp.hist.observe(exec.Seconds())
+	decodes, sumCtx, maxCtx := 0, 0, 0
 	for _, p := range b.Prefill {
+		rp.snapPrefill.Add(-int64(p.Tokens))
 		before := p.Req.DecodedTokens
 		p.Req.RecordPrefill(p.Tokens, end)
 		if p.Req.DecodedTokens > before {
-			rp.stageEvent(p.Req, end)
+			rp.snapQueued.Add(-1)
+			if h, ok := rp.pending[p.Req.ID]; ok {
+				// Disagg prefill clone finished: hand the original off to
+				// its decode home instead of streaming a token.
+				rp.handoffQ = append(rp.handoffQ, h)
+			} else {
+				rp.stageEvent(p.Req, end)
+			}
 		}
 		if len(p.Req.PrefixHashes) > 0 && p.Req.Phase() == request.Done {
 			rp.releasePrefix(p.Req)
+		}
+		if p.Req.Phase() == request.Decode {
+			decodes++
+			c := p.Req.ContextLen()
+			sumCtx += c
+			if c > maxCtx {
+				maxCtx = c
+			}
 		}
 	}
 	for _, d := range b.Decodes {
@@ -635,6 +828,20 @@ func (rp *gatewayReplica) completeLocked(b sched.Batch, exec, end sim.Time) {
 		if len(d.PrefixHashes) > 0 && d.Phase() == request.Done {
 			rp.releasePrefix(d)
 		}
+		if d.Phase() != request.Done {
+			decodes++
+			c := d.ContextLen()
+			sumCtx += c
+			if c > maxCtx {
+				maxCtx = c
+			}
+		}
+	}
+	rp.snapDecodes.Store(int64(decodes))
+	rp.snapSumCtx.Store(int64(sumCtx))
+	rp.snapMaxCtx.Store(int64(maxCtx))
+	if pt := b.PrefillTokens(); pt > 0 {
+		rp.snapChunk.Store(int64(pt))
 	}
 	rp.scheduler.OnBatchComplete(b, end)
 }
