@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race chaos fuzz lint verify bench bench-short bench-all bench-pr5 bench-pr6 bench-pr7 loadgen-smoke experiments experiments-full examples quick clean
+.PHONY: all build vet test test-short race chaos fuzz lint verify bench bench-short bench-all bench-pr5 bench-pr6 bench-pr7 bench-pr8 loadgen-smoke experiments experiments-full examples quick clean
 
 all: build vet test
 
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadTrace -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run '^$$' -fuzz FuzzParseSchedule -fuzztime $(FUZZTIME) ./internal/fault
 	$(GO) test -run '^$$' -fuzz FuzzParseChain -fuzztime $(FUZZTIME) ./internal/kvcache
+	$(GO) test -run '^$$' -fuzz FuzzGlobalIndexDecode -fuzztime $(FUZZTIME) ./internal/kvcache
 	$(GO) test -run '^$$' -fuzz FuzzLoadSnapshotDecode -fuzztime $(FUZZTIME) ./internal/replica
 
 # Static analysis gate: the repo's own contract analyzers (determinism,
@@ -151,6 +152,28 @@ bench-pr7:
 		-meta disagg_predicted_ttft_p90_ms="$$(awk '/DisaggPredicted/{for(i=2;i<=NF;i++)if($$i=="ttft_p90_ms")print $$(i-1)}' /tmp/bench_predicted.txt)" \
 		/tmp/bench_predicted.txt
 	@echo "wrote $(BENCH7OUT)"
+
+# Cross-replica KV transfer baseline: long-prompt multi-turn sessions end
+# to end through a 4-replica colocated gateway. The PR 6 baseline (prefix
+# affinity, recompute on a routing miss) pins sessions to their holders, so
+# hot replicas stack long prefills; the transfer-enabled predicted balancer
+# imports cached prefixes over a modeled 64 GB/s interconnect and must beat
+# it on req/s and TTFT p50/p90 with non-zero prefix_transfer_tokens.
+BENCH8OUT  ?= BENCH_PR8.json
+BENCH8TIME ?= 3x
+bench-pr8:
+	$(GO) test -run '^$$' -bench SessionPrefix -benchtime $(BENCH8TIME) ./internal/loadgen/ | tee /tmp/bench_transfer.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH8OUT) \
+		-meta note="320 requests, 8-turn sessions, prompt p50 1024 / max 8192, 4 replicas, 64 GB/s KV interconnect" \
+		-meta recompute_req_s="$$(awk '/AffinityRecompute/{for(i=2;i<=NF;i++)if($$i=="req/s")print $$(i-1)}' /tmp/bench_transfer.txt)" \
+		-meta transfer_req_s="$$(awk '/PredictedTransfer/{for(i=2;i<=NF;i++)if($$i=="req/s")print $$(i-1)}' /tmp/bench_transfer.txt)" \
+		-meta recompute_ttft_p50_ms="$$(awk '/AffinityRecompute/{for(i=2;i<=NF;i++)if($$i=="ttft_p50_ms")print $$(i-1)}' /tmp/bench_transfer.txt)" \
+		-meta transfer_ttft_p50_ms="$$(awk '/PredictedTransfer/{for(i=2;i<=NF;i++)if($$i=="ttft_p50_ms")print $$(i-1)}' /tmp/bench_transfer.txt)" \
+		-meta recompute_ttft_p90_ms="$$(awk '/AffinityRecompute/{for(i=2;i<=NF;i++)if($$i=="ttft_p90_ms")print $$(i-1)}' /tmp/bench_transfer.txt)" \
+		-meta transfer_ttft_p90_ms="$$(awk '/PredictedTransfer/{for(i=2;i<=NF;i++)if($$i=="ttft_p90_ms")print $$(i-1)}' /tmp/bench_transfer.txt)" \
+		-meta transfer_prefix_transfer_tokens="$$(awk '/PredictedTransfer/{for(i=2;i<=NF;i++)if($$i=="prefix_transfer_tokens")print $$(i-1)}' /tmp/bench_transfer.txt)" \
+		/tmp/bench_transfer.txt
+	@echo "wrote $(BENCH8OUT)"
 
 # Deterministic loadgen smoke: a few hundred milliseconds of closed-loop
 # load against a 2-replica gateway with a fixed seed. The tool exits

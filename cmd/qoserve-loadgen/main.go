@@ -49,7 +49,7 @@ func main() {
 		policyName = flag.String("policy", "sarathi-fcfs", "qoserve | sarathi-fcfs | sarathi-edf | sarathi-srpf | vllm | medha")
 		chunk      = flag.Int("chunk", 512, "fixed chunk for Sarathi policies")
 		replicas   = flag.Int("replicas", 1, "independent scheduler replicas (serving loops)")
-		balancer   = flag.String("balancer", "round-robin", "replica routing: round-robin | least-loaded | prefix")
+		balancer   = flag.String("balancer", "round-robin", "replica routing: round-robin | least-loaded | prefix | predicted")
 		streamBuf  = flag.Int("stream-buffer", 256, "per-stream event buffer (events)")
 		timescale  = flag.Float64("timescale", 200, "virtual-time acceleration factor")
 		seed       = flag.Int64("seed", 1, "workload seed; same seed replays the identical request list")
@@ -67,6 +67,8 @@ func main() {
 		followP90  = flag.Float64("follow-p90", 128, "session-mode follow-up user tokens 90th percentile")
 		prefixMin  = flag.Int("prefix-min-match", cluster.DefaultMinMatchTokens, "smallest cached-prefix match (tokens) the prefix balancer chases")
 		kvDRAM     = flag.Int("kv-dram-tokens", 0, "DRAM spill tier per replica (tokens); 0 evicts demoted prefix blocks outright")
+		prefixIdx  = flag.Bool("prefix-global", true, "publish prefix-cache membership into a lock-free global index for routing probes")
+		kvXferGbps = flag.Float64("kv-transfer-gbps", 0, "cross-replica KV migration interconnect (GB/s); 0 recomputes missed prefixes instead")
 		jsonOut    = flag.Bool("json", false, "emit the report as JSON on stdout")
 		allowDrops = flag.Bool("allow-drops", false, "do not fail on dropped stream events")
 	)
@@ -84,17 +86,23 @@ func main() {
 		log.Fatalf("unknown hardware %q", *hardware)
 	}
 
-	trainPredictor := func() predictor.SafePredictor {
+	// Memoized: the qoserve/medha policies and the predicted balancer all
+	// share one read-only forest.
+	var trained *predictor.Forest
+	trainPredictor := func() *predictor.Forest {
+		if trained != nil {
+			return trained
+		}
 		log.Printf("profiling %s and training the latency predictor ...", mc.Name())
 		samples, err := profile.Collect(mc, profile.Config{Seed: 1})
 		if err != nil {
 			log.Fatal(err)
 		}
-		forest, err := predictor.Train(samples, predictor.ForestConfig{Seed: 1})
+		trained, err = predictor.Train(samples, predictor.ForestConfig{Seed: 1})
 		if err != nil {
 			log.Fatal(err)
 		}
-		return forest
+		return trained
 	}
 
 	var factory func() sched.Scheduler
@@ -125,6 +133,16 @@ func main() {
 		lb = cluster.LeastLoaded{}
 	case "prefix":
 		lb = &cluster.PrefixAffinity{MinMatchTokens: *prefixMin}
+	case "predicted":
+		pl := &cluster.PredictedLatency{Predictor: trainPredictor()}
+		if *kvXferGbps > 0 {
+			pl.Transfer = &cluster.TransferModel{
+				BytesPerToken: mc.Model.KVBytesPerToken(),
+				BandwidthBps:  *kvXferGbps * 1e9,
+				MinTokens:     *prefixMin,
+			}
+		}
+		lb = pl
 	default:
 		log.Fatalf("unknown balancer %q", *balancer)
 	}
@@ -137,14 +155,16 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Model:            mc,
-		SchedulerFactory: factory,
-		Replicas:         *replicas,
-		Balancer:         lb,
-		KV:               kvcache.Config{DRAMTokens: *kvDRAM},
-		StreamBuffer:     *streamBuf,
-		Classes:          qos.Table3(),
-		Timescale:        *timescale,
+		Model:               mc,
+		SchedulerFactory:    factory,
+		Replicas:            *replicas,
+		Balancer:            lb,
+		KV:                  kvcache.Config{DRAMTokens: *kvDRAM},
+		GlobalPrefixIndex:   *prefixIdx,
+		KVTransferBandwidth: *kvXferGbps * 1e9,
+		StreamBuffer:        *streamBuf,
+		Classes:             qos.Table3(),
+		Timescale:           *timescale,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -173,14 +193,13 @@ func main() {
 	if *jsonOut {
 		out := struct {
 			loadgen.Report
-			DroppedEvents   uint64 `json:"dropped_events"`
-			Replicas        int    `json:"replicas"`
-			Policy          string `json:"policy"`
-			Balancer        string `json:"balancer"`
-			Seed            int64  `json:"seed"`
-			PrefixHitTokens uint64 `json:"prefix_hit_tokens"`
-			ReloadTokens    uint64 `json:"prefix_reload_tokens"`
-		}{rep, dropped, *replicas, *policyName, *balancer, *seed, kvStats.PrefixHitTokens, kvStats.ReloadTokens}
+			DroppedEvents uint64 `json:"dropped_events"`
+			Replicas      int    `json:"replicas"`
+			Policy        string `json:"policy"`
+			Balancer      string `json:"balancer"`
+			Seed          int64  `json:"seed"`
+			ReloadTokens  uint64 `json:"prefix_reload_tokens"`
+		}{rep, dropped, *replicas, *policyName, *balancer, *seed, kvStats.ReloadTokens}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -193,7 +212,12 @@ func main() {
 		fmt.Printf("max TBT    p50 %.1fms  p99 %.1fms (virtual)\n", rep.TBTP50MS, rep.TBTP99MS)
 		fmt.Printf("violated   %d  relegated %d  dropped events %d\n", rep.Violated, rep.Relegated, dropped)
 		if *turns > 0 {
-			fmt.Printf("prefix     %d tokens hit, %d reloaded from DRAM\n", kvStats.PrefixHitTokens, kvStats.ReloadTokens)
+			fmt.Printf("prefix     %d tokens hit, %d reloaded from DRAM, %d recomputed\n",
+				kvStats.PrefixHitTokens, kvStats.ReloadTokens, rep.PrefixRecomputeTokens)
+			if *kvXferGbps > 0 {
+				fmt.Printf("transfer   %d tokens imported cross-replica, %d fallbacks\n",
+					kvStats.PrefixTransferTokens, kvStats.TransferFallbacks)
+			}
 		}
 		for _, pc := range rep.PerClass {
 			fmt.Printf("  %-4s completed %-5d violated %d\n", pc.Name, pc.Completed, pc.Violated)

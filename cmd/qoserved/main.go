@@ -13,6 +13,14 @@
 //
 //	qoserved -mode disagg -replicas 4 -prefill-replicas 2 -balancer predicted
 //
+// With -kv-transfer-gbps set, a replica that misses a prefix cached on
+// another replica imports the KV blocks over a modeled interconnect
+// instead of recomputing them; -prefix-global (default on) backs routing
+// probes with a lock-free global prefix index instead of per-replica
+// cache locks:
+//
+//	qoserved -replicas 4 -balancer predicted -kv-transfer-gbps 64
+//
 //	curl -s localhost:8080/v1/classes
 //	curl -s -X POST localhost:8080/v1/generate \
 //	     -d '{"class":"Q1","prompt_tokens":1500,"decode_tokens":20}'
@@ -64,6 +72,8 @@ func main() {
 		streamBuf  = flag.Int("stream-buffer", 256, "per-stream event buffer (events); slow consumers drop overflow")
 		prefixMin  = flag.Int("prefix-min-match", cluster.DefaultMinMatchTokens, "smallest cached-prefix match (tokens) the prefix balancer chases")
 		kvDRAM     = flag.Int("kv-dram-tokens", 0, "DRAM spill tier per replica (tokens); 0 evicts demoted prefix blocks outright")
+		prefixIdx  = flag.Bool("prefix-global", true, "publish prefix-cache membership into a lock-free global index for routing probes")
+		kvXferGbps = flag.Float64("kv-transfer-gbps", 0, "cross-replica KV migration interconnect (GB/s); 0 recomputes missed prefixes instead")
 	)
 	flag.Parse()
 
@@ -132,23 +142,33 @@ func main() {
 	case "prefix":
 		lb = &cluster.PrefixAffinity{MinMatchTokens: *prefixMin}
 	case "predicted":
-		lb = &cluster.PredictedLatency{Predictor: trainPredictor()}
+		pl := &cluster.PredictedLatency{Predictor: trainPredictor()}
+		if *kvXferGbps > 0 {
+			pl.Transfer = &cluster.TransferModel{
+				BytesPerToken: mc.Model.KVBytesPerToken(),
+				BandwidthBps:  *kvXferGbps * 1e9,
+				MinTokens:     *prefixMin,
+			}
+		}
+		lb = pl
 	default:
 		log.Fatalf("unknown balancer %q", *balancer)
 	}
 
 	cfg := server.Config{
-		Model:            mc,
-		SchedulerFactory: factory,
-		Replicas:         *replicas,
-		Balancer:         lb,
-		KV:               kvcache.Config{DRAMTokens: *kvDRAM},
-		StreamBuffer:     *streamBuf,
-		Classes:          qos.Table3(),
-		Timescale:        *timescale,
-		TraceDepth:       *traceDepth,
-		MetricsWindow:    *window,
-		Mode:             *mode,
+		Model:               mc,
+		SchedulerFactory:    factory,
+		Replicas:            *replicas,
+		Balancer:            lb,
+		KV:                  kvcache.Config{DRAMTokens: *kvDRAM},
+		GlobalPrefixIndex:   *prefixIdx,
+		KVTransferBandwidth: *kvXferGbps * 1e9,
+		StreamBuffer:        *streamBuf,
+		Classes:             qos.Table3(),
+		Timescale:           *timescale,
+		TraceDepth:          *traceDepth,
+		MetricsWindow:       *window,
+		Mode:                *mode,
 	}
 	if *mode == "disagg" {
 		cfg.PrefillReplicas = *prefillN

@@ -55,6 +55,10 @@ var hotpathStdlibAllowed = map[string]bool{
 	"(*sync/atomic.Int64).Add":   true, "(*sync/atomic.Int64).Load": true,
 	"(*sync/atomic.Int64).Store": true,
 	"(*sync/atomic.Bool).Load": true,
+	// Load on an atomic pointer reads a word; it never allocates. (Store
+	// is deliberately absent: publishing implies the caller built the
+	// pointee, which is the allocation to keep off the hot path.)
+	"(*sync/atomic.Pointer[T]).Load": true,
 }
 
 func runHotpathalloc(pass *Pass) error {
@@ -195,6 +199,15 @@ func checkHotpathCall(pass *Pass, call *ast.CallExpr, selfAppends map[*ast.CallE
 	full := fn.FullName()
 	if pass.Hotpath[full] || hotpathStdlibAllowed[full] {
 		return
+	}
+	// Instantiated generic methods carry their type arguments in FullName
+	// (e.g. "(*sync/atomic.Pointer[...]).Load"); the fact base and the
+	// allowlist are keyed by the uninstantiated origin.
+	if origin := fn.Origin(); origin != fn {
+		full = origin.FullName()
+		if pass.Hotpath[full] || hotpathStdlibAllowed[full] {
+			return
+		}
 	}
 	pass.Reportf(call.Pos(),
 		"call to %s, which is not annotated %s: its allocations are invisible to this check",

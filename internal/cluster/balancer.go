@@ -68,6 +68,8 @@ func (b *AtomicRoundRobin) PickIndex(n int, _ func(int) int) int {
 type LeastLoaded struct{}
 
 // PickIndex scans all n loads and returns the minimum.
+//
+//qoserve:hotpath
 func (LeastLoaded) PickIndex(n int, load func(int) int) int {
 	best, bestLoad := 0, int(^uint(0)>>1)
 	for i := 0; i < n; i++ {
@@ -125,6 +127,8 @@ type PrefixAffinity struct {
 const DefaultMinMatchTokens = 4 * 16
 
 // PickIndex routes a chainless request via the fallback balancer.
+//
+//qoserve:hotpath
 func (b *PrefixAffinity) PickIndex(n int, load func(int) int) int {
 	if b.Fallback != nil {
 		return b.Fallback.PickIndex(n, load)
@@ -133,7 +137,11 @@ func (b *PrefixAffinity) PickIndex(n int, load func(int) int) int {
 }
 
 // PickPrefix returns the target with the longest cached prefix, or the
-// fallback pick when every match is below the threshold.
+// fallback pick when every match is below the threshold. Alloc-free and
+// lock-free: with a global-index match probe the whole pick is reads over
+// published snapshots (see TestPrefixPickSteadyStateAllocFree).
+//
+//qoserve:hotpath
 func (b *PrefixAffinity) PickPrefix(n int, load func(int) int, match func(int) int) int {
 	min := b.MinMatchTokens
 	if min <= 0 {

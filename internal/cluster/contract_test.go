@@ -39,6 +39,12 @@ func contractImpls() []contractImpl {
 		{"prefix-affinity-rr-fallback", func() GatewayBalancer { return &PrefixAffinity{Fallback: &AtomicRoundRobin{}} }},
 		{"predicted-latency", func() GatewayBalancer { return &PredictedLatency{Predictor: scoreStub{}} }},
 		{"predicted-latency-no-predictor", func() GatewayBalancer { return &PredictedLatency{} }},
+		{"predicted-latency-transfer", func() GatewayBalancer {
+			return &PredictedLatency{Predictor: scoreStub{}, Transfer: &TransferModel{BytesPerToken: 131072, BandwidthBps: 64e9}}
+		}},
+		{"predicted-latency-transfer-no-predictor", func() GatewayBalancer {
+			return &PredictedLatency{Transfer: &TransferModel{BytesPerToken: 131072, BandwidthBps: 64e9}}
+		}},
 	}
 }
 
@@ -97,6 +103,10 @@ func pickSequence(t *testing.T, b GatewayBalancer, n, rounds int) []int {
 		if sb, ok := b.(SnapshotBalancer); ok {
 			snap := func(i int) replica.LoadSnapshot { return contractSnap(i + round) }
 			record("predicted", sb.PickPredicted(n, load, snap, 256+(round%8)*512, 1+round%64))
+			if pb, ok := b.(PrefixSnapshotBalancer); ok {
+				match := func(i int) int { return ((i + round) % 4) * 96 }
+				record("prefix-predicted", pb.PickPrefixPredicted(n, load, snap, match, 256+(round%8)*512, 1+round%64))
+			}
 		}
 	}
 	return trail
@@ -132,6 +142,11 @@ func TestBalancerContractSingleTargetIsAlwaysZero(t *testing.T) {
 					snap := func(int) replica.LoadSnapshot { return replica.LoadSnapshot{} }
 					if idx := sb.PickPredicted(1, hugeLoad, snap, 1, 1); idx != 0 {
 						t.Fatalf("PickPredicted(1) = %d, want 0", idx)
+					}
+					if pb, ok := b.(PrefixSnapshotBalancer); ok {
+						if idx := pb.PickPrefixPredicted(1, hugeLoad, snap, func(int) int { return 0 }, 1, 1); idx != 0 {
+							t.Fatalf("PickPrefixPredicted(1) = %d, want 0", idx)
+						}
 					}
 				}
 			}
@@ -190,6 +205,20 @@ func TestBalancerContractDegenerateSignalsFallBack(t *testing.T) {
 	}
 }
 
+// TestBalancerContractShrinkingTargets reuses one instance while the
+// target count shrinks pick over pick — the health-aware gateway passes
+// only live replicas, so a balancer must tolerate n collapsing under it.
+func TestBalancerContractShrinkingTargets(t *testing.T) {
+	for _, impl := range contractImpls() {
+		t.Run(impl.name, func(t *testing.T) {
+			b := impl.fresh()
+			for n := 8; n >= 1; n-- {
+				pickSequence(t, b, n, 10)
+			}
+		})
+	}
+}
+
 func TestBalancerContractConcurrentPickersStayInRange(t *testing.T) {
 	const (
 		pickers = 8
@@ -221,6 +250,12 @@ func TestBalancerContractConcurrentPickersStayInRange(t *testing.T) {
 							if idx := sb.PickPredicted(n, load, snap, 512, 16); idx < 0 || idx >= n {
 								t.Errorf("PickPredicted %d out of range", idx)
 								return
+							}
+							if pb, ok := b.(PrefixSnapshotBalancer); ok {
+								if idx := pb.PickPrefixPredicted(n, load, snap, func(i int) int { return i * 96 }, 512, 16); idx < 0 || idx >= n {
+									t.Errorf("PickPrefixPredicted %d out of range", idx)
+									return
+								}
 							}
 						}
 					}

@@ -39,6 +39,10 @@ type PredictedLatency struct {
 	// Fallback routes when no predictor is configured or the caller
 	// cannot supply snapshots. Nil means LeastLoaded.
 	Fallback GatewayBalancer
+	// Transfer, when set and enabled, lets PickPrefixPredicted price
+	// importing the cluster-best cached prefix over the interconnect
+	// instead of recomputing it; nil scores local prefix credit only.
+	Transfer *TransferModel
 }
 
 // PickIndex routes via the fallback balancer: without a snapshot there is

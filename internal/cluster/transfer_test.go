@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"testing"
+
+	"qoserve/internal/kvcache"
+	"qoserve/internal/replica"
+)
+
+func TestTransferModelSeconds(t *testing.T) {
+	m := TransferModel{BytesPerToken: 131072, BandwidthBps: 64e9}
+	if !m.Enabled() {
+		t.Fatal("configured model reports disabled")
+	}
+	// 1000 tokens x 128 KiB / 64 GB/s = ~2.05ms.
+	got := m.Seconds(1000)
+	want := 1000 * 131072.0 / 64e9
+	if got != want {
+		t.Fatalf("Seconds(1000) = %v, want %v", got, want)
+	}
+	if m.Seconds(0) != 0 || m.Seconds(-5) != 0 {
+		t.Fatal("non-positive token counts must cost nothing")
+	}
+	if (TransferModel{BytesPerToken: 131072}).Enabled() {
+		t.Fatal("zero bandwidth must disable the model")
+	}
+	if m.minTokens() != DefaultMinMatchTokens {
+		t.Fatalf("default import floor %d", m.minTokens())
+	}
+	if (TransferModel{MinTokens: 7}).minTokens() != 7 {
+		t.Fatal("explicit import floor ignored")
+	}
+}
+
+// TestPickPrefixPredictedImportsRemoteHit arranges an idle replica with no
+// cache and a moderately backlogged replica holding the whole prefix.
+// Without a transfer model the cached replica wins (queueing behind its
+// backlog is still cheaper than recomputing 8K tokens cold); with a fast
+// interconnect the idle replica wins because it imports the prefix for
+// less than the backlog costs.
+func TestPickPrefixPredictedImportsRemoteHit(t *testing.T) {
+	snaps := []replica.LoadSnapshot{
+		{}, // idle, cold
+		{QueuedRequests: 2, PendingPrefillTokens: 6144, ChunkBudgetTokens: 512}, // backlogged, warm
+	}
+	loads := []int{0, 2}
+	match := func(i int) int {
+		if i == 1 {
+			return 8000
+		}
+		return 0
+	}
+	prompt, decode := 8192, 16
+
+	local := &PredictedLatency{Predictor: scoreStub{}}
+	if got := local.PickPrefixPredicted(2, loadsAt(loads), snapsAt(snaps), match, prompt, decode); got != 1 {
+		t.Fatalf("without transfer: pick %d, want the cache holder 1", got)
+	}
+
+	fast := &PredictedLatency{Predictor: scoreStub{}, Transfer: &TransferModel{BytesPerToken: 131072, BandwidthBps: 600e9}}
+	if got := fast.PickPrefixPredicted(2, loadsAt(loads), snapsAt(snaps), match, prompt, decode); got != 0 {
+		t.Fatalf("with fast transfer: pick %d, want the idle importer 0", got)
+	}
+
+	// A glacial interconnect makes the import pointless again.
+	slow := &PredictedLatency{Predictor: scoreStub{}, Transfer: &TransferModel{BytesPerToken: 131072, BandwidthBps: 1e3}}
+	if got := slow.PickPrefixPredicted(2, loadsAt(loads), snapsAt(snaps), match, prompt, decode); got != 1 {
+		t.Fatalf("with slow transfer: pick %d, want the cache holder 1", got)
+	}
+}
+
+// TestPickPrefixPredictedBelowFloorStaysLocal keeps the remote advantage
+// under the import floor so migration must not be priced.
+func TestPickPrefixPredictedBelowFloorStaysLocal(t *testing.T) {
+	b := &PredictedLatency{Predictor: scoreStub{}, Transfer: &TransferModel{BytesPerToken: 131072, BandwidthBps: 64e9, MinTokens: 256}}
+	snaps := []replica.LoadSnapshot{{}, {}}
+	// Replica 1 holds 128 more tokens than replica 0 — under the 256 floor,
+	// so both score with local credit only and the longer local hit wins.
+	match := func(i int) int { return 64 + 128*i }
+	if got := b.PickPrefixPredicted(2, loadsAt([]int{0, 0}), snapsAt(snaps), match, 4096, 8); got != 1 {
+		t.Fatalf("pick %d, want 1 (larger local hit)", got)
+	}
+}
+
+// TestPickPrefixPredictedPredictorlessFallsBack checks the nil-predictor
+// degradation: prefix affinity over the same match probe.
+func TestPickPrefixPredictedPredictorlessFallsBack(t *testing.T) {
+	b := &PredictedLatency{}
+	snaps := []replica.LoadSnapshot{{}, {}, {}}
+	match := func(i int) int {
+		if i == 2 {
+			return 512
+		}
+		return 0
+	}
+	if got := b.PickPrefixPredicted(3, loadsAt([]int{0, 0, 9}), snapsAt(snaps), match, 1024, 8); got != 2 {
+		t.Fatalf("predictorless pick %d, want affinity holder 2", got)
+	}
+	// No match anywhere: least-loaded fallback.
+	none := func(int) int { return 0 }
+	if got := b.PickPrefixPredicted(3, loadsAt([]int{5, 1, 9}), snapsAt(snaps), none, 1024, 8); got != 1 {
+		t.Fatalf("predictorless chainless pick %d, want least-loaded 1", got)
+	}
+}
+
+// TestPrefixPickSteadyStateAllocFree is the tentpole's zero-alloc guard:
+// with global-index match probes, both the affinity pick and the
+// transfer-aware predicted pick run without allocating or taking any
+// replica lock.
+func TestPrefixPickSteadyStateAllocFree(t *testing.T) {
+	const n = 4
+	idx := kvcache.NewGlobalIndex(n)
+	chains := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		chains[i] = kvcache.SyntheticChain(uint64(i+1), 0, 8+4*i)
+		snap, err := kvcache.NewIndexSnapshot(kvcache.DefaultBlockTokens, len(chains[i]), 0, chains[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx.Publish(i, snap)
+	}
+	chain := chains[2]
+	loads := []int{3, 1, 2, 4}
+	snaps := make([]replica.LoadSnapshot, n)
+	for i := range snaps {
+		snaps[i] = replica.LoadSnapshot{QueuedRequests: i, PendingPrefillTokens: 2048 * i, ChunkBudgetTokens: 512}
+	}
+	load := loadsAt(loads)
+	snap := snapsAt(snaps)
+	match := func(i int) int { return idx.MatchTokens(i, chain) }
+
+	aff := &PrefixAffinity{}
+	if got := aff.PickPrefix(n, load, match); got != 2 {
+		t.Fatalf("affinity pick %d, want index holder 2", got)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		aff.PickPrefix(n, load, match)
+	}); allocs != 0 {
+		t.Errorf("PrefixAffinity.PickPrefix allocates %.1f/op at steady state", allocs)
+	}
+
+	pred := &PredictedLatency{Predictor: scoreStub{}, Transfer: &TransferModel{BytesPerToken: 131072, BandwidthBps: 64e9}}
+	pred.PickPrefixPredicted(n, load, snap, match, 4096, 16)
+	if allocs := testing.AllocsPerRun(200, func() {
+		pred.PickPrefixPredicted(n, load, snap, match, 4096, 16)
+	}); allocs != 0 {
+		t.Errorf("PickPrefixPredicted allocates %.1f/op at steady state", allocs)
+	}
+}

@@ -140,6 +140,11 @@ type Manager struct {
 	hbmLRU  lruList                   // unpinned HBM-resident blocks
 	dramLRU lruList                   // DRAM-resident blocks (never pinned)
 
+	// version counts membership-affecting mutations (see IndexVersion);
+	// it deliberately survives Reset so an index consumer never misses
+	// the transition back to empty.
+	version uint64
+
 	// Statistics (lifetime; Reset clears them).
 	hitTokens    uint64
 	reloadTokens uint64
@@ -291,6 +296,7 @@ func (m *Manager) makeRoom(n int) bool {
 // LRU block on overflow) or evicts it outright when there is no DRAM tier,
 // freeing its HBM block either way.
 func (m *Manager) demote(b *prefixBlock) {
+	m.version++
 	m.freeBlocks++
 	if m.dramBlocks == 0 {
 		delete(m.nodes, b.hash)
@@ -383,6 +389,7 @@ func (m *Manager) AcquirePrefix(id uint64, chain []uint64) AcquireResult {
 			m.dramUsed--
 			b.dram = false
 			m.freeBlocks--
+			m.version++
 			res.ReloadTokens += m.blockTokens
 		} else if b.refs == 0 {
 			m.hbmLRU.remove(b)
@@ -407,6 +414,7 @@ func (m *Manager) AcquirePrefix(id uint64, chain []uint64) AcquireResult {
 				m.dramUsed--
 				b.dram = false
 				m.freeBlocks--
+				m.version++
 			} else if b.refs == 0 {
 				m.hbmLRU.remove(b)
 			}
@@ -420,6 +428,7 @@ func (m *Manager) AcquirePrefix(id uint64, chain []uint64) AcquireResult {
 		b := &prefixBlock{hash: chain[i], refs: 1}
 		m.nodes[chain[i]] = b
 		m.freeBlocks--
+		m.version++
 		pins = append(pins, b)
 	}
 	if len(pins) > 0 {
@@ -461,6 +470,7 @@ func (m *Manager) Release(id uint64) {
 // call this between runs so per-run peaks and hit counters do not bleed
 // into each other.
 func (m *Manager) Reset() {
+	m.version++
 	m.freeBlocks = m.totalBlocks
 	m.peakUsed = 0
 	m.dramUsed = 0

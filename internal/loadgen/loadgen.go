@@ -127,6 +127,14 @@ type Report struct {
 	TTFTP99MS float64 `json:"ttft_p99_ms"`
 	TBTP50MS  float64 `json:"tbt_p50_ms"`
 	TBTP99MS  float64 `json:"tbt_p99_ms"`
+	// Prefix accounting over this run (the delta of the target's KV
+	// counters when it exposes them; see server.KVStats). Of the chain
+	// tokens completed requests carried, PrefixHitTokens were served from
+	// cache — PrefixTransferTokens of those by cross-replica KV import —
+	// and PrefixRecomputeTokens were prefilled from scratch.
+	PrefixHitTokens       uint64 `json:"prefix_hit_tokens"`
+	PrefixTransferTokens  uint64 `json:"prefix_transfer_tokens"`
+	PrefixRecomputeTokens uint64 `json:"prefix_recompute_tokens"`
 }
 
 // genReq is one pre-generated request.
@@ -288,6 +296,11 @@ func Run(ctx context.Context, target Target, spec Spec) (Report, error) {
 	}
 	outcomes := make([]outcome, len(reqs))
 	groups := groupSessions(spec, reqs)
+	kvTarget, _ := target.(interface{ KVStats() server.KVStats })
+	var kvBefore server.KVStats
+	if kvTarget != nil {
+		kvBefore = kvTarget.KVStats()
+	}
 	start := time.Now()
 	switch spec.Mode {
 	case Closed:
@@ -342,7 +355,24 @@ func Run(ctx context.Context, target Target, spec Spec) (Report, error) {
 	default:
 		return Report{}, fmt.Errorf("loadgen: unknown mode %q", spec.Mode)
 	}
-	return report(spec, outcomes, time.Since(start)), nil
+	rep := report(spec, outcomes, time.Since(start))
+	if kvTarget != nil {
+		after := kvTarget.KVStats()
+		rep.PrefixHitTokens = after.PrefixHitTokens - kvBefore.PrefixHitTokens
+		rep.PrefixTransferTokens = after.PrefixTransferTokens - kvBefore.PrefixTransferTokens
+	}
+	// Chain tokens the completed requests carried but the cache did not
+	// cover were prefilled from scratch.
+	var potential uint64
+	for i, o := range outcomes {
+		if o.ok {
+			potential += uint64(len(reqs[i].chain) * kvcache.DefaultBlockTokens)
+		}
+	}
+	if potential > rep.PrefixHitTokens {
+		rep.PrefixRecomputeTokens = potential - rep.PrefixHitTokens
+	}
+	return rep, nil
 }
 
 // execute submits one request and drains its stream to completion.

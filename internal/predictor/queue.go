@@ -43,6 +43,20 @@ const DefaultScoreChunk = 512
 //
 //qoserve:hotpath
 func EstimateCompletion(p FeaturePredictor, pendingPrefillTokens, activeDecodes, sumDecodeCtx, maxDecodeCtx, chunkTokens, promptTokens, decodeTokens int) sim.Time {
+	return EstimateCompletionPrefix(p, pendingPrefillTokens, activeDecodes, sumDecodeCtx, maxDecodeCtx, chunkTokens, promptTokens, decodeTokens, 0, 0)
+}
+
+// EstimateCompletionPrefix is EstimateCompletion with prefix-cache credit:
+// hitTokens of the prompt are already cached on (or being migrated to) the
+// scored replica and skip prefill, and transfer is modeled interconnect
+// time (cross-replica KV migration) serialized ahead of the request's
+// first iteration. The decode side still prices the full prompt context —
+// cached KV occupies the batch no matter how it got there. hitTokens is
+// clamped to promptTokens-1: the last prompt token is always computed
+// (it produces the first output logits).
+//
+//qoserve:hotpath
+func EstimateCompletionPrefix(p FeaturePredictor, pendingPrefillTokens, activeDecodes, sumDecodeCtx, maxDecodeCtx, chunkTokens, promptTokens, decodeTokens, hitTokens int, transfer sim.Time) sim.Time {
 	if promptTokens < 1 {
 		promptTokens = 1
 	}
@@ -52,7 +66,16 @@ func EstimateCompletion(p FeaturePredictor, pendingPrefillTokens, activeDecodes,
 	if pendingPrefillTokens < 0 {
 		pendingPrefillTokens = 0
 	}
-	pending := pendingPrefillTokens + promptTokens
+	if hitTokens < 0 {
+		hitTokens = 0
+	}
+	if hitTokens > promptTokens-1 {
+		hitTokens = promptTokens - 1
+	}
+	if transfer < 0 {
+		transfer = 0
+	}
+	pending := pendingPrefillTokens + promptTokens - hitTokens
 	chunk := chunkTokens
 	if chunk <= 0 {
 		chunk = DefaultScoreChunk
@@ -80,5 +103,5 @@ func EstimateCompletion(p FeaturePredictor, pendingPrefillTokens, activeDecodes,
 		}
 		est += p.PredictFeats(x) * sim.Time(decodeTokens-1)
 	}
-	return est
+	return est + transfer
 }

@@ -95,3 +95,41 @@ func TestEstimateCompletionAllocFree(t *testing.T) {
 		t.Fatalf("EstimateCompletion allocates %v times per call, want 0", allocs)
 	}
 }
+
+func TestEstimateCompletionPrefixCreditsHitTokens(t *testing.T) {
+	p := linearFeats{}
+	full := EstimateCompletionPrefix(p, 2048, 2, 600, 400, 512, 1024, 8, 0, 0)
+	if full != EstimateCompletion(p, 2048, 2, 600, 400, 512, 1024, 8) {
+		t.Fatal("zero hit/transfer must reduce to EstimateCompletion")
+	}
+	hit := EstimateCompletionPrefix(p, 2048, 2, 600, 400, 512, 1024, 8, 512, 0)
+	if hit >= full {
+		t.Fatalf("prefix credit did not lower the estimate: %v >= %v", hit, full)
+	}
+	// Credit is capped at prompt-1: the final prompt token always runs.
+	capped := EstimateCompletionPrefix(p, 0, 0, 0, 0, 512, 1024, 8, 4096, 0)
+	minimal := EstimateCompletionPrefix(p, 0, 0, 0, 0, 512, 1024, 8, 1023, 0)
+	if capped != minimal {
+		t.Fatalf("overshooting hit tokens changed the estimate: %v != %v", capped, minimal)
+	}
+	// The decode side still prices the full prompt context: with no
+	// prefill left to chunk, a bigger prompt must still cost more decode.
+	smallCtx := EstimateCompletionPrefix(p, 0, 1, 100, 100, 512, 256, 8, 255, 0)
+	bigCtx := EstimateCompletionPrefix(p, 0, 1, 100, 100, 512, 4096, 8, 4095, 0)
+	if bigCtx <= smallCtx {
+		t.Fatalf("cached context vanished from decode pricing: %v <= %v", bigCtx, smallCtx)
+	}
+}
+
+func TestEstimateCompletionPrefixChargesTransfer(t *testing.T) {
+	p := linearFeats{}
+	base := EstimateCompletionPrefix(p, 0, 0, 0, 0, 512, 1024, 8, 512, 0)
+	xfer := sim.Time(3) * sim.Millisecond
+	got := EstimateCompletionPrefix(p, 0, 0, 0, 0, 512, 1024, 8, 512, xfer)
+	if got != base+xfer {
+		t.Fatalf("transfer time not serialized: %v != %v + %v", got, base, xfer)
+	}
+	if EstimateCompletionPrefix(p, 0, 0, 0, 0, 512, 1024, 8, 512, -xfer) != base {
+		t.Fatal("negative transfer must clamp to zero")
+	}
+}

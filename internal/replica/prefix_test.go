@@ -104,3 +104,81 @@ func TestConfigureKVAndReload(t *testing.T) {
 		t.Error("ConfigureKV accepted reconfiguration after serving")
 	}
 }
+
+// PublishIndex exports membership into a global index only when it
+// changed, and AddTransferDebt serializes imported-KV time into the next
+// iteration exactly like a DRAM reload.
+func TestPublishIndexAndTransferDebt(t *testing.T) {
+	mc := model.Llama3_8B_A100_TP1()
+	engine := sim.NewEngine()
+	rep, err := New(engine, mc, sched.NewSarathi(sched.FCFS, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := kvcache.NewGlobalIndex(1)
+	rep.PublishIndex(idx, 0)
+	if e := idx.Epoch(0); e != 1 {
+		t.Fatalf("epoch %d after initial publish, want 1", e)
+	}
+	rep.PublishIndex(idx, 0) // membership unchanged: must not republish
+	if e := idx.Epoch(0); e != 1 {
+		t.Fatalf("quiescent republish bumped epoch to %d", e)
+	}
+
+	chain := kvcache.SyntheticChain(11, 0, kvcache.ChainBlocks(800, 16))
+	req := &request.Request{
+		ID: 1, App: "Q1", Class: qos.Table3()[0],
+		PromptTokens: 800, DecodeTokens: 4, PrefixHashes: chain,
+	}
+	engine.AtPriority(0, -1, sim.EventFunc(func(_ *sim.Engine, _ sim.Time) {
+		rep.Submit(req)
+	}))
+	engine.Run()
+	rep.PublishIndex(idx, 0)
+	if e := idx.Epoch(0); e != 2 {
+		t.Fatalf("epoch %d after caching a chain, want 2", e)
+	}
+	if got := idx.MatchTokens(0, chain); got != len(chain)*16 {
+		t.Fatalf("published index matches %d tokens, want %d", got, len(chain)*16)
+	}
+
+	// Transfer debt lands on the next iteration's wall time.
+	debt := 5 * sim.Millisecond
+	before := rep.busyTime
+	rep.AddTransferDebt(debt)
+	rep.AddTransferDebt(-debt) // ignored
+	if rep.TransferTime() != debt {
+		t.Fatalf("transfer time %v, want %v", rep.TransferTime(), debt)
+	}
+	if rep.pendingReload != debt {
+		t.Fatalf("pending debt %v, want %v", rep.pendingReload, debt)
+	}
+	req2 := &request.Request{
+		ID: 2, App: "Q1", Class: qos.Table3()[0],
+		Arrival: engine.Now(), PromptTokens: 64, DecodeTokens: 2,
+	}
+	rep.Submit(req2)
+	engine.Run()
+	if req2.Phase() != request.Done {
+		t.Fatalf("request 2 stuck in %v", req2.Phase())
+	}
+	if rep.pendingReload != 0 {
+		t.Fatalf("transfer debt %v never charged", rep.pendingReload)
+	}
+	if got := rep.busyTime - before; got < debt {
+		t.Fatalf("busy time grew %v, want at least the %v transfer debt", got, debt)
+	}
+
+	// Restart force-republishes the (now empty) membership.
+	rep.Fail()
+	if err := rep.Restart(sched.NewSarathi(sched.FCFS, 256)); err != nil {
+		t.Fatal(err)
+	}
+	rep.PublishIndex(idx, 0)
+	if e := idx.Epoch(0); e != 3 {
+		t.Fatalf("epoch %d after restart republish, want 3", e)
+	}
+	if got := idx.MatchTokens(0, chain); got != 0 {
+		t.Fatalf("restarted replica still advertises %d tokens", got)
+	}
+}

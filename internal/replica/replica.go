@@ -36,8 +36,13 @@ type Replica struct {
 	slow float64 // execution-time multiplier; 0 or 1 means nominal
 
 	// pendingReload is DRAM->HBM transfer time owed by prefix promotions
-	// since the last iteration; charged onto the next batch's exec time.
+	// (and cross-replica KV imports, see AddTransferDebt) since the last
+	// iteration; charged onto the next batch's exec time.
 	pendingReload sim.Time
+
+	// idxPublished is the kv membership version last exported via
+	// PublishIndex; ^0 forces a republish after Restart swaps the cache.
+	idxPublished uint64
 
 	// pending is the in-flight iteration-completion (or KV-retry) event,
 	// cancelled on Fail so a dead replica never finishes work.
@@ -71,9 +76,10 @@ type Replica struct {
 	rejected   uint64
 	crashes    uint64
 	restarts   uint64
-	prefixHit  uint64   // prompt tokens credited from the prefix cache
-	reloadTime sim.Time // total DRAM->HBM transfer time charged
-	served     []*request.Request
+	prefixHit    uint64   // prompt tokens credited from the prefix cache
+	reloadTime   sim.Time // total DRAM->HBM transfer time charged
+	transferTime sim.Time // total cross-replica KV transfer time charged
+	served       []*request.Request
 }
 
 // New builds a replica. The KV cache is sized from the model/hardware
@@ -86,7 +92,9 @@ func New(engine *sim.Engine, cfg model.Config, sch sched.Scheduler) (*Replica, e
 	if err != nil {
 		return nil, err
 	}
-	return &Replica{cfg: cfg, sch: sch, kv: kv, engine: engine}, nil
+	// idxPublished starts at the sentinel so a first PublishIndex always
+	// exports, even though the fresh cache sits at membership version 0.
+	return &Replica{cfg: cfg, sch: sch, kv: kv, engine: engine, idxPublished: ^uint64(0)}, nil
 }
 
 // Scheduler returns the replica's scheduler.
@@ -270,8 +278,36 @@ func (r *Replica) Restart(sch sched.Scheduler) error {
 	r.sch, r.kv = sch, kv
 	r.down = false
 	r.pendingReload = 0
+	// The fresh cache starts at version 0 like the old one did; force the
+	// next PublishIndex to export the (now empty) membership regardless.
+	r.idxPublished = ^uint64(0)
 	r.restarts++
 	return nil
+}
+
+// AddTransferDebt charges modeled interconnect time for KV blocks
+// imported from a peer replica. Like DRAM reload debt it serializes with
+// the next iteration's execution — the conservative (non-overlapped)
+// transfer model.
+func (r *Replica) AddTransferDebt(d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	r.pendingReload += d
+	r.transferTime += d
+}
+
+// TransferTime is the total cross-replica KV transfer time charged so far.
+func (r *Replica) TransferTime() sim.Time { return r.transferTime }
+
+// PublishIndex exports the replica's prefix-cache block membership into
+// slot of the global index, skipping the export entirely when membership
+// has not changed since the last publish (warm steady state).
+func (r *Replica) PublishIndex(g *kvcache.GlobalIndex, slot int) {
+	if v := r.kv.IndexVersion(); v != r.idxPublished {
+		g.Publish(slot, r.kv.ExportIndex())
+		r.idxPublished = v
+	}
 }
 
 // startIteration plans and launches one batch; the replica idles if the

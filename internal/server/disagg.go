@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"qoserve/internal/cluster"
 	"qoserve/internal/replica"
 	"qoserve/internal/request"
 	"qoserve/internal/sim"
@@ -87,16 +88,11 @@ func (s *Server) prefillClone(orig *request.Request) *request.Request {
 }
 
 // submitDisagg routes one accepted submission through the two-tier
-// pipeline. The decode home is fixed now (least-loaded decode replica) so
-// exactly one serving loop ever mutates the request; the prefill replica
-// is chosen by the configured balancer over the prefill tier.
+// pipeline. The decode home is fixed now so exactly one serving loop ever
+// mutates the request; the prefill replica is chosen by the configured
+// balancer over the prefill tier.
 func (s *Server) submitDisagg(req *request.Request, events chan Event) (*Stream, error) {
-	home := s.prefillReps
-	for i := s.prefillReps + 1; i < len(s.reps); i++ {
-		if s.reps[i].load.Load() < s.reps[home].load.Load() {
-			home = i
-		}
-	}
+	home := s.pickDecodeHome(req)
 	h := pendingHandoff{clone: s.prefillClone(req), orig: req, events: events, home: home}
 	s.reps[home].load.Add(1)
 	s.inFlight.Add(1)
@@ -112,6 +108,34 @@ func (s *Server) submitDisagg(req *request.Request, events chan Event) (*Stream,
 	s.served = append(s.served, req)
 	s.servedMu.Unlock()
 	return &Stream{ID: req.ID, Events: events, req: req, rep: s.reps[home]}, nil
+}
+
+// pickDecodeHome fixes a request's decode-tier home. Snapshot-aware
+// balancers score each decode replica's live queue state against the
+// request's shape with the predictor — the decode iterations carry the
+// full prompt context, so a long-prompt request should dodge replicas
+// already thick with long contexts — while everything else keeps the
+// least-loaded pick.
+func (s *Server) pickDecodeHome(req *request.Request) int {
+	nd := len(s.reps) - s.prefillReps
+	if nd > 1 {
+		if sb, ok := s.balancer.(cluster.SnapshotBalancer); ok {
+			i := sb.PickPredicted(nd,
+				func(j int) int { return int(s.reps[s.prefillReps+j].load.Load()) },
+				func(j int) replica.LoadSnapshot { return s.reps[s.prefillReps+j].loadSnapshot() },
+				req.PromptTokens, req.DecodeTokens)
+			if i >= 0 && i < nd {
+				return s.prefillReps + i
+			}
+		}
+	}
+	home := s.prefillReps
+	for i := s.prefillReps + 1; i < len(s.reps); i++ {
+		if s.reps[i].load.Load() < s.reps[home].load.Load() {
+			home = i
+		}
+	}
+	return home
 }
 
 // pickPrefill chooses a healthy prefill-tier replica for the handoff's
@@ -165,7 +189,8 @@ func (s *Server) enqueuePrefill(h pendingHandoff) bool {
 			}
 			continue // crashed between pick and enqueue; re-pick
 		}
-		rp.inbox = append(rp.inbox, admission{req: h.clone, events: h.events, orig: h.orig, home: h.home})
+		src, tok := s.planTransfer(h.clone, i, s.prefillReps)
+		rp.inbox = append(rp.inbox, admission{req: h.clone, events: h.events, orig: h.orig, home: h.home, xferFrom: src, xferTokens: tok})
 		rp.wake.Signal()
 		rp.inboxMu.Unlock()
 		return true

@@ -122,6 +122,15 @@ type ReplicaLoad struct {
 	SumDecodeCtx         int    `json:"sum_decode_ctx"`
 	MaxDecodeCtx         int    `json:"max_decode_ctx"`
 	ChunkBudgetTokens    int    `json:"chunk_budget_tokens"`
+	// CachedChainBlocks is prefix blocks resident in this replica's cache,
+	// both tiers.
+	CachedChainBlocks int `json:"cached_chain_blocks"`
+	// HBMUtilization / DRAMUtilization are each cache tier's fill fraction.
+	HBMUtilization  float64 `json:"hbm_utilization"`
+	DRAMUtilization float64 `json:"dram_utilization"`
+	// IndexEpoch is this replica's publication epoch in the global prefix
+	// index; 0 when the index is disabled or nothing was published yet.
+	IndexEpoch uint64 `json:"index_epoch"`
 }
 
 // LoadResponse is the GET /debug/load body.
@@ -189,6 +198,14 @@ func (s *Server) handleDebugLoad(w http.ResponseWriter, _ *http.Request) {
 	resp := LoadResponse{Mode: mode, Replicas: make([]ReplicaLoad, 0, len(s.reps))}
 	for i, rp := range s.reps {
 		snap := rp.loadSnapshot()
+		rp.kvMu.Lock()
+		hbmBlocks, dramBlocks := rp.kv.CachedBlocks()
+		hbmUtil, dramUtil := rp.kv.TierUtilization()
+		rp.kvMu.Unlock()
+		var epoch uint64
+		if s.prefixIdx != nil {
+			epoch = s.prefixIdx.Epoch(i)
+		}
 		resp.Replicas = append(resp.Replicas, ReplicaLoad{
 			Replica:              i,
 			Role:                 s.roleOf(i),
@@ -201,6 +218,10 @@ func (s *Server) handleDebugLoad(w http.ResponseWriter, _ *http.Request) {
 			SumDecodeCtx:         snap.SumDecodeCtx,
 			MaxDecodeCtx:         snap.MaxDecodeCtx,
 			ChunkBudgetTokens:    snap.ChunkBudgetTokens,
+			CachedChainBlocks:    hbmBlocks + dramBlocks,
+			HBMUtilization:       hbmUtil,
+			DRAMUtilization:      dramUtil,
+			IndexEpoch:           epoch,
 		})
 	}
 	writeJSON(w, resp)
@@ -287,6 +308,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.header("qoserve_kvcache_cached_blocks", "Prefix blocks currently resident by tier.", "gauge")
 	p.intValue("qoserve_kvcache_cached_blocks", `{tier="hbm"}`, uint64(kv.CachedHBMBlocks))
 	p.intValue("qoserve_kvcache_cached_blocks", `{tier="dram"}`, uint64(kv.CachedDRAMBlocks))
+	p.header("qoserve_kvcache_prefix_transfer_tokens_total", "Hit tokens imported from another replica's cache over the interconnect.", "counter")
+	p.intValue("qoserve_kvcache_prefix_transfer_tokens_total", "", kv.PrefixTransferTokens)
+	p.header("qoserve_kvcache_transfer_fallbacks_total", "Planned KV imports abandoned at admission and recomputed.", "counter")
+	p.intValue("qoserve_kvcache_transfer_fallbacks_total", "", kv.TransferFallbacks)
 
 	if hasReleg {
 		p.header("qoserve_relegations_total", "Requests eagerly relegated.", "counter")

@@ -150,6 +150,19 @@ type Config struct {
 	// delay the admitting iteration — not for admission control, which the
 	// cost model does not need without real GPU memory.
 	KV kvcache.Config
+	// GlobalPrefixIndex publishes every replica's prefix-cache membership
+	// into a lock-free global index (kvcache.GlobalIndex) that routing
+	// probes instead of taking per-replica cache locks. Implied by a
+	// positive KVTransferBandwidth.
+	GlobalPrefixIndex bool
+	// KVTransferBandwidth enables cross-replica KV migration: when another
+	// replica holds a longer cached prefix than the routed one, the missing
+	// blocks move over an interconnect of this many bytes per second of
+	// virtual time instead of being recomputed — if the modeled transfer is
+	// cheaper than the prefill it saves. Zero disables migration. Valid in
+	// both modes; distinct from TransferBandwidth, the disagg
+	// prefill->decode handoff fabric.
+	KVTransferBandwidth float64
 	// StreamBuffer bounds each stream's event buffer (default 256 events,
 	// additionally capped at the request's DecodeTokens+1). See Stream for
 	// the overflow contract.
@@ -256,6 +269,19 @@ type Server struct {
 	prefixHits    atomic.Uint64 // prompt tokens served from prefix caches
 	reloadTokens  atomic.Uint64 // hit tokens promoted from the DRAM tier
 
+	// prefixIdx is the global prefix index replicas publish their cache
+	// membership into; nil unless Config.GlobalPrefixIndex or a positive
+	// Config.KVTransferBandwidth enabled it. Entries can be stale (a
+	// crashed replica keeps its last publication) — consumers re-validate
+	// liveness before acting on a hit.
+	prefixIdx *kvcache.GlobalIndex
+	// xferBytesPerToken is the served model's KV footprint per token,
+	// cached for transfer pricing. Immutable after New.
+	xferBytesPerToken float64
+
+	prefixTransferTokens atomic.Uint64 // hit tokens imported across replicas
+	transferFallbacks    atomic.Uint64 // planned imports abandoned at admission
+
 	// Disagg-mode lifetime counters.
 	handoffs       atomic.Uint64 // prefill->decode KV handoffs launched
 	transferTokens atomic.Uint64 // prompt tokens whose KV crossed tiers
@@ -330,6 +356,12 @@ type gatewayReplica struct {
 	// reloadDebt is DRAM->HBM transfer time owed by prefix promotions,
 	// added to the next iteration's sleep. Loop-owned.
 	reloadDebt time.Duration
+	// transferDebt is cross-replica KV import time owed by admitted
+	// migrations, charged exactly like reloadDebt. Loop-owned.
+	transferDebt time.Duration
+	// idxVersion is the kv membership version last published to the global
+	// index. Guarded by kvMu.
+	idxVersion uint64
 
 	// Loop-owned state, touched only by the serving goroutine.
 	drained  []admission           // inbox swap buffer
@@ -351,6 +383,12 @@ type admission struct {
 	events chan Event
 	orig   *request.Request
 	home   int
+	// xferFrom/xferTokens carry a planned cross-replica KV import: credit
+	// xferTokens of the prefix by migrating the missing blocks from replica
+	// xferFrom. Zero xferTokens means no import was planned; the plan is
+	// re-validated at admission (see planTransfer).
+	xferFrom   int
+	xferTokens int
 }
 
 // pendingHandoff is one request whose prompt is prefilling on this tier as
@@ -424,6 +462,9 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Classes) == 0 {
 		return nil, fmt.Errorf("server: no QoS classes configured")
 	}
+	if cfg.KVTransferBandwidth < 0 {
+		return nil, fmt.Errorf("server: negative KV transfer bandwidth")
+	}
 	switch cfg.Mode {
 	case "", "colocated":
 		if cfg.PrefillReplicas != 0 {
@@ -487,6 +528,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.loadOf = func(i int) int { return int(s.reps[i].load.Load()) }
 	s.snapOf = func(i int) replica.LoadSnapshot { return s.reps[i].loadSnapshot() }
+	if cfg.GlobalPrefixIndex || cfg.KVTransferBandwidth > 0 {
+		s.prefixIdx = kvcache.NewGlobalIndex(cfg.Replicas)
+	}
+	s.xferBytesPerToken = cfg.Model.Model.KVBytesPerToken()
 	if cfg.Mode == "disagg" {
 		s.prefillReps = cfg.PrefillReplicas
 		s.maxDecodeBatch = cfg.MaxDecodeBatch
@@ -598,7 +643,9 @@ func (s *Server) Submit(sub Submission) (*Stream, error) {
 		return s.submitDisagg(req, events)
 	}
 
-	rp := s.reps[s.pick(req)]
+	pi := s.pick(req)
+	rp := s.reps[pi]
+	src, tok := s.planTransfer(req, pi, len(s.reps))
 	rp.load.Add(1)
 	rp.snapQueued.Add(1)
 	rp.snapPrefill.Add(int64(req.PromptTokens))
@@ -612,7 +659,7 @@ func (s *Server) Submit(sub Submission) (*Stream, error) {
 		s.inFlight.Add(-1)
 		return nil, ErrClosed
 	}
-	rp.inbox = append(rp.inbox, admission{req: req, events: events})
+	rp.inbox = append(rp.inbox, admission{req: req, events: events, xferFrom: src, xferTokens: tok})
 	rp.wake.Signal()
 	rp.inboxMu.Unlock()
 
@@ -635,27 +682,111 @@ func (s *Server) pick(req *request.Request) int {
 }
 
 // pickOver runs the configured balancer over the first n replicas for a
-// request expecting decodeTokens output tokens.
+// request expecting decodeTokens output tokens. With the global prefix
+// index enabled, prefix probes read epoch-stamped membership snapshots —
+// no replica cache lock is taken on this path.
 func (s *Server) pickOver(n int, req *request.Request, decodeTokens int) int {
 	if n == 1 {
 		return 0
 	}
+	chain := req.PrefixHashes
 	if sb, ok := s.balancer.(cluster.SnapshotBalancer); ok {
+		if pb, ok := s.balancer.(cluster.PrefixSnapshotBalancer); ok && s.prefixIdx != nil && len(chain) > 0 {
+			return pb.PickPrefixPredicted(n, s.loadOf, s.snapOf, s.indexMatch(chain), req.PromptTokens, decodeTokens)
+		}
 		return sb.PickPredicted(n, s.loadOf, s.snapOf, req.PromptTokens, decodeTokens)
 	}
-	if pr, ok := s.balancer.(cluster.PrefixRouter); ok && len(req.PrefixHashes) > 0 {
+	if pr, ok := s.balancer.(cluster.PrefixRouter); ok && len(chain) > 0 {
+		if s.prefixIdx != nil {
+			return pr.PickPrefix(n, s.loadOf, s.indexMatch(chain))
+		}
 		return pr.PickPrefix(n, s.loadOf, func(j int) int {
-			return s.reps[j].matchTokens(req.PrefixHashes)
+			return s.reps[j].matchTokens(chain)
 		})
 	}
 	return s.balancer.PickIndex(n, s.loadOf)
 }
 
-// matchTokens probes the replica's prefix cache for routing affinity.
+// indexMatch is a routing match probe over the global prefix index.
+func (s *Server) indexMatch(chain []uint64) func(int) int {
+	return func(j int) int { return s.prefixIdx.MatchTokens(j, chain) }
+}
+
+// transferSeconds prices moving tokens of cached KV between replicas over
+// the configured interconnect, in virtual seconds.
+func (s *Server) transferSeconds(tokens int) float64 {
+	if tokens <= 0 || s.cfg.KVTransferBandwidth <= 0 {
+		return 0
+	}
+	return float64(tokens) * s.xferBytesPerToken / s.cfg.KVTransferBandwidth
+}
+
+// planTransfer decides at submission whether the chosen replica should
+// import the request's cached prefix from another replica instead of
+// recomputing it: it returns the source and the total prefix tokens to
+// credit after the import, or (-1, 0) to recompute. tierN bounds the index
+// scan to the replicas that can hold the prefix (the prefill tier in
+// disagg mode). The plan is advisory — the index may be stale — so admit
+// re-validates the source's liveness and coverage before charging the
+// interconnect, falling back to recompute.
+func (s *Server) planTransfer(req *request.Request, chosen, tierN int) (src, tokens int) {
+	if s.cfg.KVTransferBandwidth <= 0 || s.prefixIdx == nil || len(req.PrefixHashes) == 0 {
+		return -1, 0
+	}
+	holder, best := s.prefixIdx.BestMatch(tierN, req.PrefixHashes)
+	if holder < 0 || holder == chosen {
+		return -1, 0
+	}
+	if best > req.PromptTokens-1 {
+		best = req.PromptTokens - 1
+	}
+	local := s.prefixIdx.MatchTokens(chosen, req.PrefixHashes)
+	moved := best - local
+	if moved < cluster.DefaultMinMatchTokens {
+		return -1, 0
+	}
+	// Migrate only when the interconnect beats recomputing the moved tokens
+	// as a single prefill chunk — conservative toward recompute, since real
+	// chunked prefill pays per-iteration overhead on top.
+	recompute := s.cfg.Model.BatchTime(model.BatchShape{
+		Prefill: []model.ChunkShape{{Tokens: moved, CtxStart: local}},
+	}).Seconds()
+	if s.transferSeconds(moved) >= recompute {
+		return -1, 0
+	}
+	return holder, best
+}
+
+// transferableMatch re-validates a planned KV import source at admission:
+// the chain coverage it currently advertises, or 0 when it is down or out
+// of range.
+func (s *Server) transferableMatch(src int, chain []uint64) int {
+	if src < 0 || src >= len(s.reps) || s.reps[src].down.Load() {
+		return 0
+	}
+	return s.prefixIdx.MatchTokens(src, chain)
+}
+
+// matchTokens probes the replica's prefix cache for routing affinity. Only
+// used when the global prefix index is disabled — with it, routing probes
+// the index and never takes kvMu.
 func (rp *gatewayReplica) matchTokens(chain []uint64) int {
 	rp.kvMu.Lock()
 	defer rp.kvMu.Unlock()
 	return rp.kv.MatchTokens(chain)
+}
+
+// publishIndexLocked exports this replica's cache membership into the
+// global prefix index when it changed since the last publication — warm
+// steady-state traffic (pure re-pins) publishes nothing. Caller holds
+// kvMu and has checked srv.prefixIdx != nil.
+//
+//qoserve:locked kvMu
+func (rp *gatewayReplica) publishIndexLocked() {
+	if v := rp.kv.IndexVersion(); v != rp.idxVersion {
+		rp.srv.prefixIdx.Publish(rp.idx, rp.kv.ExportIndex())
+		rp.idxVersion = v
+	}
 }
 
 // kvBlockTokens reads the cache block size (immutable after New).
@@ -700,6 +831,12 @@ func (rp *gatewayReplica) run() {
 			wall += rp.reloadDebt
 			rp.reloadDebt = 0
 		}
+		if rp.transferDebt > 0 {
+			// Prefix KV imported from another replica pays its interconnect
+			// time the same way.
+			wall += rp.transferDebt
+			rp.transferDebt = 0
+		}
 		time.Sleep(time.Duration(float64(wall) / rp.srv.cfg.Timescale))
 
 		rp.mu.Lock()
@@ -742,22 +879,46 @@ func (rp *gatewayReplica) admit() bool {
 	// Pin shared prefixes before the scheduler sees the requests: matched
 	// tokens are credited as already prefilled (the chunk planners just
 	// see less remaining work) and DRAM promotions accrue reload debt for
-	// the next iteration's sleep.
+	// the next iteration's sleep. Planned cross-replica imports are
+	// re-validated here — the source may have crashed or evicted since
+	// submission — then credited like local hits, with the interconnect
+	// time accrued as transfer debt.
+	srv := rp.srv
 	rp.kvMu.Lock()
 	for _, ad := range rp.drained {
 		if len(ad.req.PrefixHashes) == 0 {
 			continue
 		}
 		res := rp.kv.AcquirePrefix(ad.req.ID, ad.req.PrefixHashes)
-		ad.req.ApplyPrefixHit(res.HitTokens)
-		if res.HitTokens > 0 {
-			rp.srv.prefixHits.Add(uint64(res.HitTokens))
-			rp.snapPrefill.Add(-int64(res.HitTokens))
+		credit := res.HitTokens
+		if ad.xferTokens > credit {
+			if avail := srv.transferableMatch(ad.xferFrom, ad.req.PrefixHashes); avail > credit {
+				imp := ad.xferTokens
+				if avail < imp {
+					imp = avail
+				}
+				moved := imp - credit
+				credit = imp
+				rp.transferDebt += time.Duration(srv.transferSeconds(moved) * float64(time.Second))
+				srv.prefixTransferTokens.Add(uint64(moved))
+			} else {
+				// Source gone: recompute instead. Never a silent drop — the
+				// request simply keeps its full prefill work.
+				srv.transferFallbacks.Add(1)
+			}
+		}
+		ad.req.ApplyPrefixHit(credit)
+		if credit > 0 {
+			srv.prefixHits.Add(uint64(credit))
+			rp.snapPrefill.Add(-int64(credit))
 		}
 		if res.ReloadTokens > 0 {
-			rp.srv.reloadTokens.Add(uint64(res.ReloadTokens))
+			srv.reloadTokens.Add(uint64(res.ReloadTokens))
 			rp.reloadDebt += time.Duration(rp.kv.ReloadSeconds(res.ReloadTokens) * float64(time.Second))
 		}
+	}
+	if srv.prefixIdx != nil {
+		rp.publishIndexLocked()
 	}
 	rp.kvMu.Unlock()
 	now := rp.srv.vnow()
@@ -994,13 +1155,21 @@ type KVStats struct {
 	// CachedHBMBlocks / CachedDRAMBlocks are currently resident blocks.
 	CachedHBMBlocks  int
 	CachedDRAMBlocks int
+	// PrefixTransferTokens is hit tokens whose KV was imported from
+	// another replica's cache over the interconnect instead of recomputed.
+	PrefixTransferTokens uint64
+	// TransferFallbacks counts planned imports abandoned at admission
+	// (source crashed or evicted its blocks) and served by recompute.
+	TransferFallbacks uint64
 }
 
 // KVStats snapshots the prefix caches, probing each replica in turn.
 func (s *Server) KVStats() KVStats {
 	st := KVStats{
-		PrefixHitTokens: s.prefixHits.Load(),
-		ReloadTokens:    s.reloadTokens.Load(),
+		PrefixHitTokens:      s.prefixHits.Load(),
+		ReloadTokens:         s.reloadTokens.Load(),
+		PrefixTransferTokens: s.prefixTransferTokens.Load(),
+		TransferFallbacks:    s.transferFallbacks.Load(),
 	}
 	for _, rp := range s.reps {
 		rp.kvMu.Lock()
