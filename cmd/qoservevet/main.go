@@ -1,15 +1,40 @@
 // Command qoservevet runs the repo's custom static-analysis suite
-// (internal/analysis): detdrift, hotpathalloc, tracehook, and guardedfield.
-// It is the project-specific half of `make lint`, alongside the stock
+// (internal/analysis): detdrift, hotpathalloc, tracehook, guardedfield,
+// atomicfield, frozen, nosilentdrop, and metricwire. It is the
+// project-specific half of `make lint`, alongside the stock
 // staticcheck/govulncheck passes.
 //
 // Usage:
 //
-//	qoservevet [-list] [packages]
+//	qoservevet [-list] [-json] [-o file] [-suppressions] [-budget n] [packages]
 //
 // Packages default to ./... relative to the working directory. Exit status
 // is 1 when any finding survives (suppressions via //lint:ignore with a
 // justification are honoured), 2 on operational errors.
+//
+// With -json the findings are emitted as one machine-readable report
+// (schema below) instead of the line-per-finding text form, so CI can
+// archive the report as an artifact and dashboards can diff runs:
+//
+//	{
+//	  "version": 1,
+//	  "findings":     [{"file","line","col","analyzer","message"}, ...],
+//	  "suppressions": [{"file","line","analyzers","justification",
+//	                    "fileWide","used"}, ...],
+//	  "stats": {"packages","analyzers","facts","findings",
+//	            "suppressions","staleSuppressions"}
+//	}
+//
+// -o writes the report to a file (and, for -json, still prints findings to
+// stdout as text so humans see them in CI logs).
+//
+// -suppressions switches to audit mode: every justified //lint:ignore in
+// the analyzed packages is listed with its use status. A suppression that
+// suppressed nothing this run is stale — the code it excused has been
+// fixed or deleted — and is an error: delete the directive. With
+// -budget n, the audit also fails when more than n live suppressions
+// exist, so the escape hatch cannot silently grow; the committed budget
+// lives in the Makefile (LINT_SUPPRESSION_BUDGET).
 //
 // The driver loads and type-checks packages from source via the go tool
 // (no prebuilt export data), so it needs no toolchain support beyond `go
@@ -20,17 +45,58 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"qoserve/internal/analysis"
 )
 
+// report is the -json document. The schema is versioned so downstream
+// tooling can detect incompatible changes.
+type report struct {
+	Version      int               `json:"version"`
+	Findings     []jsonFinding     `json:"findings"`
+	Suppressions []jsonSuppression `json:"suppressions"`
+	Stats        stats             `json:"stats"`
+}
+
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonSuppression struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Analyzers     string `json:"analyzers"`
+	Justification string `json:"justification"`
+	FileWide      bool   `json:"fileWide"`
+	Used          bool   `json:"used"`
+}
+
+type stats struct {
+	Packages          int `json:"packages"`
+	Analyzers         int `json:"analyzers"`
+	Facts             int `json:"facts"`
+	Findings          int `json:"findings"`
+	Suppressions      int `json:"suppressions"`
+	StaleSuppressions int `json:"staleSuppressions"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
+	outPath := flag.String("o", "", "write the report to this file instead of stdout")
+	audit := flag.Bool("suppressions", false, "audit //lint:ignore directives instead of reporting findings")
+	budget := flag.Int("budget", -1, "with -suppressions: fail if live suppressions exceed this count")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qoservevet [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: qoservevet [-list] [-json] [-o file] [-suppressions] [-budget n] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,17 +121,107 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	findings, err := analysis.Run(pkgs, analyzers)
+	findings, suppressions, facts, err := analysis.RunWithAudit(pkgs, analyzers)
 	if err != nil {
 		fatal(err)
 	}
+
+	rep := report{Version: 1}
 	for _, d := range findings {
-		fmt.Println(d)
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	stale := 0
+	for _, s := range suppressions {
+		if !s.Used {
+			stale++
+		}
+		rep.Suppressions = append(rep.Suppressions, jsonSuppression{
+			File: s.Pos.Filename, Line: s.Pos.Line,
+			Analyzers: s.Analyzers, Justification: s.Justification,
+			FileWide: s.FileWide, Used: s.Used,
+		})
+	}
+	rep.Stats = stats{
+		Packages:          len(pkgs),
+		Analyzers:         len(analyzers),
+		Facts:             facts.Len(),
+		Findings:          len(findings),
+		Suppressions:      len(suppressions),
+		StaleSuppressions: stale,
+	}
+
+	if *jsonOut || *outPath != "" {
+		if err := writeReport(rep, *outPath); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *audit {
+		os.Exit(runAudit(rep, *budget))
+	}
+
+	// Text findings always reach stdout (JSON mode included, unless the
+	// report itself is going to stdout) so CI logs stay human-readable.
+	if !*jsonOut || *outPath != "" {
+		for _, d := range findings {
+			fmt.Println(d)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "qoservevet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// writeReport emits the JSON document to path, or stdout when path is "".
+func writeReport(rep report, path string) error {
+	var w io.Writer = os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// runAudit prints the suppression table and returns the exit status: 1 if
+// any suppression is stale or the live count exceeds the budget.
+func runAudit(rep report, budget int) int {
+	for _, s := range rep.Suppressions {
+		status := "live"
+		if !s.Used {
+			status = "STALE"
+		}
+		form := "ignore"
+		if s.FileWide {
+			form = "file-ignore"
+		}
+		fmt.Printf("%s:%d: [%s] %s %s — %s\n", s.File, s.Line, status, form, s.Analyzers, s.Justification)
+	}
+	live := rep.Stats.Suppressions - rep.Stats.StaleSuppressions
+	fmt.Printf("qoservevet: %d suppression(s): %d live, %d stale", rep.Stats.Suppressions, live, rep.Stats.StaleSuppressions)
+	if budget >= 0 {
+		fmt.Printf(" (budget %d)", budget)
+	}
+	fmt.Println()
+	code := 0
+	if rep.Stats.StaleSuppressions > 0 {
+		fmt.Fprintln(os.Stderr, "qoservevet: stale suppressions excuse nothing — delete them")
+		code = 1
+	}
+	if budget >= 0 && live > budget {
+		fmt.Fprintf(os.Stderr, "qoservevet: %d live suppressions exceed the budget of %d — fix the code instead of widening the escape hatch\n", live, budget)
+		code = 1
+	}
+	return code
 }
 
 func fatal(err error) {

@@ -1,7 +1,8 @@
 // Package analysis is the repo's compile-time contract checker: a small,
 // dependency-free reimplementation of the golang.org/x/tools/go/analysis
-// shape (Analyzer / Pass / Diagnostic) plus the four project-specific
-// analyzers cmd/qoservevet drives:
+// shape (Analyzer / Pass / Diagnostic, plus a JSON fact layer for
+// cross-package claims) and the eight project-specific analyzers
+// cmd/qoservevet drives:
 //
 //   - detdrift: no wall-clock reads, global PRNG use, order-sensitive map
 //     iteration, or multi-way selects in determinism-critical packages.
@@ -15,6 +16,23 @@
 //   - guardedfield: struct fields documented "guarded by <mu>" must only
 //     be touched by functions that lock that mutex (or are documented
 //     //qoserve:locked <mu>, meaning the caller holds it).
+//   - atomicfield: a field ever accessed through sync/atomic is accessed
+//     through sync/atomic everywhere; atomic wrapper values are never
+//     copied.
+//   - frozen: values published via atomic.Pointer.Store, and instances of
+//     //qoserve:frozen types, are immutable after publication.
+//   - nosilentdrop: every request-retiring function in the serving
+//     packages records an outcome (//qoserve:outcome complete / fail /
+//     requeue / handoff) directly or through an annotated helper.
+//   - metricwire: every Prometheus family is declared exactly once,
+//     emitted, conventionally named, and backed by a counter something
+//     actually updates.
+//
+// Analyzers that need to see across package boundaries export facts —
+// JSON-serializable claims about named program objects — while visiting
+// the declaring package; the runner serializes each package's facts and
+// merges them into a module-wide base that every check pass and the
+// module-level Finish phase read (see facts.go).
 //
 // The x/tools framework is deliberately not imported: the build environment
 // pins the module graph to the standard library, so the loader
@@ -43,11 +61,27 @@ import (
 	"strings"
 )
 
-// Analyzer is one named check, mirroring go/analysis.Analyzer.
+// Analyzer is one named check, mirroring go/analysis.Analyzer with an
+// explicit two-phase shape: FactGen (optional) visits every package first
+// and exports facts about its objects; Run then checks each package against
+// the complete, module-wide fact base; Finish (optional) runs once at the
+// end for whole-module invariants that no single package can decide (e.g.
+// "every metric family declared somewhere is emitted somewhere").
 type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass) error
+
+	// FactGen, when non-nil, runs over every package before any Run call.
+	// Its Pass carries a package-local FactSet; the runner serializes each
+	// package's facts to the JSON wire form and imports them into the
+	// module-wide base, so cross-package claims always travel through the
+	// same encode/decode path a persisted fact cache would use.
+	FactGen func(*Pass) error
+
+	// Finish, when non-nil, runs once after every package's Run with the
+	// merged fact base. Diagnostics are positioned by the facts themselves.
+	Finish func(fs *FactSet, report func(pos token.Position, format string, args ...any))
 }
 
 // Pass carries one package's syntax and type information to an analyzer,
@@ -65,6 +99,10 @@ type Pass struct {
 	// hotpathalloc validate cross-package calls without whole-program
 	// escape analysis.
 	Hotpath map[string]bool
+
+	// Facts is the fact base for this phase: a package-local set being
+	// built during FactGen, the merged module-wide set during Run.
+	Facts *FactSet
 
 	report func(Diagnostic)
 }
@@ -92,9 +130,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // ignoreDirective is one parsed //lint:ignore or //lint:file-ignore.
 type ignoreDirective struct {
 	analyzers []string // names, or ["*"] for all
+	spec      string   // the analyzer list as written
+	reason    string   // the mandatory justification
 	fileWide  bool
 	hasReason bool
-	line      int
+	pos       token.Position
+	used      bool // suppressed at least one finding this run
 }
 
 func (d ignoreDirective) matches(name string) bool {
@@ -111,50 +152,81 @@ var lintDirectiveRe = regexp.MustCompile(`^//lint:(ignore|file-ignore)\s+(\S+)(?
 // parseIgnores extracts suppression directives from a file. Malformed
 // directives (no justification) are returned separately so the runner can
 // surface them as findings instead of silently honouring them.
-func parseIgnores(fset *token.FileSet, f *ast.File) (byLine map[int][]ignoreDirective, fileWide []ignoreDirective, malformed []token.Pos) {
-	byLine = map[int][]ignoreDirective{}
+func parseIgnores(fset *token.FileSet, f *ast.File) (dirs []*ignoreDirective, malformed []token.Pos) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			m := lintDirectiveRe.FindStringSubmatch(c.Text)
 			if m == nil {
 				continue
 			}
-			d := ignoreDirective{
+			d := &ignoreDirective{
 				analyzers: strings.Split(m[2], ","),
+				spec:      m[2],
+				reason:    strings.TrimSpace(m[3]),
 				fileWide:  m[1] == "file-ignore",
-				hasReason: strings.TrimSpace(m[3]) != "",
-				line:      fset.Position(c.Pos()).Line,
+				pos:       fset.Position(c.Pos()),
 			}
+			d.hasReason = d.reason != ""
 			if !d.hasReason {
 				malformed = append(malformed, c.Pos())
 				continue
 			}
-			if d.fileWide {
-				fileWide = append(fileWide, d)
-			} else {
-				byLine[d.line] = append(byLine[d.line], d)
-			}
+			dirs = append(dirs, d)
 		}
 	}
-	return byLine, fileWide, malformed
+	return dirs, malformed
+}
+
+// Suppression is one justified //lint:ignore directive observed during a
+// run, for the driver's suppression-audit mode. Used reports whether the
+// directive actually suppressed a finding this run; a directive that
+// suppresses nothing is stale and should be deleted.
+type Suppression struct {
+	Pos           token.Position
+	Analyzers     string // the analyzer list as written
+	Justification string
+	FileWide      bool
+	Used          bool
 }
 
 // Run applies every analyzer to every package and returns the surviving
 // findings sorted by position. Suppressed findings are dropped; bare
 // //lint:ignore directives without a justification are themselves reported.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	hot := HotpathFuncs(pkgs)
+	diags, _, _, err := run(pkgs, analyzers)
+	return diags, err
+}
+
+// RunWithAudit is Run plus the audit trail: every justified suppression
+// with its use status, and the merged module-wide fact base.
+func RunWithAudit(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Suppression, *FactSet, error) {
+	return run(pkgs, analyzers)
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Suppression, *FactSet, error) {
+	// Suppression index over every file of every package, so module-level
+	// (Finish) diagnostics honour //lint:ignore exactly like package ones.
+	type fileIgnores struct {
+		byLine   map[int][]*ignoreDirective
+		fileWide []*ignoreDirective
+	}
+	ignores := map[string]*fileIgnores{}
+	var directives []*ignoreDirective
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		type fileIgnores struct {
-			byLine   map[int][]ignoreDirective
-			fileWide []ignoreDirective
-		}
-		ignores := map[string]fileIgnores{}
 		for _, f := range pkg.Files {
-			byLine, fileWide, malformed := parseIgnores(pkg.Fset, f)
+			dirs, malformed := parseIgnores(pkg.Fset, f)
 			name := pkg.Fset.Position(f.Pos()).Filename
-			ignores[name] = fileIgnores{byLine, fileWide}
+			fi := &fileIgnores{byLine: map[int][]*ignoreDirective{}}
+			for _, d := range dirs {
+				directives = append(directives, d)
+				if d.fileWide {
+					fi.fileWide = append(fi.fileWide, d)
+				} else {
+					fi.byLine[d.pos.Line] = append(fi.byLine[d.pos.Line], d)
+				}
+			}
+			ignores[name] = fi
 			for _, pos := range malformed {
 				out = append(out, Diagnostic{
 					Pos:      pkg.Fset.Position(pos),
@@ -163,44 +235,79 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				})
 			}
 		}
-		suppressed := func(d Diagnostic) bool {
-			ig := ignores[d.Pos.Filename]
-			for _, dir := range ig.fileWide {
-				if dir.matches(d.Analyzer) {
-					return true
-				}
-			}
-			for _, dir := range ig.byLine[d.Pos.Line] {
-				if dir.matches(d.Analyzer) {
-					return true
-				}
-			}
-			for _, dir := range ig.byLine[d.Pos.Line-1] {
-				if dir.matches(d.Analyzer) {
-					return true
-				}
-			}
+	}
+	suppressed := func(d Diagnostic) bool {
+		fi := ignores[d.Pos.Filename]
+		if fi == nil {
 			return false
 		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				Hotpath:  hot,
+		for _, dir := range fi.fileWide {
+			if dir.matches(d.Analyzer) {
+				dir.used = true
+				return true
 			}
-			pass.report = func(d Diagnostic) {
-				if !suppressed(d) {
-					out = append(out, d)
+		}
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, dir := range fi.byLine[line] {
+				if dir.matches(d.Analyzer) {
+					dir.used = true
+					return true
 				}
 			}
+		}
+		return false
+	}
+	report := func(d Diagnostic) {
+		if !suppressed(d) {
+			out = append(out, d)
+		}
+	}
+
+	// Fact phase: every FactGen visits every package, each package's facts
+	// are encoded to the JSON wire form and imported into the module base.
+	facts := NewFactSet()
+	for _, pkg := range pkgs {
+		pkgFacts := NewFactSet()
+		for _, a := range analyzers {
+			if a.FactGen == nil {
+				continue
+			}
+			pass := newPass(a, pkg, nil, pkgFacts, report)
+			if err := a.FactGen(pass); err != nil {
+				return nil, nil, nil, fmt.Errorf("%s: %s facts: %w", pkg.Path, a.Name, err)
+			}
+		}
+		wire, err := pkgFacts.Encode()
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("%s: encoding facts: %w", pkg.Path, err)
+		}
+		if err := facts.Import(wire); err != nil {
+			return nil, nil, nil, fmt.Errorf("%s: %w", pkg.Path, err)
+		}
+	}
+
+	// Check phase, against the complete fact base.
+	hot := HotpathFuncs(pkgs)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := newPass(a, pkg, hot, facts, report)
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+				return nil, nil, nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 			}
 		}
 	}
+
+	// Finish phase: module-wide invariants over the merged facts.
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		name := a.Name
+		a.Finish(facts, func(pos token.Position, format string, args ...any) {
+			report(Diagnostic{Pos: pos, Analyzer: name, Message: fmt.Sprintf(format, args...)})
+		})
+	}
+
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -214,12 +321,45 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
+	audit := make([]Suppression, 0, len(directives))
+	for _, d := range directives {
+		audit = append(audit, Suppression{
+			Pos:           d.pos,
+			Analyzers:     d.spec,
+			Justification: d.reason,
+			FileWide:      d.fileWide,
+			Used:          d.used,
+		})
+	}
+	sort.Slice(audit, func(i, j int) bool {
+		a, b := audit[i], audit[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out, audit, facts, nil
+}
+
+func newPass(a *Analyzer, pkg *Package, hot map[string]bool, facts *FactSet, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		Hotpath:  hot,
+		Facts:    facts,
+		report:   report,
+	}
 }
 
 // All returns the full qoservevet suite.
 func All() []*Analyzer {
-	return []*Analyzer{Detdrift, Hotpathalloc, Tracehook, Guardedfield}
+	return []*Analyzer{
+		Detdrift, Hotpathalloc, Tracehook, Guardedfield,
+		Atomicfield, Frozen, Nosilentdrop, Metricwire,
+	}
 }
 
 // HotpathDirective is the annotation marking a function as part of the

@@ -66,6 +66,47 @@ var (
 func Run(t *testing.T, fixtureDir, importPath string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
 	diags, wants := analyze(t, fixtureDir, importPath, analyzers)
+	diff(t, diags, wants)
+}
+
+// Fixture pairs a fixture directory with the import path to check it
+// under, for RunMulti.
+type Fixture struct {
+	Dir        string
+	ImportPath string
+}
+
+// RunMulti type-checks several fixture packages together — later fixtures
+// may import earlier ones by their declared import paths — analyzes them
+// as one unit, and diffs the combined findings against every fixture's
+// want comments. This is the harness for cross-package fact flows: a
+// directive in the declaring fixture must change what the analyzers say
+// about its importers.
+func RunMulti(t *testing.T, fixtures []Fixture, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	dirs := make([]analysis.FixtureDir, len(fixtures))
+	for i, fx := range fixtures {
+		dirs[i] = analysis.FixtureDir{Dir: fx.Dir, ImportPath: fx.ImportPath}
+	}
+	pkgs, err := analysis.CheckDirs(ModuleRoot(t), dirs)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("analyzing fixtures: %v", err)
+	}
+	var wants []want
+	for _, pkg := range pkgs {
+		wants = append(wants, parseWants(t, pkg)...)
+	}
+	diff(t, diags, wants)
+}
+
+// diff matches findings against expectations one-to-one and reports both
+// unexpected findings and unmet wants.
+func diff(t *testing.T, diags []analysis.Diagnostic, wants []want) {
+	t.Helper()
 	for _, d := range diags {
 		matched := false
 		for i := range wants {

@@ -1,8 +1,11 @@
 package analysis_test
 
 import (
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"qoserve/internal/analysis"
@@ -56,16 +59,130 @@ func TestBareDirectiveReported(t *testing.T) {
 	}
 }
 
+// TestAtomicfieldFixture seeds mixed atomic/plain access and wrapper-value
+// copies next to every blessed form (the atomic calls themselves, wrapper
+// methods, address-of, plain-everywhere fields).
+func TestAtomicfieldFixture(t *testing.T) {
+	analysistest.Run(t, fixture("atomicfield"), "qoserve/fixture/atomicfield", analysis.Atomicfield)
+}
+
+// TestNosilentdropFixture checks retirement-operation enforcement under a
+// request-handling import path: unrecorded drops fire, recorder-annotated
+// and recorder-calling functions stay silent, bad kinds are rejected.
+func TestNosilentdropFixture(t *testing.T) {
+	analysistest.Run(t, fixture("nosilentdrop"), "qoserve/internal/server/dropfixture", analysis.Nosilentdrop)
+}
+
+// TestNosilentdropOutsideCriticalPackages re-checks the same fixture under
+// a neutral import path: retirement operations are fine elsewhere, so only
+// the annotation-validation finding (a bad //qoserve:outcome kind, wrong
+// in any package) may remain.
+func TestNosilentdropOutsideCriticalPackages(t *testing.T) {
+	diags := analysistest.Findings(t, fixture("nosilentdrop"), "qoserve/fixture/drop", analysis.Nosilentdrop)
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "kind must be one of") {
+			t.Errorf("finding outside the request-handling packages: %s", d)
+		}
+	}
+	if len(diags) != 1 {
+		t.Errorf("want exactly the bad-kind finding, got %d: %v", len(diags), diags)
+	}
+}
+
+// TestMetricwireFixture seeds one of every wiring defect — dark family,
+// phantom sample, suffix violations, invalid name, duplicate declaration,
+// flatlined source field — around a local promWriter clone.
+func TestMetricwireFixture(t *testing.T) {
+	analysistest.Run(t, fixture("metricwire"), "qoserve/fixture/metricwire", analysis.Metricwire)
+}
+
+// TestCrossPackageFacts is the cross-package fact fixture: factdecl
+// exports frozen, mutator, and atomic facts; factuse imports it and
+// violates each contract from the other side of the package boundary.
+// Every finding in factuse depends on facts surviving the JSON wire
+// format between packages.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.RunMulti(t, []analysistest.Fixture{
+		{Dir: fixture("factdecl"), ImportPath: "qoserve/fixture/factdecl"},
+		{Dir: fixture("factuse"), ImportPath: "qoserve/fixture/factuse"},
+	}, analysis.Atomicfield, analysis.Frozen)
+}
+
 // TestQoservevetRepoClean runs the real driver over the whole repository:
 // head must pass the suite clean, exactly as the make lint gate requires.
+// The run uses -json -o so the machine-readable report CI archives is
+// exercised end to end: written to a file, parsed back, and checked.
 func TestQoservevetRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns a go run subprocess over the whole module")
 	}
 	root := analysistest.ModuleRoot(t)
-	cmd := exec.Command("go", "run", "./cmd/qoservevet", "./...")
+	reportPath := filepath.Join(t.TempDir(), "qoservevet.json")
+	cmd := exec.Command("go", "run", "./cmd/qoservevet", "-json", "-o", reportPath, "./...")
 	cmd.Dir = root
 	if out, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("qoservevet is not clean at head: %v\n%s", err, out)
+	}
+
+	var rep struct {
+		Version  int `json:"version"`
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+		} `json:"findings"`
+		Suppressions []struct {
+			Used bool `json:"used"`
+		} `json:"suppressions"`
+		Stats struct {
+			Packages          int `json:"packages"`
+			Analyzers         int `json:"analyzers"`
+			Facts             int `json:"facts"`
+			Findings          int `json:"findings"`
+			Suppressions      int `json:"suppressions"`
+			StaleSuppressions int `json:"staleSuppressions"`
+		} `json:"stats"`
+	}
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("reading the JSON report: %v", err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("parsing the JSON report: %v", err)
+	}
+	if rep.Version != 1 {
+		t.Errorf("report version = %d, want 1", rep.Version)
+	}
+	if rep.Stats.Findings != 0 || len(rep.Findings) != 0 {
+		t.Errorf("clean run reported findings: %+v", rep.Findings)
+	}
+	if rep.Stats.Analyzers != len(analysis.All()) {
+		t.Errorf("report ran %d analyzers, want %d", rep.Stats.Analyzers, len(analysis.All()))
+	}
+	if rep.Stats.Facts == 0 {
+		t.Error("no facts exported: the cross-package fact layer is not running")
+	}
+	if rep.Stats.StaleSuppressions != 0 {
+		t.Errorf("%d stale suppressions at head — delete them", rep.Stats.StaleSuppressions)
+	}
+	if rep.Stats.Suppressions != len(rep.Suppressions) {
+		t.Errorf("stats.suppressions = %d but %d listed", rep.Stats.Suppressions, len(rep.Suppressions))
+	}
+}
+
+// TestQoservevetList checks -list names every analyzer in the suite.
+func TestQoservevetList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a go run subprocess")
+	}
+	root := analysistest.ModuleRoot(t)
+	cmd := exec.Command("go", "run", "./cmd/qoservevet", "-list")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("qoservevet -list: %v\n%s", err, out)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(string(out), a.Name) {
+			t.Errorf("-list output is missing %s:\n%s", a.Name, out)
+		}
 	}
 }

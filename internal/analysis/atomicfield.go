@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Atomicfield enforces all-or-nothing atomicity on struct fields:
+//
+//   - a plain-typed field whose address is ever passed to a sync/atomic
+//     package-level function (the pre-Go-1.19 style: atomic.AddUint64(&s.n,
+//     1)) must be accessed through sync/atomic everywhere — one plain read
+//     of such a field is a data race the race detector only catches if a
+//     test happens to interleave it, and
+//   - a field declared with one of the sync/atomic wrapper types
+//     (atomic.Uint64, atomic.Pointer[T], ...) must only be used through its
+//     methods or by address: copying the wrapper value (s2.n = s1.n,
+//     n := s.n) silently forks the counter and defeats the type's whole
+//     point.
+//
+// The first rule is cross-package: the "this field is atomic" fact is
+// exported from the package that declares the atomic access and honoured
+// everywhere the field is visible. The gateway's lock-free gauges
+// (internal/server's load/snap* fields, internal/cluster's cursor,
+// internal/replica's published snapshots) are exactly the fields this
+// protects.
+const atomicfieldName = "atomicfield"
+
+var Atomicfield = &Analyzer{
+	Name:    atomicfieldName,
+	Doc:     "forbid mixed atomic/plain access to struct fields used with sync/atomic",
+	FactGen: atomicfieldFacts,
+	Run:     runAtomicfield,
+}
+
+// atomicFactKind marks a field as accessed through old-style sync/atomic
+// calls somewhere in the module.
+const atomicFactKind = "atomic"
+
+// fieldKeyOf renders the cross-package identity of a struct field: its
+// name plus its declaration position. Declaration positions are stable
+// across independent type-checks of the same source tree (every load
+// parses the same files), which is what lets a fact exported while
+// visiting the declaring package be matched at a use site in another
+// package, even through field promotion.
+func (p *Pass) fieldKeyOf(obj types.Object) string {
+	pos := p.Fset.Position(obj.Pos())
+	return fmt.Sprintf("%s@%s:%d:%d", obj.Name(), pos.Filename, pos.Line, pos.Column)
+}
+
+// atomicfieldFacts exports an "atomic" fact for every struct field whose
+// address reaches a sync/atomic package-level call in this package.
+func atomicfieldFacts(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if f := addressedField(pass, arg); f != nil {
+					pass.ExportFact(pass.fieldKeyOf(f), atomicFactKind, f.Name(), f.Pos())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSyncAtomicCall reports whether the call statically resolves to a
+// sync/atomic package-level function (AddUint64, LoadPointer, ...).
+func isSyncAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeOf(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// addressedField resolves &x.f arguments to the field object f, or nil.
+func addressedField(pass *Pass, arg ast.Expr) types.Object {
+	ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || ue.Op.String() != "&" {
+		return nil
+	}
+	sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+func runAtomicfield(pass *Pass) error {
+	for _, file := range pass.Files {
+		// blessed selectors appear as &x.f arguments of sync/atomic calls
+		// (legal for old-style atomic fields) or under & generally (taking
+		// the address of a wrapper-typed field to pass it along is fine —
+		// the pointee is still only touched through methods).
+		blessedAtomicArg := map[*ast.SelectorExpr]bool{}
+		addressed := map[*ast.SelectorExpr]bool{}
+		methodBase := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isSyncAtomicCall(pass, n) {
+					for _, arg := range n.Args {
+						if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && ue.Op.String() == "&" {
+							if sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr); ok {
+								blessedAtomicArg[sel] = true
+							}
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op.String() == "&" {
+					if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+						addressed[sel] = true
+					}
+				}
+			case *ast.SelectorExpr:
+				// x.f.Load(): the inner selector x.f is the base of a
+				// method (or promoted-field) selection, not a value use.
+				if inner, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+					methodBase[inner] = true
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			f := s.Obj()
+			if pass.Facts.Has(atomicfieldName, pass.fieldKeyOf(f), atomicFactKind) {
+				if !blessedAtomicArg[sel] {
+					pass.Reportf(sel.Sel.Pos(),
+						"field %s is accessed with sync/atomic elsewhere; this plain access is a data race — use the matching atomic call",
+						f.Name())
+				}
+				return true
+			}
+			if isAtomicWrapperType(f.Type()) && !addressed[sel] && !methodBase[sel] {
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s has type %s; using it as a value copies the atomic and forks its state — call its methods or take its address",
+					f.Name(), f.Type())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicWrapperType reports whether t is one of the sync/atomic wrapper
+// types (Bool, Int32/64, Uint32/64, Uintptr, Pointer[T], Value).
+func isAtomicWrapperType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return !strings.Contains(obj.Name(), "noCopy")
+}

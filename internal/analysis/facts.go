@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Fact is one exported, JSON-serializable statement an analyzer makes about
+// a program object while visiting its defining package, for consumption
+// when visiting any other package. Object is a stable cross-run name — a
+// types.Func/types.TypeName full name, or an analyzer-chosen key such as a
+// metric family — and Kind/Detail carry the claim ("frozen", "outcome
+// fail", "atomic"). The position fields record where the fact was
+// established so module-level diagnostics can point somewhere useful.
+//
+// Facts mirror the golang.org/x/tools go/analysis fact mechanism in spirit
+// but travel as plain JSON: every run encodes each package's facts to the
+// wire form and merges them back through Import, so the serialized path is
+// exercised continuously and a future split into per-package cache files
+// (or cross-process fact shipping) is a driver change, not a framework one.
+type Fact struct {
+	Analyzer string `json:"analyzer"`
+	Object   string `json:"object"`
+	Kind     string `json:"kind"`
+	Detail   string `json:"detail,omitempty"`
+	File     string `json:"file,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+}
+
+// Position renders the fact's source position in token.Position form.
+func (f Fact) Position() token.Position {
+	return token.Position{Filename: f.File, Line: f.Line, Column: f.Col}
+}
+
+// FactSet is an ordered, queryable collection of facts. A set is built
+// per package during the fact phase, exported to JSON, and merged into the
+// module-wide base the check and finish phases read.
+type FactSet struct {
+	facts []Fact
+	index map[string]map[string][]int // analyzer -> object -> fact indices
+}
+
+// NewFactSet returns an empty set.
+func NewFactSet() *FactSet {
+	return &FactSet{index: map[string]map[string][]int{}}
+}
+
+// Add records one fact.
+func (fs *FactSet) Add(f Fact) {
+	byObj := fs.index[f.Analyzer]
+	if byObj == nil {
+		byObj = map[string][]int{}
+		fs.index[f.Analyzer] = byObj
+	}
+	byObj[f.Object] = append(byObj[f.Object], len(fs.facts))
+	fs.facts = append(fs.facts, f)
+}
+
+// Get returns every fact the analyzer exported about object.
+func (fs *FactSet) Get(analyzer, object string) []Fact {
+	var out []Fact
+	for _, i := range fs.index[analyzer][object] {
+		out = append(out, fs.facts[i])
+	}
+	return out
+}
+
+// Has reports whether the analyzer exported a fact of this kind about
+// object.
+func (fs *FactSet) Has(analyzer, object, kind string) bool {
+	for _, i := range fs.index[analyzer][object] {
+		if fs.facts[i].Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Kind returns every fact of the given kind the analyzer exported,
+// sorted by object then position for deterministic iteration.
+func (fs *FactSet) Kind(analyzer, kind string) []Fact {
+	var out []Fact
+	for _, f := range fs.facts {
+		if f.Analyzer == analyzer && f.Kind == kind {
+			out = append(out, f)
+		}
+	}
+	sortFacts(out)
+	return out
+}
+
+// Len is the number of facts in the set.
+func (fs *FactSet) Len() int { return len(fs.facts) }
+
+func sortFacts(facts []Fact) {
+	sort.Slice(facts, func(i, j int) bool {
+		a, b := facts[i], facts[j]
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Kind < b.Kind
+	})
+}
+
+// Encode renders the set in its canonical wire form: a JSON array sorted
+// by (analyzer, object, kind, position). Import(Encode()) round-trips.
+func (fs *FactSet) Encode() ([]byte, error) {
+	sorted := make([]Fact, len(fs.facts))
+	copy(sorted, fs.facts)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return json.MarshalIndent(sorted, "", "  ")
+}
+
+// Import decodes a wire-form fact list and merges it into the set. This is
+// how per-package fact exports reach the module-wide base: the runner
+// encodes each package's facts and imports them here, so a corrupt wire
+// form can never silently vanish.
+func (fs *FactSet) Import(data []byte) error {
+	var facts []Fact
+	if err := json.Unmarshal(data, &facts); err != nil {
+		return fmt.Errorf("analysis: decoding fact export: %w", err)
+	}
+	for _, f := range facts {
+		if f.Analyzer == "" || f.Object == "" || f.Kind == "" {
+			return fmt.Errorf("analysis: imported fact %+v is missing analyzer, object, or kind", f)
+		}
+		fs.Add(f)
+	}
+	return nil
+}
+
+// ExportFact records a fact about object from the current analyzer at pos.
+// Analyzers call this from their FactGen phase; the runner serializes each
+// package's facts and merges them into the base every check phase reads.
+func (p *Pass) ExportFact(object, kind, detail string, pos token.Pos) {
+	position := p.Fset.Position(pos)
+	p.Facts.Add(Fact{
+		Analyzer: p.Analyzer.Name,
+		Object:   object,
+		Kind:     kind,
+		Detail:   detail,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+	})
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFactSetRoundTrip checks the JSON wire form: facts survive
+// Encode/Import, the canonical encoding is deterministic, and lookups see
+// imported facts exactly as local ones.
+func TestFactSetRoundTrip(t *testing.T) {
+	src := NewFactSet()
+	src.Add(Fact{Analyzer: "frozen", Object: "pkg.Snap", Kind: "frozen", Detail: "Snap", File: "a.go", Line: 3, Col: 6})
+	src.Add(Fact{Analyzer: "atomicfield", Object: "n@a.go:9:2", Kind: "atomic", Detail: "n", File: "a.go", Line: 9, Col: 2})
+	src.Add(Fact{Analyzer: "frozen", Object: "(*pkg.Snap).Bump", Kind: "mutator", Detail: "pkg.Snap", File: "a.go", Line: 12, Col: 1})
+
+	wire, err := src.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire2, err := src.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire, wire2) {
+		t.Error("Encode is not deterministic")
+	}
+
+	dst := NewFactSet()
+	if err := dst.Import(wire); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("imported %d facts, want %d", dst.Len(), src.Len())
+	}
+	if !dst.Has("frozen", "pkg.Snap", "frozen") {
+		t.Error("frozen fact lost in the wire format")
+	}
+	if !dst.Has("atomicfield", "n@a.go:9:2", "atomic") {
+		t.Error("atomic fact lost in the wire format")
+	}
+	if got := dst.Get("frozen", "(*pkg.Snap).Bump"); len(got) != 1 || got[0].Detail != "pkg.Snap" {
+		t.Errorf("mutator fact corrupted: %+v", got)
+	}
+	if got := dst.Kind("frozen", "mutator"); len(got) != 1 {
+		t.Errorf("Kind(frozen, mutator) = %d facts, want 1", len(got))
+	}
+}
+
+// TestFactSetImportRejectsIncomplete checks the importer validates the
+// wire form instead of admitting half-formed facts.
+func TestFactSetImportRejectsIncomplete(t *testing.T) {
+	dst := NewFactSet()
+	if err := dst.Import([]byte(`[{"analyzer":"frozen","object":"","kind":"frozen"}]`)); err == nil {
+		t.Error("importing a fact with no object should fail")
+	}
+	if err := dst.Import([]byte(`{"not":"a list"}`)); err == nil {
+		t.Error("importing malformed JSON should fail")
+	}
+}

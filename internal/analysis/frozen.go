@@ -1,0 +1,416 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Frozen enforces the epoch-snapshot discipline behind the repo's
+// lock-free reads: a value is immutable from the moment it is published.
+// Two publication events are recognized:
+//
+//   - storing a pointer into a sync/atomic.Pointer (kvcache.GlobalIndex's
+//     snapshot slots): any later field write through the stored variable
+//     in the same function is flagged, and
+//   - the //qoserve:frozen annotation on a type declaration: instances are
+//     treated as published the moment they leave their constructor, in
+//     every package that can see the type.
+//
+// Writes to a frozen-typed value are allowed only while it is provably
+// pre-publication: the value is a local built in this very function from a
+// composite literal, new(T), or zero-value declaration (and never
+// reassigned from anywhere else), or the function later hands that exact
+// variable to an atomic Store (the stamp-then-publish idiom of
+// GlobalIndex.Publish), or the function is annotated //qoserve:ctor T,
+// declaring itself part of T's construction path. Everything else —
+// mutating a parameter, a field, a map lookup, or anything obtained from a
+// call — is a report. Calls to mutator methods (methods of a frozen type
+// that write their receiver, exported as cross-package facts by the
+// declaring package) are policed under the same rules.
+const frozenName = "frozen"
+
+var Frozen = &Analyzer{
+	Name:    frozenName,
+	Doc:     "forbid mutation of //qoserve:frozen values and of pointers already published via atomic.Pointer.Store",
+	FactGen: frozenFacts,
+	Run:     runFrozen,
+}
+
+// FrozenDirective marks a type whose instances are immutable after
+// construction.
+const FrozenDirective = "//qoserve:frozen"
+
+// CtorDirectivePrefix marks a function as part of a frozen type's
+// construction path, e.g. //qoserve:ctor IndexSnapshot.
+const CtorDirectivePrefix = "//qoserve:ctor"
+
+const (
+	frozenFactKind  = "frozen"
+	mutatorFactKind = "mutator"
+)
+
+// frozenTypeKey is the stable cross-package name of a defined type.
+func frozenTypeKey(obj *types.TypeName) string {
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// frozenFacts exports "frozen" facts for annotated type declarations and
+// "mutator" facts for their methods that write receiver state.
+func frozenFacts(pass *Pass) error {
+	frozenTypes := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if !hasDirective(doc, FrozenDirective) {
+					continue
+				}
+				if obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+					frozenTypes[obj] = true
+					pass.ExportFact(frozenTypeKey(obj), frozenFactKind, obj.Name(), ts.Name.Pos())
+				}
+			}
+		}
+	}
+	if len(frozenTypes) == 0 {
+		return nil
+	}
+	// Methods of a frozen type that write receiver fields are mutators:
+	// calling one on a published value is as bad as a direct field write.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recvType := derefNamed(pass.Info.TypeOf(fd.Recv.List[0].Type))
+			if recvType == nil || !frozenTypes[recvType.Obj()] {
+				continue
+			}
+			var recvObj types.Object
+			if names := fd.Recv.List[0].Names; len(names) == 1 {
+				recvObj = pass.Info.Defs[names[0]]
+			}
+			if recvObj == nil {
+				continue
+			}
+			if methodWritesReceiver(pass, fd, recvObj) {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					pass.ExportFact(fn.FullName(), mutatorFactKind, frozenTypeKey(recvType.Obj()), fd.Name.Pos())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// methodWritesReceiver reports whether the method body assigns through its
+// receiver.
+func methodWritesReceiver(pass *Pass, fd *ast.FuncDecl, recv types.Object) bool {
+	writes := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var lhs []ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			lhs = n.Lhs
+		case *ast.IncDecStmt:
+			lhs = []ast.Expr{n.X}
+		default:
+			return true
+		}
+		for _, e := range lhs {
+			if base := writeBase(e); base != nil {
+				if id, ok := base.(*ast.Ident); ok && pass.Info.Uses[id] == recv {
+					writes = true
+				}
+			}
+		}
+		return !writes
+	})
+	return writes
+}
+
+// writeBase peels an assignment target down to the expression it mutates
+// through: s.F -> s, s.M[k] -> s, (*p).F -> p, plain idents -> nil (a
+// variable rebind is not a mutation of the pointee).
+func writeBase(e ast.Expr) ast.Expr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			return ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			return ast.Unparen(x.X)
+		default:
+			return nil
+		}
+	}
+}
+
+func runFrozen(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFrozenFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// ctorTypes returns the type names a //qoserve:ctor directive blesses the
+// function to construct.
+func ctorTypes(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	if arg := directiveArg(fd.Doc, CtorDirectivePrefix); arg != "" {
+		for _, name := range strings.Fields(arg) {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+func checkFrozenFunc(pass *Pass, fd *ast.FuncDecl) {
+	ctors := ctorTypes(fd)
+
+	// publishedAt maps variables handed to an atomic Pointer Store (or the
+	// new-value slot of CompareAndSwap) to the position of that call.
+	publishedAt := map[types.Object]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		if origin := fn.Origin(); origin != nil {
+			fn = origin
+		}
+		name := fn.FullName()
+		var stored ast.Expr
+		switch {
+		case strings.HasPrefix(name, "(*sync/atomic.Pointer[") && fn.Name() == "Store" && len(call.Args) == 1:
+			stored = call.Args[0]
+		case strings.HasPrefix(name, "(*sync/atomic.Pointer[") && fn.Name() == "CompareAndSwap" && len(call.Args) == 2:
+			stored = call.Args[1]
+		default:
+			return true
+		}
+		if id, ok := ast.Unparen(stored).(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				if _, seen := publishedAt[obj]; !seen {
+					publishedAt[obj] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	fresh := freshLocals(pass, fd)
+
+	allowed := func(base ast.Expr, at token.Pos, typeName, typeKey string) bool {
+		if ctors[typeName] || ctors[typeKey] {
+			return true
+		}
+		id, ok := ast.Unparen(base).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return false
+		}
+		if pub, ok := publishedAt[obj]; ok {
+			return at < pub // stamp-then-publish: writes before the Store
+		}
+		return fresh[obj]
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkFrozenWrite(pass, lhs, n.Pos(), publishedAt, allowed)
+			}
+		case *ast.IncDecStmt:
+			checkFrozenWrite(pass, n.X, n.Pos(), publishedAt, allowed)
+		case *ast.CallExpr:
+			checkMutatorCall(pass, n, allowed)
+		}
+		return true
+	})
+}
+
+// freshLocals returns the local variables that provably hold storage born
+// in this function: every assignment to them is a composite literal,
+// new(T), or zero-value declaration. A variable also assigned from a call,
+// parameter, field, or any other expression is not fresh — it may alias a
+// published value.
+func freshLocals(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	tainted := map[types.Object]bool{}
+	note := func(id *ast.Ident, rhs ast.Expr) {
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if rhs == nil || isFreshExpr(rhs) {
+			fresh[obj] = true
+		} else {
+			tainted[obj] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+						note(id, n.Rhs[i])
+					}
+				}
+			} else {
+				for _, lhs := range n.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						note(id, n.Rhs[0]) // multi-value: calls only, tainted
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if len(n.Values) == 0 {
+					note(id, nil) // var x T: zero value, fresh storage
+				} else if i < len(n.Values) {
+					note(id, n.Values[i])
+				} else {
+					note(id, n.Values[0])
+				}
+			}
+		}
+		return true
+	})
+	for obj := range tainted {
+		delete(fresh, obj)
+	}
+	return fresh
+}
+
+// isFreshExpr reports whether the expression denotes newly-born storage.
+func isFreshExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFrozenWrite reports a write whose base is a frozen-typed value or a
+// variable already published through an atomic pointer.
+func checkFrozenWrite(pass *Pass, lhs ast.Expr, at token.Pos,
+	publishedAt map[types.Object]token.Pos, allowed func(ast.Expr, token.Pos, string, string) bool) {
+	base := writeBase(lhs)
+	if base == nil {
+		return // plain ident rebind: the pointee is untouched
+	}
+	named := derefNamed(pass.Info.TypeOf(base))
+	if named != nil {
+		key := frozenTypeKey(named.Obj())
+		if pass.Facts.Has(frozenName, key, frozenFactKind) {
+			if !allowed(base, at, named.Obj().Name(), key) {
+				pass.Reportf(at,
+					"write to field of %s, which is %s: instances are immutable once published; build a new value instead",
+					key, FrozenDirective)
+			}
+			return
+		}
+	}
+	// Not a frozen type: still flag writes through a variable that was
+	// already handed to an atomic Pointer Store earlier in this function.
+	if id, ok := ast.Unparen(base).(*ast.Ident); ok {
+		if obj := pass.Info.Uses[id]; obj != nil {
+			if pub, ok := publishedAt[obj]; ok && at > pub {
+				pass.Reportf(at,
+					"%s was published via atomic Pointer.Store above; mutating it now races every lock-free reader",
+					id.Name)
+			}
+		}
+	}
+}
+
+// checkMutatorCall reports calls to fact-known mutator methods of frozen
+// types on values that are not provably pre-publication.
+func checkMutatorCall(pass *Pass, call *ast.CallExpr, allowed func(ast.Expr, token.Pos, string, string) bool) {
+	fn := calleeOf(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	facts := pass.Facts.Get(frozenName, fn.FullName())
+	var typeKey string
+	for _, f := range facts {
+		if f.Kind == mutatorFactKind {
+			typeKey = f.Detail
+			break
+		}
+	}
+	if typeKey == "" {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	shortName := typeKey
+	if i := strings.LastIndex(typeKey, "."); i >= 0 {
+		shortName = typeKey[i+1:]
+	}
+	if !allowed(ast.Unparen(sel.X), call.Pos(), shortName, typeKey) {
+		pass.Reportf(call.Pos(),
+			"call to %s mutates %s, which is %s: instances are immutable once published",
+			fn.Name(), typeKey, FrozenDirective)
+	}
+}
+
+// derefNamed resolves t (through pointers) to its defined type, or nil.
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

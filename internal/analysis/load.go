@@ -186,39 +186,71 @@ func newInfo() *types.Info {
 // import real module packages, and the chosen importPath controls
 // path-sensitive analyzers such as detdrift's determinism-critical list.
 func CheckDir(moduleDir, fixtureDir, importPath string) (*Package, error) {
-	entries, err := os.ReadDir(fixtureDir)
+	pkgs, err := CheckDirs(moduleDir, []FixtureDir{{Dir: fixtureDir, ImportPath: importPath}})
 	if err != nil {
 		return nil, err
 	}
-	var names []string
-	for _, e := range entries {
-		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		return nil, fmt.Errorf("analysis: no Go files in %s", fixtureDir)
+	return pkgs[0], nil
+}
+
+// FixtureDir names one fixture directory and the import path to check it
+// under.
+type FixtureDir struct {
+	Dir        string
+	ImportPath string
+}
+
+// CheckDirs is CheckDir for a group of fixture packages that may import
+// one another (by their declared import paths), which is what fact-based
+// cross-package analyzers need: a fixture that declares an annotated type
+// in one package and misuses it from another. Fixtures are type-checked
+// in slice order; each result is registered with the shared importer
+// before the next begins, so list dependencies before dependents. Every
+// package shares one token.FileSet, letting the caller analyze them as a
+// unit.
+func CheckDirs(moduleDir string, fixtures []FixtureDir) ([]*Package, error) {
+	fset := token.NewFileSet()
+	fixturePath := map[string]bool{}
+	for _, fx := range fixtures {
+		fixturePath[fx.ImportPath] = true
 	}
 
-	fset := token.NewFileSet()
-	var files []*ast.File
+	parsed := make([][]*ast.File, len(fixtures))
 	imports := map[string]bool{}
-	for _, name := range names {
-		f, err := parser.ParseFile(fset, filepath.Join(fixtureDir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+	for i, fx := range fixtures {
+		entries, err := os.ReadDir(fx.Dir)
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
-		for _, imp := range f.Imports {
-			imports[imp.Path.Value[1:len(imp.Path.Value)-1]] = true
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		if len(names) == 0 {
+			return nil, fmt.Errorf("analysis: no Go files in %s", fx.Dir)
+		}
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(fx.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			parsed[i] = append(parsed[i], f)
+			for _, imp := range f.Imports {
+				imports[imp.Path.Value[1:len(imp.Path.Value)-1]] = true
+			}
 		}
 	}
 
-	// Resolve the fixture's imports (and their deps) through the module.
+	// Resolve the fixtures' external imports (and their deps) through the
+	// module; sibling-fixture imports resolve via the importer's cache.
 	patterns := make([]string, 0, len(imports))
 	for imp := range imports {
-		patterns = append(patterns, imp)
+		if !fixturePath[imp] {
+			patterns = append(patterns, imp)
+		}
 	}
 	sort.Strings(patterns)
 	ld := &loader{
@@ -252,11 +284,16 @@ func CheckDir(moduleDir, fixtureDir, importPath string) (*Package, error) {
 		}
 	}
 
-	info := newInfo()
-	conf := types.Config{Importer: ld, Error: func(error) {}}
-	pkg, err := conf.Check(importPath, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("analysis: type-checking fixture %s: %w", fixtureDir, err)
+	out := make([]*Package, 0, len(fixtures))
+	for i, fx := range fixtures {
+		info := newInfo()
+		conf := types.Config{Importer: ld, Error: func(error) {}}
+		pkg, err := conf.Check(fx.ImportPath, fset, parsed[i], info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking fixture %s: %w", fx.Dir, err)
+		}
+		ld.pkgs[fx.ImportPath] = pkg // visible to later fixtures
+		out = append(out, &Package{Path: fx.ImportPath, Dir: fx.Dir, Fset: fset, Files: parsed[i], Types: pkg, Info: info})
 	}
-	return &Package{Path: importPath, Dir: fixtureDir, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+	return out, nil
 }

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Metricwire keeps the /metrics surface honest end to end. The server's
+// Prometheus exposition is hand-rolled (promWriter in internal/server):
+// a family exists because a header() call declares it and sample lines
+// follow from value()/intValue() calls, so nothing stops a family from
+// being declared and never emitted (a dark metric), emitted and never
+// declared (a phantom sample without HELP/TYPE), or wired to a counter
+// field that nothing ever increments (a dashboard flatline that looks
+// like healthy silence). Metricwire collects facts from every package —
+// family declarations, sample emissions, the atomic fields a sample
+// reads, and the atomic fields the module actually updates — and checks
+// the joined graph once, module-wide:
+//
+//   - every declared family is emitted, and every emission is declared;
+//   - family names are well-formed, counters end in _total and gauges do
+//     not;
+//   - a family is declared exactly once; and
+//   - every atomic field a sample loads is Add/Store'd somewhere in the
+//     module.
+const metricwireName = "metricwire"
+
+var Metricwire = &Analyzer{
+	Name:    metricwireName,
+	Doc:     "require every metric family to be declared, emitted, and backed by a live counter",
+	FactGen: metricwireFacts,
+	Run:     func(*Pass) error { return nil },
+	Finish:  finishMetricwire,
+}
+
+const (
+	familyFactKind  = "family"  // object = family name, detail = prom type
+	sampleFactKind  = "sample"  // object = family name
+	sourceFactKind  = "source"  // object = family name, detail = field key
+	updatedFactKind = "updated" // object = field key
+)
+
+// promWriterMethods map the exposition helpers to their roles.
+var promWriterMethods = map[string]string{
+	"header":          familyFactKind,
+	"value":           sampleFactKind,
+	"intValue":        sampleFactKind,
+	"histogramMetric": "histogram", // declares and emits in one call
+}
+
+// metricFamilyRe is the accepted family-name shape.
+var metricFamilyRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// metricwireFacts exports the per-package half of the wiring graph.
+func metricwireFacts(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Field updates: x.f.Add(...) / .Store(...) on atomic wrapper
+			// fields, recorded module-wide so Finish can prove liveness.
+			if f, ok := atomicFieldMethodCall(pass, call, "Add", "Store", "Swap", "CompareAndSwap", "Or", "And"); ok {
+				pass.ExportFact(pass.fieldKeyOf(f), updatedFactKind, f.Name(), call.Pos())
+			}
+			role, family := promCall(pass, call)
+			if role == "" {
+				return true
+			}
+			switch role {
+			case familyFactKind:
+				typ := ""
+				if len(call.Args) >= 3 {
+					typ, _ = stringConstant(pass, call.Args[2])
+				}
+				pass.ExportFact(family, familyFactKind, typ, call.Pos())
+			case "histogram":
+				pass.ExportFact(family, familyFactKind, "histogram", call.Pos())
+				pass.ExportFact(family, sampleFactKind, "", call.Pos())
+			case sampleFactKind:
+				pass.ExportFact(family, sampleFactKind, "", call.Pos())
+				for _, arg := range call.Args[1:] {
+					for _, f := range loadedAtomicFields(pass, arg) {
+						pass.ExportFact(family, sourceFactKind, pass.fieldKeyOf(f), call.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// promCall matches p.header("family", ...) and friends on a promWriter
+// receiver, returning the helper's role and the constant family name.
+func promCall(pass *Pass, call *ast.CallExpr) (role, family string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) < 1 {
+		return "", ""
+	}
+	role, ok = promWriterMethods[sel.Sel.Name]
+	if !ok {
+		return "", ""
+	}
+	recv := derefNamed(pass.Info.TypeOf(sel.X))
+	if recv == nil || recv.Obj().Name() != "promWriter" {
+		return "", ""
+	}
+	family, ok = stringConstant(pass, call.Args[0])
+	if !ok {
+		return "", ""
+	}
+	return role, family
+}
+
+// stringConstant evaluates e as a compile-time string.
+func stringConstant(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind().String() != "String" {
+		return "", false
+	}
+	s := tv.Value.ExactString()
+	if len(s) >= 2 && s[0] == '"' {
+		return s[1 : len(s)-1], true
+	}
+	return s, true
+}
+
+// atomicFieldMethodCall matches x.f.Method(...) where f is a struct field
+// of a sync/atomic wrapper type and Method is one of names.
+func atomicFieldMethodCall(pass *Pass, call *ast.CallExpr, names ...string) (types.Object, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return nil, false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	s, ok := pass.Info.Selections[inner]
+	if !ok || s.Kind() != types.FieldVal || !isAtomicWrapperType(s.Obj().Type()) {
+		return nil, false
+	}
+	return s.Obj(), true
+}
+
+// loadedAtomicFields collects the atomic wrapper fields whose Load feeds
+// the expression (possibly through conversions and arithmetic).
+func loadedAtomicFields(pass *Pass, e ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f, ok := atomicFieldMethodCall(pass, call, "Load"); ok {
+			out = append(out, f)
+		}
+		return true
+	})
+	return out
+}
+
+func finishMetricwire(fs *FactSet, report func(pos token.Position, format string, args ...any)) {
+	families := fs.Kind(metricwireName, familyFactKind)
+	samples := fs.Kind(metricwireName, sampleFactKind)
+	sampled := map[string]bool{}
+	for _, s := range samples {
+		sampled[s.Object] = true
+	}
+	declared := map[string]Fact{}
+	for _, f := range families {
+		if prev, ok := declared[f.Object]; ok && prev.Position() != f.Position() {
+			report(f.Position(), "metric family %s is declared more than once (first at %s)", f.Object, prev.Position())
+			continue
+		}
+		declared[f.Object] = f
+
+		if !metricFamilyRe.MatchString(f.Object) {
+			report(f.Position(), "metric family %s is not a valid Prometheus name", f.Object)
+		}
+		switch f.Detail {
+		case "counter":
+			if !strings.HasSuffix(f.Object, "_total") {
+				report(f.Position(), "counter family %s must end in _total (Prometheus naming convention)", f.Object)
+			}
+		case "gauge":
+			if strings.HasSuffix(f.Object, "_total") {
+				report(f.Position(), "gauge family %s must not end in _total — _total implies a counter", f.Object)
+			}
+		}
+		if !sampled[f.Object] {
+			report(f.Position(), "metric family %s is declared but never emitted: a dark metric scrapers will never see", f.Object)
+		}
+	}
+	reportedPhantom := map[string]bool{}
+	for _, s := range samples {
+		if _, ok := declared[s.Object]; !ok && !reportedPhantom[s.Object] {
+			reportedPhantom[s.Object] = true
+			report(s.Position(), "metric family %s is emitted but never declared with header(): a phantom sample without HELP/TYPE", s.Object)
+		}
+	}
+
+	// Liveness: a family whose every sample reads atomic fields that are
+	// never updated anywhere is dead telemetry.
+	updated := map[string]bool{}
+	for _, u := range fs.Kind(metricwireName, updatedFactKind) {
+		updated[u.Object] = true
+	}
+	reportedDead := map[string]bool{}
+	for _, src := range fs.Kind(metricwireName, sourceFactKind) {
+		if !updated[src.Detail] && !reportedDead[src.Object+src.Detail] {
+			reportedDead[src.Object+src.Detail] = true
+			name := src.Detail
+			if i := strings.Index(name, "@"); i >= 0 {
+				name = name[:i]
+			}
+			report(src.Position(), "metric family %s reads atomic field %s, which is never Add/Store'd anywhere in the module: the series can only flatline", src.Object, name)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// dropCritical lists the packages bound by the no-silent-drop contract:
+// every request that enters them must leave with a recorded outcome
+// (PR 2's contract, previously guarded only by chaos tests and loadgen's
+// exit status).
+var dropCritical = []string{
+	"qoserve/internal/server",
+	"qoserve/internal/replica",
+	"qoserve/internal/cluster",
+}
+
+func isDropCritical(path string) bool {
+	for _, p := range dropCritical {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Nosilentdrop makes "no request fails silently" a compile gate. Inside
+// the request-handling packages it finds retirement operations — the
+// statements that make a request stop being tracked:
+//
+//   - delete on a map whose values carry a request or a stream channel
+//     (the gateway's stream and pending-handoff tables),
+//   - the slice-removal idiom x = append(x[:i], x[j:]...) on a
+//     []*request.Request (the cluster's parked queue), and
+//   - assigning nil to a struct field of type []*request.Request
+//     (dropping a whole tracked queue at once, as replica.Fail does).
+//
+// A function containing a retirement operation must record an outcome: be
+// annotated //qoserve:outcome <kind>, or call — anywhere in its body,
+// closures included — a function so annotated. Kinds: complete (the
+// request finished and its final event is delivered), fail (permanently
+// failed with a recorded reason), requeue (re-entered the system), handoff
+// (returned to the caller, which assumes the obligation). Outcome
+// annotations are exported as facts, so a server function may discharge
+// its obligation through a cluster helper and vice versa.
+const nosilentdropName = "nosilentdrop"
+
+var Nosilentdrop = &Analyzer{
+	Name:    nosilentdropName,
+	Doc:     "require every request-retiring function in server/replica/cluster to record an outcome",
+	FactGen: nosilentdropFacts,
+	Run:     runNosilentdrop,
+}
+
+// OutcomeDirectivePrefix marks a function that records a request outcome,
+// e.g. //qoserve:outcome fail.
+const OutcomeDirectivePrefix = "//qoserve:outcome"
+
+const outcomeFactKind = "outcome"
+
+// outcomeKinds are the recognized outcome classes.
+var outcomeKinds = map[string]bool{
+	"complete": true, "fail": true, "requeue": true, "handoff": true,
+}
+
+// nosilentdropFacts exports an "outcome" fact for every annotated
+// function, validating the kind.
+func nosilentdropFacts(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if !hasDirective(fd.Doc, OutcomeDirectivePrefix) {
+				continue
+			}
+			kind := directiveArg(fd.Doc, OutcomeDirectivePrefix)
+			if !outcomeKinds[kind] {
+				pass.Reportf(fd.Name.Pos(),
+					"%s %q: kind must be one of complete, fail, requeue, handoff",
+					OutcomeDirectivePrefix, kind)
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				pass.ExportFact(fn.FullName(), outcomeFactKind, kind, fd.Name.Pos())
+			}
+		}
+	}
+	return nil
+}
+
+func runNosilentdrop(pass *Pass) error {
+	if !isDropCritical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDropFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkDropFunc(pass *Pass, fd *ast.FuncDecl) {
+	if hasDirective(fd.Doc, OutcomeDirectivePrefix) {
+		return // the function is itself an outcome recorder
+	}
+	type retirement struct {
+		pos  ast.Node
+		what string
+	}
+	var retirements []retirement
+	recordsOutcome := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(pass, n, "delete") && len(n.Args) == 2 {
+				if mt, ok := pass.Info.TypeOf(n.Args[0]).Underlying().(*types.Map); ok && carriesRequest(mt.Elem()) {
+					retirements = append(retirements, retirement{n, "delete from a request-tracking map"})
+				}
+			}
+			if fn := calleeOf(pass.Info, n); fn != nil {
+				full := fn.FullName()
+				if origin := fn.Origin(); origin != nil {
+					full = origin.FullName()
+				}
+				if pass.Facts.Has(nosilentdropName, full, outcomeFactKind) {
+					recordsOutcome = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				rhs := ast.Unparen(n.Rhs[i])
+				if isRequestSliceRemoval(pass, lhs, rhs) {
+					retirements = append(retirements, retirement{n, "removal from a request slice"})
+				}
+				if isNilledRequestField(pass, lhs, rhs) {
+					retirements = append(retirements, retirement{n, "dropping a tracked request slice"})
+				}
+			}
+		}
+		return true
+	})
+	if len(retirements) == 0 || recordsOutcome {
+		return
+	}
+	for _, r := range retirements {
+		pass.Reportf(r.pos.Pos(),
+			"%s retires requests, but %s neither carries %s nor calls an outcome recorder — record complete/fail/requeue or hand off explicitly",
+			r.what, funcLabel(fd), OutcomeDirectivePrefix)
+	}
+}
+
+// carriesRequest reports whether retiring a value of this type loses track
+// of a request: the module request type itself, a channel (stream tables),
+// or a struct holding either one level down.
+func carriesRequest(t types.Type) bool {
+	if isRequestType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		return carriesRequest(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			ft := u.Field(i).Type()
+			if isRequestType(ft) {
+				return true
+			}
+			if _, ok := ft.Underlying().(*types.Chan); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isRequestType matches qoserve/internal/request.Request, by pointer or
+// value.
+func isRequestType(t types.Type) bool {
+	named := derefNamed(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "qoserve/internal/request" && obj.Name() == "Request"
+}
+
+// isRequestSlice matches []*request.Request (and []request.Request).
+func isRequestSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isRequestType(s.Elem())
+}
+
+// isRequestSliceRemoval matches x = append(x[:i], x[j:]...) over a request
+// slice — the in-place removal idiom.
+func isRequestSliceRemoval(pass *Pass, lhs ast.Expr, rhs ast.Expr) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || !isBuiltin(pass, call, "append") || len(call.Args) != 2 || !call.Ellipsis.IsValid() {
+		return false
+	}
+	if !isRequestSlice(pass.Info.TypeOf(lhs)) {
+		return false
+	}
+	first, ok1 := ast.Unparen(call.Args[0]).(*ast.SliceExpr)
+	second, ok2 := ast.Unparen(call.Args[1]).(*ast.SliceExpr)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return sameRef(pass, ast.Unparen(lhs), ast.Unparen(first.X)) &&
+		sameRef(pass, ast.Unparen(lhs), ast.Unparen(second.X))
+}
+
+// isNilledRequestField matches s.field = nil where field is a request
+// slice: the whole tracked queue is dropped at once.
+func isNilledRequestField(pass *Pass, lhs ast.Expr, rhs ast.Expr) bool {
+	id, ok := rhs.(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return false
+	}
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s, ok := pass.Info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	return isRequestSlice(pass.Info.TypeOf(lhs))
+}

@@ -1,0 +1,38 @@
+// Package fixture seeds atomicfield violations: a plain field accessed
+// through sync/atomic in one place and plainly in another, and value
+// copies of sync/atomic wrapper types. The blessed forms — the atomic
+// calls themselves, wrapper method calls, taking a wrapper's address, and
+// fields that are plain everywhere — must stay silent.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits     uint64       // old-style atomic: address reaches atomic.AddUint64
+	misses   uint64       // plain everywhere: never atomic, free to use
+	inflight atomic.Int64 // wrapper: methods and address only
+}
+
+func (c *counters) record() {
+	atomic.AddUint64(&c.hits, 1) // ok: the atomic access itself
+	c.misses++                   // ok: never atomic anywhere
+	c.inflight.Add(1)            // ok: wrapper method call
+}
+
+func (c *counters) snapshot() (uint64, int64) {
+	h := c.hits // want `atomicfield: field hits is accessed with sync/atomic elsewhere`
+	return h, c.inflight.Load()
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want `atomicfield: field hits is accessed with sync/atomic elsewhere`
+}
+
+func observe(c *counters) *atomic.Int64 {
+	return &c.inflight // ok: address-of, the pointee stays atomic
+}
+
+func fork(c *counters) int64 {
+	v := c.inflight // want `atomicfield: field inflight has type sync/atomic\.Int64; using it as a value copies the atomic`
+	return v.Load()
+}

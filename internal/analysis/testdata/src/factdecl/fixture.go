@@ -1,0 +1,33 @@
+// Package factdecl is the declaring half of the cross-package fact
+// fixtures: it marks a type //qoserve:frozen (exporting frozen and
+// mutator facts) and takes a field's address in a sync/atomic call
+// (exporting an atomic fact). The sibling factuse fixture imports this
+// package and misuses both; every finding there exists only because the
+// facts exported here survive the JSON wire format and the package
+// boundary.
+package factdecl
+
+import "sync/atomic"
+
+// Snap is a published scheduling snapshot.
+//
+//qoserve:frozen
+type Snap struct {
+	Epoch int
+	Load  int
+}
+
+// Bump advances the epoch in place; construction paths only.
+//
+//qoserve:ctor Snap
+func (s *Snap) Bump() { s.Epoch++ }
+
+// Gauges is a lock-free counter block shared with importers.
+type Gauges struct {
+	Inflight int64
+}
+
+// Incr is the blessed write path for Inflight.
+func Incr(g *Gauges) {
+	atomic.AddInt64(&g.Inflight, 1)
+}

@@ -1,0 +1,49 @@
+// Package factuse imports factdecl and violates its exported contracts
+// from across the package boundary: writing a frozen value after it was
+// published, calling a mutator method on a loaded snapshot, and reading
+// an atomic field plainly. The pre-publication writes — stamping a fresh
+// snapshot before the Store — must stay silent: that is the
+// stamp-then-publish idiom the frozen analyzer is built around.
+package factuse
+
+import (
+	"sync/atomic"
+
+	"qoserve/fixture/factdecl"
+)
+
+type table struct {
+	cur atomic.Pointer[factdecl.Snap]
+}
+
+func (t *table) publish(load int) {
+	s := &factdecl.Snap{}
+	s.Load = load // ok: fresh local, still pre-publication
+	t.cur.Store(s)
+	s.Epoch = 1 // want `frozen: write to field of qoserve/fixture/factdecl\.Snap, which is //qoserve:frozen`
+}
+
+func (t *table) rebump() {
+	s := t.cur.Load()
+	s.Bump() // want `frozen: call to Bump mutates qoserve/fixture/factdecl\.Snap`
+}
+
+type box struct{ n int }
+
+type holder struct {
+	cur atomic.Pointer[box]
+}
+
+func (h *holder) swap(b *box) {
+	b.n = 1 // ok: not yet published
+	h.cur.Store(b)
+	b.n = 2 // want `frozen: b was published via atomic Pointer\.Store above`
+}
+
+func peek(g *factdecl.Gauges) int64 {
+	return g.Inflight // want `atomicfield: field Inflight is accessed with sync/atomic elsewhere`
+}
+
+func bump(g *factdecl.Gauges) {
+	factdecl.Incr(g) // ok: the blessed write path
+}

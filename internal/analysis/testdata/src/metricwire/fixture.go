@@ -1,0 +1,66 @@
+// Package fixture seeds metricwire violations around a local promWriter
+// mirroring the server's exposition helper: a dark family (declared,
+// never emitted), a phantom sample (emitted, never declared), a counter
+// without the _total suffix, a gauge with it, an invalid family name, a
+// duplicate declaration, and a family wired to an atomic field nothing
+// ever updates. The healthy families — declared once, emitted, correctly
+// named, backed by a field that is actually incremented — must stay
+// silent.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+type promWriter struct{ w io.Writer }
+
+func (p promWriter) header(name, help, typ string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p promWriter) value(name, labels string, v float64) {
+	fmt.Fprintf(p.w, "%s%s %g\n", name, labels, v)
+}
+
+func (p promWriter) intValue(name, labels string, v uint64) {
+	fmt.Fprintf(p.w, "%s%s %d\n", name, labels, v)
+}
+
+func (p promWriter) histogramMetric(name, help string, cum []uint64, sum float64, total uint64) {
+	fmt.Fprintf(p.w, "# TYPE %s histogram\n", name)
+}
+
+type stats struct {
+	served  atomic.Uint64
+	stalled atomic.Uint64 // loaded by a sample below but never updated
+}
+
+func (s *stats) hit() { s.served.Add(1) }
+
+func render(w io.Writer, s *stats) {
+	p := promWriter{w: w}
+
+	p.header("fixture_served_total", "Requests served.", "counter")
+	p.intValue("fixture_served_total", "", s.served.Load())
+	p.histogramMetric("fixture_latency_seconds", "Request latency.", nil, 0, 0)
+
+	p.header("fixture_dark_total", "Declared but never emitted.", "counter") // want `metricwire: metric family fixture_dark_total is declared but never emitted`
+
+	p.intValue("fixture_phantom_total", "", 1) // want `metricwire: metric family fixture_phantom_total is emitted but never declared`
+
+	p.header("fixture_requests", "Counter missing its suffix.", "counter") // want `metricwire: counter family fixture_requests must end in _total`
+	p.intValue("fixture_requests", "", 1)
+
+	p.header("fixture_queue_total", "Gauge posing as a counter.", "gauge") // want `metricwire: gauge family fixture_queue_total must not end in _total`
+	p.intValue("fixture_queue_total", "", 0)
+
+	p.header("fixture_Bad", "Invalid family name.", "gauge") // want `metricwire: metric family fixture_Bad is not a valid Prometheus name`
+	p.value("fixture_Bad", "", 1)
+
+	p.header("fixture_served_total", "Duplicate declaration.", "counter") // want `metricwire: metric family fixture_served_total is declared more than once`
+
+	p.header("fixture_stalled", "Requests stalled.", "gauge")
+	p.intValue("fixture_stalled", "", s.stalled.Load()) // want `metricwire: metric family fixture_stalled reads atomic field stalled, which is never Add/Store'd`
+}

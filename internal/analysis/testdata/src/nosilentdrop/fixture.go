@@ -1,0 +1,55 @@
+// Package fixture seeds nosilentdrop violations: retirement operations —
+// deletes from request-tracking maps, slice-removal over request queues,
+// nil-ing a tracked queue field — in functions that neither carry a
+// //qoserve:outcome annotation nor call an annotated recorder. The same
+// operations inside or downstream of an outcome recorder must stay
+// silent. The analyzer only speaks when the fixture is checked under a
+// request-handling import path (internal/server, replica, cluster).
+package fixture
+
+import "qoserve/internal/request"
+
+type waiter struct {
+	events chan int
+}
+
+type gateway struct {
+	streams map[uint64]waiter
+	queue   []*request.Request
+}
+
+func (g *gateway) drop(id uint64) {
+	delete(g.streams, id) // want `nosilentdrop: delete from a request-tracking map retires requests`
+}
+
+func (g *gateway) evict(i int) {
+	g.queue = append(g.queue[:i], g.queue[i+1:]...) // want `nosilentdrop: removal from a request slice retires requests`
+}
+
+func (g *gateway) clear() {
+	g.queue = nil // want `nosilentdrop: dropping a tracked request slice retires requests`
+}
+
+// fail records the outcome before forgetting the stream.
+//
+//qoserve:outcome fail
+func (g *gateway) fail(id uint64) {
+	delete(g.streams, id) // ok: this function is the outcome recorder
+}
+
+func (g *gateway) failVia(id uint64) {
+	g.fail(id)
+	delete(g.streams, id) // ok: outcome recorded through fail above
+}
+
+// badKind carries a typo'd outcome kind, which must be rejected rather
+// than silently treated as a recorder.
+//
+//qoserve:outcome finished
+func (g *gateway) badKind(id uint64) { // want `nosilentdrop: //qoserve:outcome "finished": kind must be one of complete, fail, requeue, handoff`
+	delete(g.streams, id)
+}
+
+func (g *gateway) untracked(m map[uint64]int, id uint64) {
+	delete(m, id) // ok: plain values carry no request
+}

@@ -98,7 +98,11 @@ func (c *Cluster) SetTracer(t trace.Tracer) {
 
 // Submit routes a request via the balancer, considering only healthy
 // replicas. With the whole cluster down the request parks until a replica
-// restarts (or the park timeout fails it).
+// restarts (or the park timeout fails it). Re-submitting a parked or
+// recovered request re-enters it into the tracked population, which is
+// why this counts as a recorded outcome for nosilentdrop.
+//
+//qoserve:outcome requeue
 func (c *Cluster) Submit(r *request.Request) {
 	healthy := c.healthyReplicas()
 	if len(healthy) == 0 {
@@ -161,6 +165,8 @@ func (c *Cluster) flushParked() {
 }
 
 // failRequest permanently gives up on a request, recording the reason.
+//
+//qoserve:outcome fail
 func (c *Cluster) failRequest(r *request.Request, now sim.Time, reason string) {
 	r.FailedReason = reason
 	c.failed = append(c.failed, FailedRequest{Req: r, At: now, Reason: reason})

@@ -49,6 +49,8 @@ const MaxIndexBlocks = 1 << 20
 // chain hashes resident in either tier, plus tier occupancy counts for
 // observability. Snapshots are immutable after construction; the global
 // index swaps whole snapshots atomically.
+//
+//qoserve:frozen
 type IndexSnapshot struct {
 	// Epoch is the publish sequence number for the owning slot, stamped by
 	// GlobalIndex.Publish (1 for a slot's first snapshot). A snapshot that

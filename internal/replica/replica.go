@@ -223,7 +223,11 @@ func (r *Replica) SetSlowFactor(factor float64) {
 // every KV allocation is dropped, and the accepted-but-unfinished requests
 // are returned — in submission order — with their execution state intact so
 // the caller can account lost progress before re-dispatching them. The
-// replica refuses new work until Restart.
+// replica refuses new work until Restart. Returning the orphans hands the
+// tracking obligation back to the caller, which must recover or fail each
+// one.
+//
+//qoserve:outcome handoff
 func (r *Replica) Fail() []*request.Request {
 	if r.down {
 		return nil

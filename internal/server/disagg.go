@@ -225,6 +225,8 @@ func (rp *gatewayReplica) launchHandoffs() {
 // deliverHandoff completes one KV transfer: the original request joins its
 // decode home. If the source replica died mid-transfer the KV pages are
 // gone and the request re-prefills elsewhere (or fails with a reason).
+//
+//qoserve:outcome requeue
 func (s *Server) deliverHandoff(src *gatewayReplica, h pendingHandoff) {
 	if s.closed.Load() {
 		return

@@ -264,7 +264,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.intValue("qoserve_decode_tokens_total", "", decodeTokens)
 	p.header("qoserve_violation_ratio", "Lifetime SLO violation fraction.", "gauge")
 	p.value("qoserve_violation_ratio", "", sum.ViolationRate(metrics.All))
-	p.header("qoserve_virtual_seconds", "Virtual clock position.", "counter")
+	p.header("qoserve_virtual_seconds", "Virtual clock position.", "gauge")
 	p.value("qoserve_virtual_seconds", "", vnow.Seconds())
 	p.header("qoserve_stream_dropped_events_total", "Token events discarded on full stream buffers.", "counter")
 	p.intValue("qoserve_stream_dropped_events_total", "", dropped)

@@ -1068,9 +1068,12 @@ func (rp *gatewayReplica) flush() {
 
 // sendFinal delivers ev even on a full buffer by evicting the oldest
 // undelivered events. The serving loop is the only sender and consumers
-// only receive, so eviction makes room and the loop terminates.
+// only receive, so eviction makes room and the loop terminates. Delivering
+// the final event is what completes a request, so this is the gateway's
+// outcome recorder.
 //
 //qoserve:hotpath
+//qoserve:outcome complete
 func (rp *gatewayReplica) sendFinal(events chan Event, ev Event) {
 	for {
 		select {
