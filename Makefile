@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race chaos fuzz lint verify bench bench-short bench-all bench-pr5 bench-pr6 bench-pr7 bench-pr8 loadgen-smoke experiments experiments-full examples quick clean
+.PHONY: all build vet test test-short race chaos fuzz lint verify bench bench-short bench-all bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr10 bench-gate loadgen-smoke experiments experiments-full examples quick clean
 
 all: build vet test
 
@@ -82,6 +82,7 @@ verify:
 	$(GO) test -race ./...
 	$(MAKE) fuzz
 	$(MAKE) bench-short
+	$(MAKE) bench-gate
 
 # Benchmark baseline: one pass over every table/figure benchmark plus the
 # scheduler/predictor hot-path micro-benchmarks, folded into BENCH_PR3.json
@@ -184,6 +185,48 @@ bench-pr8:
 		-meta transfer_prefix_transfer_tokens="$$(awk '/PredictedTransfer/{for(i=2;i<=NF;i++)if($$i=="prefix_transfer_tokens")print $$(i-1)}' /tmp/bench_transfer.txt)" \
 		/tmp/bench_transfer.txt
 	@echo "wrote $(BENCH8OUT)"
+
+# Token-path benchmark baseline (PR 10): the same contended closed-loop
+# workload against 8 replicas in both delivery modes. Unbatched
+# (EventFrame=0) is the PR 8 configuration — a fresh request, stream
+# entry, and per-token channel per submission; the batched-frame run
+# recycles all three through free lists and coalesces each iteration's
+# tokens into one pooled frame, so allocs/op must drop to 0. The headline
+# before/after req/s, TTFT p50/p90, and allocs/req land in BENCH_PR10.json
+# as meta alongside the raw benchmark entries benchgate diffs.
+BENCH10OUT  ?= BENCH_PR10.json
+BENCH10TIME ?= 2s
+bench-pr10:
+	$(GO) test -run '^$$' -bench 'GatewayUnbatchedReplicas8|GatewayFrameReplicas8' -benchmem \
+		-benchtime $(BENCH10TIME) ./internal/server/ | tee /tmp/bench_tokenpath.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH10OUT) \
+		-meta note="32 parallel closed-loop submitters, Q2 512/2, 8 replicas; unbatched = PR 8 per-token channels, frame = EventFrame 16 pooled frames" \
+		-meta unbatched_req_s="$$(awk '/GatewayUnbatchedReplicas8/{for(i=2;i<=NF;i++)if($$i=="req/s")print $$(i-1)}' /tmp/bench_tokenpath.txt)" \
+		-meta frame_req_s="$$(awk '/GatewayFrameReplicas8/{for(i=2;i<=NF;i++)if($$i=="req/s")print $$(i-1)}' /tmp/bench_tokenpath.txt)" \
+		-meta unbatched_ttft_p50_ms="$$(awk '/GatewayUnbatchedReplicas8/{for(i=2;i<=NF;i++)if($$i=="ttft_p50_ms")print $$(i-1)}' /tmp/bench_tokenpath.txt)" \
+		-meta frame_ttft_p50_ms="$$(awk '/GatewayFrameReplicas8/{for(i=2;i<=NF;i++)if($$i=="ttft_p50_ms")print $$(i-1)}' /tmp/bench_tokenpath.txt)" \
+		-meta unbatched_ttft_p90_ms="$$(awk '/GatewayUnbatchedReplicas8/{for(i=2;i<=NF;i++)if($$i=="ttft_p90_ms")print $$(i-1)}' /tmp/bench_tokenpath.txt)" \
+		-meta frame_ttft_p90_ms="$$(awk '/GatewayFrameReplicas8/{for(i=2;i<=NF;i++)if($$i=="ttft_p90_ms")print $$(i-1)}' /tmp/bench_tokenpath.txt)" \
+		-meta unbatched_allocs_per_req="$$(awk '/GatewayUnbatchedReplicas8/{for(i=2;i<=NF;i++)if($$i=="allocs/op")print $$(i-1)}' /tmp/bench_tokenpath.txt)" \
+		-meta frame_allocs_per_req="$$(awk '/GatewayFrameReplicas8/{for(i=2;i<=NF;i++)if($$i=="allocs/op")print $$(i-1)}' /tmp/bench_tokenpath.txt)" \
+		/tmp/bench_tokenpath.txt
+	@echo "wrote $(BENCH10OUT)"
+
+# Benchmark regression gate for `verify`/CI: re-measure the PR 10
+# token-path pair in a short pass and diff against the committed
+# BENCH_PR10.json with cmd/benchgate. Timing tolerance is generous (the
+# gate hunts structural regressions, not scheduler noise on shared CI
+# machines); allocs/op is tight, and a 0-alloc baseline allows no growth
+# at all.
+GATETIME      ?= 1s
+GATETOL       ?= 0.6
+GATETOLALLOCS ?= 0.3
+bench-gate:
+	$(GO) test -run '^$$' -bench 'GatewayUnbatchedReplicas8|GatewayFrameReplicas8' -benchmem \
+		-benchtime $(GATETIME) ./internal/server/ | tee /tmp/bench_gate_fresh.txt
+	$(GO) run ./cmd/benchjson -o /tmp/BENCH_PR10_fresh.json -meta mode=gate /tmp/bench_gate_fresh.txt
+	$(GO) run ./cmd/benchgate -baseline $(BENCH10OUT) -current /tmp/BENCH_PR10_fresh.json \
+		-tol $(GATETOL) -tol-allocs $(GATETOLALLOCS)
 
 # Deterministic loadgen smoke: a few hundred milliseconds of closed-loop
 # load against a 2-replica gateway with a fixed seed. The tool exits

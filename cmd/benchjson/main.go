@@ -11,41 +11,22 @@
 // Input files (or stdin when none are given) are standard Go benchmark
 // logs; non-benchmark lines are ignored. Repeated -meta key=value flags
 // attach free-form context (machine, scale, wall-clock measurements).
+//
+// The parser and document schema live in internal/benchfmt, shared with
+// cmd/benchgate which diffs a fresh run against a committed baseline.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"runtime"
 	"sort"
-	"strconv"
 	"strings"
+
+	"qoserve/internal/benchfmt"
 )
-
-// Result is one parsed benchmark line.
-type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
-	// Extra holds custom b.ReportMetric units (e.g. "req/s").
-	Extra map[string]float64 `json:"extra,omitempty"`
-}
-
-// Baseline is the emitted document.
-type Baseline struct {
-	GoVersion  string            `json:"go_version"`
-	GoOS       string            `json:"goos"`
-	GoArch     string            `json:"goarch"`
-	GoMaxProcs int               `json:"gomaxprocs"`
-	Meta       map[string]string `json:"meta,omitempty"`
-	Benchmarks []Result          `json:"benchmarks"`
-}
 
 // metaFlags collects repeated -meta key=value pairs.
 type metaFlags map[string]string
@@ -67,10 +48,10 @@ func main() {
 	flag.Var(meta, "meta", "attach key=value metadata (repeatable)")
 	flag.Parse()
 
-	var results []Result
+	var results []benchfmt.Result
 	if flag.NArg() == 0 {
 		var err error
-		results, err = parse(os.Stdin)
+		results, err = benchfmt.Parse(os.Stdin)
 		if err != nil {
 			fatal(err)
 		}
@@ -80,7 +61,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rs, err := parse(f)
+		rs, err := benchfmt.Parse(f)
 		f.Close()
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
@@ -89,7 +70,7 @@ func main() {
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 
-	doc := Baseline{
+	doc := benchfmt.Baseline{
 		GoVersion:  runtime.Version(),
 		GoOS:       runtime.GOOS,
 		GoArch:     runtime.GOARCH,
@@ -109,66 +90,6 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
-}
-
-// parse extracts benchmark result lines from a Go benchmark log.
-func parse(r io.Reader) ([]Result, error) {
-	var out []Result
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(line)
-		// Minimum: Name Iterations Value "ns/op".
-		if len(fields) < 4 {
-			continue
-		}
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		res := Result{Name: trimProcs(fields[0]), Iterations: iters}
-		ok := false
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				break
-			}
-			switch fields[i+1] {
-			case "ns/op":
-				res.NsPerOp = v
-				ok = true
-			case "B/op":
-				b := int64(v)
-				res.BytesPerOp = &b
-			case "allocs/op":
-				a := int64(v)
-				res.AllocsPerOp = &a
-			default:
-				if res.Extra == nil {
-					res.Extra = map[string]float64{}
-				}
-				res.Extra[fields[i+1]] = v
-			}
-		}
-		if ok {
-			out = append(out, res)
-		}
-	}
-	return out, sc.Err()
-}
-
-// trimProcs drops the -N GOMAXPROCS suffix Go appends to benchmark names.
-func trimProcs(name string) string {
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			return name[:i]
-		}
-	}
-	return name
 }
 
 func fatal(err error) {

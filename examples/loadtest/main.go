@@ -59,7 +59,10 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			for range stream.Events { // consume the token stream
+			for { // consume the token stream (works in both delivery modes)
+				if _, ok := stream.Recv(); !ok {
+					break
+				}
 			}
 			res := stream.Result()
 			mu.Lock()

@@ -91,27 +91,83 @@ func FormatChain(chain []uint64) string {
 	return b.String()
 }
 
+// AppendChain appends the wire form of chain (FormatChain) to dst and
+// returns the extended slice, allocating only when dst lacks capacity.
+func AppendChain(dst []byte, chain []uint64) []byte {
+	for i, h := range chain {
+		if i > 0 {
+			dst = append(dst, '-')
+		}
+		dst = strconv.AppendUint(dst, h, 16)
+	}
+	return dst
+}
+
 // ParseChain parses the wire format produced by FormatChain: "-"-joined
 // hex hashes, up to 16 digits each, at most MaxChainBlocks long. The empty
 // string parses to a nil chain (no prefix).
 func ParseChain(s string) ([]uint64, error) {
-	if s == "" {
-		return nil, nil
-	}
-	parts := strings.Split(s, "-")
-	if len(parts) > MaxChainBlocks {
-		return nil, fmt.Errorf("kvcache: chain of %d blocks exceeds %d", len(parts), MaxChainBlocks)
-	}
-	chain := make([]uint64, len(parts))
-	for i, p := range parts {
-		if p == "" || len(p) > 16 {
-			return nil, fmt.Errorf("kvcache: chain hash %q at position %d", p, i)
-		}
-		h, err := strconv.ParseUint(p, 16, 64)
-		if err != nil {
-			return nil, fmt.Errorf("kvcache: chain hash %q at position %d", p, i)
-		}
-		chain[i] = h
+	chain, err := ParseChainInto(nil, s)
+	if err != nil {
+		return nil, err
 	}
 	return chain, nil
+}
+
+// ParseChainInto parses s like ParseChain but appends the hashes to dst,
+// reusing its capacity: the gateway's HTTP submit path passes a pooled
+// scratch slice so a steady stream of prefix_chain fields parses without
+// per-request garbage. It returns dst unchanged (possibly re-sliced) on
+// error; the empty string appends nothing.
+func ParseChainInto(dst []uint64, s string) ([]uint64, error) {
+	if s == "" {
+		return dst, nil
+	}
+	// The wire form has one more segment than separators; count first so a
+	// hostile mega-chain is rejected before any parsing work.
+	blocks := strings.Count(s, "-") + 1
+	if blocks > MaxChainBlocks {
+		return dst, fmt.Errorf("kvcache: chain of %d blocks exceeds %d", blocks, MaxChainBlocks)
+	}
+	base := len(dst)
+	start, pos := 0, 0
+	for {
+		end := start
+		var h uint64
+		for end < len(s) && s[end] != '-' {
+			c := s[end]
+			var d uint64
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = uint64(c-'A') + 10
+			default:
+				return dst[:base], fmt.Errorf("kvcache: chain hash %q at position %d", segment(s, start), pos)
+			}
+			h = h<<4 | d
+			end++
+		}
+		if n := end - start; n == 0 || n > 16 {
+			return dst[:base], fmt.Errorf("kvcache: chain hash %q at position %d", segment(s, start), pos)
+		}
+		dst = append(dst, h)
+		pos++
+		if end == len(s) {
+			return dst, nil
+		}
+		start = end + 1 // skip the '-'
+	}
+}
+
+// segment returns the hash segment of s beginning at start, for error text
+// identical to the strings.Split-based parser this replaced.
+func segment(s string, start int) string {
+	end := start
+	for end < len(s) && s[end] != '-' {
+		end++
+	}
+	return s[start:end]
 }

@@ -1,0 +1,70 @@
+package kvcache
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParseChainInto covers the scratch-reuse contract: parsing appends to
+// the destination, errors leave previously appended hashes intact, and a
+// warm buffer round-trips without allocating.
+func TestParseChainInto(t *testing.T) {
+	chain := SyntheticChain(3, 0, 6)
+	wire := FormatChain(chain)
+
+	got, err := ParseChainInto(nil, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, chain) {
+		t.Fatalf("parsed %x, want %x", got, chain)
+	}
+
+	// Appending: prior contents survive, new hashes follow.
+	both, err := ParseChainInto(got, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both) != 2*len(chain) || !reflect.DeepEqual(both[len(chain):], chain) {
+		t.Fatalf("append parse produced %x", both)
+	}
+
+	// Errors re-slice back to the caller's length.
+	kept, err := ParseChainInto(both[:len(chain)], "not-hex-!")
+	if err == nil {
+		t.Fatal("accepted junk")
+	}
+	if !reflect.DeepEqual(kept, chain) {
+		t.Fatalf("error clobbered the scratch prefix: %x", kept)
+	}
+
+	// Warm scratch parses with zero allocations.
+	scratch := make([]uint64, 0, len(chain))
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		scratch, err = ParseChainInto(scratch[:0], wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ParseChainInto allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestAppendChainReuse checks AppendChain against FormatChain and its
+// alloc-free warm path.
+func TestAppendChainReuse(t *testing.T) {
+	chain := SyntheticChain(9, 16, 5)
+	want := FormatChain(chain)
+	buf := make([]byte, 0, len(want))
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendChain(buf[:0], chain)
+	})
+	if string(buf) != want {
+		t.Fatalf("AppendChain = %q, want %q", buf, want)
+	}
+	if allocs != 0 {
+		t.Fatalf("warm AppendChain allocates %.1f times, want 0", allocs)
+	}
+}

@@ -99,6 +99,21 @@ func NewSummary(reqs []*request.Request, end sim.Time, replicas int) *Summary {
 	return s
 }
 
+// MixedSummary builds a summary from already-frozen outcomes of finished
+// requests plus a snapshot of still-live ones. The serving gateway keeps a
+// ledger of finished outcomes (so finished request objects can be pooled
+// and reused) and passes its live set separately; both views land in one
+// Outcomes slice, ordered finished-first.
+func MixedSummary(done []Outcome, live []*request.Request, end sim.Time, replicas int) *Summary {
+	s := &Summary{End: end, Replicas: replicas}
+	s.Outcomes = make([]Outcome, 0, len(done)+len(live))
+	s.Outcomes = append(s.Outcomes, done...)
+	for _, r := range live {
+		s.Outcomes = append(s.Outcomes, OutcomeOf(r, end))
+	}
+	return s
+}
+
 // Filter is a predicate over outcomes.
 type Filter func(Outcome) bool
 

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"qoserve/internal/model"
 	"qoserve/internal/qos"
@@ -41,7 +44,7 @@ func fanoutFixture(tb testing.TB, streamBuf int) (*gatewayReplica, sched.Batch) 
 			FirstTokenAt:    sim.Millisecond,
 			LastTokenAt:     sim.Millisecond,
 		}
-		rp.streams[r.ID] = make(chan Event, streamBuf)
+		rp.streams[r.ID] = &streamEntry{id: r.ID, req: r, events: make(chan Event, streamBuf)}
 		batch.Decodes = append(batch.Decodes, r)
 	}
 	return rp, batch
@@ -130,3 +133,72 @@ func benchGatewayContended(b *testing.B, replicas int) {
 func BenchmarkGatewayContendedReplicas1(b *testing.B) { benchGatewayContended(b, 1) }
 func BenchmarkGatewayContendedReplicas4(b *testing.B) { benchGatewayContended(b, 4) }
 func BenchmarkGatewayContendedReplicas8(b *testing.B) { benchGatewayContended(b, 8) }
+
+// benchGatewayTokenPath is the PR 10 before/after pair: the same contended
+// closed-loop workload as benchGatewayContended, but submitted through the
+// pooled SubmitTo entry point with per-goroutine Stream reuse, drained via
+// Recv (which works in both delivery modes), and instrumented with
+// allocs/op plus TTFT quantiles. eventFrame == 0 is the PR 8
+// configuration (per-token channels, fresh request/entry/channel per
+// submission); eventFrame > 0 exercises the batched-frame path where the
+// request, stream entry, and frames all recycle through free lists.
+func benchGatewayTokenPath(b *testing.B, replicas, eventFrame int) {
+	srv, err := New(Config{
+		Model:            model.Llama3_8B_A100_TP1(),
+		SchedulerFactory: func() sched.Scheduler { return sched.NewSarathi(sched.FCFS, 512) },
+		Replicas:         replicas,
+		Classes:          qos.Table3(),
+		Timescale:        200,
+		StreamBuffer:     8,
+		EventFrame:       eventFrame,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	// Pre-sized so appending TTFT samples never allocates mid-run.
+	ttfts := make([]float64, 0, b.N+64)
+	var mu sync.Mutex
+	b.SetParallelism(32) // 32 concurrent submitters per GOMAXPROCS
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var stream Stream
+		for pb.Next() {
+			err := srv.SubmitTo(Submission{Class: "Q2", PromptTokens: 512, DecodeTokens: 2}, &stream)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			for {
+				if _, ok := stream.Recv(); !ok {
+					break
+				}
+			}
+			ttft := float64(stream.Result().TTFT) / float64(time.Millisecond)
+			mu.Lock()
+			ttfts = append(ttfts, ttft)
+			mu.Unlock()
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	sort.Float64s(ttfts)
+	b.ReportMetric(benchQuantile(ttfts, 0.50), "ttft_p50_ms")
+	b.ReportMetric(benchQuantile(ttfts, 0.90), "ttft_p90_ms")
+}
+
+// benchQuantile is nearest-rank over an already-sorted sample.
+func benchQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func BenchmarkGatewayUnbatchedReplicas8(b *testing.B) { benchGatewayTokenPath(b, 8, 0) }
+func BenchmarkGatewayFrameReplicas8(b *testing.B)     { benchGatewayTokenPath(b, 8, 16) }

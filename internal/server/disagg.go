@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"qoserve/internal/cluster"
+	"qoserve/internal/metrics"
 	"qoserve/internal/replica"
 	"qoserve/internal/request"
 	"qoserve/internal/sim"
@@ -91,23 +92,36 @@ func (s *Server) prefillClone(orig *request.Request) *request.Request {
 // pipeline. The decode home is fixed now so exactly one serving loop ever
 // mutates the request; the prefill replica is chosen by the configured
 // balancer over the prefill tier.
-func (s *Server) submitDisagg(req *request.Request, events chan Event) (*Stream, error) {
+//
+//qoserve:outcome requeue
+func (s *Server) submitDisagg(req *request.Request, entry *streamEntry, st *Stream) error {
+	id := req.ID
 	home := s.pickDecodeHome(req)
-	h := pendingHandoff{clone: s.prefillClone(req), orig: req, events: events, home: home}
+	h := pendingHandoff{clone: s.prefillClone(req), orig: req, entry: entry, home: home}
 	s.reps[home].load.Add(1)
 	s.inFlight.Add(1)
 	if !s.enqueuePrefill(h) {
 		s.reps[home].load.Add(-1)
 		s.inFlight.Add(-1)
+		s.finMu.Lock()
+		delete(s.live, id)
+		s.finMu.Unlock()
+		s.releaseUnused(req, entry)
 		if s.closed.Load() {
-			return nil, ErrClosed
+			return ErrClosed
 		}
-		return nil, ErrNoHealthyReplica
+		return ErrNoHealthyReplica
 	}
-	s.servedMu.Lock()
-	s.served = append(s.served, req)
-	s.servedMu.Unlock()
-	return &Stream{ID: req.ID, Events: events, req: req, rep: s.reps[home]}, nil
+	s.accepted.Add(1)
+	*st = Stream{ID: id, srv: s}
+	if entry.frames != nil {
+		st.entry = entry
+	} else {
+		st.Events = entry.events
+		st.req = req
+		st.rep = s.reps[home]
+	}
+	return nil
 }
 
 // pickDecodeHome fixes a request's decode-tier home. Snapshot-aware
@@ -190,9 +204,9 @@ func (s *Server) enqueuePrefill(h pendingHandoff) bool {
 			continue // crashed between pick and enqueue; re-pick
 		}
 		src, tok := s.planTransfer(h.clone, i, s.prefillReps)
-		rp.inbox = append(rp.inbox, admission{req: h.clone, events: h.events, orig: h.orig, home: h.home, xferFrom: src, xferTokens: tok})
-		rp.wake.Signal()
+		rp.inbox = append(rp.inbox, admission{req: h.clone, entry: h.entry, orig: h.orig, home: h.home, xferFrom: src, xferTokens: tok})
 		rp.inboxMu.Unlock()
+		rp.kick()
 		return true
 	}
 	return false
@@ -242,9 +256,9 @@ func (s *Server) deliverHandoff(src *gatewayReplica, h pendingHandoff) {
 		home.inboxMu.Unlock()
 		return
 	}
-	home.inbox = append(home.inbox, admission{req: h.orig, events: h.events})
-	home.wake.Signal()
+	home.inbox = append(home.inbox, admission{req: h.orig, entry: h.entry})
 	home.inboxMu.Unlock()
+	home.kick()
 }
 
 // retryOrFail re-prefills a crash-orphaned request on a healthy prefill
@@ -272,27 +286,69 @@ func (s *Server) retryOrFail(h pendingHandoff, cause string) {
 // failRequest permanently fails a request that could not be served. The
 // stream still receives a final Done event (the result reports the
 // failure as an SLO violation) so no consumer is left hanging and no
-// request is silently dropped.
+// request is silently dropped. The outcome is frozen into the finished
+// ledger before the final event ships, exactly like sendFinalFrame; the
+// request object itself is not recycled (the consumer's Stream may still
+// reference it), it just leaves the live set.
+//
+//qoserve:outcome complete
 func (s *Server) failRequest(h pendingHandoff, reason string) {
 	home := s.reps[h.home]
 	home.mu.Lock()
 	h.orig.FailedReason = reason
 	home.mu.Unlock()
 	s.failedReqs.Add(1)
-	final := Event{Token: h.orig.DecodedTokens, At: s.vnow().Duration(), Done: true}
-	// The home loop never registered this stream, so this goroutine is the
-	// only sender; evict stale events until the final one fits.
+	end := s.vnow()
+	final := Event{Token: h.orig.DecodedTokens, At: end.Duration(), Done: true}
+	e := h.entry
+	s.finMu.Lock()
+	e.res = resultOf(h.orig, end)
+	delete(s.live, h.orig.ID)
+	s.doneOut = append(s.doneOut, metrics.OutcomeOf(h.orig, end))
+	s.finMu.Unlock()
+	e.req = nil
+	if e.frames != nil {
+		// No serving loop ever registered this entry, so its staged frame
+		// was never queued: recycle it and ship the final event in a fresh
+		// frame, evicting stale frames until it fits (this goroutine is the
+		// only sender).
+		if e.staged != nil {
+			s.recycleFrame(e.staged)
+			e.staged = nil
+		}
+		f := append(s.newFrame(), final)
+		for {
+			select {
+			case e.frames <- f:
+				home.load.Add(-1)
+				if s.inFlight.Add(-1) == 0 {
+					s.kickDrain()
+				}
+				return
+			default:
+			}
+			select {
+			case old := <-e.frames:
+				s.droppedEvents.Add(uint64(len(old)))
+				s.recycleFrame(old)
+			default:
+			}
+		}
+	}
+	// Unbatched: evict stale events until the final one fits, then close.
 	for {
 		select {
-		case h.events <- final:
-			close(h.events)
+		case e.events <- final:
+			close(e.events)
 			home.load.Add(-1)
-			s.inFlight.Add(-1)
+			if s.inFlight.Add(-1) == 0 {
+				s.kickDrain()
+			}
 			return
 		default:
 		}
 		select {
-		case <-h.events:
+		case <-e.events:
 			s.droppedEvents.Add(1)
 		default:
 		}
@@ -315,9 +371,7 @@ func (s *Server) Crash(i int) error {
 	if rp.down.Swap(true) {
 		return fmt.Errorf("server: replica %d already down", i)
 	}
-	rp.inboxMu.Lock()
-	rp.wake.Broadcast()
-	rp.inboxMu.Unlock()
+	rp.kick()
 	return nil
 }
 
@@ -335,7 +389,7 @@ func (rp *gatewayReplica) crashDrain() {
 		if ad.orig == nil {
 			continue
 		}
-		srv.retryOrFail(pendingHandoff{clone: ad.req, orig: ad.orig, events: ad.events, home: ad.home}, "prefill replica crashed")
+		srv.retryOrFail(pendingHandoff{clone: ad.req, orig: ad.orig, entry: ad.entry, home: ad.home}, "prefill replica crashed")
 	}
 	for _, h := range rp.pending {
 		srv.lostTokens.Add(uint64(h.clone.ContextLen()))
@@ -380,8 +434,9 @@ func (rp *gatewayReplica) runDecode() {
 		end := rp.srv.vnow()
 		rp.completeDecodeLocked(batch, exec, end)
 		rp.mu.Unlock()
-		rp.flush()
 
+		// Compact before finishIteration: it reads each request's phase,
+		// and finalizeDone may recycle finished requests (batched mode).
 		keep := rp.decQ[:0]
 		for _, r := range rp.decQ {
 			if r.Phase() != request.Done {
@@ -392,7 +447,11 @@ func (rp *gatewayReplica) runDecode() {
 			rp.decQ[i] = nil
 		}
 		rp.decQ = keep
+		rp.finishIteration(end)
 		rp.refreshDecodeSnap()
+		if len(rp.decQ) == 0 {
+			rp.maybeShrinkStreams()
+		}
 	}
 }
 
@@ -403,7 +462,10 @@ func (rp *gatewayReplica) runDecode() {
 func (rp *gatewayReplica) admitDecode() bool {
 	rp.inboxMu.Lock()
 	for !rp.srv.closed.Load() && len(rp.inbox) == 0 && rp.active == 0 {
-		rp.wake.Wait()
+		// Same lost-wakeup-free park as admit: buffered kick + re-check.
+		rp.inboxMu.Unlock()
+		<-rp.notify
+		rp.inboxMu.Lock()
 	}
 	if rp.srv.closed.Load() {
 		rp.inboxMu.Unlock()
@@ -418,7 +480,10 @@ func (rp *gatewayReplica) admitDecode() bool {
 	rp.mu.Lock()
 	for _, ad := range rp.drained {
 		r := ad.req
-		rp.streams[r.ID] = ad.events
+		rp.streams[r.ID] = ad.entry
+		if len(rp.streams) > rp.streamsPeak {
+			rp.streamsPeak = len(rp.streams)
+		}
 		r.RecordPrefill(r.PromptTokens, now)
 		rp.stageEvent(r, now)
 		if r.Phase() != request.Done {
@@ -430,7 +495,7 @@ func (rp *gatewayReplica) admitDecode() bool {
 	for i := range rp.drained {
 		rp.drained[i] = admission{}
 	}
-	rp.flush()
+	rp.finishIteration(now)
 	rp.refreshDecodeSnap()
 	return true
 }

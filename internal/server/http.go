@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"qoserve/internal/kvcache"
@@ -234,9 +235,7 @@ func (s *Server) handleDebugLoad(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	vnow := s.vnow()
 	sum := s.summary(vnow)
-	s.servedMu.Lock()
-	served := len(s.served)
-	s.servedMu.Unlock()
+	served := s.accepted.Load()
 	pending := int(s.inFlight.Load())
 	iterations, tokens := s.iterations.Load(), s.tokens.Load()
 	prefillTokens, decodeTokens := s.prefillTokens.Load(), s.decodeTokens.Load()
@@ -251,7 +250,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p := promWriter{w}
 
 	p.header("qoserve_requests_total", "Requests accepted since start.", "counter")
-	p.intValue("qoserve_requests_total", "", uint64(served))
+	p.intValue("qoserve_requests_total", "", served)
 	p.header("qoserve_requests_pending", "Requests not yet finished.", "gauge")
 	p.intValue("qoserve_requests_pending", "", uint64(pending))
 	p.header("qoserve_iterations_total", "Executed batches.", "counter")
@@ -268,6 +267,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.value("qoserve_virtual_seconds", "", vnow.Seconds())
 	p.header("qoserve_stream_dropped_events_total", "Token events discarded on full stream buffers.", "counter")
 	p.intValue("qoserve_stream_dropped_events_total", "", dropped)
+	p.header("qoserve_stream_table_shrinks_total", "Per-replica stream-table rebuilds after bursts.", "counter")
+	p.intValue("qoserve_stream_table_shrinks_total", "", s.streamShrinks.Load())
 	p.header("qoserve_gateway_replicas", "Serving loops in this gateway.", "gauge")
 	p.intValue("qoserve_gateway_replicas", "", uint64(len(s.reps)))
 
@@ -463,14 +464,11 @@ func tracedIteration(it trace.Iteration) TracedIteration {
 
 // handleDebugQueues serves a live queue snapshot, summed over replicas.
 func (s *Server) handleDebugQueues(w http.ResponseWriter, _ *http.Request) {
-	s.servedMu.Lock()
-	served := len(s.served)
-	s.servedMu.Unlock()
 	resp := QueuesResponse{
 		Policy:       s.policyName(),
 		VirtualNowMS: msT(s.vnow()),
 		Pending:      int(s.inFlight.Load()),
-		Served:       served,
+		Served:       int(s.accepted.Load()),
 		Iterations:   s.iterations.Load(),
 		TraceEnabled: s.tracer != nil,
 		Replicas:     len(s.reps),
@@ -496,19 +494,27 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "priority", "unknown priority %q (want \"high\" or \"low\")", req.Priority)
 		return
 	}
-	chain, err := kvcache.ParseChain(req.PrefixChain)
+	// Parse the prefix chain into a pooled scratch buffer: SubmitTo copies
+	// the hashes it keeps, so the scratch always goes straight back to the
+	// pool and a steady stream of chained submits parses garbage-free.
+	sp := chainScratch.Get().(*[]uint64)
+	chain, err := kvcache.ParseChainInto((*sp)[:0], req.PrefixChain)
 	if err != nil {
+		chainScratch.Put(sp)
 		writeError(w, http.StatusBadRequest, "prefix_chain", "%v", err)
 		return
 	}
-	stream, err := s.Submit(Submission{
+	var stream Stream
+	err = s.SubmitTo(Submission{
 		App:          req.App,
 		Class:        req.Class,
 		Priority:     prio,
 		PromptTokens: req.PromptTokens,
 		DecodeTokens: req.DecodeTokens,
 		PrefixHashes: chain,
-	})
+	}, &stream)
+	*sp = chain[:0]
+	chainScratch.Put(sp)
 	if err != nil {
 		var serr *SubmissionError
 		switch {
@@ -528,35 +534,38 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	cancel := r.Context().Done()
 	for {
-		select {
-		case ev, ok := <-stream.Events:
-			if !ok {
-				return
-			}
-			out := TokenEvent{Event: "token", Token: ev.Token, AtMS: ms(ev.At)}
-			if ev.Done {
-				res := stream.Result()
-				out.Event = "done"
-				out.TTFTMS = ms(res.TTFT)
-				out.TTLTMS = ms(res.TTLT)
-				out.Violated = res.Violated
-				out.Relegate = res.Releg
-			}
-			if err := enc.Encode(out); err != nil {
-				return // client went away
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-			if ev.Done {
-				return
-			}
-		case <-r.Context().Done():
+		ev, ok := stream.next(cancel)
+		if !ok {
+			return // client went away or the stream ended
+		}
+		out := TokenEvent{Event: "token", Token: ev.Token, AtMS: ms(ev.At)}
+		if ev.Done {
+			res := stream.Result()
+			out.Event = "done"
+			out.TTFTMS = ms(res.TTFT)
+			out.TTLTMS = ms(res.TTLT)
+			out.Violated = res.Violated
+			out.Relegate = res.Releg
+		}
+		if err := enc.Encode(out); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if ev.Done {
 			return
 		}
 	}
 }
+
+// chainScratch pools prefix-chain parse buffers for handleGenerate.
+var chainScratch = sync.Pool{New: func() any {
+	s := make([]uint64, 0, 64)
+	return &s
+}}
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.Stats()

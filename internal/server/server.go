@@ -22,11 +22,17 @@
 // return immediately; the loop swaps the whole inbox out once per
 // iteration. Per-iteration token accounting runs under the replica's
 // scheduler lock, but no channel operation ever happens under any lock:
-// events are staged into a loop-owned outbox and flushed afterwards with
-// non-blocking sends. Slow consumers lose intermediate token events
-// (counted in qoserve_stream_dropped_events_total) but never the final
-// one, so the batch loop can never be stalled by a client. Lifetime
-// counters are atomics; the steady-state per-token path allocates nothing.
+// events are staged under the lock and delivered afterwards with
+// non-blocking sends — per token in the default mode, or coalesced into
+// per-iteration event frames when Config.EventFrame is set (see
+// stream.go). Slow consumers lose intermediate token events (counted in
+// qoserve_stream_dropped_events_total) but never the final one, so the
+// batch loop can never be stalled by a client. Idle loops park on a
+// 1-buffered notify channel kicked by admission, fault recovery, handoff
+// delivery, and Close — no polling. Lifetime counters are atomics; the
+// steady-state per-token path allocates nothing, and with event frames
+// enabled the request, stream-entry, and frame objects recycle through
+// free lists so a warm gateway serves without allocating at all.
 package server
 
 import (
@@ -82,45 +88,6 @@ type Event struct {
 	Done bool
 }
 
-// Stream delivers a request's token events. The channel buffer is bounded
-// (Config.StreamBuffer): a consumer that falls a full buffer behind loses
-// intermediate token events — the Token index then skips — but always
-// receives the final Done event, after which the channel is closed.
-type Stream struct {
-	ID     uint64
-	Events <-chan Event
-	req    *request.Request
-	rep    *gatewayReplica
-}
-
-// Result summarizes a finished request. Valid once the stream has closed.
-type Result struct {
-	TTFT time.Duration
-	TTLT time.Duration
-	// MaxTBT is the largest inter-token gap observed (virtual time).
-	MaxTBT   time.Duration
-	Violated bool
-	Releg    bool
-}
-
-// Result reports the request's outcome as of now.
-func (s *Stream) Result() Result {
-	s.rep.mu.Lock()
-	defer s.rep.mu.Unlock()
-	res := Result{
-		MaxTBT:   s.req.MaxTBT.Duration(),
-		Violated: s.req.ViolatedSLO(s.rep.srv.vnow()),
-		Releg:    s.req.Relegated,
-	}
-	if ttft, ok := s.req.TTFT(); ok {
-		res.TTFT = ttft.Duration()
-	}
-	if ttlt, ok := s.req.TTLT(); ok {
-		res.TTLT = ttlt.Duration()
-	}
-	return res
-}
-
 // Config configures a real-time server.
 type Config struct {
 	Model model.Config
@@ -165,8 +132,21 @@ type Config struct {
 	KVTransferBandwidth float64
 	// StreamBuffer bounds each stream's event buffer (default 256 events,
 	// additionally capped at the request's DecodeTokens+1). See Stream for
-	// the overflow contract.
+	// the overflow contract. With EventFrame set it only sizes the derived
+	// FrameBuffer default.
 	StreamBuffer int
+	// EventFrame switches the gateway to batched event delivery: all
+	// tokens a stream produced in one iteration coalesce into a single
+	// pooled frame of up to this many events, delivered over a small
+	// bounded channel, and the per-request Request/entry/frame objects
+	// recycle through free lists. Zero (the default) keeps the original
+	// per-token channel contract on Stream.Events; Stream.Recv works in
+	// both modes. See stream.go for the frame lifecycle.
+	EventFrame int
+	// FrameBuffer is each stream's frame-channel depth in batched mode
+	// (default max(2, StreamBuffer/EventFrame)). A consumer that falls
+	// this many frames behind loses the oldest ones. Requires EventFrame.
+	FrameBuffer int
 	// Classes that submissions may reference.
 	Classes []qos.Class
 	// Timescale accelerates virtual time relative to wall time (e.g.
@@ -289,8 +269,31 @@ type Server struct {
 	lostTokens     atomic.Uint64 // tokens of progress discarded by crashes
 	failedReqs     atomic.Int64  // requests permanently failed with a reason
 
-	servedMu sync.Mutex
-	served   []*request.Request // guarded by servedMu
+	// accepted counts submissions that entered a serving loop.
+	accepted atomic.Uint64
+	// streamShrinks counts post-burst stream-table rebuilds.
+	streamShrinks atomic.Uint64
+
+	// finMu guards the accepted-request ledger: live requests by ID and
+	// the frozen outcomes of finished ones. Serving loops freeze and
+	// recycle requests under it; the metrics scanners read under it. It is
+	// a leaf lock — nothing else is acquired while holding it.
+	finMu   sync.Mutex
+	live    map[uint64]*request.Request // guarded by finMu
+	doneOut []metrics.Outcome           // guarded by finMu
+
+	// frameBuf is the per-stream frame-channel depth; 0 means unbatched
+	// delivery. Immutable after New.
+	frameBuf int
+	// Free lists for batched mode (nil otherwise): recycled requests,
+	// stream entries, and event frames. See stream.go.
+	reqPool   chan *request.Request
+	entryPool chan *streamEntry
+	framePool chan []Event
+
+	// drainWake is kicked when the last in-flight request retires, waking
+	// Drain without polling.
+	drainWake chan struct{}
 
 	reps []*gatewayReplica
 	wg   sync.WaitGroup
@@ -318,8 +321,12 @@ type gatewayReplica struct {
 	// inboxMu is the admission lock: submitters append, the serving loop
 	// swaps the whole inbox out once per iteration.
 	inboxMu sync.Mutex
-	wake    *sync.Cond  // tied to inboxMu; signaled on admission and Close
 	inbox   []admission // guarded by inboxMu
+	// notify is the loop's 1-buffered wakeup channel: producers kick()
+	// after appending to the inbox (and on Crash/Close), and the loop
+	// re-checks its predicate under inboxMu after every receive, so a
+	// wakeup can never be lost and an idle loop burns no CPU.
+	notify chan struct{}
 
 	// load counts unfinished requests routed here; the balancer probes it
 	// without locks.
@@ -364,14 +371,20 @@ type gatewayReplica struct {
 	idxVersion uint64
 
 	// Loop-owned state, touched only by the serving goroutine.
-	drained  []admission           // inbox swap buffer
-	streams  map[uint64]chan Event // live stream channels by request ID
-	outbox   []delivery            // events staged under mu, flushed after
-	active   int                   // requests admitted here and unfinished
-	shape    model.BatchShape      // batch-shape scratch for the cost model
-	hist     histShard             // iteration-latency histogram shard
-	handoffQ []pendingHandoff      // clones finished this iteration, to launch
-	decQ     []*request.Request    // decode-tier FCFS queue
+	drained     []admission             // inbox swap buffer
+	streams     map[uint64]*streamEntry // live streams by request ID
+	streamsPeak int                     // high-water mark since last shrink
+	outbox      []delivery              // unbatched: events staged under mu
+	sendQ       []*streamEntry          // batched: entries with staged frames
+	finalQ      []*streamEntry          // streams finished this iteration
+	releaseQ    []uint64                // prefix pins released this iteration
+	spares      [][]Event               // pre-stocked frames for flushFrames
+	idleTimer   *time.Timer             // idleWait's reusable fallback timer
+	active      int                     // requests admitted here and unfinished
+	shape       model.BatchShape        // batch-shape scratch for the cost model
+	hist        histShard               // iteration-latency histogram shard
+	handoffQ    []pendingHandoff        // clones finished this iteration, to launch
+	decQ        []*request.Request      // decode-tier FCFS queue
 }
 
 // admission is one submitted request en route to its serving loop. On the
@@ -379,10 +392,10 @@ type gatewayReplica struct {
 // carry the real request and its decode-tier destination; elsewhere orig
 // is nil.
 type admission struct {
-	req    *request.Request
-	events chan Event
-	orig   *request.Request
-	home   int
+	req   *request.Request
+	entry *streamEntry
+	orig  *request.Request
+	home  int
 	// xferFrom/xferTokens carry a planned cross-replica KV import: credit
 	// xferTokens of the prefix by migrating the missing blocks from replica
 	// xferFrom. Zero xferTokens means no import was planned; the plan is
@@ -394,10 +407,10 @@ type admission struct {
 // pendingHandoff is one request whose prompt is prefilling on this tier as
 // a single-token clone, awaiting KV transfer to its fixed decode home.
 type pendingHandoff struct {
-	clone  *request.Request
-	orig   *request.Request
-	events chan Event
-	home   int // decode-tier replica index, fixed at submission
+	clone *request.Request
+	orig  *request.Request
+	entry *streamEntry
+	home  int // decode-tier replica index, fixed at submission
 }
 
 // delivery is one staged stream write, assembled under the scheduler lock
@@ -453,6 +466,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StreamBuffer < 0 {
 		return nil, fmt.Errorf("server: negative stream buffer")
 	}
+	if cfg.EventFrame < 0 {
+		return nil, fmt.Errorf("server: negative event frame size")
+	}
+	if cfg.FrameBuffer < 0 {
+		return nil, fmt.Errorf("server: negative frame buffer")
+	}
+	if cfg.FrameBuffer > 0 && cfg.EventFrame == 0 {
+		return nil, fmt.Errorf("server: FrameBuffer requires EventFrame")
+	}
+	if cfg.EventFrame > 0 && cfg.FrameBuffer == 0 {
+		cfg.FrameBuffer = cfg.StreamBuffer / cfg.EventFrame
+		if cfg.FrameBuffer < 2 {
+			cfg.FrameBuffer = 2
+		}
+	}
 	if cfg.TraceDepth < 0 {
 		return nil, fmt.Errorf("server: negative trace depth")
 	}
@@ -502,10 +530,18 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: unknown mode %q (want \"colocated\" or \"disagg\")", cfg.Mode)
 	}
 	s := &Server{
-		cfg:      cfg,
-		classes:  make(map[string]qos.Class, len(cfg.Classes)),
-		start:    time.Now(),
-		balancer: cfg.Balancer,
+		cfg:       cfg,
+		classes:   make(map[string]qos.Class, len(cfg.Classes)),
+		start:     time.Now(),
+		balancer:  cfg.Balancer,
+		live:      make(map[uint64]*request.Request, 256),
+		drainWake: make(chan struct{}, 1),
+	}
+	if cfg.EventFrame > 0 {
+		s.frameBuf = cfg.FrameBuffer
+		s.reqPool = make(chan *request.Request, poolCap)
+		s.entryPool = make(chan *streamEntry, poolCap)
+		s.framePool = make(chan []Event, poolCap)
 	}
 	if s.balancer == nil {
 		s.balancer = &cluster.AtomicRoundRobin{}
@@ -549,10 +585,10 @@ func New(cfg Config) (*Server, error) {
 			srv:       s,
 			idx:       i,
 			scheduler: sc,
-			streams:   make(map[uint64]chan Event, 64),
+			streams:   make(map[uint64]*streamEntry, 64),
+			notify:    make(chan struct{}, 1),
 			kv:        kv,
 		}
-		rp.wake = sync.NewCond(&rp.inboxMu)
 		if s.prefillReps > 0 && i < s.prefillReps {
 			rp.pending = make(map[uint64]pendingHandoff, 64)
 		}
@@ -591,7 +627,8 @@ type Submission struct {
 	DecodeTokens int
 	// PrefixHashes is the prompt's prefix hash chain (see
 	// kvcache.ExtendChain); nil when the prompt shares no prefix. Chains
-	// longer than the prompt's shareable blocks are truncated.
+	// longer than the prompt's shareable blocks are truncated. The hashes
+	// are copied — the caller keeps ownership of the slice.
 	PrefixHashes []uint64
 }
 
@@ -600,15 +637,27 @@ type Submission struct {
 // ErrClosed. Submit takes only the routed replica's admission lock — it
 // never contends with planning, token accounting, or other replicas.
 func (s *Server) Submit(sub Submission) (*Stream, error) {
+	st := &Stream{}
+	if err := s.SubmitTo(sub, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// SubmitTo is Submit into a caller-owned Stream, which is overwritten:
+// submission loops that recycle their Stream (the load generator, the
+// gateway benchmarks) stay allocation-free end to end in batched mode.
+// The Stream must not be in use by a previous request.
+func (s *Server) SubmitTo(sub Submission, st *Stream) error {
 	cls, ok := s.classes[sub.Class]
 	if !ok {
-		return nil, &SubmissionError{Field: "class", Msg: fmt.Sprintf("unknown class %q", sub.Class)}
+		return &SubmissionError{Field: "class", Msg: fmt.Sprintf("unknown class %q", sub.Class)}
 	}
 	if sub.PromptTokens <= 0 {
-		return nil, &SubmissionError{Field: "prompt_tokens", Msg: fmt.Sprintf("%d, must be positive", sub.PromptTokens)}
+		return &SubmissionError{Field: "prompt_tokens", Msg: fmt.Sprintf("%d, must be positive", sub.PromptTokens)}
 	}
 	if sub.DecodeTokens <= 0 || sub.DecodeTokens > s.cfg.MaxDecodeTokens {
-		return nil, &SubmissionError{Field: "decode_tokens",
+		return &SubmissionError{Field: "decode_tokens",
 			Msg: fmt.Sprintf("%d outside [1,%d]", sub.DecodeTokens, s.cfg.MaxDecodeTokens)}
 	}
 	app := sub.App
@@ -616,14 +665,16 @@ func (s *Server) Submit(sub Submission) (*Stream, error) {
 		app = sub.Class
 	}
 	if s.closed.Load() {
-		return nil, ErrClosed
+		return ErrClosed
 	}
 
 	chain := sub.PrefixHashes
 	if max := kvcache.ChainBlocks(sub.PromptTokens, s.reps[0].kvBlockTokens()); len(chain) > max {
 		chain = chain[:max]
 	}
-	req := &request.Request{
+	req := s.newRequest()
+	hashes := append(req.PrefixHashes[:0], chain...)
+	*req = request.Request{
 		ID:           s.nextID.Add(1),
 		App:          app,
 		Class:        cls,
@@ -631,16 +682,32 @@ func (s *Server) Submit(sub Submission) (*Stream, error) {
 		Arrival:      s.vnow(),
 		PromptTokens: sub.PromptTokens,
 		DecodeTokens: sub.DecodeTokens,
-		PrefixHashes: chain,
 	}
-	buf := sub.DecodeTokens + 1
-	if buf > s.cfg.StreamBuffer {
-		buf = s.cfg.StreamBuffer
+	req.PrefixHashes = hashes
+	id := req.ID
+
+	var entry *streamEntry
+	if s.frameBuf > 0 {
+		entry = s.newEntry()
+		entry.id = id
+		entry.req = req
+		entry.staged = s.newFrame()
+	} else {
+		buf := sub.DecodeTokens + 1
+		if buf > s.cfg.StreamBuffer {
+			buf = s.cfg.StreamBuffer
+		}
+		entry = &streamEntry{id: id, req: req, events: make(chan Event, buf)}
 	}
-	events := make(chan Event, buf)
+
+	// The request must be reachable by the metrics ledger before any
+	// serving loop can finish it (finalizeDone moves it live -> doneOut).
+	s.finMu.Lock()
+	s.live[id] = req
+	s.finMu.Unlock()
 
 	if s.prefillReps > 0 {
-		return s.submitDisagg(req, events)
+		return s.submitDisagg(req, entry, st)
 	}
 
 	pi := s.pick(req)
@@ -657,16 +724,29 @@ func (s *Server) Submit(sub Submission) (*Stream, error) {
 		rp.snapQueued.Add(-1)
 		rp.snapPrefill.Add(-int64(req.PromptTokens))
 		s.inFlight.Add(-1)
-		return nil, ErrClosed
+		s.finMu.Lock()
+		delete(s.live, id)
+		s.finMu.Unlock()
+		s.releaseUnused(req, entry)
+		return ErrClosed
 	}
-	rp.inbox = append(rp.inbox, admission{req: req, events: events, xferFrom: src, xferTokens: tok})
-	rp.wake.Signal()
+	rp.inbox = append(rp.inbox, admission{req: req, entry: entry, xferFrom: src, xferTokens: tok})
 	rp.inboxMu.Unlock()
+	rp.kick()
+	s.accepted.Add(1)
 
-	s.servedMu.Lock()
-	s.served = append(s.served, req)
-	s.servedMu.Unlock()
-	return &Stream{ID: req.ID, Events: events, req: req, rep: rp}, nil
+	// After the kick the request may complete (and in batched mode be
+	// recycled) at any moment; only the entry pointer and captured id are
+	// safe to touch.
+	*st = Stream{ID: id, srv: s}
+	if entry.frames != nil {
+		st.entry = entry
+	} else {
+		st.Events = entry.events
+		st.req = req
+		st.rep = rp
+	}
+	return nil
 }
 
 // pick routes a submission to a replica index. Snapshot-aware balancers
@@ -817,8 +897,9 @@ func (rp *gatewayReplica) run() {
 
 		if batch.Empty() {
 			// Pending work but nothing runnable this instant (can happen
-			// transiently with admission-style schedulers); back off.
-			time.Sleep(time.Millisecond)
+			// transiently with admission-style schedulers); park until a
+			// kick or the coarse fallback tick instead of busy-polling.
+			rp.idleWait()
 			continue
 		}
 
@@ -843,7 +924,7 @@ func (rp *gatewayReplica) run() {
 		end := rp.srv.vnow()
 		rp.completeLocked(batch, exec, end)
 		rp.mu.Unlock()
-		rp.flush()
+		rp.finishIteration(end)
 		if len(rp.handoffQ) > 0 {
 			rp.launchHandoffs()
 		}
@@ -854,6 +935,7 @@ func (rp *gatewayReplica) run() {
 			rp.snapDecodes.Store(0)
 			rp.snapSumCtx.Store(0)
 			rp.snapMaxCtx.Store(0)
+			rp.maybeShrinkStreams()
 		}
 	}
 }
@@ -864,7 +946,13 @@ func (rp *gatewayReplica) run() {
 func (rp *gatewayReplica) admit() bool {
 	rp.inboxMu.Lock()
 	for !rp.srv.closed.Load() && !rp.down.Load() && len(rp.inbox) == 0 && rp.active == 0 {
-		rp.wake.Wait()
+		// Park on the wakeup channel. The predicate is re-checked under
+		// inboxMu after every receive, so a kick that lands between the
+		// unlock and the receive is never lost (kick's buffered send
+		// sticks) and a spurious wake is harmless.
+		rp.inboxMu.Unlock()
+		<-rp.notify
+		rp.inboxMu.Lock()
 	}
 	if rp.srv.closed.Load() || rp.down.Load() {
 		rp.inboxMu.Unlock()
@@ -884,6 +972,7 @@ func (rp *gatewayReplica) admit() bool {
 	// submission — then credited like local hits, with the interconnect
 	// time accrued as transfer debt.
 	srv := rp.srv
+	var hitCredit, moveCredit, reloadCredit, fallbacks int64
 	rp.kvMu.Lock()
 	for _, ad := range rp.drained {
 		if len(ad.req.PrefixHashes) == 0 {
@@ -900,20 +989,17 @@ func (rp *gatewayReplica) admit() bool {
 				moved := imp - credit
 				credit = imp
 				rp.transferDebt += time.Duration(srv.transferSeconds(moved) * float64(time.Second))
-				srv.prefixTransferTokens.Add(uint64(moved))
+				moveCredit += int64(moved)
 			} else {
 				// Source gone: recompute instead. Never a silent drop — the
 				// request simply keeps its full prefill work.
-				srv.transferFallbacks.Add(1)
+				fallbacks++
 			}
 		}
 		ad.req.ApplyPrefixHit(credit)
-		if credit > 0 {
-			srv.prefixHits.Add(uint64(credit))
-			rp.snapPrefill.Add(-int64(credit))
-		}
+		hitCredit += int64(credit)
 		if res.ReloadTokens > 0 {
-			srv.reloadTokens.Add(uint64(res.ReloadTokens))
+			reloadCredit += int64(res.ReloadTokens)
 			rp.reloadDebt += time.Duration(rp.kv.ReloadSeconds(res.ReloadTokens) * float64(time.Second))
 		}
 	}
@@ -921,15 +1007,34 @@ func (rp *gatewayReplica) admit() bool {
 		rp.publishIndexLocked()
 	}
 	rp.kvMu.Unlock()
+	// Counter and snapshot publication is batched to one update per admit
+	// cycle: the per-request Adds used to dominate the kvMu hold time on
+	// bursty admission.
+	if hitCredit > 0 {
+		srv.prefixHits.Add(uint64(hitCredit))
+		rp.snapPrefill.Add(-hitCredit)
+	}
+	if moveCredit > 0 {
+		srv.prefixTransferTokens.Add(uint64(moveCredit))
+	}
+	if reloadCredit > 0 {
+		srv.reloadTokens.Add(uint64(reloadCredit))
+	}
+	if fallbacks > 0 {
+		srv.transferFallbacks.Add(uint64(fallbacks))
+	}
 	now := rp.srv.vnow()
 	rp.mu.Lock()
 	for _, ad := range rp.drained {
 		if ad.orig != nil {
 			// Disagg prefill clone: no stream here — its completion hands
 			// the original off to the decode tier instead.
-			rp.pending[ad.req.ID] = pendingHandoff{clone: ad.req, orig: ad.orig, events: ad.events, home: ad.home}
+			rp.pending[ad.req.ID] = pendingHandoff{clone: ad.req, orig: ad.orig, entry: ad.entry, home: ad.home}
 		} else {
-			rp.streams[ad.req.ID] = ad.events
+			rp.streams[ad.req.ID] = ad.entry
+			if len(rp.streams) > rp.streamsPeak {
+				rp.streamsPeak = len(rp.streams)
+			}
 		}
 		rp.scheduler.Add(ad.req, now)
 	}
@@ -957,12 +1062,13 @@ func (rp *gatewayReplica) completeLocked(b sched.Batch, exec, end sim.Time) {
 	srv.decodeTokens.Add(uint64(len(b.Decodes)))
 	rp.hist.observe(exec.Seconds())
 	decodes, sumCtx, maxCtx := 0, 0, 0
+	var dPrefill, dQueued int64
 	for _, p := range b.Prefill {
-		rp.snapPrefill.Add(-int64(p.Tokens))
+		dPrefill += int64(p.Tokens)
 		before := p.Req.DecodedTokens
 		p.Req.RecordPrefill(p.Tokens, end)
 		if p.Req.DecodedTokens > before {
-			rp.snapQueued.Add(-1)
+			dQueued++
 			if h, ok := rp.pending[p.Req.ID]; ok {
 				// Disagg prefill clone finished: hand the original off to
 				// its decode home instead of streaming a token.
@@ -972,7 +1078,7 @@ func (rp *gatewayReplica) completeLocked(b sched.Batch, exec, end sim.Time) {
 			}
 		}
 		if len(p.Req.PrefixHashes) > 0 && p.Req.Phase() == request.Done {
-			rp.releasePrefix(p.Req)
+			rp.releaseQ = append(rp.releaseQ, p.Req.ID)
 		}
 		if p.Req.Phase() == request.Decode {
 			decodes++
@@ -987,7 +1093,7 @@ func (rp *gatewayReplica) completeLocked(b sched.Batch, exec, end sim.Time) {
 		d.RecordDecodeToken(end)
 		rp.stageEvent(d, end)
 		if len(d.PrefixHashes) > 0 && d.Phase() == request.Done {
-			rp.releasePrefix(d)
+			rp.releaseQ = append(rp.releaseQ, d.ID)
 		}
 		if d.Phase() != request.Done {
 			decodes++
@@ -998,6 +1104,14 @@ func (rp *gatewayReplica) completeLocked(b sched.Batch, exec, end sim.Time) {
 			}
 		}
 	}
+	// Load-snapshot publication is batched: one Add per gauge per
+	// iteration instead of one per request.
+	if dPrefill != 0 {
+		rp.snapPrefill.Add(-dPrefill)
+	}
+	if dQueued != 0 {
+		rp.snapQueued.Add(-dQueued)
+	}
 	rp.snapDecodes.Store(int64(decodes))
 	rp.snapSumCtx.Store(int64(sumCtx))
 	rp.snapMaxCtx.Store(int64(maxCtx))
@@ -1007,38 +1121,49 @@ func (rp *gatewayReplica) completeLocked(b sched.Batch, exec, end sim.Time) {
 	rp.scheduler.OnBatchComplete(b, end)
 }
 
-// releasePrefix unpins a finished request's shared prefix blocks, leaving
-// them cached (LRU) for the session's next turn. Takes kvMu under mu,
-// respecting the documented lock order.
-//
-//qoserve:hotpath
-func (rp *gatewayReplica) releasePrefix(r *request.Request) {
-	//lint:ignore hotpathalloc sync.Mutex.Lock never allocates; kvMu is taken here (after mu, per the lock order) because the balancer's Submit-time probe shares it.
-	rp.kvMu.Lock()
-	rp.kv.Release(r.ID)
-	//lint:ignore hotpathalloc see above: mutex ops do not allocate.
-	rp.kvMu.Unlock()
-}
-
-// stageEvent queues the request's newest token for delivery by flush.
+// stageEvent queues the request's newest token for delivery after mu is
+// released. Unbatched streams get one outbox delivery per token; batched
+// streams append to the entry's staged frame (evicting the oldest staged
+// event when the frame is full and the final token must fit).
 //
 //qoserve:hotpath
 //qoserve:locked mu
 func (rp *gatewayReplica) stageEvent(r *request.Request, at sim.Time) {
-	events := rp.streams[r.ID]
-	if events == nil {
+	e := rp.streams[r.ID]
+	if e == nil {
 		return
 	}
 	done := r.Phase() == request.Done
-	rp.outbox = append(rp.outbox, delivery{
-		events: events,
-		ev:     Event{Token: r.DecodedTokens, At: at.Duration(), Done: done},
-		id:     r.ID,
-	})
+	ev := Event{Token: r.DecodedTokens, At: at.Duration(), Done: done}
+	if e.frames == nil {
+		rp.outbox = append(rp.outbox, delivery{events: e.events, ev: ev, id: r.ID})
+		if done {
+			rp.finalQ = append(rp.finalQ, e)
+		}
+		return
+	}
+	if len(e.staged) < cap(e.staged) {
+		e.staged = append(e.staged, ev)
+	} else if done {
+		rp.srv.droppedEvents.Add(1)
+		copy(e.staged, e.staged[1:])
+		e.staged[len(e.staged)-1] = ev
+	} else {
+		rp.srv.droppedEvents.Add(1)
+	}
+	if done {
+		e.final = true
+		rp.finalQ = append(rp.finalQ, e)
+	}
+	if !e.queued {
+		e.queued = true
+		rp.sendQ = append(rp.sendQ, e)
+	}
 }
 
-// flush delivers the staged outbox without holding any lock. Full buffers
-// drop intermediate token events (counted in droppedEvents) but never the
+// flush delivers the staged outbox without holding any lock (unbatched
+// mode only; batched delivery is flushFrames). Full buffers drop
+// intermediate token events (counted in droppedEvents) but never the
 // final one: a finished stream always observes Done, then close.
 //
 //qoserve:hotpath
@@ -1058,7 +1183,9 @@ func (rp *gatewayReplica) flush() {
 		delete(rp.streams, d.id)
 		rp.active--
 		rp.load.Add(-1)
-		rp.srv.inFlight.Add(-1)
+		if rp.srv.inFlight.Add(-1) == 0 {
+			rp.srv.kickDrain()
+		}
 	}
 	for i := range rp.outbox {
 		rp.outbox[i] = delivery{} // release channel references
@@ -1108,13 +1235,10 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	vnow := s.vnow()
 	sum := s.summary(vnow)
-	s.servedMu.Lock()
-	served := len(s.served)
-	s.servedMu.Unlock()
 	return Stats{
 		VirtualNow:    vnow.Duration(),
 		Pending:       int(s.inFlight.Load()),
-		Served:        served,
+		Served:        int(s.accepted.Load()),
 		Iterations:    s.iterations.Load(),
 		Tokens:        s.tokens.Load(),
 		ViolationRate: sum.ViolationRate(metrics.All),
@@ -1123,17 +1247,23 @@ func (s *Server) Stats() Stats {
 	}
 }
 
-// summary builds a metrics summary over every accepted request. It takes
-// every replica's scheduler lock (in index order) plus the served list so
-// request state cannot mutate mid-scan; only /metrics and /v1/stats call
+// summary builds a metrics summary over every accepted request: finished
+// outcomes from the ledger plus a consistent scan of the live set. It
+// takes every replica's scheduler lock (in index order) so live request
+// state cannot mutate mid-scan, then finMu (a leaf lock) so no request
+// retires or recycles during the read; only /metrics and /v1/stats call
 // it, and they tolerate the brief stall.
 func (s *Server) summary(vnow sim.Time) *metrics.Summary {
 	for _, rp := range s.reps {
 		rp.mu.Lock()
 	}
-	s.servedMu.Lock()
-	sum := metrics.NewSummary(s.served, vnow, len(s.reps))
-	s.servedMu.Unlock()
+	s.finMu.Lock()
+	live := make([]*request.Request, 0, len(s.live))
+	for _, r := range s.live {
+		live = append(live, r)
+	}
+	sum := metrics.MixedSummary(s.doneOut, live, vnow, len(s.reps))
+	s.finMu.Unlock()
 	for i := len(s.reps) - 1; i >= 0; i-- {
 		s.reps[i].mu.Unlock()
 	}
@@ -1253,9 +1383,11 @@ func (s *Server) relegations() (total int, reported bool) {
 }
 
 // Drain blocks until every accepted request has finished or the context is
-// cancelled.
+// cancelled. Serving loops kick drainWake when inFlight reaches zero, so
+// the common case wakes immediately; a coarse backstop tick covers the
+// race where a request is submitted between the load and the park.
 func (s *Server) Drain(ctx context.Context) error {
-	tick := time.NewTicker(time.Millisecond)
+	tick := time.NewTicker(5 * time.Millisecond)
 	defer tick.Stop()
 	for {
 		if s.inFlight.Load() == 0 {
@@ -1264,6 +1396,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
+		case <-s.drainWake:
 		case <-tick.C:
 		}
 	}
@@ -1273,9 +1406,7 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) Close() {
 	if !s.closed.Swap(true) {
 		for _, rp := range s.reps {
-			rp.inboxMu.Lock()
-			rp.wake.Broadcast()
-			rp.inboxMu.Unlock()
+			rp.kick()
 		}
 	}
 	s.wg.Wait()
